@@ -1,0 +1,236 @@
+package qfusor_test
+
+import (
+	"strings"
+	"testing"
+
+	"qfusor"
+)
+
+func openTestDB(t *testing.T, profile qfusor.Profile) *qfusor.DB {
+	t.Helper()
+	db, err := qfusor.Open(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := db.Define(`
+@scalarudf
+def slug(s: str) -> str:
+    return s.strip().lower().replace(" ", "-")
+
+@expandudf
+def pieces(s: str) -> str:
+    for p in s.split("-"):
+        yield p
+
+@aggregateudf
+class longest:
+    def init(self):
+        self.best = ""
+    def step(self, s):
+        if s is not None and len(s) > len(self.best):
+            self.best = s
+    def final(self):
+        return self.best
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(qfusor.UDFSpec{Name: "longest", Kind: qfusor.Aggregate,
+		In:  []qfusor.Kind{qfusor.KindString},
+		Out: []qfusor.Kind{qfusor.KindString}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE TABLE notes (id int, title string)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO notes VALUES
+		(1, '  Hello World  '), (2, 'Go Databases'), (3, 'Query Fusion Rocks')`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	res, err := db.Query("SELECT id, slug(title) AS s FROM notes ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 || res.Cols[1].Get(0).String() != "hello-world" {
+		t.Fatalf("got %s", qfusor.Format(res, 5))
+	}
+	// Native and fused agree.
+	nat, err := db.QueryNative("SELECT slug(title) AS s FROM notes ORDER BY 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fus, err := db.Query("SELECT slug(title) AS s FROM notes ORDER BY 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if nat.Cols[0].Get(i).String() != fus.Cols[0].Get(i).String() {
+			t.Fatalf("row %d: %v vs %v", i, nat.Cols[0].Get(i), fus.Cols[0].Get(i))
+		}
+	}
+}
+
+func TestPublicAPIExpandAggregate(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	res, err := db.Query(
+		"SELECT longest(p) AS l FROM (SELECT pieces(slug(title)) AS p FROM notes) AS x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cols[0].Get(0).String() != "databases" {
+		t.Fatalf("longest piece = %v", res.Cols[0].Get(0))
+	}
+	if db.LastReport().Sections == 0 {
+		t.Fatal("no fusion happened")
+	}
+}
+
+func TestPublicAPIExplainShowsWrapper(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	plan, err := db.Explain("SELECT slug(title) AS s FROM notes WHERE slug(title) != 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Fused") && !strings.Contains(plan, "__qf_fused") {
+		t.Fatalf("explain lacks fusion markers:\n%s", plan)
+	}
+}
+
+func TestPublicAPIDMLWithUDF(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	if err := db.Exec("UPDATE notes SET title = slug(title) WHERE id <= 2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT title FROM notes ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cols[0].Get(0).String() != "hello-world" || res.Cols[0].Get(2).String() != "Query Fusion Rocks" {
+		t.Fatalf("update applied wrong rows: %s", qfusor.Format(res, 5))
+	}
+	if err := db.Exec("DELETE FROM notes WHERE length(slug(title)) > 12"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM notes")
+	if v, _ := res.Cols[0].Get(0).AsInt(); v != 2 {
+		t.Fatalf("rows after delete = %d", v)
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	opts := qfusor.DefaultOptions()
+	opts.Fusion = false
+	db.SetOptions(opts)
+	if _, err := db.Query("SELECT slug(title) FROM notes"); err != nil {
+		t.Fatal(err)
+	}
+	if db.LastReport().Sections != 0 {
+		t.Fatal("fusion ran while disabled")
+	}
+}
+
+func TestPublicAPIOtherProfiles(t *testing.T) {
+	for _, p := range []qfusor.Profile{qfusor.SQLite, qfusor.PostgreSQL, qfusor.DuckDB} {
+		t.Run(string(p), func(t *testing.T) {
+			db := openTestDB(t, p)
+			res, err := db.Query("SELECT slug(title) FROM notes ORDER BY 1 LIMIT 1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cols[0].Get(0).String() != "go-databases" {
+				t.Fatalf("got %v", res.Cols[0].Get(0))
+			}
+		})
+	}
+}
+
+func TestTablesAndUDFListing(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	found := false
+	for _, n := range db.Tables() {
+		if n == "notes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("notes table missing from listing")
+	}
+	udfs := strings.Join(db.UDFList(), "\n")
+	if !strings.Contains(udfs, "slug(string) -> string") {
+		t.Fatalf("udf listing:\n%s", udfs)
+	}
+}
+
+// TestRewriteSQLPath1 exercises the paper's rewrite path 1: the fused
+// query rendered as SQL, re-submitted to the engine, produces the same
+// result as direct plan execution.
+func TestRewriteSQLPath1(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	sql := "SELECT slug(title) AS s FROM notes WHERE slug(title) != 'zzz'"
+	rewritten, executable, err := db.RewriteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rewritten, "__qf_fused") {
+		t.Fatalf("rewritten SQL lacks the fused wrapper:\n%s", rewritten)
+	}
+	if !executable {
+		t.Fatalf("single-chain rewrite should be executable:\n%s", rewritten)
+	}
+	want, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.QueryNative(rewritten)
+	if err != nil {
+		t.Fatalf("re-submission failed: %v\n%s", err, rewritten)
+	}
+	if want.NumRows() != got.NumRows() {
+		t.Fatalf("rows %d vs %d\n%s", want.NumRows(), got.NumRows(), rewritten)
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		if want.Cols[0].Get(i).String() != got.Cols[0].Get(i).String() {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// TestExecFusedDML: UPDATE with a UDF pipeline goes through fusion
+// (§4.2.5) and matches plain execution.
+func TestExecFusedDML(t *testing.T) {
+	plain := openTestDB(t, qfusor.MonetDB)
+	fused := openTestDB(t, qfusor.MonetDB)
+	stmt := "UPDATE notes SET title = pieces_first(slug(title)) WHERE slug(title) != 'go-databases'"
+	for _, db := range []*qfusor.DB{plain, fused} {
+		if err := db.Define(`
+@scalarudf
+def pieces_first(s: str) -> str:
+    return s.split("-")[0]
+`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := plain.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.ExecFused(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if fused.LastReport().Sections == 0 {
+		t.Fatal("DML fusion produced no sections")
+	}
+	a, _ := plain.Query("SELECT title FROM notes ORDER BY id")
+	b, _ := fused.Query("SELECT title FROM notes ORDER BY id")
+	for i := 0; i < a.NumRows(); i++ {
+		if a.Cols[0].Get(i).String() != b.Cols[0].Get(i).String() {
+			t.Fatalf("row %d: %v vs %v", i, a.Cols[0].Get(i), b.Cols[0].Get(i))
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package qfusor
+
+import (
+	"io"
+	"testing"
+
+	"qfusor/internal/bench"
+	"qfusor/internal/data"
+	"qfusor/internal/engines"
+	"qfusor/internal/ffi"
+	"qfusor/internal/pylite"
+	"qfusor/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// One benchmark per table/figure of the paper's evaluation (§6). Each
+// iteration regenerates the experiment's rows at tiny/quick scale; run
+// `go run ./cmd/qfusor-bench -size small` for the full printed tables.
+// ---------------------------------------------------------------------
+
+func benchRunner() *bench.Runner {
+	r := bench.NewRunner(workload.Tiny, io.Discard)
+	r.Quick = true
+	return r
+}
+
+func runExp(b *testing.B, fn func() (*bench.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4UDFBench regenerates Fig. 4 (top): Q1/Q2/Q3 across the
+// system lineup.
+func BenchmarkFig4UDFBench(b *testing.B) { runExp(b, benchRunner().Fig4UDFBench) }
+
+// BenchmarkFig4Zillow regenerates Fig. 4 (middle): the Zillow pipeline
+// across systems.
+func BenchmarkFig4Zillow(b *testing.B) { runExp(b, benchRunner().Fig4Zillow) }
+
+// BenchmarkFig4Overhead regenerates Fig. 4 (bottom): fus-optim and
+// code-gen overheads per query.
+func BenchmarkFig4Overhead(b *testing.B) { runExp(b, benchRunner().Fig4Overhead) }
+
+// BenchmarkFig5Weld regenerates Fig. 5 (left/middle): QFusor vs Weld.
+func BenchmarkFig5Weld(b *testing.B) { runExp(b, benchRunner().Fig5Weld) }
+
+// BenchmarkFig5UDO regenerates Fig. 5 (right): QFusor vs UDO.
+func BenchmarkFig5UDO(b *testing.B) { runExp(b, benchRunner().Fig5UDO) }
+
+// BenchmarkFig6aLadder regenerates Fig. 6a: the physio-logical
+// optimization ladder on Q3 across three engine profiles.
+func BenchmarkFig6aLadder(b *testing.B) { runExp(b, benchRunner().Fig6aLadder) }
+
+// BenchmarkFig6bOffload regenerates Fig. 6b: filter offloading vs
+// selectivity.
+func BenchmarkFig6bOffload(b *testing.B) { runExp(b, benchRunner().Fig6bOffload) }
+
+// BenchmarkFig6cPhysical regenerates Fig. 6c: the physical optimization
+// ladder on Q9/Q10.
+func BenchmarkFig6cPhysical(b *testing.B) { runExp(b, benchRunner().Fig6cPhysical) }
+
+// BenchmarkFig6dShortQueries regenerates Fig. 6d / §6.4.5: compile
+// latency and the 100-short-query workload.
+func BenchmarkFig6dShortQueries(b *testing.B) { runExp(b, benchRunner().Fig6dShortQueries) }
+
+// BenchmarkFig6eUDFTypes regenerates Fig. 6e: fusion speedups per
+// UDF-type pairing (Table 2's templates in action).
+func BenchmarkFig6eUDFTypes(b *testing.B) { runExp(b, benchRunner().Fig6eUDFTypes) }
+
+// BenchmarkFig6fDiskMem regenerates Fig. 6f: disk vs memory, cold vs
+// hot caches.
+func BenchmarkFig6fDiskMem(b *testing.B) { runExp(b, benchRunner().Fig6fDiskMem) }
+
+// BenchmarkFig6gParallel regenerates Fig. 6g: thread scaling.
+func BenchmarkFig6gParallel(b *testing.B) { runExp(b, benchRunner().Fig6gParallel) }
+
+// BenchmarkFig7Resources regenerates Fig. 7: resource utilization
+// traces.
+func BenchmarkFig7Resources(b *testing.B) { runExp(b, benchRunner().Fig7Resources) }
+
+// BenchmarkFig8Pluggability regenerates Fig. 8: native vs enhanced on
+// every engine profile.
+func BenchmarkFig8Pluggability(b *testing.B) { runExp(b, benchRunner().Fig8Pluggability) }
+
+// ---------------------------------------------------------------------
+// Micro benchmarks: the individual mechanisms.
+// ---------------------------------------------------------------------
+
+func zillowInstance(b *testing.B, jit bool) *engines.Instance {
+	b.Helper()
+	in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: jit})
+	if err := workload.InstallZillow(in); err != nil {
+		b.Fatal(err)
+	}
+	in.Put(workload.GenZillow(workload.Tiny))
+	b.Cleanup(in.Close)
+	return in
+}
+
+// BenchmarkQueryNativeInterpreted: engine-native UDF execution with the
+// interpreter (the CPython baseline).
+func BenchmarkQueryNativeInterpreted(b *testing.B) {
+	in := zillowInstance(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Query(workload.Q12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryNativeJIT: engine-native UDF execution with the tracing
+// JIT (no fusion).
+func BenchmarkQueryNativeJIT(b *testing.B) {
+	in := zillowInstance(b, true)
+	if _, err := in.Query(workload.Q12); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Query(workload.Q12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryFused: the full QFusor pipeline (fusion + JIT traces).
+func BenchmarkQueryFused(b *testing.B) {
+	in := zillowInstance(b, true)
+	if _, err := in.QueryFused(workload.Q12); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.QueryFused(workload.Q12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusionPipelineOnly: plan probe + DFG + Alg.2 + codegen,
+// without execution (the Fig. 4 bottom overhead in isolation).
+func BenchmarkFusionPipelineOnly(b *testing.B) {
+	in := zillowInstance(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := in.QF.Process(in.Eng, workload.Q11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPyLiteInterp and BenchmarkPyLiteCompiled measure the two UDF
+// runtime tiers on the same function.
+func pyliteFn(b *testing.B, hot int) (*pylite.Interp, data.Value) {
+	b.Helper()
+	rt := pylite.NewInterp()
+	rt.HotThreshold = hot
+	err := rt.Exec(`
+def clean(s):
+    out = []
+    for w in s.strip().lower().split(" "):
+        if len(w) > 2:
+            out.append(w)
+    return "-".join(out)
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, _ := rt.Global("clean")
+	return rt, fn
+}
+
+// BenchmarkPyLiteInterp: tree-walking interpretation per call.
+func BenchmarkPyLiteInterp(b *testing.B) {
+	rt, fn := pyliteFn(b, 0)
+	arg := []data.Value{data.Str("  The Quick brown FOX jumped over it  ")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Call(fn, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPyLiteCompiled: the closure-compiled tier.
+func BenchmarkPyLiteCompiled(b *testing.B) {
+	rt, fn := pyliteFn(b, 1)
+	arg := []data.Value{data.Str("  The Quick brown FOX jumped over it  ")}
+	for i := 0; i < 4; i++ {
+		if _, err := rt.Call(fn, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Call(fn, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportVector / Tuple / Process: one scalar UDF over a
+// column batch through each transport.
+func transportInput(b *testing.B) (*ffi.UDF, *data.Column) {
+	b.Helper()
+	rt := pylite.NewInterp()
+	rt.HotThreshold = 1
+	if err := rt.Exec("def norm(s):\n    return s.strip().lower()\n"); err != nil {
+		b.Fatal(err)
+	}
+	fn, _ := rt.Global("norm")
+	u := &ffi.UDF{Name: "norm", Kind: ffi.Scalar, Fn: fn, RT: rt,
+		InKinds: []data.Kind{data.KindString}, OutKinds: []data.Kind{data.KindString}}
+	col := data.NewColumn("s", data.KindString)
+	for i := 0; i < 2048; i++ {
+		col.AppendStr("  Some Mixed CASE text  ")
+	}
+	return u, col
+}
+
+// BenchmarkTransportVector measures the MonetDB-style vectorized
+// transport.
+func BenchmarkTransportVector(b *testing.B) {
+	u, col := transportInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ffi.VectorInvoker{}).CallScalar(u, []*data.Column{col}, col.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportTuple measures the SQLite-style per-tuple transport.
+func BenchmarkTransportTuple(b *testing.B) {
+	u, col := transportInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ffi.TupleInvoker{}).CallScalar(u, []*data.Column{col}, col.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportProcess measures the PostgreSQL-style out-of-process
+// transport (full serialization round trips).
+func BenchmarkTransportProcess(b *testing.B) {
+	u, col := transportInput(b)
+	p := ffi.NewProcessInvoker(256)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CallScalar(u, []*data.Column{col}, col.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command qfusor-bench runs the paper's evaluation experiments and
+// prints each table/figure's rows. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	qfusor-bench                       # run everything at size=small
+//	qfusor-bench -size medium          # bigger datasets
+//	qfusor-bench -exp fig6b-offload    # one experiment
+//	qfusor-bench -quick                # trimmed sweeps
+//	qfusor-bench -list                 # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"qfusor/internal/bench"
+	"qfusor/internal/workload"
+)
+
+func main() {
+	size := flag.String("size", "small", "dataset size: tiny | small | medium | large")
+	exp := flag.String("exp", "", "run a single experiment (see -list)")
+	quick := flag.Bool("quick", false, "trim sweeps and repetitions")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	r := bench.NewRunner(workload.Size(*size), os.Stdout)
+	r.Quick = *quick
+
+	if *list {
+		var names []string
+		for name := range r.Experiments() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *exp != "" {
+		fn, ok := r.Experiments()[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", *exp, err)
+			os.Exit(1)
+		}
+		r.Print(res)
+		return
+	}
+
+	if _, err := r.All(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments failed: %v\n", err)
+		os.Exit(1)
+	}
+}

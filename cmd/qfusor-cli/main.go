@@ -1,0 +1,218 @@
+// Command qfusor-cli is a small SQL shell over the QFusor engine:
+// pick an engine profile, optionally preload a paper workload, then
+// type SQL (UDF queries run through the QFusor pipeline).
+//
+// Meta commands:
+//
+//	\native <sql>   run without fusion
+//	\explain <sql>  show the rewritten plan + fused wrappers
+//	\rewrite <sql>  show the fused query as SQL (rewrite path 1)
+//	\def            enter UDF definition mode (end with a line: \end)
+//	\tables         list tables
+//	\udfs           list registered UDFs
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/workload"
+)
+
+func main() {
+	profile := flag.String("engine", "monetdb", "engine profile: monetdb | postgresql | sqlite | duckdb | pyspark | dbx")
+	load := flag.String("load", "", "preload a workload: udfbench | zillow | weld | udo (comma separated)")
+	size := flag.String("size", "tiny", "workload size: tiny | small | medium | large")
+	flag.Parse()
+
+	db, err := qfusor.Open(qfusor.Profile(*profile))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	for _, w := range strings.Split(*load, ",") {
+		if w == "" {
+			continue
+		}
+		if err := preload(db, w, qfusor.Size(*size)); err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded workload %q at size %s\n", w, *size)
+	}
+
+	fmt.Printf("qfusor shell — engine=%s (\\quit to exit)\n", *profile)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("qfusor> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "\\quit" || trimmed == "\\q":
+			return
+		case trimmed == "\\tables":
+			listTables(db)
+			prompt()
+			continue
+		case trimmed == "\\udfs":
+			listUDFs(db)
+			prompt()
+			continue
+		case trimmed == "\\def":
+			src := readUntil(sc, "\\end")
+			if err := db.Define(src); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, "\\rewrite "):
+			out, executable, err := db.RewriteSQL(strings.TrimPrefix(trimmed, "\\rewrite "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(out)
+				if !executable {
+					fmt.Println("-- (display only: not re-submittable in this dialect)")
+				}
+			}
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, "\\explain "):
+			out, err := db.Explain(strings.TrimPrefix(trimmed, "\\explain "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(out)
+			}
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, "\\native "):
+			runOne(func(sql string) (*qfusor.Table, error) { return db.QueryNative(sql) },
+				strings.TrimPrefix(trimmed, "\\native "))
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") || trimmed == "" {
+			sql := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if sql != "" {
+				execute(db, strings.TrimSuffix(sql, ";"))
+			}
+			prompt()
+		}
+	}
+}
+
+func execute(db *qfusor.DB, sql string) {
+	up := strings.ToUpper(strings.Fields(sql + " ")[0])
+	if up == "CREATE" || up == "INSERT" || up == "UPDATE" || up == "DELETE" {
+		if err := db.Exec(sql); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	runOne(db.Query, sql)
+	rep := db.LastReport()
+	if rep.Sections > 0 {
+		fmt.Printf("(%d fused sections, optimize %v, codegen %v)\n",
+			rep.Sections, rep.FusOptim, rep.CodeGen)
+	}
+}
+
+func runOne(run func(string) (*qfusor.Table, error), sql string) {
+	start := time.Now()
+	res, err := run(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(qfusor.Format(res, 25))
+	fmt.Printf("(%d rows in %v)\n", res.NumRows(), time.Since(start))
+}
+
+func readUntil(sc *bufio.Scanner, end string) string {
+	var b strings.Builder
+	fmt.Printf("... enter UDF source, finish with %s\n", end)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == end {
+			break
+		}
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func preload(db *qfusor.DB, name string, size qfusor.Size) error {
+	switch name {
+	case "udfbench":
+		if err := qfusor.InstallUDFBench(db); err != nil {
+			return err
+		}
+		ub := qfusor.GenUDFBench(size)
+		db.PutTable(ub.Pubs)
+		db.PutTable(ub.Artifacts)
+	case "zillow":
+		if err := qfusor.InstallZillow(db); err != nil {
+			return err
+		}
+		db.PutTable(qfusor.GenZillow(size))
+	case "weld", "udo":
+		return preloadInternal(db, name, size)
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	return nil
+}
+
+func listTables(db *qfusor.DB) {
+	names := db.Tables()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(" ", n)
+	}
+}
+
+func listUDFs(db *qfusor.DB) {
+	for _, line := range db.UDFList() {
+		fmt.Println(" ", line)
+	}
+}
+
+func preloadInternal(db *qfusor.DB, name string, size qfusor.Size) error {
+	switch name {
+	case "weld":
+		if err := db.DefineWorkload("weld"); err != nil {
+			return err
+		}
+		pop, dirty := workload.GenWeld(size)
+		db.PutTable(pop)
+		db.PutTable(dirty)
+	case "udo":
+		if err := db.DefineWorkload("udo"); err != nil {
+			return err
+		}
+		arrays, docs := workload.GenUDO(size)
+		db.PutTable(arrays)
+		db.PutTable(docs)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Offload: demonstrates the relational-operator offloading decision
+// (§5.2.3, Fig. 6b). A range filter sits on top of a cleansing UDF;
+// QFusor's cost model decides whether to execute the filter inside the
+// fused UDF (saving output conversions on dropped rows) or in the
+// engine. The sweep shows the fused path winning most at low pass
+// rates, as in the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/workload"
+)
+
+func main() {
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := qfusor.InstallUDFBench(db); err != nil {
+		log.Fatal(err)
+	}
+	ub := qfusor.GenUDFBench(qfusor.Small)
+	db.PutTable(ub.Pubs)
+
+	// Show how the plan changes when the filter is offloaded.
+	sql := workload.Q8(25)
+	fmt.Println("query:", sql)
+	fmt.Println("\nnative plan (filter in the engine):")
+	p, err := db.ExplainNative(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
+	fmt.Println("fused plan (filter offloaded into the wrapper):")
+	p, err = db.Explain(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
+
+	fmt.Printf("%-6s %12s %12s %9s %8s\n", "pass%", "no-fusion", "fused", "speedup", "rows")
+	for _, pct := range []int{1, 10, 25, 50, 75, 100} {
+		sql := workload.Q8(pct)
+		// Warm both paths, then measure.
+		if _, err := db.QueryNative(sql); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := db.Query(sql); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := db.QueryNative(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		native := time.Since(start)
+		start = time.Now()
+		if _, err := db.Query(sql); err != nil {
+			log.Fatal(err)
+		}
+		fused := time.Since(start)
+		fmt.Printf("%-6d %12v %12v %8.2fx %8d\n", pct, native, fused,
+			float64(native)/float64(fused), res.NumRows())
+	}
+}

@@ -1,0 +1,68 @@
+// Pubpairs: the paper's running example (Fig. 1 → Fig. 2) — author-pair
+// collaboration analysis over publication data with JSON author lists,
+// a table UDF (combinations) and date cleansing. Runs the query with
+// engine-native UDF execution and through QFusor, printing both plans
+// and the generated fused wrappers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/workload"
+)
+
+func main() {
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := qfusor.InstallUDFBench(db); err != nil {
+		log.Fatal(err)
+	}
+	ub := qfusor.GenUDFBench(qfusor.Small)
+	db.PutTable(ub.Pubs)
+	fmt.Printf("pubs: %d rows\n\n", ub.Pubs.NumRows())
+
+	sql := workload.Q3
+
+	fmt.Println("original plan:")
+	plan, err := db.ExplainNative(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+
+	start := time.Now()
+	native, err := db.QueryNative(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nativeTime := time.Since(start)
+
+	start = time.Now()
+	fused, err := db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fusedTime := time.Since(start)
+
+	rep := db.LastReport()
+	fmt.Printf("native:  %8v  (%d project rows)\n", nativeTime, native.NumRows())
+	fmt.Printf("qfusor:  %8v  (%d project rows, %d fused sections, optimize %v, codegen %v)\n\n",
+		fusedTime, fused.NumRows(), rep.Sections, rep.FusOptim, rep.CodeGen)
+
+	fmt.Println("rewritten (fused) plan and wrappers:")
+	fplan, err := db.Explain(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fplan)
+
+	fmt.Println("sample output:")
+	fmt.Println(qfusor.Format(fused, 8))
+}

@@ -1,0 +1,52 @@
+// Zillow: the string-heavy real-estate cleaning pipeline (Tuplex's
+// motivating workload) run on three engine profiles — MonetDB-style
+// vectorized, SQLite-style tuple-at-a-time and PostgreSQL-style
+// out-of-process UDFs — comparing native vs QFusor-enhanced execution
+// on each (the pluggability experiment of §6.4.10).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/workload"
+)
+
+func main() {
+	listings := qfusor.GenZillow(qfusor.Small)
+	fmt.Printf("listings: %d rows\n\n", listings.NumRows())
+	fmt.Printf("%-12s %14s %14s %9s\n", "engine", "native", "qfusor", "speedup")
+
+	for _, profile := range []qfusor.Profile{qfusor.MonetDB, qfusor.SQLite, qfusor.PostgreSQL} {
+		db, err := qfusor.Open(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := qfusor.InstallZillow(db); err != nil {
+			log.Fatal(err)
+		}
+		db.PutTable(listings)
+
+		start := time.Now()
+		if _, err := db.QueryNative(workload.Q11); err != nil {
+			log.Fatal(err)
+		}
+		native := time.Since(start)
+
+		start = time.Now()
+		res, err := db.Query(workload.Q11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fused := time.Since(start)
+
+		fmt.Printf("%-12s %14v %14v %8.2fx\n", profile, native, fused,
+			float64(native)/float64(fused))
+		if profile == qfusor.MonetDB {
+			defer fmt.Println("\nsample output (monetdb):\n" + qfusor.Format(res, 6))
+		}
+		db.Close()
+	}
+}

@@ -1,0 +1,3 @@
+module qfusor
+
+go 1.23

@@ -1,0 +1,270 @@
+// Package pandas reproduces the Pandas baseline: an eager dataframe
+// library where every operation materializes a full new frame and UDFs
+// run per row through the interpreter (df.apply). Numeric column math
+// is vectorized natively (NumPy), which is why pandas does well on
+// numeric data and poorly on string/UDF pipelines (§6.3.2).
+package pandas
+
+import (
+	"fmt"
+
+	"qfusor/internal/data"
+	"qfusor/internal/pylite"
+)
+
+// DataFrame is an eager columnar frame.
+type DataFrame struct {
+	Names []string
+	Cols  [][]data.Value
+	N     int
+}
+
+// FromTable copies a table into a frame.
+func FromTable(t *data.Table) *DataFrame {
+	df := &DataFrame{Names: t.Schema.Names(), N: t.NumRows()}
+	for _, c := range t.Cols {
+		vals := make([]data.Value, df.N)
+		for i := 0; i < df.N; i++ {
+			vals[i] = c.Get(i)
+		}
+		df.Cols = append(df.Cols, vals)
+	}
+	return df
+}
+
+// colIndex resolves a column name.
+func (df *DataFrame) colIndex(name string) (int, error) {
+	for i, n := range df.Names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("pandas: no column %q", name)
+}
+
+// copyWith materializes a new frame with an extra/replaced column
+// (pandas' eager semantics: every step allocates the whole frame).
+func (df *DataFrame) copyWith(name string, vals []data.Value) *DataFrame {
+	out := &DataFrame{N: df.N}
+	replaced := false
+	for i, n := range df.Names {
+		c := make([]data.Value, df.N)
+		if n == name {
+			copy(c, vals)
+			replaced = true
+		} else {
+			copy(c, df.Cols[i])
+		}
+		out.Names = append(out.Names, n)
+		out.Cols = append(out.Cols, c)
+	}
+	if !replaced {
+		c := make([]data.Value, df.N)
+		copy(c, vals)
+		out.Names = append(out.Names, name)
+		out.Cols = append(out.Cols, c)
+	}
+	return out
+}
+
+// Apply runs a PyLite UDF per row of column src into a new column
+// (df[dst] = df[src].apply(fn) — interpreted per element).
+func (df *DataFrame) Apply(rt *pylite.Interp, dst, src, fn string) (*DataFrame, error) {
+	ci, err := df.colIndex(src)
+	if err != nil {
+		return nil, err
+	}
+	fv, ok := rt.Global(fn)
+	if !ok {
+		return nil, fmt.Errorf("pandas: UDF %q not defined", fn)
+	}
+	out := make([]data.Value, df.N)
+	for i := 0; i < df.N; i++ {
+		v, err := rt.Call(fv, []data.Value{df.Cols[ci][i]})
+		if err != nil {
+			return nil, fmt.Errorf("pandas: apply %s: %w", fn, err)
+		}
+		out[i] = v
+	}
+	return df.copyWith(dst, out), nil
+}
+
+// FilterMask keeps rows where mask is true, materializing a new frame.
+func (df *DataFrame) FilterMask(mask []bool) *DataFrame {
+	out := &DataFrame{Names: append([]string(nil), df.Names...)}
+	var idx []int
+	for i, m := range mask {
+		if m {
+			idx = append(idx, i)
+		}
+	}
+	out.N = len(idx)
+	for _, c := range df.Cols {
+		nc := make([]data.Value, len(idx))
+		for j, i := range idx {
+			nc[j] = c[i]
+		}
+		out.Cols = append(out.Cols, nc)
+	}
+	return out
+}
+
+// MaskFn evaluates a UDF predicate per row of a column.
+func (df *DataFrame) MaskFn(rt *pylite.Interp, src, fn string) ([]bool, error) {
+	ci, err := df.colIndex(src)
+	if err != nil {
+		return nil, err
+	}
+	fv, ok := rt.Global(fn)
+	if !ok {
+		return nil, fmt.Errorf("pandas: UDF %q not defined", fn)
+	}
+	out := make([]bool, df.N)
+	for i := 0; i < df.N; i++ {
+		v, err := rt.Call(fv, []data.Value{df.Cols[ci][i]})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v.Truthy()
+	}
+	return out, nil
+}
+
+// MaskCmp builds a vectorized comparison mask (native, fast — the
+// NumPy path).
+func (df *DataFrame) MaskCmp(col, op string, rhs data.Value) ([]bool, error) {
+	ci, err := df.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, df.N)
+	for i, v := range df.Cols[ci] {
+		c, ok := data.Compare(v, rhs)
+		if !ok || v.IsNull() {
+			continue
+		}
+		switch op {
+		case "<":
+			out[i] = c < 0
+		case "<=":
+			out[i] = c <= 0
+		case ">":
+			out[i] = c > 0
+		case ">=":
+			out[i] = c >= 0
+		case "==":
+			out[i] = c == 0
+		case "!=":
+			out[i] = c != 0
+		}
+	}
+	return out, nil
+}
+
+// GroupAgg groups by key columns and computes aggregates over one value
+// column each: kinds are "count", "sum", "min", "max", "avg".
+func (df *DataFrame) GroupAgg(keys []string, valCols []string, kinds []string) (*DataFrame, error) {
+	ki := make([]int, len(keys))
+	for i, k := range keys {
+		idx, err := df.colIndex(k)
+		if err != nil {
+			return nil, err
+		}
+		ki[i] = idx
+	}
+	vi := make([]int, len(valCols))
+	for i, v := range valCols {
+		if kinds[i] == "count" {
+			vi[i] = -1
+			continue
+		}
+		idx, err := df.colIndex(v)
+		if err != nil {
+			return nil, err
+		}
+		vi[i] = idx
+	}
+	type accT struct {
+		keys  []data.Value
+		count []int64
+		sum   []float64
+		min   []data.Value
+		max   []data.Value
+	}
+	groups := map[string]*accT{}
+	var order []string
+	for r := 0; r < df.N; r++ {
+		key := ""
+		for _, k := range ki {
+			key += df.Cols[k][r].Key() + "|"
+		}
+		acc, ok := groups[key]
+		if !ok {
+			acc = &accT{count: make([]int64, len(vi)), sum: make([]float64, len(vi)),
+				min: make([]data.Value, len(vi)), max: make([]data.Value, len(vi))}
+			for _, k := range ki {
+				acc.keys = append(acc.keys, df.Cols[k][r])
+			}
+			groups[key] = acc
+			order = append(order, key)
+		}
+		for i, v := range vi {
+			if v < 0 {
+				acc.count[i]++
+				continue
+			}
+			val := df.Cols[v][r]
+			if val.IsNull() {
+				continue
+			}
+			acc.count[i]++
+			if f, ok := val.AsFloat(); ok {
+				acc.sum[i] += f
+			}
+			if acc.min[i].IsNull() {
+				acc.min[i], acc.max[i] = val, val
+			} else {
+				if c, ok := data.Compare(val, acc.min[i]); ok && c < 0 {
+					acc.min[i] = val
+				}
+				if c, ok := data.Compare(val, acc.max[i]); ok && c > 0 {
+					acc.max[i] = val
+				}
+			}
+		}
+	}
+	out := &DataFrame{N: len(order)}
+	for i, k := range keys {
+		col := make([]data.Value, 0, len(order))
+		for _, g := range order {
+			col = append(col, groups[g].keys[i])
+		}
+		out.Names = append(out.Names, k)
+		out.Cols = append(out.Cols, col)
+	}
+	for i, kind := range kinds {
+		col := make([]data.Value, 0, len(order))
+		for _, g := range order {
+			acc := groups[g]
+			switch kind {
+			case "count":
+				col = append(col, data.Int(acc.count[i]))
+			case "sum":
+				col = append(col, data.Float(acc.sum[i]))
+			case "avg":
+				if acc.count[i] == 0 {
+					col = append(col, data.Null)
+				} else {
+					col = append(col, data.Float(acc.sum[i]/float64(acc.count[i])))
+				}
+			case "min":
+				col = append(col, acc.min[i])
+			case "max":
+				col = append(col, acc.max[i])
+			}
+		}
+		out.Names = append(out.Names, kind+"_"+valCols[i])
+		out.Cols = append(out.Cols, col)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package pandas
+
+import (
+	"testing"
+
+	"qfusor/internal/data"
+	"qfusor/internal/pylite"
+)
+
+func frame(t *testing.T) (*DataFrame, *pylite.Interp) {
+	t.Helper()
+	tbl := data.NewTable("t", data.Schema{
+		{Name: "name", Kind: data.KindString},
+		{Name: "score", Kind: data.KindInt},
+		{Name: "team", Kind: data.KindString},
+	})
+	rows := [][]data.Value{
+		{data.Str("ada"), data.Int(10), data.Str("x")},
+		{data.Str("bob"), data.Int(20), data.Str("y")},
+		{data.Str("cal"), data.Int(30), data.Str("x")},
+	}
+	for _, r := range rows {
+		_ = tbl.AppendRow(r...)
+	}
+	rt := pylite.NewInterp()
+	if err := rt.Exec("def up(s):\n    return s.upper()\n"); err != nil {
+		t.Fatal(err)
+	}
+	return FromTable(tbl), rt
+}
+
+func TestApplyIsEagerAndNonDestructive(t *testing.T) {
+	df, rt := frame(t)
+	out, err := df.Apply(rt, "NAME", "name", "up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 4 || out.Cols[3][0].S != "ADA" {
+		t.Fatalf("apply result: %+v", out.Names)
+	}
+	// Original frame untouched (each op materializes a new frame).
+	if len(df.Cols) != 3 {
+		t.Fatal("source frame mutated")
+	}
+}
+
+func TestFilterAndGroupAgg(t *testing.T) {
+	df, _ := frame(t)
+	mask, err := df.MaskCmp("score", ">=", data.Int(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df = df.FilterMask(mask)
+	if df.N != 2 {
+		t.Fatalf("filtered N = %d", df.N)
+	}
+	out, err := df.GroupAgg([]string{"team"}, []string{"score", "score"}, []string{"count", "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 {
+		t.Fatalf("groups = %d", out.N)
+	}
+}

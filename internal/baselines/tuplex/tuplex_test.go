@@ -1,0 +1,186 @@
+package tuplex
+
+import (
+	"strings"
+	"testing"
+
+	"qfusor/internal/data"
+)
+
+const testSrc = `
+def double_first(r):
+    return [r[0] * 2, r[1]]
+
+def keep_big(r):
+    return r[0] >= 10
+
+def proj(r):
+    return [r[1]]
+`
+
+func testTable() *data.Table {
+	t := data.NewTable("t", data.Schema{
+		{Name: "x", Kind: data.KindInt},
+		{Name: "tag", Kind: data.KindString},
+	})
+	for i := int64(1); i <= 10; i++ {
+		tag := "low"
+		if i > 5 {
+			tag = "high"
+		}
+		_ = t.AppendRow(data.Int(i), data.Str(tag))
+	}
+	return t
+}
+
+func TestPipelineMapFilter(t *testing.T) {
+	ctx, err := NewContext(testSrc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := ctx.FromTable(testTable()).
+		Map("double_first").
+		Filter("keep_big").
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// doubled x: 2..20, keep >= 10: x in {5..10} doubled -> 6 rows
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if stats.CompileTime <= 0 || stats.IRSize == 0 {
+		t.Fatalf("compile stats missing: %+v", stats)
+	}
+}
+
+func TestPipelineAggregate(t *testing.T) {
+	ctx, err := NewContext(testSrc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := ctx.FromTable(testTable()).
+		Aggregate([]int{1}, AggSpec{Kind: "count"}, AggSpec{Kind: "sum", Col: 0}).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	total := 0.0
+	for _, r := range rows {
+		f, _ := r[2].AsFloat()
+		total += f
+	}
+	if total != 55 {
+		t.Fatalf("sum over groups = %v", total)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := testTable()
+	csv := ToCSV(tbl)
+	ctx, err := NewContext(testSrc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ctx.CSV(csv, []data.Kind{data.KindInt, data.KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := ds.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 || stats.ReadTime <= 0 {
+		t.Fatalf("rows=%d read=%v", len(rows), stats.ReadTime)
+	}
+	if v, _ := rows[9][0].AsInt(); v != 10 {
+		t.Fatalf("row 9 = %v", rows[9])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	fields, err := splitCSVLine(`a,"b,c","d""e",f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b,c", `d"e`, "f"}
+	for i, w := range want {
+		if fields[i] != w {
+			t.Fatalf("field %d = %q want %q", i, fields[i], w)
+		}
+	}
+}
+
+// TestIRGrowsWithComplexity: the "LLVM" cost signature — a pipeline
+// calling into a deeper UDF call graph produces a larger IR.
+func TestIRGrowsWithComplexity(t *testing.T) {
+	deep := testSrc + `
+def helper1(s):
+    out = []
+    for w in s.split(" "):
+        if len(w) > 2:
+            out.append(w.strip().lower())
+    return " ".join(out)
+
+def helper2(s):
+    return helper1(s) + helper1(s.upper())
+
+def complex_map(r):
+    return [r[0], helper2(r[1])]
+`
+	ctx, err := NewContext(deep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, small, err := ctx.FromTable(testTable()).Map("proj").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, big, err := ctx.FromTable(testTable()).Map("complex_map").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.IRSize <= small.IRSize {
+		t.Fatalf("IR did not grow: simple=%d complex=%d", small.IRSize, big.IRSize)
+	}
+	if big.IRSize < 2*small.IRSize {
+		t.Fatalf("transitive lowering too shallow: simple=%d complex=%d", small.IRSize, big.IRSize)
+	}
+}
+
+func TestParallelPartitionsMatchSerial(t *testing.T) {
+	ctx1, _ := NewContext(testSrc, 1)
+	ctx4, _ := NewContext(testSrc, 4)
+	r1, _, err := ctx1.FromTable(testTable()).Map("double_first").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, _, err := ctx4.FromTable(testTable()).Map("double_first").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r4) {
+		t.Fatalf("parallel row count %d vs %d", len(r4), len(r1))
+	}
+	sum := func(rows [][]data.Value) (s int64) {
+		for _, r := range rows {
+			v, _ := r[0].AsInt()
+			s += v
+		}
+		return
+	}
+	if sum(r1) != sum(r4) {
+		t.Fatal("parallel result diverged")
+	}
+}
+
+func TestUnknownUDFError(t *testing.T) {
+	ctx, _ := NewContext(testSrc, 1)
+	_, _, err := ctx.FromTable(testTable()).Map("missing").Collect()
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package weld reproduces the Weld baseline (§6.3.3): a numeric vector
+// IR with eager per-operator execution and the characteristic two-phase
+// input path — preprocess (CSV → dataframe) followed by load (dataframe
+// → runtime vectors). It supports NumPy-style numeric operations only,
+// matching the paper's note that Weld cannot run general Python UDFs.
+package weld
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Frame is the pandas-like intermediate the preprocess phase produces.
+type Frame struct {
+	Names []string
+	Cols  [][]float64 // numeric columns (NaN-free; dirty values = -1)
+	Strs  [][]string  // string columns (group keys)
+	IsStr []bool
+	N     int
+}
+
+// Preprocess parses CSV text into a Frame (phase 1).
+func Preprocess(csv string, names []string, isStr []bool) (*Frame, time.Duration, error) {
+	start := time.Now()
+	f := &Frame{Names: names, IsStr: isStr,
+		Cols: make([][]float64, len(names)), Strs: make([][]string, len(names))}
+	for _, line := range strings.Split(csv, "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != len(names) {
+			return nil, 0, fmt.Errorf("weld: bad CSV arity %d (want %d)", len(parts), len(names))
+		}
+		for i, p := range parts {
+			if isStr[i] {
+				f.Strs[i] = append(f.Strs[i], p)
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				v = -1
+			}
+			f.Cols[i] = append(f.Cols[i], v)
+		}
+		f.N++
+	}
+	return f, time.Since(start), nil
+}
+
+// Runtime holds vectors loaded into the Weld execution engine (phase 2
+// copies everything once more).
+type Runtime struct {
+	frame *Frame
+	vecs  [][]float64
+	strs  [][]string
+}
+
+// Load copies the frame into runtime vectors.
+func Load(f *Frame) (*Runtime, time.Duration) {
+	start := time.Now()
+	rt := &Runtime{frame: f, vecs: make([][]float64, len(f.Cols)), strs: make([][]string, len(f.Strs))}
+	for i, c := range f.Cols {
+		if c == nil {
+			continue
+		}
+		cp := make([]float64, len(c))
+		copy(cp, c)
+		rt.vecs[i] = cp
+	}
+	for i, s := range f.Strs {
+		if s == nil {
+			continue
+		}
+		cp := make([]string, len(s))
+		copy(cp, s)
+		rt.strs[i] = cp
+	}
+	return rt, time.Since(start)
+}
+
+// Map applies a numeric function element-wise, materializing a new
+// vector (Weld executes each IR operator over the full vector).
+func (rt *Runtime) Map(col int, fn func(float64) float64) []float64 {
+	in := rt.vecs[col]
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = fn(v)
+	}
+	return out
+}
+
+// FilterMask evaluates a predicate over a vector.
+func (rt *Runtime) FilterMask(col int, pred func(float64) bool) []bool {
+	in := rt.vecs[col]
+	out := make([]bool, len(in))
+	for i, v := range in {
+		out[i] = pred(v)
+	}
+	return out
+}
+
+// GroupStat is one group's aggregation state.
+type GroupStat struct {
+	Key   string
+	Count int64
+	Sum   float64
+	Sum2  float64
+	Min   float64
+	Max   float64
+}
+
+// GroupReduce folds vector vals grouped by the string key column.
+func (rt *Runtime) GroupReduce(keyCol int, vals []float64, mask []bool) []GroupStat {
+	keys := rt.strs[keyCol]
+	idx := map[string]int{}
+	var out []GroupStat
+	for i, k := range keys {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(out)
+			idx[k] = gi
+			out = append(out, GroupStat{Key: k, Min: 1e308, Max: -1e308})
+		}
+		g := &out[gi]
+		v := vals[i]
+		g.Count++
+		g.Sum += v
+		g.Sum2 += v * v
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+	}
+	return out
+}
+
+// Reduce folds a whole vector under a mask.
+func (rt *Runtime) Reduce(vals []float64, mask []bool) GroupStat {
+	g := GroupStat{Min: 1e308, Max: -1e308}
+	for i, v := range vals {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		g.Count++
+		g.Sum += v
+		g.Sum2 += v * v
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+	}
+	return g
+}
+
+// Col returns a loaded numeric vector.
+func (rt *Runtime) Col(i int) []float64 { return rt.vecs[i] }

@@ -1,0 +1,71 @@
+package weld
+
+import (
+	"testing"
+)
+
+const csv = `a,MA,100,1.5,10
+b,MA,200,2.5,20
+c,NY,300,3.5,-5
+d,NY,?,4.5,30
+`
+
+func load(t *testing.T) *Runtime {
+	t.Helper()
+	f, d, err := Preprocess(csv,
+		[]string{"city", "state", "pop", "area", "growth"},
+		[]bool{true, true, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || f.N != 4 {
+		t.Fatalf("preprocess: n=%d d=%v", f.N, d)
+	}
+	rt, ld := Load(f)
+	if ld <= 0 {
+		t.Fatal("load time not recorded")
+	}
+	return rt
+}
+
+func TestMapFilterReduce(t *testing.T) {
+	rt := load(t)
+	doubled := rt.Map(2, func(v float64) float64 { return v * 2 })
+	if doubled[1] != 400 {
+		t.Fatalf("map: %v", doubled)
+	}
+	mask := rt.FilterMask(2, func(v float64) bool { return v >= 0 })
+	g := rt.Reduce(rt.Col(2), mask)
+	if g.Count != 3 || g.Sum != 600 {
+		t.Fatalf("reduce: %+v", g)
+	}
+}
+
+func TestGroupReduce(t *testing.T) {
+	rt := load(t)
+	stats := rt.GroupReduce(1, rt.Col(2), nil)
+	if len(stats) != 2 {
+		t.Fatalf("groups = %d", len(stats))
+	}
+	byKey := map[string]GroupStat{}
+	for _, s := range stats {
+		byKey[s.Key] = s
+	}
+	if byKey["MA"].Sum != 300 || byKey["MA"].Count != 2 {
+		t.Fatalf("MA: %+v", byKey["MA"])
+	}
+	// Dirty value ("?") parsed as -1 sentinel.
+	if byKey["NY"].Min != -1 {
+		t.Fatalf("NY min: %+v", byKey["NY"])
+	}
+}
+
+func TestDirtyValuesBecomeSentinels(t *testing.T) {
+	f, _, err := Preprocess("1,x\n?,y\n", []string{"v", "s"}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cols[0][1] != -1 {
+		t.Fatalf("dirty parse: %v", f.Cols[0])
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"qfusor/internal/workload"
+)
+
+// Fig4UDFBench is E1 — Fig. 4 (top): UDFBench Q1/Q2/Q3 across the
+// system lineup. Q3 is supported only by the SQL-engine systems (n/a
+// elsewhere), matching the paper's compatibility matrix.
+func (r *Runner) Fig4UDFBench() (*Result, error) {
+	res := &Result{ID: "E1", Title: "Fig. 4 (top): UDFBench Q1/Q2/Q3 across systems"}
+	queries := []struct {
+		id  string
+		sql string
+	}{{"Q1", workload.Q1}, {"Q2", workload.Q2}, {"Q3", workload.Q3}}
+
+	for _, q := range queries {
+		for _, sys := range r.engineLineup("udfbench") {
+			if q.id == "Q3" {
+				switch sys.name {
+				case "duckdb", "pyspark", "dbx", "mdb/c-udf":
+					res.Rows = append(res.Rows, Row{Label: q.id + "/" + sys.name, Note: "n/a"})
+					continue
+				}
+			}
+			in, mode := sys.build()
+			d, rows, err := runSQL(in, q.sql, mode)
+			in.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", q.id, sys.name, err)
+			}
+			res.Rows = append(res.Rows, Row{Label: q.id + "/" + sys.name,
+				Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(rows)},
+				Order:   []string{"time_ms", "rows"}})
+		}
+		// Out-of-database systems.
+		ub := workload.GenUDFBench(r.Size)
+		if q.id == "Q1" || q.id == "Q2" {
+			if n, stats, err := tuplexUDFBench(q.id, 2, ub.Pubs); err == nil {
+				res.Rows = append(res.Rows, Row{Label: q.id + "/tuplex",
+					Metrics: map[string]float64{"time_ms": ms(stats.ReadTime + stats.CompileTime + stats.ExecTime), "rows": float64(n)},
+					Order:   []string{"time_ms", "rows"}})
+			} else {
+				return nil, err
+			}
+			d, err := timeIt(func() error {
+				_, err := pandasQuery(q.id, ub.Pubs, nil)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Row{Label: q.id + "/pandas",
+				Metrics: map[string]float64{"time_ms": ms(d)}, Order: []string{"time_ms"}})
+		} else {
+			res.Rows = append(res.Rows,
+				Row{Label: q.id + "/tuplex", Note: "n/a"},
+				Row{Label: q.id + "/pandas", Note: "n/a"})
+		}
+		if q.id == "Q1" {
+			// The paper adapts Q1 for UDO (scalar UDFs as table
+			// operators) and Weld (numeric/native rewriting).
+			n, st, err := udoQ1Adapted(ub.Pubs)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Row{Label: "Q1/udo (adapted)",
+				Metrics: map[string]float64{"time_ms": ms(st.ExecTime), "rows": float64(n)},
+				Order:   []string{"time_ms", "rows"}})
+			d, n2, err := weldQ1Adapted(ub.Pubs)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Row{Label: "Q1/weld (adapted)",
+				Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(n2)},
+				Order:   []string{"time_ms", "rows"}})
+		} else {
+			res.Rows = append(res.Rows,
+				Row{Label: q.id + "/udo", Note: "n/a"},
+				Row{Label: q.id + "/weld", Note: "n/a"})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: qfusor fastest on Q2/Q3 (up to 40x over postgresql on Q3); on Q1 qfusor ≈ yesql, mdb/c-udf excellent")
+	return res, nil
+}
+
+// Fig4Zillow is E2 — Fig. 4 (middle): the Zillow pipeline (Q11) across
+// systems.
+func (r *Runner) Fig4Zillow() (*Result, error) {
+	res := &Result{ID: "E2", Title: "Fig. 4 (middle): Zillow Q11 across systems"}
+	for _, sys := range r.engineLineup("zillow") {
+		if sys.name == "mdb/c-udf" {
+			// The Zillow UDFs are not part of the native-UDF set for the
+			// engine lineup; mdb/numpy covers the MonetDB point.
+			continue
+		}
+		in, mode := sys.build()
+		d, rows, err := runSQL(in, workload.Q11, mode)
+		in.Close()
+		if err != nil {
+			return nil, fmt.Errorf("Q11 on %s: %w", sys.name, err)
+		}
+		res.Rows = append(res.Rows, Row{Label: "Q11/" + sys.name,
+			Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(rows)},
+			Order:   []string{"time_ms", "rows"}})
+	}
+	listings := workload.GenZillow(r.Size)
+	if n, stats, err := tuplexZillowQ11(2, listings, false); err == nil {
+		res.Rows = append(res.Rows, Row{Label: "Q11/tuplex",
+			Metrics: map[string]float64{"time_ms": ms(stats.ReadTime + stats.CompileTime + stats.ExecTime), "rows": float64(n)},
+			Order:   []string{"time_ms", "rows"}})
+	} else {
+		return nil, err
+	}
+	d, err := timeIt(func() error {
+		_, err := pandasQuery("Q11", nil, listings)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Row{Label: "Q11/pandas",
+		Metrics: map[string]float64{"time_ms": ms(d)}, Order: []string{"time_ms"}})
+	for _, fused := range []bool{false, true} {
+		label := "Q11/udo"
+		if fused {
+			label = "Q11/udo-fused"
+		}
+		n, stats, err := udoZillowQ11(listings, fused, 1)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{Label: label,
+			Metrics: map[string]float64{"time_ms": ms(stats.ExecTime), "rows": float64(n),
+				"peak_rows": float64(stats.PeakRows)},
+			Order: []string{"time_ms", "rows", "peak_rows"}})
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: qfusor clearly fastest; udo non-fused memory-hungry (peak_rows); yesql limited by scalar-only fusion")
+	return res, nil
+}
+
+// Fig4Overhead is E3 — Fig. 4 (bottom): QFusor's own pipeline overhead
+// (fus-optim and code-gen, in ms) for every query.
+func (r *Runner) Fig4Overhead() (*Result, error) {
+	res := &Result{ID: "E3", Title: "Fig. 4 (bottom): fus-optim + code-gen overhead (ms)"}
+	queries := workload.AllQueries()
+	var ids []string
+	for id := range queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ai, bi := ids[a], ids[b]
+		if len(ai) != len(bi) {
+			return len(ai) < len(bi)
+		}
+		return ai < bi
+	})
+	// One instance with every workload installed.
+	in := engLaunchAll(r)
+	defer in.Close()
+	for _, id := range ids {
+		_, rep, err := in.QF.Process(in.Eng, queries[id])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		res.Rows = append(res.Rows, Row{Label: id,
+			Metrics: map[string]float64{
+				"fus-optim_ms": ms(rep.FusOptim),
+				"code-gen_ms":  ms(rep.CodeGen),
+				"sections":     float64(rep.Sections),
+			},
+			Order: []string{"fus-optim_ms", "code-gen_ms", "sections"}})
+	}
+	res.Notes = append(res.Notes, "paper shape: overheads in the low-millisecond range, negligible vs runtime")
+	return res, nil
+}

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+
+	"qfusor/internal/core"
+	"qfusor/internal/engines"
+	"qfusor/internal/workload"
+)
+
+// ladderStep is one technique level of the optimization ladders.
+type ladderStep struct {
+	name string
+	jit  bool
+	mode runMode
+	opts core.Options
+}
+
+// physioLadder is Fig. 6a's five techniques.
+func physioLadder() []ladderStep {
+	return []ladderStep{
+		{name: "(a) default", jit: false, mode: runNative},
+		{name: "(b) +JIT", jit: true, mode: runNative},
+		{name: "(c) +scalar/table fusion", jit: true, mode: runFused,
+			opts: core.Options{Fusion: true, Cache: true}},
+		{name: "(d) +offload+reorder", jit: true, mode: runFused,
+			opts: core.Options{Fusion: true, Offload: true, Reorder: true, Cache: true}},
+		{name: "(e) +agg offload", jit: true, mode: runFused,
+			opts: core.Options{Fusion: true, Offload: true, Reorder: true, AggFusion: true, Cache: true}},
+	}
+}
+
+// Fig6aLadder is E6 — Fig. 6a: the physio-logical optimization ladder
+// on Q3, across MonetDB-, PostgreSQL- and SQLite-profile engines.
+func (r *Runner) Fig6aLadder() (*Result, error) {
+	res := &Result{ID: "E6", Title: "Fig. 6a: physio-logical optimization ladder (Q3)"}
+	profiles := []engines.Profile{engines.Monet, engines.Postgres, engines.SQLite}
+	for _, prof := range profiles {
+		for _, step := range physioLadder() {
+			in, err := r.launchWorkload(engines.Config{Profile: prof, JIT: step.jit}, "udfbench")
+			if err != nil {
+				return nil, err
+			}
+			if step.mode == runFused {
+				in.QF.Opts = step.opts
+			}
+			d, rows, err := runSQL(in, workload.Q3, step.mode)
+			in.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", prof, step.name, err)
+			}
+			res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%s/%s", prof, step.name),
+				Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(rows)},
+				Order:   []string{"time_ms", "rows"}})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: each technique improves on the last; up to 18x total; sqlite/postgres start far slower than monetdb")
+	return res, nil
+}
+
+// Fig6bOffload is E7 — Fig. 6b: relational-operator offloading vs
+// filter selectivity (Q8), MonetDB and PostgreSQL profiles, fused vs
+// non-fused JIT execution.
+func (r *Runner) Fig6bOffload() (*Result, error) {
+	res := &Result{ID: "E7", Title: "Fig. 6b: filter offloading vs selectivity (Q8)"}
+	pcts := []int{1, 10, 25, 50, 75, 100}
+	if r.Quick {
+		pcts = []int{10, 50, 100}
+	}
+	for _, prof := range []engines.Profile{engines.Monet, engines.Postgres} {
+		for _, pct := range pcts {
+			sql := workload.Q8(pct)
+			for _, fused := range []bool{false, true} {
+				in, err := r.launchWorkload(engines.Config{Profile: prof, JIT: true}, "udfbench")
+				if err != nil {
+					return nil, err
+				}
+				mode := runNative
+				label := fmt.Sprintf("%s/sel=%d%%/no-fus", prof, pct)
+				if fused {
+					mode = runFused
+					label = fmt.Sprintf("%s/sel=%d%%/fused", prof, pct)
+				}
+				d, rows, err := runSQL(in, sql, mode)
+				in.Close()
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Row{Label: label,
+					Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(rows)},
+					Order:   []string{"time_ms", "rows"}})
+			}
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: non-fused runtime ≈ constant (UDF output always copied back); fused wins most at low pass rates (up to 2.4x)")
+	return res, nil
+}
+
+// Fig6cPhysical is E8 — Fig. 6c: the physical-optimization ladder on
+// Q9 (light UDFs, big table) and Q10 (JSON-heavy complex types),
+// MonetDB and PostgreSQL profiles. Step mapping to the paper's seven
+// techniques is recorded in the notes.
+func (r *Runner) Fig6cPhysical() (*Result, error) {
+	res := &Result{ID: "E8", Title: "Fig. 6c: physical optimization ladder (Q9, Q10)"}
+	type step struct {
+		name   string
+		jit    bool
+		mode   runMode
+		opts   core.Options
+		inProc bool // replace out-of-process transport with in-process
+	}
+	steps := []step{
+		{name: "(a) baseline", jit: false, mode: runNative},
+		{name: "(b) JIT-noFusion", jit: true, mode: runNative},
+		{name: "(c) same-process", jit: true, mode: runNative, inProc: true},
+		{name: "(d) same-JIT-trace", jit: true, mode: runFused, inProc: true,
+			opts: core.Options{Fusion: true, ScalarOnly: true, Cache: true}},
+		{name: "(e) fused: no conv/serialization", jit: true, mode: runFused, inProc: true,
+			opts: core.DefaultOptions()},
+	}
+	for _, prof := range []engines.Profile{engines.Monet, engines.Postgres} {
+		for _, q := range []struct{ id, sql string }{{"Q9", workload.Q9}, {"Q10", workload.Q10}} {
+			for _, st := range steps {
+				cfg := engines.Config{Profile: prof, JIT: st.jit}
+				if st.inProc && prof == engines.Postgres {
+					// "Same process": the UDFs are called from the same C
+					// UDF instead of crossing into a worker process.
+					cfg.Profile = engines.SQLite // row engine, in-process transport
+				}
+				in, err := r.launchWorkload(cfg, "udfbench")
+				if err != nil {
+					return nil, err
+				}
+				if st.mode == runFused {
+					in.QF.Opts = st.opts
+				}
+				d, rows, err := runSQL(in, q.sql, st.mode)
+				in.Close()
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %s: %w", prof, q.id, st.name, err)
+				}
+				res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%s/%s/%s", prof, q.id, st.name),
+					Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(rows)},
+					Order:   []string{"time_ms", "rows"}})
+			}
+		}
+	}
+	res.Notes = append(res.Notes,
+		"step mapping: paper's (c) same process = in-process transport; (d) same JIT + (e) remove C↔JIT conversions = scalar fusion; (f) loop fusion + (g) remove serialization = full fusion",
+		"paper shape: every step improves; overall ≈20x on monetdb, ≈4.6x on postgresql; Q10 gains dominated by serialization removal")
+	return res, nil
+}
+
+// Fig6dShortQueries is E9 — Fig. 6d + §6.4.5: compile latency and a
+// 100-short-query workload on tiny zillow with varying parallelism,
+// comparing qfusor, qfusor-cache, yesql and tuplex.
+func (r *Runner) Fig6dShortQueries() (*Result, error) {
+	res := &Result{ID: "E9", Title: "Fig. 6d / §6.4.5: short-query workload and compile latency"}
+	listings := workload.GenZillow(workload.Tiny)
+
+	// --- compile latency (Q13 small, Q14 complex) ---
+	for _, q := range []struct{ id, sql string }{{"Q13", workload.Q13}, {"Q14", workload.Q14}} {
+		in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+		if err := workload.InstallZillow(in); err != nil {
+			return nil, err
+		}
+		in.Put(listings)
+		in.QF.Opts.Cache = false
+		qq, rep, err := in.QF.Process(in.Eng, q.sql)
+		if err != nil {
+			return nil, err
+		}
+		d, err := timeIt(func() error { _, err := in.Eng.Execute(qq); return err })
+		in.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{Label: q.id + "/qfusor",
+			Metrics: map[string]float64{
+				"compile_ms": ms(rep.FusOptim + rep.CodeGen),
+				"run_ms":     ms(d),
+			},
+			Order: []string{"compile_ms", "run_ms"}})
+
+		_, stats, err := tuplexZillow(q.id, 1, listings)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{Label: q.id + "/tuplex",
+			Metrics: map[string]float64{
+				"compile_ms": ms(stats.CompileTime),
+				"run_ms":     ms(stats.ExecTime),
+				"ir_size":    float64(stats.IRSize),
+			},
+			Order: []string{"compile_ms", "run_ms", "ir_size"}})
+	}
+
+	// --- 100 short queries ---
+	threads := []int{1, 2, 4}
+	if r.Quick {
+		threads = []int{1, 4}
+	}
+	templates := []string{workload.Q12, workload.Q13, workload.Q14, workload.Q11}
+	reps := 25
+	if r.Quick {
+		reps = 5
+	}
+	for _, par := range threads {
+		systems := []struct {
+			name  string
+			cache bool
+			opts  *core.Options
+		}{
+			{"qfusor", false, nil},
+			{"qfusor-cache", true, nil},
+			{"yesql", true, &core.Options{Fusion: true, ScalarOnly: true, Cache: true}},
+		}
+		for _, sys := range systems {
+			in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true, Parallelism: par})
+			if err := workload.InstallZillow(in); err != nil {
+				return nil, err
+			}
+			in.Put(listings)
+			if sys.opts != nil {
+				in.QF.Opts = *sys.opts
+			}
+			in.QF.Opts.Cache = sys.cache
+			d, err := timeIt(func() error {
+				for i := 0; i < reps; i++ {
+					for _, sql := range templates {
+						if _, err := in.QueryFused(sql); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			in.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s par=%d: %w", sys.name, par, err)
+			}
+			res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("100q/par=%d/%s", par, sys.name),
+				Metrics: map[string]float64{"time_ms": ms(d)}, Order: []string{"time_ms"}})
+		}
+		// tuplex recompiles its pipelines per query.
+		d, err := timeIt(func() error {
+			for i := 0; i < reps; i++ {
+				for _, id := range []string{"Q12", "Q13", "Q14"} {
+					if _, _, err := tuplexZillow(id, par, listings); err != nil {
+						return err
+					}
+				}
+				if _, _, err := tuplexZillowQ11(par, listings, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("100q/par=%d/tuplex", par),
+			Metrics: map[string]float64{"time_ms": ms(d)}, Order: []string{"time_ms"}})
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: qfusor compile cost ≈ flat with complexity, tuplex (LLVM) grows; qfusor-cache amortizes compilation to ~0")
+	return res, nil
+}
+
+// Fig6eUDFTypes is E10 — Fig. 6e: fusion speedups per UDF-type pairing
+// (Q4 scalar-scalar, Q5 scalar-aggregate, Q6 scalar-table, Q7
+// table-aggregate) with hot caches.
+func (r *Runner) Fig6eUDFTypes() (*Result, error) {
+	res := &Result{ID: "E10", Title: "Fig. 6e: UDF-type fusion speedups (Q4–Q7)"}
+	queries := []struct{ id, sql string }{
+		{"Q4", workload.Q4}, {"Q5", workload.Q5}, {"Q6", workload.Q6}, {"Q7", workload.Q7},
+	}
+	for _, q := range queries {
+		in, err := r.launchWorkload(engines.Config{Profile: engines.Monet, JIT: true}, "udfbench")
+		if err != nil {
+			return nil, err
+		}
+		// Hot caches: run each mode once to warm, measure the second.
+		if _, _, err := runSQL(in, q.sql, runNative); err != nil {
+			in.Close()
+			return nil, err
+		}
+		dn, _, err := runSQL(in, q.sql, runNative)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		if _, _, err := runSQL(in, q.sql, runFused); err != nil {
+			in.Close()
+			return nil, err
+		}
+		df, rows, err := runSQL(in, q.sql, runFused)
+		in.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{Label: q.id,
+			Metrics: map[string]float64{
+				"nofus_ms": ms(dn), "fused_ms": ms(df),
+				"speedup": ms(dn) / ms(df), "rows": float64(rows),
+			},
+			Order: []string{"nofus_ms", "fused_ms", "speedup", "rows"}})
+	}
+	res.Notes = append(res.Notes, "paper shape: speedups up to 6x across all UDF type pairings")
+	return res, nil
+}

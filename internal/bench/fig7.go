@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"qfusor/internal/engines"
+	"qfusor/internal/workload"
+)
+
+// resourceSample is one point of a utilization trace.
+type resourceSample struct {
+	AtMs       float64
+	HeapMB     float64
+	Goroutines int
+	GCCount    uint32
+}
+
+// monitorRun executes fn while sampling memory/goroutine counters,
+// returning the trace (the CPU/disk counters of Fig. 7 map to GC +
+// goroutine activity on this substrate).
+func monitorRun(fn func() error) ([]resourceSample, time.Duration, error) {
+	var samples []resourceSample
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var failed atomic.Bool
+	start := time.Now()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				samples = append(samples, resourceSample{
+					AtMs:       ms(time.Since(start)),
+					HeapMB:     float64(m.HeapAlloc) / (1 << 20),
+					Goroutines: runtime.NumGoroutine(),
+					GCCount:    m.NumGC,
+				})
+			}
+		}
+	}()
+	err := fn()
+	if err != nil {
+		failed.Store(true)
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	return samples, elapsed, err
+}
+
+// Fig7Resources is E13 — Fig. 7: resource utilization (heap, GC,
+// goroutines over time) for QFusor, Tuplex, UDO and the PySpark profile
+// running the Zillow pipeline.
+func (r *Runner) Fig7Resources() (*Result, error) {
+	res := &Result{ID: "E13", Title: "Fig. 7: resource utilization traces (Zillow Q11)"}
+	listings := workload.GenZillow(r.Size)
+
+	summarize := func(name string, samples []resourceSample, d time.Duration) {
+		peak, sum := 0.0, 0.0
+		maxG := 0
+		for _, s := range samples {
+			if s.HeapMB > peak {
+				peak = s.HeapMB
+			}
+			sum += s.HeapMB
+			if s.Goroutines > maxG {
+				maxG = s.Goroutines
+			}
+		}
+		avg := 0.0
+		if len(samples) > 0 {
+			avg = sum / float64(len(samples))
+		}
+		res.Rows = append(res.Rows, Row{Label: name,
+			Metrics: map[string]float64{
+				"time_ms":     ms(d),
+				"peak_heapMB": peak,
+				"avg_heapMB":  avg,
+				"max_gorout":  float64(maxG),
+				"samples":     float64(len(samples)),
+			},
+			Order: []string{"time_ms", "peak_heapMB", "avg_heapMB", "max_gorout", "samples"}})
+	}
+
+	// QFusor.
+	{
+		in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true, Parallelism: 4})
+		if err := workload.InstallZillow(in); err != nil {
+			return nil, err
+		}
+		in.Put(listings)
+		samples, d, err := monitorRun(func() error {
+			_, err := in.QueryFused(workload.Q11)
+			return err
+		})
+		in.Close()
+		if err != nil {
+			return nil, err
+		}
+		summarize("qfusor", samples, d)
+	}
+	// Tuplex.
+	{
+		samples, d, err := monitorRun(func() error {
+			_, _, err := tuplexZillowQ11(4, listings, true)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		summarize("tuplex", samples, d)
+	}
+	// UDO (non-fused = memory aggressive).
+	{
+		samples, d, err := monitorRun(func() error {
+			_, _, err := udoZillowQ11(listings, false, 1)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		summarize("udo", samples, d)
+	}
+	// PySpark profile.
+	{
+		in := engines.Launch(engines.Config{Profile: engines.Spark, JIT: false, Parallelism: 4})
+		if err := workload.InstallZillow(in); err != nil {
+			return nil, err
+		}
+		in.Put(listings)
+		samples, d, err := monitorRun(func() error {
+			_, err := in.Query(workload.Q11)
+			return err
+		})
+		in.Close()
+		if err != nil {
+			return nil, err
+		}
+		summarize("pyspark", samples, d)
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: qfusor finishes first with moderate memory; udo non-fused peaks highest; pyspark slowest with high activity",
+		fmt.Sprintf("traces sampled every 5ms at size=%s", r.Size))
+	return res, nil
+}

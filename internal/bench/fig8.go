@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"qfusor/internal/engines"
+	"qfusor/internal/workload"
+)
+
+// Fig8Pluggability is E14 — Fig. 8: QFusor plugged into each engine
+// profile, running Q12 in native mode (JIT on, fusion off) and enhanced
+// mode (fusion on), at two scales.
+func (r *Runner) Fig8Pluggability() (*Result, error) {
+	res := &Result{ID: "E14", Title: "Fig. 8: pluggability — native vs enhanced per engine (Q12)"}
+	sizes := []workload.Size{r.Size}
+	if !r.Quick {
+		sizes = append(sizes, doubleSize(r.Size))
+	}
+	for _, size := range sizes {
+		listings := workload.GenZillow(size)
+		for _, prof := range engines.AllProfiles() {
+			var native, enhanced float64
+			for _, fused := range []bool{false, true} {
+				in := engines.Launch(engines.Config{Profile: prof, JIT: true})
+				if err := workload.InstallZillow(in); err != nil {
+					return nil, err
+				}
+				in.Put(listings)
+				mode := runNative
+				label := fmt.Sprintf("%s/%s/native", prof, size)
+				if fused {
+					mode = runFused
+					label = fmt.Sprintf("%s/%s/enhanced", prof, size)
+				}
+				d, rows, err := runSQL(in, workload.Q12, mode)
+				in.Close()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", label, err)
+				}
+				if fused {
+					enhanced = ms(d)
+				} else {
+					native = ms(d)
+				}
+				res.Rows = append(res.Rows, Row{Label: label,
+					Metrics: map[string]float64{"time_ms": ms(d), "rows": float64(rows)},
+					Order:   []string{"time_ms", "rows"}})
+			}
+			res.Rows = append(res.Rows, Row{
+				Label:   fmt.Sprintf("%s/%s/speedup", prof, size),
+				Metrics: map[string]float64{"x": native / enhanced},
+				Order:   []string{"x"},
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: enhanced (fusion on) beats native (fusion off) on every engine; biggest factors on tuple-at-a-time engines")
+	return res, nil
+}
+
+func doubleSize(s workload.Size) workload.Size {
+	switch s {
+	case workload.Tiny:
+		return workload.Small
+	case workload.Small:
+		return workload.Medium
+	default:
+		return workload.Large
+	}
+}
+
+// All runs every experiment in DESIGN.md order.
+func (r *Runner) All() ([]*Result, error) {
+	type exp struct {
+		name string
+		fn   func() (*Result, error)
+	}
+	exps := []exp{
+		{"fig4-udfbench", r.Fig4UDFBench},
+		{"fig4-zillow", r.Fig4Zillow},
+		{"fig4-overhead", r.Fig4Overhead},
+		{"fig5-weld", r.Fig5Weld},
+		{"fig5-udo", r.Fig5UDO},
+		{"fig6a-ladder", r.Fig6aLadder},
+		{"fig6b-offload", r.Fig6bOffload},
+		{"fig6c-physical", r.Fig6cPhysical},
+		{"fig6d-shortqueries", r.Fig6dShortQueries},
+		{"fig6e-udftypes", r.Fig6eUDFTypes},
+		{"fig6f-diskmem", r.Fig6fDiskMem},
+		{"fig6g-parallel", r.Fig6gParallel},
+		{"fig7-resources", r.Fig7Resources},
+		{"fig8-pluggability", r.Fig8Pluggability},
+	}
+	var out []*Result
+	for _, e := range exps {
+		res, err := e.fn()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.name, err)
+		}
+		r.Print(res)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Experiments maps CLI names to experiment runners.
+func (r *Runner) Experiments() map[string]func() (*Result, error) {
+	return map[string]func() (*Result, error){
+		"fig4-udfbench":      r.Fig4UDFBench,
+		"fig4-zillow":        r.Fig4Zillow,
+		"fig4-overhead":      r.Fig4Overhead,
+		"fig5-weld":          r.Fig5Weld,
+		"fig5-udo":           r.Fig5UDO,
+		"fig6a-ladder":       r.Fig6aLadder,
+		"fig6b-offload":      r.Fig6bOffload,
+		"fig6c-physical":     r.Fig6cPhysical,
+		"fig6d-shortqueries": r.Fig6dShortQueries,
+		"fig6e-udftypes":     r.Fig6eUDFTypes,
+		"fig6f-diskmem":      r.Fig6fDiskMem,
+		"fig6g-parallel":     r.Fig6gParallel,
+		"fig7-resources":     r.Fig7Resources,
+		"fig8-pluggability":  r.Fig8Pluggability,
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+// CostModel implements §5.2: hybrid cost-based + rule-based decisions.
+// UDF costs come from the stateful statistics dictionary (ffi.Stats,
+// learned across executions); wrapper costs are concrete and measured;
+// relational costs use engine-style per-tuple constants. All units are
+// nanoseconds per tuple.
+type CostModel struct {
+	// WIn / WOut: wrapper cost per tuple for converting one value into /
+	// out of the UDF environment (Table 1's W_in, W_out).
+	WIn  float64
+	WOut float64
+	// CRel: per-tuple engine-side cost of relational operators (C_r).
+	CRel map[OpKind]float64
+	// UDFFactor: relational operators executed inside the UDF
+	// environment cost CRel * UDFFactor (C_ru).
+	UDFFactor float64
+	// UDFDefault: per-row cost assumed for a UDF with no statistics and
+	// no developer-supplied estimate (the cold-start case).
+	UDFDefault float64
+	// CrossCost: fixed cost of one engine↔UDF boundary crossing
+	// (per batch for vectorized transports, amortized here per tuple).
+	CrossCost float64
+}
+
+// DefaultCostModel returns constants calibrated against the ffi
+// transports on this substrate.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		WIn:  60,
+		WOut: 80,
+		CRel: map[OpKind]float64{
+			KRelExpr:      25,
+			KRelFilter:    15,
+			KRelAggNative: 20,
+			KRelGroupBy:   60,
+			KRelDistinct:  50,
+		},
+		UDFFactor:  3,
+		UDFDefault: 800,
+		CrossCost:  200,
+	}
+}
+
+// udfRowCost returns the learned (or declared, or default) per-row
+// processing cost of a UDF node.
+func (cm *CostModel) udfRowCost(n *DFGNode) float64 {
+	if n.UDF == nil {
+		return cm.UDFDefault
+	}
+	if n.UDF.Stats.InRows.Load() > 0 {
+		c := n.UDF.Stats.NanosPerRow() - n.UDF.Stats.WrapNanosPerRow()
+		if c > 0 {
+			return c
+		}
+	}
+	if n.UDF.EstCost > 0 {
+		return n.UDF.EstCost
+	}
+	return cm.UDFDefault
+}
+
+// relRowCost returns the engine-side per-tuple cost of a relational op.
+func (cm *CostModel) relRowCost(k OpKind) float64 {
+	if c, ok := cm.CRel[k]; ok {
+		return c
+	}
+	return 25
+}
+
+// Single returns F({v}): the cost of executing v unfused.
+func (cm *CostModel) Single(n *DFGNode) float64 {
+	rows := n.Rows
+	if rows < 1 {
+		rows = 1
+	}
+	uses := float64(max(1, n.Uses))
+	switch {
+	case n.Kind.IsUDF():
+		// Each isolated UDF pays wrapper input conversion per argument,
+		// output conversion per produced value, and a boundary crossing
+		// — once per (unfused) use of the shared call.
+		return uses * (rows*(cm.WIn*float64(max(1, len(n.In)))+cm.WOut*n.Sel*float64(max(1, len(n.Out)))+cm.udfRowCost(n)) + cm.CrossCost)
+	default:
+		return rows * cm.relRowCost(n.Kind)
+	}
+}
+
+// Fused returns F(S) for a (closed) section: the fused wrapper converts
+// the section's external inputs once, runs every UDF at its processing
+// cost, executes offloaded relational operators at C_ru, and converts
+// only the final outputs back.
+func (cm *CostModel) Fused(nodes []*DFGNode, extIn, extOut int, entryRows float64) float64 {
+	if entryRows < 1 {
+		entryRows = 1
+	}
+	cost := entryRows*cm.WIn*float64(extIn) + cm.CrossCost
+	outRows := entryRows
+	for _, n := range nodes {
+		rows := n.Rows
+		if rows < 1 {
+			rows = 1
+		}
+		if n.Kind.IsUDF() {
+			cost += rows * cm.udfRowCost(n)
+		} else if n.Kind == KRelGroupBy {
+			// Offloaded through the engine-FFI: engine cost, no penalty.
+			cost += rows * cm.relRowCost(n.Kind)
+		} else {
+			cost += rows * cm.relRowCost(n.Kind) * cm.UDFFactor
+		}
+		if n.Sel > 0 {
+			outRows = rows * n.Sel
+		}
+	}
+	// Final output conversion: one boundary crossing per produced row.
+	// (Per-column final materialization is paid identically by the
+	// unfused plan, so only the single crossing differentiates.)
+	_ = extOut
+	cost += outRows * cm.WOut
+	return cost
+}
+
+// ShouldOffload evaluates the Table 1 inequality for a relational
+// operator r considered for execution inside the UDF environment:
+//
+//	Σ_u |u|·(W_in + W_out·σ_u)  −  |u_f|·(W_in + W_out·σ_uf)
+//	        >  |r|·(C_ru·σ_r − C_r·σ_r)
+//
+// The left side is the wrapper saving of fusing the N affected UDFs
+// into one; the right side the loss of running r in the UDF environment
+// instead of the engine. If the right side is negative (a gain), r is
+// always offloaded.
+func (cm *CostModel) ShouldOffload(r *DFGNode, udfs []*DFGNode, fusedRows, fusedSel float64) bool {
+	var save float64
+	for _, u := range udfs {
+		rows := u.Rows
+		if rows < 1 {
+			rows = 1
+		}
+		save += rows * (cm.WIn + cm.WOut*u.Sel)
+	}
+	if fusedRows < 1 {
+		fusedRows = 1
+	}
+	save -= fusedRows * (cm.WIn + cm.WOut*fusedSel)
+	rRows := r.Rows
+	if rRows < 1 {
+		rRows = 1
+	}
+	cr := cm.relRowCost(r.Kind)
+	loss := rRows * (cr*cm.UDFFactor*r.Sel - cr*r.Sel)
+	if loss <= 0 {
+		return true
+	}
+	return save > loss
+}
+
+// Heuristics (§5.2.4) — the cold-start rules applied when statistics
+// are missing or the engine is purely rule-based.
+
+// HeuristicFuseFilter: fuse a filter with adjacent UDFs unless it is
+// highly selective below them (in which case reordering it engine-side
+// first is better — that is F3's job, not fusion's).
+func HeuristicFuseFilter(sel float64, beforeUDFs bool) bool {
+	if beforeUDFs {
+		// A pre-filter that drops most rows should run in the engine
+		// first (push-down); one that keeps ≥80% can ride along fused.
+		return sel >= 0.8
+	}
+	// Post-UDF filters always save output conversions when fused.
+	return true
+}
+
+// HeuristicFuseDistinct: fuse DISTINCT only when it is highly selective
+// (removes more than ~90% of its input).
+func HeuristicFuseDistinct(sel float64) bool { return sel <= 0.1 }
+
+// HeuristicFuseGroupBy: group-bys fuse whenever the engine FFI is
+// available (it is, on this substrate).
+func HeuristicFuseGroupBy() bool { return true }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

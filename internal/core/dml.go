@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"qfusor/internal/sqlengine"
+)
+
+// ExecDML runs a DDL/DML statement through the QFusor pipeline: UDF
+// pipelines in UPDATE SET expressions and WHERE predicates are fused
+// into wrapper UDFs before execution (§4.2.5 — the capability the paper
+// notes is missing from the SOTA comparators).
+func (qf *QFusor) ExecDML(eng *sqlengine.Engine, sql string) error {
+	qf.cat = eng.Catalog
+	st, err := sqlengine.ParseSQL(sql)
+	if err != nil {
+		return err
+	}
+	up, ok := st.(*sqlengine.UpdateStmt)
+	if !ok || !qf.Opts.Fusion {
+		return eng.Exec(sql)
+	}
+	rep := &Report{}
+	for i, e := range up.Exprs {
+		ne, err := qf.fuseUnboundExpr(eng, up.Table, e, rep)
+		if err != nil {
+			return err
+		}
+		up.Exprs[i] = ne
+	}
+	if up.Where != nil {
+		nw, err := qf.fuseUnboundExpr(eng, up.Table, up.Where, rep)
+		if err != nil {
+			return err
+		}
+		up.Where = nw
+	}
+	qf.LastReport = *rep
+	return eng.ExecUpdate(up)
+}
+
+// fuseUnboundExpr binds an expression against the target table's schema,
+// applies scalar-chain fusion, and unbinds the result (ExecUpdate
+// rebinds it).
+func (qf *QFusor) fuseUnboundExpr(eng *sqlengine.Engine, table string, e sqlengine.SQLExpr, rep *Report) (sqlengine.SQLExpr, error) {
+	t, ok := eng.Catalog.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("core: no such table %s", table)
+	}
+	bound := cloneViaWalk(e, func(x sqlengine.SQLExpr) sqlengine.SQLExpr {
+		if cr, isRef := x.(*sqlengine.ColRef); isRef {
+			cp := *cr
+			cp.Index = t.Schema.IndexOf(cr.Name)
+			return &cp
+		}
+		return x
+	})
+	fused, err := qf.fuseExprChains(bound, t.Schema, rep)
+	if err != nil {
+		return nil, err
+	}
+	return fused, nil
+}

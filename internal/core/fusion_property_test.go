@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// qgen generates random UDF queries over the fixture's people table.
+type qgen struct {
+	r *rand.Rand
+}
+
+// scalarChain emits a random nesting of scalar UDFs over a column.
+func (g *qgen) scalarChain() (expr string, kind byte) {
+	strFns := []string{"upname", "firstword", "cleandate"}
+	switch g.r.Intn(4) {
+	case 0: // int chain over age
+		e := "age"
+		for d := 0; d <= g.r.Intn(2); d++ {
+			e = "addten(" + e + ")"
+		}
+		return e, 'i'
+	case 1: // string chain over name
+		e := "name"
+		for d := 0; d <= g.r.Intn(3); d++ {
+			e = strFns[g.r.Intn(len(strFns))] + "(" + e + ")"
+		}
+		return e, 's'
+	case 2: // string chain over city
+		e := "city"
+		if g.r.Intn(2) == 0 {
+			e = "upname(" + e + ")"
+		}
+		return e, 's'
+	default: // date cleansing over joined
+		return "cleandate(joined)", 's'
+	}
+}
+
+func (g *qgen) predicate() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("addten(age) > %d", 20+g.r.Intn(50))
+	case 1:
+		return "upname(city) != 'XXZY'"
+	case 2:
+		return fmt.Sprintf("cleandate(joined) >= '20%02d-01-01'", 17+g.r.Intn(6))
+	default:
+		return fmt.Sprintf("age %s %d AND firstword(name) IS NOT NULL",
+			[]string{"<", ">", ">="}[g.r.Intn(3)], 20+g.r.Intn(30))
+	}
+}
+
+// generate builds one SQL query: projection / filter / optional expand /
+// optional aggregation over random UDF chains.
+func (g *qgen) generate() string {
+	var b strings.Builder
+	useAgg := g.r.Intn(3) == 0
+	useExpand := !useAgg && g.r.Intn(3) == 0
+	useWhere := g.r.Intn(2) == 0
+
+	b.WriteString("SELECT ")
+	if useAgg {
+		key, _ := g.scalarChain()
+		aggArg, kind := g.scalarChain()
+		agg := "COUNT(*)"
+		switch {
+		case kind == 'i' && g.r.Intn(2) == 0:
+			agg = "SUM(" + aggArg + ")"
+		case kind == 's' && g.r.Intn(2) == 0:
+			agg = "strjoin(" + aggArg + ")"
+		}
+		fmt.Fprintf(&b, "%s AS k, %s AS v FROM people", key, agg)
+		if useWhere {
+			b.WriteString(" WHERE " + g.predicate())
+		}
+		b.WriteString(" GROUP BY k")
+		return b.String()
+	}
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		e, _ := g.scalarChain()
+		fmt.Fprintf(&b, "%s AS c%d", e, i)
+	}
+	if useExpand {
+		fmt.Fprintf(&b, ", explode(upname(name)) AS w")
+	}
+	b.WriteString(" FROM people")
+	if useWhere {
+		b.WriteString(" WHERE " + g.predicate())
+	}
+	return b.String()
+}
+
+// TestRandomQueryFusionParityProperty is the headline invariant of
+// DESIGN.md §6: for randomly generated UDF queries (scalar chains,
+// filters, expands, aggregates), QFusor's fused execution returns the
+// same row multiset as engine-native execution.
+func TestRandomQueryFusionParityProperty(t *testing.T) {
+	eng, qf := buildEngine(t)
+	f := func(seed int64) bool {
+		g := &qgen{r: rand.New(rand.NewSource(seed))}
+		sql := g.generate()
+		want, err := eng.Query(sql)
+		if err != nil {
+			t.Logf("generated query invalid: %v\n%s", err, sql)
+			return false
+		}
+		q, rep, err := qf.Process(eng, sql)
+		if err != nil {
+			t.Logf("process: %v\n%s", err, sql)
+			return false
+		}
+		got, err := eng.Execute(q)
+		if err != nil {
+			t.Logf("fused exec: %v\n%s\nsources:\n%s", err, sql, strings.Join(rep.Sources, "\n"))
+			return false
+		}
+		if want.NumRows() != got.NumRows() {
+			t.Logf("rows %d vs %d\n%s\nplan:\n%s", want.NumRows(), got.NumRows(), sql, q.Explain())
+			return false
+		}
+		wk, gk := rowKeys(want), rowKeys(got)
+		for k, cnt := range wk {
+			if gk[k] != cnt {
+				t.Logf("row %q: %d vs %d\n%s\nsources:\n%s", k, cnt, gk[k], sql,
+					strings.Join(rep.Sources, "\n"))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+	"qfusor/internal/sqlengine"
+)
+
+// Options selects which QFusor techniques run — the knobs the paper's
+// ablations flip (§6.4.1, §6.4.3).
+type Options struct {
+	// Fusion enables operator fusion at all (off = JIT-only execution).
+	Fusion bool
+	// ScalarOnly restricts fusion to scalar-scalar UDF chains (the
+	// YeSQL baseline).
+	ScalarOnly bool
+	// Offload allows relational operators (filter/case/arithmetic/
+	// distinct) to execute inside the UDF environment.
+	Offload bool
+	// Reorder enables F3 operator reordering (moving disjoint filters
+	// engine-side below fused sections).
+	Reorder bool
+	// AggFusion allows fusing aggregates + group-by via the engine FFI.
+	AggFusion bool
+	// Cache reuses previously compiled fused wrappers across queries
+	// (the QFusor-cache variant of §6.4.5).
+	Cache bool
+}
+
+// DefaultOptions enables the full QFusor pipeline.
+func DefaultOptions() Options {
+	return Options{Fusion: true, Offload: true, Reorder: true, AggFusion: true, Cache: true}
+}
+
+// Report carries the per-query optimizer measurements (Fig. 4 bottom).
+type Report struct {
+	// FusOptim is the time to discover fusible operators + fusion
+	// optimization (Algorithms 1 and 2).
+	FusOptim time.Duration
+	// CodeGen is the time for query + fused-UDF code generation and
+	// registration.
+	CodeGen time.Duration
+	// Sections fused and wrapper sources produced.
+	Sections int
+	Sources  []string
+	// CacheHits counts wrappers reused from the compile cache.
+	CacheHits int
+}
+
+// QFusor is the pluggable optimizer: it connects to an engine, probes
+// plans, fuses UDF sections and rewrites queries.
+type QFusor struct {
+	Reg  *Registry
+	CM   *CostModel
+	Opts Options
+
+	cat *sqlengine.Catalog
+
+	mu    sync.Mutex
+	seq   int
+	cache map[string]*ffi.UDF // wrapper source hash -> registered UDF
+
+	// LastReport is the most recent Process measurement.
+	LastReport Report
+}
+
+// New creates a QFusor instance over a registry.
+func New(reg *Registry) *QFusor {
+	return &QFusor{Reg: reg, CM: DefaultCostModel(), Opts: DefaultOptions(),
+		cache: make(map[string]*ffi.UDF)}
+}
+
+func (qf *QFusor) nextName() string {
+	qf.mu.Lock()
+	defer qf.mu.Unlock()
+	qf.seq++
+	return fmt.Sprintf("__qf_fused%d", qf.seq)
+}
+
+// registerWrapper compiles + registers a fused wrapper, consulting the
+// compile cache.
+func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds []data.Kind, isAgg bool) (*ffi.UDF, bool, error) {
+	// Cache key: the source with the wrapper's own name normalized out.
+	normalized := replaceName(src, name, "__qf_wrapper")
+	h := sha256.Sum256([]byte(normalized))
+	key := hex.EncodeToString(h[:16])
+	if qf.Opts.Cache {
+		qf.mu.Lock()
+		if u, ok := qf.cache[key]; ok {
+			qf.mu.Unlock()
+			return u, true, nil
+		}
+		qf.mu.Unlock()
+	}
+	kind := ffi.Table
+	if isAgg {
+		kind = ffi.Aggregate
+	}
+	u, err := ffi.NewFusedUDF(qf.Reg.RT, name, src, kind, outNames, outKinds)
+	if err != nil {
+		return nil, false, err
+	}
+	qf.Reg.RegisterFused(u)
+	if qf.cat != nil {
+		// CREATE FUNCTION: the rewritten SQL of path 1 calls the wrapper
+		// as a table function, so the engine must resolve it by name.
+		qf.cat.PutUDF(u)
+	}
+	if qf.Opts.Cache {
+		qf.mu.Lock()
+		qf.cache[key] = u
+		qf.mu.Unlock()
+	}
+	return u, false, nil
+}
+
+func replaceName(src, old, nw string) string {
+	out := ""
+	for {
+		i := indexOfStr(src, old)
+		if i < 0 {
+			return out + src
+		}
+		out += src[:i] + nw
+		src = src[i+len(old):]
+	}
+}
+
+func indexOfStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Process runs the QFusor pipeline on a SQL query against an engine:
+// probe the plan (EXPLAIN), discover fusible operators (Alg. 1), decide
+// fusion (Alg. 2 + cost model), JIT-generate fused wrappers, and
+// rewrite the plan. Returns the (possibly rewritten) executable query.
+func (qf *QFusor) Process(eng *sqlengine.Engine, sql string) (*sqlengine.Query, *Report, error) {
+	qf.cat = eng.Catalog
+	q, err := eng.Plan(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{}
+	if !q.HasUDF(eng.Catalog) || !qf.Opts.Fusion {
+		qf.LastReport = *rep
+		return q, rep, nil
+	}
+
+	// --- discover fusible operators + fusion optimization ---
+	t0 := time.Now()
+	type job struct {
+		seg  *Segment
+		g    *DFG
+		secs []*Section
+		// scalarChains for the ScalarOnly mode.
+	}
+	var jobs []job
+	roots := make([]*sqlengine.Plan, 0, len(q.CTEs)+1)
+	for i := range q.CTEs {
+		roots = append(roots, q.CTEs[i].Plan)
+	}
+	roots = append(roots, q.Root)
+	for _, root := range roots {
+		for _, seg := range FindSegments(root) {
+			g, err := BuildDFG(seg, eng.Catalog)
+			if err != nil {
+				continue // untranslatable segment: leave it to the engine
+			}
+			if qf.Opts.ScalarOnly {
+				jobs = append(jobs, job{seg: seg, g: g})
+				continue
+			}
+			secs := DiscoverSections(g, qf.CM, eng.Catalog)
+			secs = qf.filterSections(g, secs)
+			if len(secs) > 0 {
+				jobs = append(jobs, job{seg: seg, g: g, secs: secs})
+			}
+		}
+	}
+	rep.FusOptim = time.Since(t0)
+
+	// --- JIT code generation + query rewrite ---
+	t1 := time.Now()
+	newRoots := make(map[*sqlengine.Plan]*sqlengine.Plan)
+	for _, j := range jobs {
+		if qf.Opts.ScalarOnly {
+			if err := qf.fuseScalarChains(j.seg, rep); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		top, err := qf.rewriteSegment(j.seg, j.g, j.secs, rep)
+		if err != nil {
+			// Realization failed (unsupported shape): fall back to
+			// scalar-chain fusion for this segment.
+			if err2 := qf.fuseScalarChains(j.seg, rep); err2 != nil {
+				return nil, nil, err2
+			}
+			continue
+		}
+		if top != nil && j.seg.Parent == nil {
+			newRoots[j.seg.Chain[len(j.seg.Chain)-1]] = top
+		}
+	}
+	// Re-root where a whole root segment was replaced.
+	for i := range q.CTEs {
+		if nr, ok := newRoots[q.CTEs[i].Plan]; ok {
+			q.CTEs[i].Plan = nr
+		}
+	}
+	if nr, ok := newRoots[q.Root]; ok {
+		q.Root = nr
+	}
+	rep.CodeGen = time.Since(t1)
+	qf.LastReport = *rep
+	return q, rep, nil
+}
+
+// filterSections applies the option gates to discovered sections.
+func (qf *QFusor) filterSections(g *DFG, secs []*Section) []*Section {
+	var out []*Section
+	for _, s := range secs {
+		keep := true
+		for _, id := range s.Nodes {
+			nd := g.Nodes[id]
+			switch nd.Kind {
+			case KRelExpr:
+				// Constant expressions (table UDF parameters, literals)
+				// always ride along; real relational computation needs
+				// the offload option.
+				if !qf.Opts.Offload && !exprIsConstant(nd.Expr) {
+					keep = false
+				}
+			case KRelFilter, KRelDistinct:
+				if !qf.Opts.Offload {
+					keep = false
+				}
+			case KRelAggNative:
+				if !qf.Opts.Offload || !qf.Opts.AggFusion {
+					keep = false
+				}
+			case KRelGroupBy, KUDFAggregate:
+				if !qf.Opts.AggFusion {
+					keep = false
+				}
+			}
+		}
+		if len(s.Reordered) > 0 && !qf.Opts.Reorder {
+			keep = false
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// exprIsConstant reports whether e references no columns or fields.
+func exprIsConstant(e sqlengine.SQLExpr) bool {
+	if e == nil {
+		return true
+	}
+	constant := true
+	sqlengine.WalkExpr(e, func(x sqlengine.SQLExpr) bool {
+		if _, ok := x.(*sqlengine.ColRef); ok {
+			constant = false
+			return false
+		}
+		return true
+	})
+	return constant
+}
+
+// rewriteSegment reassembles a segment's plan chain, replacing each
+// fused section's span with its fused node(s). Returns the new top node
+// when the segment's top was the query root (the caller re-roots), and
+// wires Parent otherwise.
+func (qf *QFusor) rewriteSegment(seg *Segment, g *DFG, secs []*Section, rep *Report) (*sqlengine.Plan, error) {
+	// Realize all sections first (no plan surgery on failure).
+	type realized struct {
+		res *fusedResult
+	}
+	byLo := map[int]*fusedResult{}
+	for _, s := range secs {
+		res, err := qf.generateSection(seg, g, s)
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			continue
+		}
+		if _, dup := byLo[res.SpanLo]; dup {
+			continue
+		}
+		byLo[res.SpanLo] = res
+		rep.Sections++
+		rep.Sources = append(rep.Sources, res.Sources...)
+	}
+	if len(byLo) == 0 {
+		return nil, fmt.Errorf("core: no realizable sections")
+	}
+
+	cursor := seg.Base
+	pi := 0
+	for pi < len(seg.Chain) {
+		if res, ok := byLo[pi]; ok {
+			for _, pred := range res.MovedPreds {
+				cursor = &sqlengine.Plan{Op: sqlengine.OpFilter,
+					Children: []*sqlengine.Plan{cursor}, Schema: schemaOf(cursor),
+					Quals: qualsOf(cursor), Exprs: []sqlengine.SQLExpr{pred},
+					EstRows: estOf(cursor)}
+			}
+			for _, fn := range res.Nodes {
+				if cursor != nil {
+					fn.Children = []*sqlengine.Plan{cursor}
+				}
+				cursor = fn
+			}
+			pi = res.SpanHi + 1
+			continue
+		}
+		node := seg.Chain[pi]
+		if cursor != nil {
+			node.Children = []*sqlengine.Plan{cursor}
+		}
+		cursor = node
+		pi++
+	}
+	if seg.Parent != nil {
+		seg.Parent.Children[seg.ParentSlot] = cursor
+		return cursor, nil
+	}
+	return cursor, nil
+}
+
+func schemaOf(p *sqlengine.Plan) data.Schema {
+	if p == nil {
+		return data.Schema{}
+	}
+	return p.Schema
+}
+
+func qualsOf(p *sqlengine.Plan) []string {
+	if p == nil {
+		return nil
+	}
+	return p.Quals
+}
+
+func estOf(p *sqlengine.Plan) float64 {
+	if p == nil {
+		return 1
+	}
+	return p.EstRows
+}
+
+// RewriteSQL runs the pipeline and renders the rewritten plan as SQL
+// (path 1 of §5.4). executable reports whether the SQL can be
+// re-submitted to this engine.
+func (qf *QFusor) RewriteSQL(eng *sqlengine.Engine, sql string) (out string, executable bool, err error) {
+	q, _, err := qf.Process(eng, sql)
+	if err != nil {
+		return "", false, err
+	}
+	out, executable = RenderSQL(q)
+	return out, executable, nil
+}
+
+// Query runs the full pipeline and executes the rewritten query.
+func (qf *QFusor) Query(eng *sqlengine.Engine, sql string) (*data.Table, error) {
+	q, _, err := qf.Process(eng, sql)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Execute(q)
+}

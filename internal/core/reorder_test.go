@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"qfusor/internal/core"
+	"qfusor/internal/sqlengine"
+)
+
+// TestReorderedFilterMovesBelowFusedSection: a filter on fields the UDF
+// section never touches is reordered engine-side below the fused node
+// (F3), and results are unchanged.
+func TestReorderedFilterMovesBelowFusedSection(t *testing.T) {
+	eng, qf := buildEngine(t)
+	// The filter on id is disjoint from the name-UDF chain; the chain
+	// plus the post-UDF filter fuse, and `id <= 5` should run in the
+	// engine below.
+	sql := `
+SELECT n FROM (SELECT upname(firstword(name)) AS n, id FROM people) AS x
+WHERE id <= 5 AND n != 'ZZZ'`
+	rep := assertSameResult(t, eng, qf, sql)
+	if rep.Sections == 0 {
+		t.Fatal("nothing fused")
+	}
+	q, _, err := qf.Process(eng, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := q.Explain()
+	// The engine-side filter must sit below the fused node.
+	fusedAt := strings.Index(plan, "Fused")
+	filterAt := strings.Index(plan, "Filter")
+	if fusedAt < 0 {
+		t.Fatalf("no fused node:\n%s", plan)
+	}
+	if filterAt >= 0 && filterAt < fusedAt {
+		t.Fatalf("filter not below fused node:\n%s", plan)
+	}
+}
+
+// TestDistinctOffloadSingleShot: a fused DISTINCT carries cross-row
+// state, so the node must refuse partitioning and stay correct under a
+// parallel engine.
+func TestDistinctOffloadSingleShot(t *testing.T) {
+	eng, qf := buildEngine(t)
+	eng.Parallelism = 4
+	sql := "SELECT DISTINCT upname(firstword(city)) AS c FROM people"
+	rep := assertSameResult(t, eng, qf, sql)
+	_ = rep
+	q, _, err := qf.Process(eng, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fused *sqlengine.Plan
+	q.Root.Walk(func(p *sqlengine.Plan) {
+		if p.Op == sqlengine.OpFused {
+			fused = p
+		}
+	})
+	if fused == nil {
+		t.Skip("distinct not fused under current cost model")
+	}
+	if !fused.NoPartition {
+		t.Fatal("fused DISTINCT node is partitionable — duplicate rows possible")
+	}
+}
+
+// TestSegmentsStopAtJoins: segments never cross join/sort boundaries.
+func TestSegmentsStopAtJoins(t *testing.T) {
+	eng, _ := buildEngine(t)
+	q, err := eng.Plan(`
+SELECT a.name FROM people AS a, people AS b
+WHERE a.id = b.id AND upname(a.name) != 'X'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range core.FindSegments(q.Root) {
+		for _, p := range seg.Chain {
+			if p.Op == sqlengine.OpJoin || p.Op == sqlengine.OpSort {
+				t.Fatalf("segment contains %s", p.Op)
+			}
+		}
+	}
+}
+
+// TestFusedWrapperSourcesAreValidPyLite: every generated wrapper parses
+// and compiles in a fresh runtime (the registration mechanism's
+// contract).
+func TestFusedWrapperSourcesAreValidPyLite(t *testing.T) {
+	eng, qf := buildEngine(t)
+	queries := []string{
+		"SELECT upname(firstword(name)) FROM people",
+		"SELECT city, SUM(addten(age)) FROM people WHERE addten(age) > 20 GROUP BY city",
+		"SELECT id, explode(upname(name)) AS w FROM people",
+		"SELECT DISTINCT upname(city) FROM people",
+	}
+	reg := core.NewRegistry(0)
+	for _, sql := range queries {
+		_, rep, err := qf.Process(eng, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range rep.Sources {
+			// The wrapper calls UDFs that exist only in the original
+			// runtime; define stand-ins so Exec succeeds.
+			stubbed := `
+def upname(s):
+    return s
+def firstword(s):
+    return s
+def addten(x):
+    return x
+def explode(s):
+    yield s
+` + src
+			if err := reg.Define(stubbed); err != nil {
+				t.Fatalf("wrapper does not parse: %v\n%s", err, src)
+			}
+		}
+	}
+}
+
+// TestRenderSQLForCTEAndAgg: rewrite path 1 renders CTE queries and
+// flags aggregate fusions as display-only.
+func TestRenderSQLForCTEAndAgg(t *testing.T) {
+	eng, qf := buildEngine(t)
+	q, _, err := qf.Process(eng, `
+WITH clean(id, n) AS (SELECT id, upname(firstword(name)) FROM people)
+SELECT n FROM clean WHERE id > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, _ := core.RenderSQL(q)
+	if !strings.Contains(sql, "WITH clean") {
+		t.Fatalf("CTE missing:\n%s", sql)
+	}
+	q2, _, err := qf.Process(eng,
+		"SELECT city, SUM(addten(age)) FROM people GROUP BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql2, executable := core.RenderSQL(q2)
+	hasFusedAgg := false
+	q2.Root.Walk(func(p *sqlengine.Plan) {
+		if p.Op == sqlengine.OpFusedAgg {
+			hasFusedAgg = true
+		}
+	})
+	if hasFusedAgg && executable {
+		t.Fatalf("aggregate fusion should render display-only SQL:\n%s", sql2)
+	}
+}

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+	"qfusor/internal/sqlengine"
+)
+
+// helperSource defines the NULL-aware relational primitives the code
+// generator references when it offloads relational operators into the
+// UDF environment (§5.3.2: "rewriting the relational operator in the
+// UDF's language"). Defined once per runtime.
+const helperSource = `
+def __qf_lt(a, b):
+    return a is not None and b is not None and a < b
+
+def __qf_le(a, b):
+    return a is not None and b is not None and a <= b
+
+def __qf_gt(a, b):
+    return a is not None and b is not None and a > b
+
+def __qf_ge(a, b):
+    return a is not None and b is not None and a >= b
+
+def __qf_eq(a, b):
+    return a is not None and b is not None and a == b
+
+def __qf_ne(a, b):
+    return a is not None and b is not None and a != b
+
+def __qf_add(a, b):
+    if a is None or b is None:
+        return None
+    return a + b
+
+def __qf_sub(a, b):
+    if a is None or b is None:
+        return None
+    return a - b
+
+def __qf_mul(a, b):
+    if a is None or b is None:
+        return None
+    return a * b
+
+def __qf_div(a, b):
+    if a is None or b is None or b == 0:
+        return None
+    return a / b
+
+def __qf_mod(a, b):
+    if a is None or b is None or b == 0:
+        return None
+    return a % b
+
+def __qf_neg(a):
+    if a is None:
+        return None
+    return -a
+
+def __qf_concat(a, b):
+    if a is None or b is None:
+        return None
+    return str(a) + str(b)
+
+def __qf_like(s, pat):
+    if s is None or pat is None:
+        return False
+    import re
+    rx = ""
+    for ch in pat:
+        if ch == "%":
+            rx = rx + ".*"
+        elif ch == "_":
+            rx = rx + "."
+        elif ch in ".^$*+?()[]{}|\\":
+            rx = rx + "\\" + ch
+        else:
+            rx = rx + ch
+    return re.match("(?is)" + rx + "$", str(s)) is not None
+
+def __qf_length(a):
+    if a is None:
+        return None
+    return len(str(a))
+
+def __qf_abs(a):
+    if a is None:
+        return None
+    return abs(a)
+
+def __qf_round(a, nd=0):
+    if a is None:
+        return None
+    return round(a, nd)
+
+def __qf_coalesce(*args):
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+def __qf_nullif(a, b):
+    if a == b:
+        return None
+    return a
+
+def __qf_substr(s, start, n=None):
+    if s is None:
+        return None
+    s = str(s)
+    if start > 0:
+        start = start - 1
+    elif start < 0:
+        start = start + len(s)
+    if start < 0:
+        start = 0
+    if n is None:
+        return s[start:]
+    return s[start:start + n]
+
+def __qf_instr(a, b):
+    if a is None or b is None:
+        return None
+    return str(a).find(str(b)) + 1
+
+def __qf_trim(a):
+    if a is None:
+        return None
+    return str(a).strip()
+
+def __qf_upper(a):
+    if a is None:
+        return None
+    return str(a).upper()
+
+def __qf_lower(a):
+    if a is None:
+        return None
+    return str(a).lower()
+
+def __qf_cast_int(a):
+    if a is None:
+        return None
+    try:
+        return int(float(str(a)))
+    except ValueError:
+        return 0
+
+def __qf_cast_float(a):
+    if a is None:
+        return None
+    try:
+        return float(str(a))
+    except ValueError:
+        return 0.0
+
+def __qf_cast_str(a):
+    if a is None:
+        return None
+    return str(a)
+`
+
+// pyBuilder accumulates generated PyLite source with indentation.
+type pyBuilder struct {
+	b      strings.Builder
+	indent int
+	tmpN   int
+	// colVar maps a column reference (plan-bound or DFG field
+	// placeholder) to its PyLite variable text.
+	colVar func(cr *sqlengine.ColRef) (string, error)
+}
+
+func (pb *pyBuilder) line(format string, args ...any) {
+	pb.b.WriteString(strings.Repeat("    ", pb.indent))
+	fmt.Fprintf(&pb.b, format, args...)
+	pb.b.WriteByte('\n')
+}
+
+func (pb *pyBuilder) tmp() string {
+	pb.tmpN++
+	return fmt.Sprintf("__t%d", pb.tmpN)
+}
+
+// pyLit renders a constant as PyLite source.
+func pyLit(v data.Value) string {
+	switch v.Kind {
+	case data.KindNull:
+		return "None"
+	case data.KindBool:
+		if v.I != 0 {
+			return "True"
+		}
+		return "False"
+	case data.KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case data.KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case data.KindString:
+		return pyQuote(v.S)
+	default:
+		return pyQuote(data.MarshalJSONValue(v))
+	}
+}
+
+func pyQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString("\\\"")
+		case '\\':
+			b.WriteString("\\\\")
+		case '\n':
+			b.WriteString("\\n")
+		case '\t':
+			b.WriteString("\\t")
+		case '\r':
+			b.WriteString("\\r")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// translateExpr lowers a bound SQL expression into a PyLite expression
+// string, emitting helper statements into pb where needed (CASE). UDF
+// calls translate to direct calls — they live in the same runtime, so
+// the tracing JIT sees one continuous trace.
+func translateExpr(e sqlengine.SQLExpr, pb *pyBuilder) (string, error) {
+	switch x := e.(type) {
+	case *sqlengine.ColRef:
+		return pb.colVar(x)
+	case *sqlengine.Lit:
+		return pyLit(x.Value), nil
+	case *sqlengine.BinExpr:
+		l, err := translateExpr(x.L, pb)
+		if err != nil {
+			return "", err
+		}
+		r, err := translateExpr(x.R, pb)
+		if err != nil {
+			return "", err
+		}
+		switch x.Op {
+		case "AND":
+			return fmt.Sprintf("(%s and %s)", l, r), nil
+		case "OR":
+			return fmt.Sprintf("(%s or %s)", l, r), nil
+		case "=":
+			return fmt.Sprintf("__qf_eq(%s, %s)", l, r), nil
+		case "!=":
+			return fmt.Sprintf("__qf_ne(%s, %s)", l, r), nil
+		case "<":
+			return fmt.Sprintf("__qf_lt(%s, %s)", l, r), nil
+		case "<=":
+			return fmt.Sprintf("__qf_le(%s, %s)", l, r), nil
+		case ">":
+			return fmt.Sprintf("__qf_gt(%s, %s)", l, r), nil
+		case ">=":
+			return fmt.Sprintf("__qf_ge(%s, %s)", l, r), nil
+		case "+":
+			return fmt.Sprintf("__qf_add(%s, %s)", l, r), nil
+		case "-":
+			return fmt.Sprintf("__qf_sub(%s, %s)", l, r), nil
+		case "*":
+			return fmt.Sprintf("__qf_mul(%s, %s)", l, r), nil
+		case "/":
+			return fmt.Sprintf("__qf_div(%s, %s)", l, r), nil
+		case "%":
+			return fmt.Sprintf("__qf_mod(%s, %s)", l, r), nil
+		case "||":
+			return fmt.Sprintf("__qf_concat(%s, %s)", l, r), nil
+		case "LIKE":
+			return fmt.Sprintf("__qf_like(%s, %s)", l, r), nil
+		}
+		return "", fmt.Errorf("core: cannot offload operator %q", x.Op)
+	case *sqlengine.UnaryExpr:
+		s, err := translateExpr(x.E, pb)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "NOT" {
+			return fmt.Sprintf("(not %s)", s), nil
+		}
+		return fmt.Sprintf("__qf_neg(%s)", s), nil
+	case *sqlengine.FuncExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			s, err := translateExpr(a, pb)
+			if err != nil {
+				return "", err
+			}
+			args[i] = s
+		}
+		name := strings.ToLower(x.Name)
+		if native, ok := nativeHelper[name]; ok {
+			return fmt.Sprintf("%s(%s)", native, strings.Join(args, ", ")), nil
+		}
+		// UDF (or fused wrapper sub-call): direct call in the runtime.
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", ")), nil
+	case *sqlengine.CaseExpr:
+		out := pb.tmp()
+		var operand string
+		if x.Operand != nil {
+			s, err := translateExpr(x.Operand, pb)
+			if err != nil {
+				return "", err
+			}
+			op := pb.tmp()
+			pb.line("%s = %s", op, s)
+			operand = op
+		}
+		pb.line("%s = None", out)
+		for i := range x.Whens {
+			cond, err := translateExpr(x.Whens[i], pb)
+			if err != nil {
+				return "", err
+			}
+			if operand != "" {
+				cond = fmt.Sprintf("__qf_eq(%s, %s)", operand, cond)
+			}
+			kw := "if"
+			if i > 0 {
+				kw = "elif"
+			}
+			pb.line("%s %s:", kw, cond)
+			pb.indent++
+			then, err := translateExpr(x.Thens[i], pb)
+			if err != nil {
+				return "", err
+			}
+			pb.line("%s = %s", out, then)
+			pb.indent--
+		}
+		if x.Else != nil {
+			pb.line("else:")
+			pb.indent++
+			els, err := translateExpr(x.Else, pb)
+			if err != nil {
+				return "", err
+			}
+			pb.line("%s = %s", out, els)
+			pb.indent--
+		}
+		return out, nil
+	case *sqlengine.BetweenExpr:
+		v, err := translateExpr(x.E, pb)
+		if err != nil {
+			return "", err
+		}
+		tv := pb.tmp()
+		pb.line("%s = %s", tv, v)
+		lo, err := translateExpr(x.Lo, pb)
+		if err != nil {
+			return "", err
+		}
+		hi, err := translateExpr(x.Hi, pb)
+		if err != nil {
+			return "", err
+		}
+		expr := fmt.Sprintf("(__qf_ge(%s, %s) and __qf_le(%s, %s))", tv, lo, tv, hi)
+		if x.Not {
+			expr = "(not " + expr + ")"
+		}
+		return expr, nil
+	case *sqlengine.InExpr:
+		v, err := translateExpr(x.E, pb)
+		if err != nil {
+			return "", err
+		}
+		tv := pb.tmp()
+		pb.line("%s = %s", tv, v)
+		var terms []string
+		for _, item := range x.List {
+			s, err := translateExpr(item, pb)
+			if err != nil {
+				return "", err
+			}
+			terms = append(terms, fmt.Sprintf("__qf_eq(%s, %s)", tv, s))
+		}
+		expr := "(" + strings.Join(terms, " or ") + ")"
+		if x.Not {
+			expr = "(not " + expr + ")"
+		}
+		return expr, nil
+	case *sqlengine.IsNullExpr:
+		s, err := translateExpr(x.E, pb)
+		if err != nil {
+			return "", err
+		}
+		if x.Not {
+			return fmt.Sprintf("(%s is not None)", s), nil
+		}
+		return fmt.Sprintf("(%s is None)", s), nil
+	case *sqlengine.CastExpr:
+		s, err := translateExpr(x.E, pb)
+		if err != nil {
+			return "", err
+		}
+		switch x.Kind {
+		case data.KindInt:
+			return fmt.Sprintf("__qf_cast_int(%s)", s), nil
+		case data.KindFloat:
+			return fmt.Sprintf("__qf_cast_float(%s)", s), nil
+		case data.KindBool:
+			return fmt.Sprintf("bool(%s)", s), nil
+		default:
+			return fmt.Sprintf("__qf_cast_str(%s)", s), nil
+		}
+	}
+	return "", fmt.Errorf("core: cannot translate %T to the UDF language", e)
+}
+
+// nativeHelper maps engine-native scalar functions to their offloaded
+// PyLite implementations.
+var nativeHelper = map[string]string{
+	"length":   "__qf_length",
+	"abs":      "__qf_abs",
+	"round":    "__qf_round",
+	"coalesce": "__qf_coalesce",
+	"ifnull":   "__qf_coalesce",
+	"nullif":   "__qf_nullif",
+	"substr":   "__qf_substr",
+	"instr":    "__qf_instr",
+	"trim":     "__qf_trim",
+	"sqlupper": "__qf_upper",
+	"sqllower": "__qf_lower",
+}
+
+// translatable reports whether e can be lowered to the UDF language:
+// every node type supported and every function either native-
+// offloadable, a registered scalar UDF, or a (caller-handled) aggregate.
+func translatable(e sqlengine.SQLExpr, cat *sqlengine.Catalog) bool {
+	ok := true
+	sqlengine.WalkExpr(e, func(x sqlengine.SQLExpr) bool {
+		switch f := x.(type) {
+		case *sqlengine.FuncExpr:
+			name := strings.ToLower(f.Name)
+			if _, native := nativeHelper[name]; native {
+				return true
+			}
+			if u, isUDF := cat.UDF(f.Name); isUDF {
+				if u.Kind == ffi.Scalar || u.Kind == ffi.Aggregate {
+					return true
+				}
+				ok = false
+				return false
+			}
+			if sqlengine.IsNativeAggregate(f.Name) {
+				return true
+			}
+			ok = false
+			return false
+		case *sqlengine.ColRef, *sqlengine.Lit, *sqlengine.BinExpr,
+			*sqlengine.UnaryExpr, *sqlengine.CaseExpr, *sqlengine.BetweenExpr,
+			*sqlengine.InExpr, *sqlengine.IsNullExpr, *sqlengine.CastExpr:
+			return true
+		default:
+			ok = false
+			return false
+		}
+	})
+	return ok
+}

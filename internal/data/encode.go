@@ -1,0 +1,218 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary chunk encoding. Used by two real-cost paths the paper measures:
+// the out-of-process UDF transport (PostgreSQL profile: every batch is
+// serialized across the process boundary and back) and the disk storage
+// mode (cold-cache experiments re-decode tables from files).
+
+const chunkMagic = uint32(0x51465553) // "QFUS"
+
+// EncodeChunk writes ch to w in the binary wire format.
+func EncodeChunk(w io.Writer, ch *Chunk) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := binary.Write(bw, binary.LittleEndian, chunkMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(ch.Cols)))
+	writeUvarint(bw, uint64(ch.NumRows()))
+	for _, c := range ch.Cols {
+		if err := encodeColumn(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeColumn(w *bufio.Writer, c *Column) error {
+	writeString(w, c.Name)
+	w.WriteByte(byte(c.Kind))
+	n := c.Len()
+	if c.Nulls != nil {
+		w.WriteByte(1)
+		for _, b := range c.Nulls {
+			if b {
+				w.WriteByte(1)
+			} else {
+				w.WriteByte(0)
+			}
+		}
+	} else {
+		w.WriteByte(0)
+	}
+	switch c.Kind {
+	case KindInt:
+		for i := 0; i < n; i++ {
+			writeVarint(w, c.Ints[i])
+		}
+	case KindFloat:
+		var buf [8]byte
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c.Floats[i]))
+			w.Write(buf[:])
+		}
+	case KindBool:
+		for i := 0; i < n; i++ {
+			if c.Bools[i] {
+				w.WriteByte(1)
+			} else {
+				w.WriteByte(0)
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			writeString(w, c.Strs[i])
+		}
+	}
+	return nil
+}
+
+// DecodeChunk reads one chunk in the binary wire format.
+func DecodeChunk(r io.Reader) (*Chunk, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != chunkMagic {
+		return nil, fmt.Errorf("data: bad chunk magic %#x", magic)
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Chunk{Cols: make([]*Column, ncols)}
+	for i := range ch.Cols {
+		c, err := decodeColumn(br, int(nrows))
+		if err != nil {
+			return nil, err
+		}
+		ch.Cols[i] = c
+	}
+	return ch, nil
+}
+
+func decodeColumn(r *bufio.Reader, n int) (*Column, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	c := NewColumnCap(name, Kind(kb), n)
+	hasNulls, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if hasNulls == 1 {
+		c.Nulls = make([]bool, n)
+		for i := 0; i < n; i++ {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			c.Nulls[i] = b == 1
+		}
+	}
+	switch c.Kind {
+	case KindInt:
+		for i := 0; i < n; i++ {
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Ints = append(c.Ints, v)
+		}
+	case KindFloat:
+		var buf [8]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, err
+			}
+			c.Floats = append(c.Floats, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+	case KindBool:
+		for i := 0; i < n; i++ {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			c.Bools = append(c.Bools, b == 1)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			s, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Strs = append(c.Strs, s)
+		}
+	}
+	return c, nil
+}
+
+// EncodeTable writes a table (schema + data) to w.
+func EncodeTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	writeString(bw, t.Name)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return EncodeChunk(w, t.Chunk())
+}
+
+// DecodeTable reads a table written by EncodeTable.
+func DecodeTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := DecodeChunk(br)
+	if err != nil {
+		return nil, err
+	}
+	return FromChunk(name, ch), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

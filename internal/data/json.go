@@ -1,0 +1,117 @@
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MarshalJSONValue serializes a Value to JSON text. This is the format
+// complex types (lists/dicts) use when stored inside engine columns —
+// i.e. the (de)serialization overhead QFusor's wrapper layer removes.
+func MarshalJSONValue(v Value) string {
+	b, err := json.Marshal(toJSONAny(v))
+	if err != nil {
+		return "null"
+	}
+	return string(b)
+}
+
+func toJSONAny(v Value) any {
+	switch v.Kind {
+	case KindNull:
+		return nil
+	case KindBool:
+		return v.I != 0
+	case KindInt:
+		return v.I
+	case KindFloat:
+		if math.IsInf(v.F, 0) || math.IsNaN(v.F) {
+			return nil
+		}
+		return v.F
+	case KindString:
+		return v.S
+	case KindList:
+		items := v.List().Items
+		out := make([]any, len(items))
+		for i, it := range items {
+			out[i] = toJSONAny(it)
+		}
+		return out
+	case KindDict:
+		d := v.Dict()
+		out := make(map[string]any, d.Len())
+		for i, k := range d.Keys {
+			out[k] = toJSONAny(d.Vals[i])
+		}
+		return out
+	default:
+		return fmt.Sprintf("%v", v.P)
+	}
+}
+
+// UnmarshalJSONValue parses JSON text into a Value. Numbers with no
+// fractional part become ints (Python json semantics).
+func UnmarshalJSONValue(s string) (Value, error) {
+	dec := json.NewDecoder(strings.NewReader(s))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return Null, fmt.Errorf("data: invalid json: %w", err)
+	}
+	return fromJSONAny(raw), nil
+}
+
+func fromJSONAny(raw any) Value {
+	switch x := raw.(type) {
+	case nil:
+		return Null
+	case bool:
+		return Bool(x)
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return Int(i)
+		}
+		f, _ := x.Float64()
+		return Float(f)
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			return Int(int64(x))
+		}
+		return Float(x)
+	case string:
+		return Str(x)
+	case []any:
+		items := make([]Value, len(x))
+		for i, it := range x {
+			items[i] = fromJSONAny(it)
+		}
+		return NewList(items)
+	case map[string]any:
+		// json maps are unordered; decode deterministically via the
+		// raw message route below would cost another pass, so sort keys.
+		d := NewDict()
+		dd := d.Dict()
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			dd.Set(k, fromJSONAny(x[k]))
+		}
+		return d
+	}
+	return Null
+}
+
+func sortStrings(ss []string) {
+	// insertion sort: key sets in stored JSON objects are tiny.
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

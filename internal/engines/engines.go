@@ -1,0 +1,186 @@
+// Package engines configures the SQL substrate into the six engine
+// profiles the paper integrates QFusor with (§6.1): each profile is an
+// execution model × UDF transport × parallelism combination that
+// reproduces the corresponding system's cost structure.
+package engines
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qfusor/internal/core"
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+	"qfusor/internal/sqlengine"
+)
+
+// Profile identifies an engine configuration.
+type Profile string
+
+const (
+	// Monet: vectorized operator-at-a-time columnar execution with
+	// in-process vectorized UDFs (MonetDB).
+	Monet Profile = "monetdb"
+	// Postgres: tuple-at-a-time row execution with out-of-process UDFs
+	// (PostgreSQL pl/python): every batch is serialized to a worker.
+	Postgres Profile = "postgresql"
+	// SQLite: tuple-at-a-time row execution with in-process per-tuple
+	// UDF calls.
+	SQLite Profile = "sqlite"
+	// Duck: vectorized pipelined chunks with in-process vectorized UDFs
+	// (DuckDB).
+	Duck Profile = "duckdb"
+	// Spark: partitioned parallel execution with per-batch UDF
+	// serialization (PySpark).
+	Spark Profile = "pyspark"
+	// DBX: the commercial analytics database — parallel vectorized
+	// execution, no UDF JIT, per-batch context switches.
+	DBX Profile = "dbx"
+)
+
+// AllProfiles lists every engine profile.
+func AllProfiles() []Profile {
+	return []Profile{Monet, Postgres, SQLite, Duck, Spark, DBX}
+}
+
+// Config selects the profile plus the knobs experiments vary.
+type Config struct {
+	Profile     Profile
+	Parallelism int
+	// JIT enables the tracing JIT in the UDF runtime (hot threshold 8).
+	// Off reproduces native CPython execution.
+	JIT bool
+	// BatchRows overrides the out-of-process transport's batch size.
+	BatchRows int
+}
+
+// Instance is a launched engine: the SQL engine, its UDF registry and a
+// QFusor plugged into it.
+type Instance struct {
+	Name string
+	Eng  *sqlengine.Engine
+	Reg  *core.Registry
+	QF   *core.QFusor
+
+	proc *ffi.ProcessInvoker
+}
+
+// Launch builds an engine instance for the profile.
+func Launch(cfg Config) *Instance {
+	hot := 0
+	if cfg.JIT {
+		hot = 8
+	}
+	reg := core.NewRegistry(hot)
+	var (
+		mode sqlengine.ExecMode
+		inv  ffi.Invoker
+		proc *ffi.ProcessInvoker
+	)
+	switch cfg.Profile {
+	case Monet:
+		mode, inv = sqlengine.ModeColumnar, ffi.VectorInvoker{}
+	case Duck:
+		mode, inv = sqlengine.ModeChunked, ffi.VectorInvoker{}
+	case SQLite:
+		mode, inv = sqlengine.ModeRow, ffi.TupleInvoker{}
+	case Postgres:
+		batch := cfg.BatchRows
+		if batch <= 0 {
+			batch = 256
+		}
+		proc = ffi.NewProcessInvoker(batch)
+		mode, inv = sqlengine.ModeRow, proc
+	case Spark:
+		batch := cfg.BatchRows
+		if batch <= 0 {
+			batch = 4096
+		}
+		proc = ffi.NewProcessInvoker(batch)
+		mode, inv = sqlengine.ModeChunked, proc
+	case DBX:
+		mode, inv = sqlengine.ModeColumnar, ffi.VectorInvoker{}
+	default:
+		mode, inv = sqlengine.ModeColumnar, ffi.VectorInvoker{}
+	}
+	eng := sqlengine.New(string(cfg.Profile), mode, inv)
+	if cfg.Parallelism > 0 {
+		eng.Parallelism = cfg.Parallelism
+	} else if cfg.Profile == DBX || cfg.Profile == Spark {
+		eng.Parallelism = 4
+	}
+	inst := &Instance{Name: string(cfg.Profile), Eng: eng, Reg: reg,
+		QF: core.New(reg), proc: proc}
+	return inst
+}
+
+// Define executes UDF module source and attaches the registrations.
+func (in *Instance) Define(src string) error {
+	if err := in.Reg.Define(src); err != nil {
+		return err
+	}
+	in.Reg.Attach(in.Eng)
+	return nil
+}
+
+// Register adds a UDF spec and attaches it.
+func (in *Instance) Register(spec core.UDFSpec) error {
+	if _, err := in.Reg.Register(spec); err != nil {
+		return err
+	}
+	in.Reg.Attach(in.Eng)
+	return nil
+}
+
+// Put loads a table into the engine catalog.
+func (in *Instance) Put(t *data.Table) { in.Eng.Catalog.PutTable(t) }
+
+// Query runs sql natively (no fusion).
+func (in *Instance) Query(sql string) (*data.Table, error) {
+	return in.Eng.Query(sql)
+}
+
+// QueryFused runs sql through the QFusor pipeline.
+func (in *Instance) QueryFused(sql string) (*data.Table, error) {
+	return in.QF.Query(in.Eng, sql)
+}
+
+// Close releases transport resources.
+func (in *Instance) Close() {
+	if in.proc != nil {
+		in.proc.Close()
+	}
+}
+
+// SaveTableFile encodes a table to a file (the disk storage mode).
+func SaveTableFile(dir string, t *data.Table) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, t.Name+".qft")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := data.EncodeTable(f, t); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadTableFile decodes a table from a file (cold-cache reads pay this
+// full decode).
+func LoadTableFile(path string) (*data.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := data.DecodeTable(f)
+	if err != nil {
+		return nil, fmt.Errorf("engines: decode %s: %w", path, err)
+	}
+	return t, nil
+}

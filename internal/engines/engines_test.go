@@ -1,0 +1,104 @@
+package engines
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qfusor/internal/data"
+)
+
+const udfSrc = `
+@scalarudf
+def twice(x: int) -> int:
+    return x * 2
+`
+
+func table() *data.Table {
+	t := data.NewTable("t", data.Schema{{Name: "x", Kind: data.KindInt}})
+	for i := int64(1); i <= 5; i++ {
+		_ = t.AppendRow(data.Int(i))
+	}
+	return t
+}
+
+// TestAllProfilesRunUDFQueries: every engine profile runs the same UDF
+// query natively and fused, with the same result.
+func TestAllProfilesRunUDFQueries(t *testing.T) {
+	for _, prof := range AllProfiles() {
+		t.Run(string(prof), func(t *testing.T) {
+			in := Launch(Config{Profile: prof, JIT: true})
+			defer in.Close()
+			if err := in.Define(udfSrc); err != nil {
+				t.Fatal(err)
+			}
+			in.Put(table())
+			sql := "SELECT twice(x) AS y FROM t ORDER BY y"
+			native, err := in.Query(sql)
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			fused, err := in.QueryFused(sql)
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			if native.NumRows() != 5 || fused.NumRows() != 5 {
+				t.Fatalf("rows: %d / %d", native.NumRows(), fused.NumRows())
+			}
+			for i := 0; i < 5; i++ {
+				if !data.Equal(native.Cols[0].Get(i), fused.Cols[0].Get(i)) {
+					t.Fatalf("row %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDiskSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tbl := table()
+	path, err := SaveTableFile(dir, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "t.qft" {
+		t.Fatalf("path = %s", path)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "t" || back.NumRows() != 5 || back.Cols[0].Ints[4] != 5 {
+		t.Fatalf("loaded %+v", back)
+	}
+}
+
+// TestJITFlagControlsRuntime: JIT=false keeps interpretation (no
+// compilations recorded); JIT=true compiles hot UDFs.
+func TestJITFlagControlsRuntime(t *testing.T) {
+	for _, jit := range []bool{false, true} {
+		in := Launch(Config{Profile: Monet, JIT: jit})
+		if err := in.Define(udfSrc); err != nil {
+			t.Fatal(err)
+		}
+		big := data.NewTable("t", data.Schema{{Name: "x", Kind: data.KindInt}})
+		for i := int64(0); i < 100; i++ {
+			_ = big.AppendRow(data.Int(i))
+		}
+		in.Put(big)
+		if _, err := in.Query("SELECT twice(x) FROM t"); err != nil {
+			t.Fatal(err)
+		}
+		comps := in.Reg.RT.Stats.Compilations.Load()
+		if jit && comps == 0 {
+			t.Error("JIT on but nothing compiled")
+		}
+		if !jit && comps != 0 {
+			t.Error("JIT off but compilation happened")
+		}
+		in.Close()
+	}
+}

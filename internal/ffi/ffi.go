@@ -1,0 +1,260 @@
+// Package ffi is the wrapper layer between the SQL engine's unboxed
+// columnar data and the PyLite UDF runtime's boxed values — the
+// reproduction of the paper's CFFI wrapper mechanism (§4.1).
+//
+// Every cost the fusion optimizer reasons about lives here as a real
+// code path: per-value boxing/unboxing (C↔JIT conversions), JSON
+// (de)serialization of complex types, per-tuple foreign calls, and the
+// out-of-process transport's full encode/decode round trip.
+package ffi
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/pylite"
+)
+
+// UDFKind classifies a UDF per the paper's design specifications (§4.2).
+type UDFKind int
+
+const (
+	// Scalar returns one value per input row.
+	Scalar UDFKind = iota
+	// Aggregate follows the init-step-final model (a PyLite class).
+	Aggregate
+	// Table consumes an input-row generator and yields output rows
+	// (used in FROM position).
+	Table
+	// Expand consumes one row and yields zero or more rows (the paper's
+	// Expand variant of table UDFs, used in SELECT position).
+	Expand
+)
+
+// String returns the decorator name of the kind.
+func (k UDFKind) String() string {
+	switch k {
+	case Scalar:
+		return "scalar"
+	case Aggregate:
+		return "aggregate"
+	case Table:
+		return "table"
+	case Expand:
+		return "expand"
+	}
+	return fmt.Sprintf("udfkind(%d)", int(k))
+}
+
+// Stats is the stateful execution dictionary the fusion optimizer's cost
+// model learns from (§5.2.2). All fields are updated atomically by the
+// wrappers at run time.
+type Stats struct {
+	Calls     atomic.Int64
+	InRows    atomic.Int64
+	OutRows   atomic.Int64
+	WallNanos atomic.Int64
+	WrapNanos atomic.Int64 // time spent converting/serializing at the boundary
+}
+
+// NanosPerRow returns the learned average processing cost per input row.
+func (s *Stats) NanosPerRow() float64 {
+	rows := s.InRows.Load()
+	if rows == 0 {
+		return 0
+	}
+	return float64(s.WallNanos.Load()) / float64(rows)
+}
+
+// WrapNanosPerRow returns the learned average wrapper cost per input row.
+func (s *Stats) WrapNanosPerRow() float64 {
+	rows := s.InRows.Load()
+	if rows == 0 {
+		return 0
+	}
+	return float64(s.WrapNanos.Load()) / float64(rows)
+}
+
+// Selectivity returns output rows / input rows (1 for scalars by
+// construction, <1 or >1 for table/expand UDFs).
+func (s *Stats) Selectivity() float64 {
+	in := s.InRows.Load()
+	if in == 0 {
+		return 1
+	}
+	return float64(s.OutRows.Load()) / float64(in)
+}
+
+// UDF is a registered user-defined function: the developer's PyLite
+// source wrapped with type metadata, bound to a runtime.
+type UDF struct {
+	Name     string
+	Kind     UDFKind
+	Params   []string
+	InKinds  []data.Kind
+	OutKinds []data.Kind // one entry for scalar/aggregate, N for table/expand
+	OutNames []string
+	Source   string
+
+	// Fn is the function object (or class object for aggregates) inside RT.
+	Fn data.Value
+	// RT is the PyLite runtime the UDF lives in.
+	RT *pylite.Interp
+	// GoFn, when set, is a native implementation (the engine-language
+	// "C UDF" path: in-process, no interpreter, no JIT needed). It takes
+	// precedence over Fn.
+	GoFn func(args []data.Value) (data.Value, error)
+	// GoAgg, when set, constructs a native aggregate state.
+	GoAgg func() AggState
+
+	// Fused marks wrappers synthesized by the fusion optimizer.
+	Fused bool
+	// Trace is the wrapper's fully compiled form (native loop); when
+	// set, the fused call paths execute it instead of the PyLite source.
+	Trace *Trace
+	// EstCost optionally carries developer-supplied cost metadata
+	// (CREATE FUNCTION ... COST n), in nanoseconds per row.
+	EstCost float64
+
+	Stats Stats
+}
+
+// OutKind returns the single output kind for scalar/aggregate UDFs.
+func (u *UDF) OutKind() data.Kind {
+	if len(u.OutKinds) > 0 {
+		return u.OutKinds[0]
+	}
+	return data.KindString
+}
+
+// record updates the stateful statistics dictionary after a call.
+func (u *UDF) record(inRows, outRows int, wall, wrap time.Duration) {
+	u.Stats.Calls.Add(1)
+	u.Stats.InRows.Add(int64(inRows))
+	u.Stats.OutRows.Add(int64(outRows))
+	u.Stats.WallNanos.Add(wall.Nanoseconds())
+	u.Stats.WrapNanos.Add(wrap.Nanoseconds())
+}
+
+// CrossIn boxes one engine value into the UDF environment. String
+// payloads are byte-copied: crossing the C↔Python boundary marshals the
+// bytes into a fresh object on the other side — precisely the
+// conversion cost fusion eliminates between consecutive operators.
+func CrossIn(c *data.Column, i int) data.Value {
+	v := c.Get(i)
+	if v.Kind == data.KindString {
+		v.S = strings.Clone(v.S)
+	}
+	return v
+}
+
+// CrossOut writes one UDF-environment value back into an engine column,
+// marshalling string bytes.
+func CrossOut(col *data.Column, v data.Value) {
+	if v.Kind == data.KindString {
+		v.S = strings.Clone(v.S)
+	}
+	col.AppendValue(v)
+}
+
+// BoxColumn converts an engine column into boxed UDF values; for complex
+// (list/dict) columns this pays the JSON deserialization the paper's
+// wrapper elimination removes, and string payloads are marshalled
+// (copied) across the boundary.
+func BoxColumn(c *data.Column, n int) []data.Value {
+	out := make([]data.Value, n)
+	for i := 0; i < n; i++ {
+		out[i] = CrossIn(c, i)
+	}
+	return out
+}
+
+// UnboxValues converts boxed UDF results back into an engine column of
+// the given kind, serializing complex values to JSON text and
+// marshalling strings.
+func UnboxValues(name string, kind data.Kind, vals []data.Value) *data.Column {
+	col := data.NewColumnCap(name, kind, len(vals))
+	for _, v := range vals {
+		if v.Kind == data.KindString {
+			v.S = strings.Clone(v.S)
+		}
+		col.AppendValue(v)
+	}
+	return col
+}
+
+// AggState is a live aggregate accumulator (one per group).
+type AggState interface {
+	Step(args []data.Value) error
+	Final() (data.Value, error)
+}
+
+type pyAggState struct {
+	rt   *pylite.Interp
+	self data.Value
+	step data.Value
+	fin  data.Value
+}
+
+// Invoke calls the UDF's scalar implementation: the native ("C") path
+// when present, the PyLite runtime otherwise.
+func (u *UDF) Invoke(args []data.Value) (data.Value, error) {
+	if u.GoFn != nil {
+		return u.GoFn(args)
+	}
+	return u.RT.Call(u.Fn, args)
+}
+
+// NewAggState instantiates the UDF's aggregate class and calls init.
+func NewAggState(u *UDF) (AggState, error) {
+	if u.Kind != Aggregate {
+		return nil, fmt.Errorf("ffi: %s is not an aggregate UDF", u.Name)
+	}
+	if u.GoAgg != nil {
+		return u.GoAgg(), nil
+	}
+	self, err := u.RT.Call(u.Fn, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ffi: instantiate %s: %w", u.Name, err)
+	}
+	ctx := u.RT.Ctx()
+	initFn, err := pyAttr(ctx, self, "init")
+	if err == nil {
+		if _, err := u.RT.Call(initFn, nil); err != nil {
+			return nil, fmt.Errorf("ffi: %s.init: %w", u.Name, err)
+		}
+	}
+	stepFn, err := pyAttr(ctx, self, "step")
+	if err != nil {
+		return nil, fmt.Errorf("ffi: %s has no step method", u.Name)
+	}
+	finFn, err := pyAttr(ctx, self, "final")
+	if err != nil {
+		return nil, fmt.Errorf("ffi: %s has no final method", u.Name)
+	}
+	return &pyAggState{rt: u.RT, self: self, step: stepFn, fin: finFn}, nil
+}
+
+func pyAttr(ctx *pylite.Ctx, obj data.Value, name string) (data.Value, error) {
+	inst, ok := obj.P.(*pylite.Instance)
+	if obj.Kind != data.KindObject || !ok {
+		return data.Null, fmt.Errorf("ffi: aggregate did not instantiate")
+	}
+	m, ok := inst.Class.Methods[name]
+	if !ok {
+		return data.Null, fmt.Errorf("ffi: no method %s", name)
+	}
+	return data.Object(&pylite.BoundMethod{Self: obj, Fn: m}), nil
+}
+
+func (a *pyAggState) Step(args []data.Value) error {
+	_, err := a.rt.Call(a.step, args)
+	return err
+}
+
+func (a *pyAggState) Final() (data.Value, error) {
+	return a.rt.Call(a.fin, nil)
+}

@@ -1,0 +1,165 @@
+package ffi
+
+import (
+	"fmt"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/pylite"
+)
+
+// Fused wrapper calling convention (§5.3): the JIT-generated wrapper
+// receives each input column as one boxed list plus the row count, runs
+// the fused loop entirely inside the UDF runtime (one long trace), and
+// returns the output column(s) as lists. One boundary crossing per
+// batch, no intermediate engine columns, no (de)serialization between
+// the fused operators.
+//
+//	def __qf_fused(col_a, col_b, __n):
+//	    __o0 = []
+//	    for __i in range(__n):
+//	        ...
+//	    return [__o0]
+//
+// Aggregating wrappers additionally take the engine-computed group
+// assignment (the exported internal group-by, §5.3.2):
+//
+//	def __qf_fusedagg(col_a, __gids, __g, __n):
+//	    ...
+//	    return [per_group_results...]
+
+// CallFusedVector invokes a fused wrapper over n rows of input columns,
+// returning its output columns with the given names/kinds.
+func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	if u.Trace != nil {
+		return RunTraceVector(u, u.Trace, args, n, outNames, outKinds)
+	}
+	start := time.Now()
+	var wrap time.Duration
+	ws := time.Now()
+	callArgs := make([]data.Value, 0, len(args)+1)
+	for _, c := range args {
+		callArgs = append(callArgs, data.NewList(BoxColumn(c, n)))
+	}
+	callArgs = append(callArgs, data.Int(int64(n)))
+	wrap += time.Since(ws)
+
+	res, err := u.RT.Call(u.Fn, callArgs)
+	if err != nil {
+		return nil, wrapUDFErr(u, err)
+	}
+
+	ws = time.Now()
+	cols, outRows, err := unpackFusedResult(u, res, outNames, outKinds)
+	wrap += time.Since(ws)
+	if err != nil {
+		return nil, err
+	}
+	u.record(n, outRows, time.Since(start), wrap)
+	return cols, nil
+}
+
+// CallFusedAggVector invokes an aggregating fused wrapper: inputs,
+// engine-computed group ids, group count.
+func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	start := time.Now()
+	var wrap time.Duration
+	ws := time.Now()
+	callArgs := make([]data.Value, 0, len(args)+3)
+	for _, c := range args {
+		callArgs = append(callArgs, data.NewList(BoxColumn(c, n)))
+	}
+	gids := make([]data.Value, n)
+	for i := 0; i < n; i++ {
+		id := 0
+		if groupIDs != nil {
+			id = groupIDs[i]
+		}
+		gids[i] = data.Int(int64(id))
+	}
+	callArgs = append(callArgs, data.NewList(gids), data.Int(int64(g)), data.Int(int64(n)))
+	wrap += time.Since(ws)
+
+	res, err := u.RT.Call(u.Fn, callArgs)
+	if err != nil {
+		return nil, wrapUDFErr(u, err)
+	}
+
+	ws = time.Now()
+	cols, outRows, err := unpackFusedResult(u, res, outNames, outKinds)
+	wrap += time.Since(ws)
+	if err != nil {
+		return nil, err
+	}
+	u.record(n, outRows, time.Since(start), wrap)
+	return cols, nil
+}
+
+// unpackFusedResult converts the wrapper's list-of-lists result into
+// engine columns.
+func unpackFusedResult(u *UDF, res data.Value, outNames []string, outKinds []data.Kind) ([]*data.Column, int, error) {
+	outer := res.List()
+	if outer == nil {
+		return nil, 0, fmt.Errorf("ffi: fused wrapper %s returned %s, want list of columns", u.Name, res.TypeName())
+	}
+	lists := outer.Items
+	if len(lists) != len(outKinds) {
+		return nil, 0, fmt.Errorf("ffi: fused wrapper %s returned %d columns, want %d", u.Name, len(lists), len(outKinds))
+	}
+	cols := make([]*data.Column, len(lists))
+	rows := 0
+	for i, lv := range lists {
+		l := lv.List()
+		if l == nil {
+			return nil, 0, fmt.Errorf("ffi: fused wrapper %s output %d is %s, want list", u.Name, i, lv.TypeName())
+		}
+		cols[i] = UnboxValues(outNames[i], outKinds[i], l.Items)
+		if cols[i].Len() > rows {
+			rows = cols[i].Len()
+		}
+	}
+	for i, c := range cols {
+		if c.Len() != rows {
+			return nil, 0, fmt.Errorf("ffi: fused wrapper %s output %d has %d rows, others %d", u.Name, i, c.Len(), rows)
+		}
+	}
+	return cols, rows, nil
+}
+
+// NewFusedUDF defines wrapper source in the runtime and registers the
+// resulting function object as a fused UDF.
+func NewFusedUDF(rt *pylite.Interp, name, source string, kind UDFKind, outNames []string, outKinds []data.Kind) (*UDF, error) {
+	if err := rt.Exec(source); err != nil {
+		return nil, fmt.Errorf("ffi: compiling fused wrapper %s: %w", name, err)
+	}
+	fn, ok := rt.Global(name)
+	if !ok {
+		return nil, fmt.Errorf("ffi: fused wrapper %s did not define itself", name)
+	}
+	// The wrapper IS the hot loop: it is called once per batch, so the
+	// runtime's call-count heuristic would never fire. JIT-compile it at
+	// registration time (§5.3: the fused logic is JIT-compiled and then
+	// registered), together with the generator helper if one exists.
+	if fv, isFn := fn.P.(*pylite.FuncValue); isFn {
+		if c, err := pylite.Compile(fv); err == nil {
+			fv.SetCompiled(c)
+		}
+	}
+	if gv, ok := rt.Global(name + "_gen"); ok {
+		if fv, isFn := gv.P.(*pylite.FuncValue); isFn {
+			if c, err := pylite.Compile(fv); err == nil {
+				fv.SetCompiled(c)
+			}
+		}
+	}
+	return &UDF{
+		Name:     name,
+		Kind:     kind,
+		OutNames: outNames,
+		OutKinds: outKinds,
+		Fn:       fn,
+		RT:       rt,
+		Source:   source,
+		Fused:    true,
+	}, nil
+}

@@ -1,0 +1,497 @@
+package ffi
+
+import (
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/pylite"
+)
+
+// Trace is the fully JIT-compiled form of a fused wrapper: the loop
+// itself is native (a Go-level trace of register ops), each UDF call
+// dispatches straight to its compiled body, and outputs append directly
+// into engine columns. This models what the paper's tracing JIT
+// produces once the generated wrapper's hot loop has been traced — no
+// per-iteration interpretation remains.
+//
+// The PyLite wrapper source is still generated and registered (it is
+// the artifact the registration mechanism stores); the trace is its
+// compiled form.
+type Trace struct {
+	// NumRegs is the register file size; inputs land in regs [0..k).
+	NumRegs int
+	// NumIn is the number of input registers (one per input column).
+	NumIn int
+	// Consts preloads constant registers: regs[ConstRegs[i]] = Consts[i].
+	Consts    []data.Value
+	ConstRegs []int
+	// Ops is the loop body.
+	Ops []TraceOp
+	// OutRegs lists the registers emitted per output column (non-agg).
+	OutRegs []int
+	// Distinct, when non-nil, dedups output rows on these registers.
+	DistinctRegs []int
+	// KeyRegs are the group-by key registers of an aggregating trace;
+	// grouping runs inside the trace via the exported native group-by
+	// (§5.3.2), after any fused filters.
+	KeyRegs []int
+	// Aggs, when non-empty, makes the trace aggregating: OutRegs is
+	// ignored and key columns + one column per agg spec are produced.
+	Aggs []TraceAgg
+}
+
+// TraceOpKind enumerates trace operations.
+type TraceOpKind int
+
+const (
+	// TCall invokes a scalar UDF: regs[Dst] = UDF(regs[Args...]).
+	TCall TraceOpKind = iota
+	// TExpr evaluates a relational expression closure over the regs.
+	TExpr
+	// TFilter skips the row (or expanded row) unless Eval is truthy.
+	TFilter
+	// TExpand drains a generator UDF: for each yielded row, binds Dsts
+	// and runs Body.
+	TExpand
+)
+
+// TraceOp is one operation of the loop body.
+type TraceOp struct {
+	Kind TraceOpKind
+	Dst  int
+	Args []int
+	UDF  *UDF
+	// Compiled, when set, is the UDF's compiled body invoked directly
+	// (the trace's inlined call — no dynamic dispatch).
+	Compiled *pylite.CompiledFunc
+	// Eval computes a relational expression over the register file
+	// (built by the fusion code generator with SQL NULL semantics).
+	Eval func(regs []data.Value) (data.Value, error)
+	// Expand payload.
+	Dsts []int
+	Body []TraceOp
+}
+
+// TraceAgg is one aggregate computation of an aggregating trace.
+type TraceAgg struct {
+	// Kind: "count", "sum", "avg", "min", "max", or "udf".
+	Kind string
+	// Star marks COUNT(*).
+	Star bool
+	// ArgReg is the register holding the (per-row) argument value; -1
+	// for COUNT(*).
+	ArgReg int
+	// UDF for Kind == "udf".
+	UDF *UDF
+}
+
+// RunTraceVector executes a non-aggregating trace over n input rows.
+func RunTraceVector(u *UDF, t *Trace, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	start := time.Now()
+	outs := make([]*data.Column, len(outKinds))
+	for i := range outs {
+		outs[i] = data.NewColumnCap(outNames[i], outKinds[i], n)
+	}
+	regs := make([]data.Value, t.NumRegs)
+	for i, r := range t.ConstRegs {
+		regs[r] = t.Consts[i]
+	}
+	var seen map[string]bool
+	if t.DistinctRegs != nil {
+		seen = make(map[string]bool, n)
+	}
+	outRows := 0
+	emit := func(regs []data.Value) error {
+		if seen != nil {
+			key := ""
+			for _, r := range t.DistinctRegs {
+				key += regs[r].Key() + "\x00"
+			}
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+		}
+		for i, r := range t.OutRegs {
+			CrossOut(outs[i], regs[r])
+		}
+		outRows++
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		for j, c := range args {
+			regs[j] = CrossIn(c, i)
+		}
+		if err := runOps(u, t.Ops, regs, emit); err != nil {
+			return nil, err
+		}
+	}
+	u.record(n, outRows, time.Since(start), 0)
+	return outs, nil
+}
+
+// runOps executes an op list for one (possibly expanded) row; emit is
+// called at the end of the chain.
+func runOps(u *UDF, ops []TraceOp, regs []data.Value, emit func([]data.Value) error) error {
+	for oi := range ops {
+		op := &ops[oi]
+		switch op.Kind {
+		case TCall:
+			callArgs := make([]data.Value, len(op.Args))
+			for i, a := range op.Args {
+				callArgs[i] = regs[a]
+			}
+			var v data.Value
+			var err error
+			if op.Compiled != nil {
+				v, err = op.Compiled.Call(op.UDF.RT, callArgs, nil)
+			} else {
+				v, err = op.UDF.Invoke(callArgs)
+			}
+			if err != nil {
+				return wrapUDFErr(op.UDF, err)
+			}
+			regs[op.Dst] = v
+		case TExpr:
+			v, err := op.Eval(regs)
+			if err != nil {
+				return err
+			}
+			regs[op.Dst] = v
+		case TFilter:
+			v, err := op.Eval(regs)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil // row dropped
+			}
+		case TExpand:
+			callArgs := make([]data.Value, len(op.Args))
+			for i, a := range op.Args {
+				callArgs[i] = regs[a]
+			}
+			gv, err := op.UDF.RT.Call(op.UDF.Fn, callArgs)
+			if err != nil {
+				return wrapUDFErr(op.UDF, err)
+			}
+			rest := ops[oi+1:]
+			bind := func(v data.Value) error {
+				if len(op.Dsts) == 1 {
+					regs[op.Dsts[0]] = v
+				} else if l := v.List(); l != nil {
+					for i, d := range op.Dsts {
+						if i < len(l.Items) {
+							regs[d] = l.Items[i]
+						} else {
+							regs[d] = data.Null
+						}
+					}
+				} else {
+					regs[op.Dsts[0]] = v
+				}
+				return runOps(u, rest, regs, emit)
+			}
+			if g, ok := gv.P.(*pylite.Generator); gv.Kind == data.KindObject && ok {
+				for {
+					v, more, err := g.Next()
+					if err != nil {
+						g.Close()
+						return wrapUDFErr(op.UDF, err)
+					}
+					if !more {
+						return nil
+					}
+					if err := bind(v); err != nil {
+						g.Close()
+						return err
+					}
+				}
+			}
+			if err := pylite.Iterate(gv, bind); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+	return emit(regs)
+}
+
+// Mergeable reports whether the trace's aggregates can be computed as
+// per-partition partials and merged (count/sum/min/max — avg and UDF
+// aggregates need their full input).
+func (t *Trace) Mergeable() bool {
+	if len(t.Aggs) == 0 {
+		return false
+	}
+	for _, a := range t.Aggs {
+		switch a.Kind {
+		case "count", "sum", "min", "max":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// MergeTraceAggPartials combines per-partition outputs of RunTraceAgg
+// (each: key columns followed by aggregate columns) into one result.
+func MergeTraceAggPartials(t *Trace, parts [][]*data.Column, outNames []string, outKinds []data.Kind) []*data.Column {
+	nKeys := len(t.KeyRegs)
+	type acc struct {
+		keys []data.Value
+		vals []data.Value
+	}
+	idx := map[string]int{}
+	var groups []acc
+	for _, cols := range parts {
+		if len(cols) == 0 {
+			continue
+		}
+		n := cols[0].Len()
+		for r := 0; r < n; r++ {
+			var kb []byte
+			for k := 0; k < nKeys; k++ {
+				kb = append(kb, cols[k].Get(r).Key()...)
+				kb = append(kb, 0)
+			}
+			gi, ok := idx[string(kb)]
+			if !ok {
+				gi = len(groups)
+				idx[string(kb)] = gi
+				keys := make([]data.Value, nKeys)
+				for k := 0; k < nKeys; k++ {
+					keys[k] = cols[k].Get(r)
+				}
+				vals := make([]data.Value, len(t.Aggs))
+				for a := range t.Aggs {
+					vals[a] = cols[nKeys+a].Get(r)
+				}
+				groups = append(groups, acc{keys: keys, vals: vals})
+				continue
+			}
+			g := &groups[gi]
+			for a, spec := range t.Aggs {
+				v := cols[nKeys+a].Get(r)
+				switch {
+				case v.IsNull():
+				case g.vals[a].IsNull():
+					g.vals[a] = v
+				default:
+					switch spec.Kind {
+					case "count", "sum":
+						if g.vals[a].Kind == data.KindInt && v.Kind == data.KindInt {
+							g.vals[a] = data.Int(g.vals[a].I + v.I)
+						} else {
+							af, _ := g.vals[a].AsFloat()
+							bf, _ := v.AsFloat()
+							g.vals[a] = data.Float(af + bf)
+						}
+					case "min":
+						if c, ok := data.Compare(v, g.vals[a]); ok && c < 0 {
+							g.vals[a] = v
+						}
+					case "max":
+						if c, ok := data.Compare(v, g.vals[a]); ok && c > 0 {
+							g.vals[a] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	out := make([]*data.Column, nKeys+len(t.Aggs))
+	for i := range out {
+		out[i] = data.NewColumnCap(outNames[i], outKinds[i], len(groups))
+	}
+	for _, g := range groups {
+		for k := 0; k < nKeys; k++ {
+			out[k].AppendValue(g.keys[k])
+		}
+		for a := range t.Aggs {
+			out[nKeys+a].AppendValue(g.vals[a])
+		}
+	}
+	return out
+}
+
+// aggState is the native per-group accumulator of an aggregating trace.
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	any   bool
+	best  data.Value
+	udf   AggState
+}
+
+// RunTraceAgg executes an aggregating trace. Group assignment happens
+// inside the trace, after fused filters, via the native hash group-by —
+// the reproduction of invoking the engine's exported grouping functions
+// from within the JIT (§5.3.2). Output columns are the group keys (in
+// first-seen order) followed by the aggregates.
+func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	start := time.Now()
+	nKeys := len(t.KeyRegs)
+	groupIdx := map[string]int{}
+	var keyRows [][]data.Value
+	var states [][]aggState // [group][agg]
+	newGroup := func(regs []data.Value) (int, error) {
+		keys := make([]data.Value, nKeys)
+		for i, r := range t.KeyRegs {
+			keys[i] = regs[r]
+		}
+		keyRows = append(keyRows, keys)
+		sts := make([]aggState, len(t.Aggs))
+		for ai, spec := range t.Aggs {
+			if spec.Kind == "udf" {
+				st, err := NewAggState(spec.UDF)
+				if err != nil {
+					return 0, err
+				}
+				sts[ai].udf = st
+			} else {
+				sts[ai].isInt = true
+			}
+		}
+		states = append(states, sts)
+		return len(states) - 1, nil
+	}
+	regs := make([]data.Value, t.NumRegs)
+	for i, r := range t.ConstRegs {
+		regs[r] = t.Consts[i]
+	}
+	var stepErr error
+	for i := 0; i < n; i++ {
+		for j, c := range args {
+			regs[j] = CrossIn(c, i)
+		}
+		err := runOps(u, t.Ops, regs, func(regs []data.Value) error {
+			var kb []byte
+			for _, r := range t.KeyRegs {
+				kb = append(kb, regs[r].Key()...)
+				kb = append(kb, 0)
+			}
+			gid, ok := groupIdx[string(kb)]
+			if !ok {
+				var err error
+				gid, err = newGroup(regs)
+				if err != nil {
+					stepErr = err
+					return err
+				}
+				groupIdx[string(kb)] = gid
+			}
+			for ai := range t.Aggs {
+				spec := &t.Aggs[ai]
+				st := &states[gid][ai]
+				var v data.Value
+				if spec.ArgReg >= 0 {
+					v = regs[spec.ArgReg]
+				}
+				switch spec.Kind {
+				case "count":
+					if spec.Star || !v.IsNull() {
+						st.count++
+					}
+				case "sum", "avg":
+					if v.IsNull() {
+						continue
+					}
+					f, ok := v.AsFloat()
+					if !ok {
+						continue
+					}
+					if v.Kind == data.KindFloat {
+						st.isInt = false
+					}
+					st.sum += f
+					st.sumI += v.I
+					st.count++
+					st.any = true
+				case "min", "max":
+					if v.IsNull() {
+						continue
+					}
+					if !st.any {
+						st.best = v
+						st.any = true
+						continue
+					}
+					c, ok := data.Compare(v, st.best)
+					if ok && ((spec.Kind == "min" && c < 0) || (spec.Kind == "max" && c > 0)) {
+						st.best = v
+					}
+				case "udf":
+					if err := st.udf.Step([]data.Value{v}); err != nil {
+						stepErr = err
+						return stepErr
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	g := len(states)
+	// Global aggregate over zero rows still produces one (empty) group.
+	if nKeys == 0 && g == 0 {
+		if _, err := newGroup(regs); err != nil {
+			return nil, err
+		}
+		g = 1
+	}
+	outs := make([]*data.Column, nKeys+len(t.Aggs))
+	for ki := 0; ki < nKeys; ki++ {
+		col := data.NewColumnCap(outNames[ki], outKinds[ki], g)
+		for gi := 0; gi < g; gi++ {
+			col.AppendValue(keyRows[gi][ki])
+		}
+		outs[ki] = col
+	}
+	for ai, spec := range t.Aggs {
+		col := data.NewColumnCap(outNames[nKeys+ai], outKinds[nKeys+ai], g)
+		for gi := 0; gi < g; gi++ {
+			st := &states[gi][ai]
+			switch spec.Kind {
+			case "count":
+				col.AppendValue(data.Int(st.count))
+			case "sum":
+				if !st.any {
+					col.AppendNull()
+				} else if st.isInt {
+					col.AppendValue(data.Int(st.sumI))
+				} else {
+					col.AppendValue(data.Float(st.sum))
+				}
+			case "avg":
+				if !st.any || st.count == 0 {
+					col.AppendNull()
+				} else {
+					col.AppendValue(data.Float(st.sum / float64(st.count)))
+				}
+			case "min", "max":
+				if !st.any {
+					col.AppendNull()
+				} else {
+					col.AppendValue(st.best)
+				}
+			case "udf":
+				v, err := st.udf.Final()
+				if err != nil {
+					return nil, err
+				}
+				col.AppendValue(v)
+			}
+		}
+		outs[nKeys+ai] = col
+	}
+	u.record(n, g, time.Since(start), 0)
+	return outs, nil
+}

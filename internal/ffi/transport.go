@@ -1,0 +1,373 @@
+package ffi
+
+import (
+	"fmt"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/pylite"
+)
+
+// Invoker is a UDF transport: how the engine crosses into the UDF
+// execution environment. Each engine profile picks one (§6.4.3):
+//
+//   - VectorInvoker  — in-process, one foreign call per column batch
+//     (MonetDB-style vectorized UDFs)
+//   - TupleInvoker   — in-process, one foreign call per row
+//     (SQLite-style tuple-at-a-time C UDFs)
+//   - ProcessInvoker — out-of-process: every batch is serialized to a
+//     worker and results serialized back (PostgreSQL pl/python style)
+type Invoker interface {
+	// Name identifies the transport in EXPLAIN output and experiments.
+	Name() string
+	// CallScalar applies a scalar UDF over n rows of argument columns.
+	CallScalar(u *UDF, args []*data.Column, n int) (*data.Column, error)
+	// CallAggregate folds a scalar column set into per-group results.
+	// groupIDs[i] gives the group of row i; g is the group count.
+	CallAggregate(u *UDF, args []*data.Column, n int, groupIDs []int, g int) ([]data.Value, error)
+	// CallExpand applies an expand UDF row-by-row; out[i] holds the rows
+	// produced by input row i.
+	CallExpand(u *UDF, args []*data.Column, n int) ([][][]data.Value, error)
+	// CallTable feeds an input chunk through a table UDF.
+	CallTable(u *UDF, input *data.Chunk, extra []data.Value) (*data.Chunk, error)
+}
+
+// ---------------------------------------------------------------------
+// VectorInvoker
+// ---------------------------------------------------------------------
+
+// VectorInvoker calls UDFs in-process with one boundary crossing per
+// column batch.
+type VectorInvoker struct{}
+
+// Name implements Invoker.
+func (VectorInvoker) Name() string { return "vector" }
+
+// CallScalar implements Invoker.
+func (VectorInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Column, error) {
+	start := time.Now()
+	var wrap time.Duration
+	ws := time.Now()
+	boxed := make([][]data.Value, len(args))
+	for i, c := range args {
+		boxed[i] = BoxColumn(c, n)
+	}
+	wrap += time.Since(ws)
+
+	results := make([]data.Value, n)
+	row := make([]data.Value, len(args))
+	for i := 0; i < n; i++ {
+		for j := range boxed {
+			row[j] = boxed[j][i]
+		}
+		v, err := u.Invoke(row)
+		if err != nil {
+			return nil, wrapUDFErr(u, err)
+		}
+		results[i] = v
+	}
+
+	ws = time.Now()
+	out := UnboxValues(u.Name, u.OutKind(), results)
+	wrap += time.Since(ws)
+	u.record(n, n, time.Since(start), wrap)
+	return out, nil
+}
+
+// CallAggregate implements Invoker.
+func (VectorInvoker) CallAggregate(u *UDF, args []*data.Column, n int, groupIDs []int, g int) ([]data.Value, error) {
+	start := time.Now()
+	var wrap time.Duration
+	ws := time.Now()
+	boxed := make([][]data.Value, len(args))
+	for i, c := range args {
+		boxed[i] = BoxColumn(c, n)
+	}
+	wrap += time.Since(ws)
+
+	states := make([]AggState, g)
+	for i := range states {
+		st, err := NewAggState(u)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	row := make([]data.Value, len(args))
+	for i := 0; i < n; i++ {
+		for j := range boxed {
+			row[j] = boxed[j][i]
+		}
+		gid := 0
+		if groupIDs != nil {
+			gid = groupIDs[i]
+		}
+		if err := states[gid].Step(row); err != nil {
+			return nil, wrapUDFErr(u, err)
+		}
+	}
+	out := make([]data.Value, g)
+	for i, st := range states {
+		v, err := st.Final()
+		if err != nil {
+			return nil, wrapUDFErr(u, err)
+		}
+		out[i] = v
+	}
+	u.record(n, g, time.Since(start), wrap)
+	return out, nil
+}
+
+// CallExpand implements Invoker.
+func (VectorInvoker) CallExpand(u *UDF, args []*data.Column, n int) ([][][]data.Value, error) {
+	start := time.Now()
+	var wrap time.Duration
+	ws := time.Now()
+	boxed := make([][]data.Value, len(args))
+	for i, c := range args {
+		boxed[i] = BoxColumn(c, n)
+	}
+	wrap += time.Since(ws)
+
+	out := make([][][]data.Value, n)
+	total := 0
+	row := make([]data.Value, len(args))
+	for i := 0; i < n; i++ {
+		for j := range boxed {
+			row[j] = boxed[j][i]
+		}
+		rows, err := drainRows(u, row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+		total += len(rows)
+	}
+	u.record(n, total, time.Since(start), wrap)
+	return out, nil
+}
+
+// CallTable implements Invoker.
+func (VectorInvoker) CallTable(u *UDF, input *data.Chunk, extra []data.Value) (*data.Chunk, error) {
+	return callTableCommon(u, input, extra)
+}
+
+// drainRows calls a generator UDF for one input row and collects the
+// yielded rows.
+func drainRows(u *UDF, args []data.Value) ([][]data.Value, error) {
+	gv, err := u.RT.Call(u.Fn, args)
+	if err != nil {
+		return nil, wrapUDFErr(u, err)
+	}
+	var rows [][]data.Value
+	appendRow := func(v data.Value) {
+		if l := v.List(); l != nil && len(u.OutKinds) > 1 {
+			rows = append(rows, append([]data.Value(nil), l.Items...))
+		} else {
+			rows = append(rows, []data.Value{v})
+		}
+	}
+	if gv.Kind == data.KindObject {
+		if g, ok := gv.P.(*pylite.Generator); ok {
+			defer g.Close()
+			for {
+				v, more, err := g.Next()
+				if err != nil {
+					return nil, wrapUDFErr(u, err)
+				}
+				if !more {
+					return rows, nil
+				}
+				appendRow(v)
+			}
+		}
+	}
+	// Non-generator result: a list of rows.
+	if err := pylite.Iterate(gv, func(v data.Value) error {
+		appendRow(v)
+		return nil
+	}); err != nil {
+		return nil, wrapUDFErr(u, err)
+	}
+	return rows, nil
+}
+
+// callTableCommon feeds the chunk's rows through a table UDF via a lazy
+// input generator (the paper's inp_datagen) and materializes the output.
+func callTableCommon(u *UDF, input *data.Chunk, extra []data.Value) (*data.Chunk, error) {
+	start := time.Now()
+	n := input.NumRows()
+	inGen := pylite.GoGenerator(func(yield func(data.Value) error) error {
+		row := make([]data.Value, len(input.Cols))
+		for i := 0; i < n; i++ {
+			for j, c := range input.Cols {
+				row[j] = c.Get(i)
+			}
+			var v data.Value
+			if len(row) == 1 {
+				v = row[0]
+			} else {
+				v = data.NewList(append([]data.Value(nil), row...))
+			}
+			if err := yield(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	args := append([]data.Value{data.Object(inGen)}, extra...)
+	gv, err := u.RT.Call(u.Fn, args)
+	if err != nil {
+		inGen.Close()
+		return nil, wrapUDFErr(u, err)
+	}
+	outCols := make([]*data.Column, len(u.OutKinds))
+	for i, k := range u.OutKinds {
+		name := fmt.Sprintf("c%d", i)
+		if i < len(u.OutNames) {
+			name = u.OutNames[i]
+		}
+		outCols[i] = data.NewColumn(name, k)
+	}
+	outRows := 0
+	emit := func(v data.Value) {
+		if len(outCols) == 1 {
+			outCols[0].AppendValue(v)
+		} else {
+			l := v.List()
+			for i, c := range outCols {
+				if l != nil && i < len(l.Items) {
+					c.AppendValue(l.Items[i])
+				} else {
+					c.AppendNull()
+				}
+			}
+		}
+		outRows++
+	}
+	if g, ok := gv.P.(*pylite.Generator); gv.Kind == data.KindObject && ok {
+		defer g.Close()
+		for {
+			v, more, err := g.Next()
+			if err != nil {
+				return nil, wrapUDFErr(u, err)
+			}
+			if !more {
+				break
+			}
+			emit(v)
+		}
+	} else if err := pylite.Iterate(gv, func(v data.Value) error {
+		emit(v)
+		return nil
+	}); err != nil {
+		return nil, wrapUDFErr(u, err)
+	}
+	inGen.Close()
+	u.record(n, outRows, time.Since(start), 0)
+	return data.NewChunk(outCols...), nil
+}
+
+func wrapUDFErr(u *UDF, err error) error {
+	if pe, ok := pylite.IsPyError(err); ok {
+		return fmt.Errorf("udf %s: %w", u.Name, pe)
+	}
+	return fmt.Errorf("udf %s: %w", u.Name, err)
+}
+
+// ---------------------------------------------------------------------
+// TupleInvoker
+// ---------------------------------------------------------------------
+
+// TupleInvoker crosses the boundary once per row: every call re-boxes
+// its arguments and unboxes its result (SQLite's model).
+type TupleInvoker struct{}
+
+// Name implements Invoker.
+func (TupleInvoker) Name() string { return "tuple" }
+
+// CallScalar implements Invoker.
+func (TupleInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Column, error) {
+	start := time.Now()
+	var wrap time.Duration
+	out := data.NewColumnCap(u.Name, u.OutKind(), n)
+	row := make([]data.Value, len(args))
+	for i := 0; i < n; i++ {
+		ws := time.Now()
+		for j, c := range args {
+			row[j] = CrossIn(c, i) // per-tuple conversion
+		}
+		wrap += time.Since(ws)
+		v, err := u.Invoke(row)
+		if err != nil {
+			return nil, wrapUDFErr(u, err)
+		}
+		ws = time.Now()
+		out.AppendValue(v) // per-tuple conversion back
+		wrap += time.Since(ws)
+	}
+	u.record(n, n, time.Since(start), wrap)
+	return out, nil
+}
+
+// CallAggregate implements Invoker.
+func (TupleInvoker) CallAggregate(u *UDF, args []*data.Column, n int, groupIDs []int, g int) ([]data.Value, error) {
+	start := time.Now()
+	states := make([]AggState, g)
+	for i := range states {
+		st, err := NewAggState(u)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	row := make([]data.Value, len(args))
+	for i := 0; i < n; i++ {
+		for j, c := range args {
+			row[j] = c.Get(i)
+		}
+		gid := 0
+		if groupIDs != nil {
+			gid = groupIDs[i]
+		}
+		if err := states[gid].Step(append([]data.Value(nil), row...)); err != nil {
+			return nil, wrapUDFErr(u, err)
+		}
+	}
+	out := make([]data.Value, g)
+	for i, st := range states {
+		v, err := st.Final()
+		if err != nil {
+			return nil, wrapUDFErr(u, err)
+		}
+		out[i] = v
+	}
+	u.record(n, g, time.Since(start), 0)
+	return out, nil
+}
+
+// CallExpand implements Invoker.
+func (TupleInvoker) CallExpand(u *UDF, args []*data.Column, n int) ([][][]data.Value, error) {
+	start := time.Now()
+	out := make([][][]data.Value, n)
+	total := 0
+	row := make([]data.Value, len(args))
+	for i := 0; i < n; i++ {
+		for j, c := range args {
+			row[j] = c.Get(i)
+		}
+		rows, err := drainRows(u, append([]data.Value(nil), row...))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+		total += len(rows)
+	}
+	u.record(n, total, time.Since(start), 0)
+	return out, nil
+}
+
+// CallTable implements Invoker.
+func (TupleInvoker) CallTable(u *UDF, input *data.Chunk, extra []data.Value) (*data.Chunk, error) {
+	return callTableCommon(u, input, extra)
+}

@@ -1,0 +1,858 @@
+package pylite
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"qfusor/internal/data"
+)
+
+// Env is a lexical scope: a name→value map chained to its parent.
+type Env struct {
+	vars   map[string]data.Value
+	parent *Env
+}
+
+// NewEnv creates a child scope of parent (nil for a global scope).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]data.Value), parent: parent}
+}
+
+// Lookup resolves name through the scope chain.
+func (e *Env) Lookup(name string) (data.Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return data.Null, false
+}
+
+// Set binds name in this scope.
+func (e *Env) Set(name string, v data.Value) { e.vars[name] = v }
+
+// Stats aggregates runtime counters used by the experiments.
+type Stats struct {
+	InterpCalls   atomic.Int64
+	CompiledCalls atomic.Int64
+	Compilations  atomic.Int64
+	CompileNanos  atomic.Int64
+}
+
+// Interp is a PyLite runtime: globals, builtins, and the tracing-JIT
+// policy. With HotThreshold == 0 it behaves like a pure interpreter
+// (the CPython cost baseline); with HotThreshold > 0, functions that
+// get hot are closure-compiled and swapped in (the PyPy-style tier).
+type Interp struct {
+	Globals  *Env
+	builtins map[string]data.Value
+	ctx      *Ctx
+
+	// HotThreshold is the number of interpreted entries after which a
+	// function is JIT-compiled. 0 disables the JIT.
+	HotThreshold int
+
+	Stats Stats
+}
+
+// NewInterp creates a runtime with builtins installed.
+func NewInterp() *Interp {
+	it := &Interp{
+		Globals:  NewEnv(nil),
+		builtins: Builtins(),
+	}
+	it.ctx = &Ctx{Call: func(fn data.Value, args []data.Value) (data.Value, error) {
+		return it.Call(fn, args)
+	}}
+	return it
+}
+
+// Ctx returns the callback context for builtins.
+func (it *Interp) Ctx() *Ctx { return it.ctx }
+
+// Exec parses and runs src at module level (defining functions, classes
+// and module-level names into Globals).
+func (it *Interp) Exec(src string) error {
+	mod, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return it.RunModule(mod)
+}
+
+// RunModule executes a parsed module's top-level statements.
+func (it *Interp) RunModule(mod *Module) error {
+	fr := &frame{it: it, env: it.Globals}
+	fl, err := it.execBlock(fr, mod.Body)
+	if err != nil {
+		return err
+	}
+	if fl.kind != flowNone {
+		return fmt.Errorf("pylite: 'return' outside function")
+	}
+	return nil
+}
+
+// Global returns a module-level binding.
+func (it *Interp) Global(name string) (data.Value, bool) {
+	return it.Globals.Lookup(name)
+}
+
+// frame is one activation record.
+type frame struct {
+	it          *Interp
+	env         *Env
+	gs          *genSink
+	globalNames map[string]bool
+}
+
+type flowKind uint8
+
+const (
+	flowNone flowKind = iota
+	flowReturn
+	flowBreak
+	flowContinue
+)
+
+type flow struct {
+	kind flowKind
+	val  data.Value
+}
+
+var flowZero = flow{}
+
+// Call invokes any callable value with positional args.
+func (it *Interp) Call(fn data.Value, args []data.Value) (data.Value, error) {
+	return it.callKw(fn, args, nil)
+}
+
+func (it *Interp) callKw(fn data.Value, args []data.Value, kwargs map[string]data.Value) (data.Value, error) {
+	if fn.Kind != data.KindObject {
+		return data.Null, typeErrf("'%s' object is not callable", fn.TypeName())
+	}
+	switch o := fn.P.(type) {
+	case *FuncValue:
+		return it.callFunc(o, args, kwargs)
+	case *BoundMethod:
+		full := make([]data.Value, 0, len(args)+1)
+		full = append(full, o.Self)
+		full = append(full, args...)
+		return it.callFunc(o.Fn, full, kwargs)
+	case *Builtin:
+		return o.Fn(it.ctx, args, kwargs)
+	case *Class:
+		inst := &Instance{Class: o, Fields: make(map[string]data.Value)}
+		self := data.Object(inst)
+		if init, ok := o.Methods["__init__"]; ok {
+			full := make([]data.Value, 0, len(args)+1)
+			full = append(full, self)
+			full = append(full, args...)
+			if _, err := it.callFunc(init, full, kwargs); err != nil {
+				return data.Null, err
+			}
+		}
+		return self, nil
+	}
+	return data.Null, typeErrf("'%s' object is not callable", fn.TypeName())
+}
+
+// callFunc invokes a user-defined function, choosing the compiled tier
+// when available and heating the function otherwise.
+func (it *Interp) callFunc(fn *FuncValue, args []data.Value, kwargs map[string]data.Value) (data.Value, error) {
+	if c := fn.Compiled(); c != nil {
+		it.Stats.CompiledCalls.Add(1)
+		return c.Call(it, args, kwargs)
+	}
+	if it.HotThreshold > 0 && !fn.Uncompilable() && fn.Heat() >= it.HotThreshold {
+		start := time.Now()
+		c, err := Compile(fn)
+		if err == nil {
+			fn.SetCompiled(c)
+			it.Stats.Compilations.Add(1)
+			it.Stats.CompileNanos.Add(time.Since(start).Nanoseconds())
+			it.Stats.CompiledCalls.Add(1)
+			return c.Call(it, args, kwargs)
+		}
+		// Uncompilable constructs fall back to interpretation forever.
+		fn.SetCompiled(nil)
+	}
+	it.Stats.InterpCalls.Add(1)
+	env, err := bindParams(fn, args, kwargs)
+	if err != nil {
+		return data.Null, err
+	}
+	if fn.Expr != nil { // lambda
+		fr := &frame{it: it, env: env}
+		return it.eval(fr, fn.Expr)
+	}
+	if fn.IsGen {
+		g := newGenerator()
+		g.start(func(sink *genSink) error {
+			fr := &frame{it: it, env: env, gs: sink}
+			_, err := it.execBlock(fr, fn.Body)
+			return err
+		})
+		return data.Object(g), nil
+	}
+	fr := &frame{it: it, env: env}
+	fl, err := it.execBlock(fr, fn.Body)
+	if err != nil {
+		return data.Null, err
+	}
+	if fl.kind == flowReturn {
+		return fl.val, nil
+	}
+	return data.Null, nil
+}
+
+// bindParams builds the callee environment from args/kwargs/defaults.
+func bindParams(fn *FuncValue, args []data.Value, kwargs map[string]data.Value) (*Env, error) {
+	env := NewEnv(fn.Env)
+	np := len(fn.Params)
+	if len(args) > np && fn.Vararg == "" {
+		return nil, typeErrf("%s() takes %d positional arguments but %d were given", fn.Name, np, len(args))
+	}
+	for i, p := range fn.Params {
+		switch {
+		case i < len(args):
+			env.Set(p.Name, args[i])
+		case kwargs != nil:
+			if v, ok := kwargs[p.Name]; ok {
+				env.Set(p.Name, v)
+				continue
+			}
+			fallthrough
+		default:
+			if p.Default == nil {
+				return nil, typeErrf("%s() missing required argument: '%s'", fn.Name, p.Name)
+			}
+			// Defaults are evaluated in the defining env at call time
+			// (a deliberate simplification; workload UDF defaults are
+			// constants, so the difference is unobservable).
+			d, err := evalConstDefault(fn, p.Default)
+			if err != nil {
+				return nil, err
+			}
+			env.Set(p.Name, d)
+		}
+	}
+	if fn.Vararg != "" {
+		var rest []data.Value
+		if len(args) > np {
+			rest = append(rest, args[np:]...)
+		}
+		env.Set(fn.Vararg, data.NewList(rest))
+	}
+	return env, nil
+}
+
+// evalConstDefault evaluates a parameter default in the defining scope.
+func evalConstDefault(fn *FuncValue, e Expr) (data.Value, error) {
+	if c, ok := e.(*Const); ok {
+		return c.Value, nil
+	}
+	// Non-constant default: evaluate with a throwaway interpreter frame
+	// against the closure environment.
+	it := NewInterp()
+	fr := &frame{it: it, env: NewEnv(fn.Env)}
+	return it.eval(fr, e)
+}
+
+// execBlock runs a statement list, propagating control flow.
+func (it *Interp) execBlock(fr *frame, body []Stmt) (flow, error) {
+	for _, st := range body {
+		fl, err := it.execStmt(fr, st)
+		if err != nil {
+			return flowZero, err
+		}
+		if fl.kind != flowNone {
+			return fl, nil
+		}
+	}
+	return flowZero, nil
+}
+
+func (it *Interp) execStmt(fr *frame, st Stmt) (flow, error) {
+	switch s := st.(type) {
+	case *ExprStmt:
+		_, err := it.eval(fr, s.Value)
+		return flowZero, err
+	case *Assign:
+		v, err := it.eval(fr, s.Value)
+		if err != nil {
+			return flowZero, err
+		}
+		for _, t := range s.Targets {
+			if err := it.assign(fr, t, v); err != nil {
+				return flowZero, err
+			}
+		}
+		return flowZero, nil
+	case *AugAssign:
+		cur, err := it.eval(fr, s.Target)
+		if err != nil {
+			return flowZero, err
+		}
+		rhs, err := it.eval(fr, s.Value)
+		if err != nil {
+			return flowZero, err
+		}
+		nv, err := binOp(s.Op, cur, rhs)
+		if err != nil {
+			return flowZero, err
+		}
+		return flowZero, it.assign(fr, s.Target, nv)
+	case *Return:
+		v := data.Null
+		if s.Value != nil {
+			var err error
+			v, err = it.eval(fr, s.Value)
+			if err != nil {
+				return flowZero, err
+			}
+		}
+		return flow{kind: flowReturn, val: v}, nil
+	case *If:
+		c, err := it.eval(fr, s.Cond)
+		if err != nil {
+			return flowZero, err
+		}
+		if c.Truthy() {
+			return it.execBlock(fr, s.Body)
+		}
+		return it.execBlock(fr, s.Else)
+	case *While:
+		for {
+			c, err := it.eval(fr, s.Cond)
+			if err != nil {
+				return flowZero, err
+			}
+			if !c.Truthy() {
+				return flowZero, nil
+			}
+			fl, err := it.execBlock(fr, s.Body)
+			if err != nil {
+				return flowZero, err
+			}
+			switch fl.kind {
+			case flowBreak:
+				return flowZero, nil
+			case flowReturn:
+				return fl, nil
+			}
+		}
+	case *For:
+		iterable, err := it.eval(fr, s.Iter)
+		if err != nil {
+			return flowZero, err
+		}
+		iter, err := ValueIter(iterable)
+		if err != nil {
+			return flowZero, err
+		}
+		defer iter.Close()
+		for {
+			v, ok, err := iter.Next()
+			if err != nil {
+				return flowZero, err
+			}
+			if !ok {
+				return flowZero, nil
+			}
+			if err := it.assign(fr, s.Target, v); err != nil {
+				return flowZero, err
+			}
+			fl, err := it.execBlock(fr, s.Body)
+			if err != nil {
+				return flowZero, err
+			}
+			switch fl.kind {
+			case flowBreak:
+				return flowZero, nil
+			case flowReturn:
+				return fl, nil
+			}
+		}
+	case *FuncDef:
+		fn := &FuncValue{Name: s.Name, Params: s.Params, Vararg: s.Vararg,
+			Body: s.Body, IsGen: s.IsGen, Env: fr.env, Globals: it.Globals}
+		fr.env.Set(s.Name, data.Object(fn))
+		return flowZero, nil
+	case *ClassDef:
+		cls := &Class{Name: s.Name, Methods: make(map[string]*FuncValue)}
+		for _, m := range s.Body {
+			if fd, ok := m.(*FuncDef); ok {
+				cls.Methods[fd.Name] = &FuncValue{Name: s.Name + "." + fd.Name,
+					Params: fd.Params, Vararg: fd.Vararg, Body: fd.Body,
+					IsGen: fd.IsGen, Env: fr.env, Globals: it.Globals}
+			}
+		}
+		fr.env.Set(s.Name, data.Object(cls))
+		return flowZero, nil
+	case *Pass:
+		return flowZero, nil
+	case *Break:
+		return flow{kind: flowBreak}, nil
+	case *Continue:
+		return flow{kind: flowContinue}, nil
+	case *Import:
+		for _, name := range s.Names {
+			m, err := importModule(name)
+			if err != nil {
+				return flowZero, err
+			}
+			fr.env.Set(name, m)
+			// `from mod import x` support: expose module attrs too.
+			if mo, ok := m.P.(*ModuleObj); ok {
+				for k, v := range mo.Attrs {
+					if _, exists := fr.env.Lookup(k); !exists {
+						fr.env.Set(k, v)
+					}
+				}
+			}
+		}
+		return flowZero, nil
+	case *Del:
+		switch t := s.Target.(type) {
+		case *Name:
+			delete(fr.env.vars, t.ID)
+			return flowZero, nil
+		case *Index:
+			obj, err := it.eval(fr, t.Obj)
+			if err != nil {
+				return flowZero, err
+			}
+			key, err := it.eval(fr, t.Key)
+			if err != nil {
+				return flowZero, err
+			}
+			return flowZero, delIndex(obj, key)
+		}
+		return flowZero, typeErrf("cannot delete this target")
+	case *Global:
+		if fr.globalNames == nil {
+			fr.globalNames = make(map[string]bool)
+		}
+		for _, n := range s.Names {
+			fr.globalNames[n] = true
+		}
+		return flowZero, nil
+	case *Raise:
+		if s.Value == nil {
+			return flowZero, raisef("RuntimeError", "No active exception to re-raise")
+		}
+		v, err := it.eval(fr, s.Value)
+		if err != nil {
+			return flowZero, err
+		}
+		return flowZero, toError(v)
+	case *Try:
+		fl, err := it.execBlock(fr, s.Body)
+		if err != nil {
+			if pe, ok := IsPyError(err); ok && matchExcept(pe, s.ExcType) {
+				if s.ExcName != "" {
+					fr.env.Set(s.ExcName, data.Object(&ExcValue{Type: pe.Type, Msg: pe.Msg}))
+				}
+				fl, err = it.execBlock(fr, s.Except)
+			}
+		}
+		if len(s.Finally) > 0 {
+			ffl, ferr := it.execBlock(fr, s.Finally)
+			if ferr != nil {
+				return flowZero, ferr
+			}
+			if ffl.kind != flowNone {
+				return ffl, nil
+			}
+		}
+		return fl, err
+	case *Assert:
+		c, err := it.eval(fr, s.Cond)
+		if err != nil {
+			return flowZero, err
+		}
+		if !c.Truthy() {
+			msg := ""
+			if s.Msg != nil {
+				m, err := it.eval(fr, s.Msg)
+				if err != nil {
+					return flowZero, err
+				}
+				msg = m.String()
+			}
+			return flowZero, raisef("AssertionError", "%s", msg)
+		}
+		return flowZero, nil
+	}
+	return flowZero, fmt.Errorf("pylite: unsupported statement %T", st)
+}
+
+// toError converts a raised value to a PyError.
+func toError(v data.Value) error {
+	if v.Kind == data.KindObject {
+		if e, ok := v.P.(*ExcValue); ok {
+			return &PyError{Type: e.Type, Msg: e.Msg}
+		}
+		if b, ok := v.P.(*Builtin); ok {
+			// `raise ValueError` without calling it.
+			return &PyError{Type: b.Name}
+		}
+	}
+	return &PyError{Type: "Exception", Msg: v.String()}
+}
+
+// matchExcept reports whether exception pe is caught by an except clause
+// naming typ ("" or "Exception" or "BaseException" catch everything).
+func matchExcept(pe *PyError, typ string) bool {
+	if pe.Type == "__iterdone__" || pe.Type == "__eageroverflow__" {
+		return false
+	}
+	return typ == "" || typ == "Exception" || typ == "BaseException" || typ == pe.Type
+}
+
+// assign binds a value to an assignment target.
+func (it *Interp) assign(fr *frame, target Expr, v data.Value) error {
+	switch t := target.(type) {
+	case *Name:
+		if fr.globalNames != nil && fr.globalNames[t.ID] {
+			it.Globals.Set(t.ID, v)
+		} else {
+			fr.env.Set(t.ID, v)
+		}
+		return nil
+	case *Attr:
+		obj, err := it.eval(fr, t.Obj)
+		if err != nil {
+			return err
+		}
+		return setAttr(obj, t.Name, v)
+	case *Index:
+		obj, err := it.eval(fr, t.Obj)
+		if err != nil {
+			return err
+		}
+		key, err := it.eval(fr, t.Key)
+		if err != nil {
+			return err
+		}
+		return setIndex(obj, key, v)
+	case *TupleLit:
+		var items []data.Value
+		if err := Iterate(v, func(x data.Value) error {
+			items = append(items, x)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if len(items) != len(t.Items) {
+			return valueErrf("cannot unpack %d values into %d targets", len(items), len(t.Items))
+		}
+		for i, sub := range t.Items {
+			if err := it.assign(fr, sub, items[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return typeErrf("cannot assign to this expression")
+}
+
+// eval evaluates an expression.
+func (it *Interp) eval(fr *frame, e Expr) (data.Value, error) {
+	switch x := e.(type) {
+	case *Const:
+		return x.Value, nil
+	case *Name:
+		if v, ok := fr.env.Lookup(x.ID); ok {
+			return v, nil
+		}
+		if v, ok := it.Globals.Lookup(x.ID); ok {
+			return v, nil
+		}
+		if v, ok := it.builtins[x.ID]; ok {
+			return v, nil
+		}
+		return data.Null, nameErrf("name '%s' is not defined", x.ID)
+	case *BinOp:
+		l, err := it.eval(fr, x.Left)
+		if err != nil {
+			return data.Null, err
+		}
+		r, err := it.eval(fr, x.Right)
+		if err != nil {
+			return data.Null, err
+		}
+		return binOp(x.Op, l, r)
+	case *UnaryOp:
+		v, err := it.eval(fr, x.Operand)
+		if err != nil {
+			return data.Null, err
+		}
+		return unaryOp(x.Op, v)
+	case *BoolOp:
+		l, err := it.eval(fr, x.Left)
+		if err != nil {
+			return data.Null, err
+		}
+		if x.Op == "and" {
+			if !l.Truthy() {
+				return l, nil
+			}
+		} else if l.Truthy() {
+			return l, nil
+		}
+		return it.eval(fr, x.Right)
+	case *Compare:
+		left, err := it.eval(fr, x.Left)
+		if err != nil {
+			return data.Null, err
+		}
+		for i, op := range x.Ops {
+			right, err := it.eval(fr, x.Comps[i])
+			if err != nil {
+				return data.Null, err
+			}
+			ok, err := compareOp(op, left, right)
+			if err != nil {
+				return data.Null, err
+			}
+			if !ok {
+				return data.Bool(false), nil
+			}
+			left = right
+		}
+		return data.Bool(true), nil
+	case *IfExp:
+		c, err := it.eval(fr, x.Cond)
+		if err != nil {
+			return data.Null, err
+		}
+		if c.Truthy() {
+			return it.eval(fr, x.Then)
+		}
+		return it.eval(fr, x.Else)
+	case *Call:
+		fn, err := it.eval(fr, x.Fn)
+		if err != nil {
+			return data.Null, err
+		}
+		args := make([]data.Value, 0, len(x.Args))
+		for _, a := range x.Args {
+			v, err := it.eval(fr, a)
+			if err != nil {
+				return data.Null, err
+			}
+			args = append(args, v)
+		}
+		if x.StarArg != nil {
+			star, err := it.eval(fr, x.StarArg)
+			if err != nil {
+				return data.Null, err
+			}
+			if err := Iterate(star, func(v data.Value) error {
+				args = append(args, v)
+				return nil
+			}); err != nil {
+				return data.Null, err
+			}
+		}
+		var kwargs map[string]data.Value
+		if len(x.KwNames) > 0 {
+			kwargs = make(map[string]data.Value, len(x.KwNames))
+			for i, name := range x.KwNames {
+				v, err := it.eval(fr, x.KwVals[i])
+				if err != nil {
+					return data.Null, err
+				}
+				kwargs[name] = v
+			}
+		}
+		return it.callKw(fn, args, kwargs)
+	case *Attr:
+		obj, err := it.eval(fr, x.Obj)
+		if err != nil {
+			return data.Null, err
+		}
+		return getAttr(it.ctx, obj, x.Name)
+	case *Index:
+		obj, err := it.eval(fr, x.Obj)
+		if err != nil {
+			return data.Null, err
+		}
+		key, err := it.eval(fr, x.Key)
+		if err != nil {
+			return data.Null, err
+		}
+		return getIndex(obj, key)
+	case *SliceExpr:
+		obj, err := it.eval(fr, x.Obj)
+		if err != nil {
+			return data.Null, err
+		}
+		lo, hi, step := data.Null, data.Null, data.Null
+		if x.Lo != nil {
+			if lo, err = it.eval(fr, x.Lo); err != nil {
+				return data.Null, err
+			}
+		}
+		if x.Hi != nil {
+			if hi, err = it.eval(fr, x.Hi); err != nil {
+				return data.Null, err
+			}
+		}
+		if x.Step != nil {
+			if step, err = it.eval(fr, x.Step); err != nil {
+				return data.Null, err
+			}
+		}
+		return getSlice(obj, lo, hi, step)
+	case *ListLit:
+		items := make([]data.Value, 0, len(x.Items))
+		for _, el := range x.Items {
+			v, err := it.eval(fr, el)
+			if err != nil {
+				return data.Null, err
+			}
+			items = append(items, v)
+		}
+		return data.NewList(items), nil
+	case *TupleLit:
+		items := make([]data.Value, 0, len(x.Items))
+		for _, el := range x.Items {
+			v, err := it.eval(fr, el)
+			if err != nil {
+				return data.Null, err
+			}
+			items = append(items, v)
+		}
+		return data.NewList(items), nil
+	case *SetLit:
+		s := NewSet()
+		for _, el := range x.Items {
+			v, err := it.eval(fr, el)
+			if err != nil {
+				return data.Null, err
+			}
+			s.Add(v)
+		}
+		return data.Object(s), nil
+	case *DictLit:
+		d := data.NewDict()
+		dd := d.Dict()
+		for i, ke := range x.Keys {
+			k, err := it.eval(fr, ke)
+			if err != nil {
+				return data.Null, err
+			}
+			v, err := it.eval(fr, x.Vals[i])
+			if err != nil {
+				return data.Null, err
+			}
+			dd.Set(dictKey(k), v)
+		}
+		return d, nil
+	case *Lambda:
+		return data.Object(&FuncValue{Name: "<lambda>", Params: x.Params,
+			Expr: x.Body, Env: fr.env, Globals: it.Globals}), nil
+	case *Comp:
+		return it.evalComp(fr, x)
+	case *Yield:
+		if fr.gs == nil {
+			return data.Null, raisef("SyntaxError", "'yield' outside function")
+		}
+		v := data.Null
+		if x.Value != nil {
+			var err error
+			v, err = it.eval(fr, x.Value)
+			if err != nil {
+				return data.Null, err
+			}
+		}
+		return data.Null, fr.gs.emit(v)
+	}
+	return data.Null, fmt.Errorf("pylite: unsupported expression %T", e)
+}
+
+// evalComp evaluates list/set/generator comprehensions.
+func (it *Interp) evalComp(fr *frame, c *Comp) (data.Value, error) {
+	if c.Kind == 'g' {
+		// Generator expression: lazy evaluation in its own goroutine.
+		g := newGenerator()
+		env := NewEnv(fr.env)
+		g.start(func(sink *genSink) error {
+			sub := &frame{it: it, env: env, gs: fr.gs}
+			return it.compLoop(sub, c, 0, func(v data.Value) error {
+				return sink.emit(v)
+			})
+		})
+		return data.Object(g), nil
+	}
+	// List/set comprehensions run in the enclosing frame (Python 2-style
+	// scoping, kept identical between the interpreter and compiled tier).
+	if c.Kind == 's' {
+		s := NewSet()
+		err := it.compLoop(fr, c, 0, func(v data.Value) error {
+			s.Add(v)
+			return nil
+		})
+		return data.Object(s), err
+	}
+	var items []data.Value
+	err := it.compLoop(fr, c, 0, func(v data.Value) error {
+		items = append(items, v)
+		return nil
+	})
+	return data.NewList(items), err
+}
+
+// compLoop recursively executes comprehension for-clauses.
+func (it *Interp) compLoop(fr *frame, c *Comp, depth int, emit func(data.Value) error) error {
+	if depth == len(c.Fors) {
+		v, err := it.eval(fr, c.Elt)
+		if err != nil {
+			return err
+		}
+		return emit(v)
+	}
+	cf := c.Fors[depth]
+	iterable, err := it.eval(fr, cf.Iter)
+	if err != nil {
+		return err
+	}
+	iter, err := ValueIter(iterable)
+	if err != nil {
+		return err
+	}
+	defer iter.Close()
+	for {
+		v, ok, err := iter.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := it.assign(fr, cf.Target, v); err != nil {
+			return err
+		}
+		pass := true
+		for _, cond := range cf.Ifs {
+			cv, err := it.eval(fr, cond)
+			if err != nil {
+				return err
+			}
+			if !cv.Truthy() {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		if err := it.compLoop(fr, c, depth+1, emit); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package pylite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer tokenizes PyLite source with Python-style significant indentation.
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	col     int
+	indents []int
+	pending []Token // queued INDENT/DEDENT tokens
+	bracket int     // depth of (), [], {} — newlines inside are ignored
+	atLine  bool    // at the start of a logical line (handle indentation)
+	done    bool
+}
+
+func newLexer(src string) *lexer {
+	// Normalize: strip trailing whitespace-only lines and tabs→4 spaces.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	src = strings.ReplaceAll(src, "\t", "    ")
+	return &lexer{src: src, line: 1, col: 1, indents: []int{0}, atLine: true}
+}
+
+// Lex tokenizes the whole source.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("pylite: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) tok(kind TokKind, text string) Token {
+	return Token{Kind: kind, Text: text, Line: lx.line, Col: lx.col}
+}
+
+func (lx *lexer) next() (Token, error) {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	}
+	if lx.done {
+		return lx.tok(tokEOF, ""), nil
+	}
+
+	if lx.atLine && lx.bracket == 0 {
+		if t, emitted, err := lx.handleIndent(); err != nil {
+			return Token{}, err
+		} else if emitted {
+			return t, nil
+		}
+	}
+
+	// Skip spaces and comments within a line.
+	for {
+		b := lx.peekByte()
+		if b == ' ' {
+			lx.advance()
+			continue
+		}
+		if b == '#' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if b == '\\' && lx.peekAt(1) == '\n' { // line continuation
+			lx.advance()
+			lx.advance()
+			continue
+		}
+		break
+	}
+
+	if lx.pos >= len(lx.src) {
+		return lx.finish()
+	}
+
+	b := lx.peekByte()
+	if b == '\n' {
+		lx.advance()
+		if lx.bracket > 0 {
+			return lx.next()
+		}
+		lx.atLine = true
+		return lx.tok(tokNewline, "\n"), nil
+	}
+
+	if isNameStart(b) {
+		return lx.lexName()
+	}
+	if b >= '0' && b <= '9' {
+		return lx.lexNumber()
+	}
+	if b == '.' && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9' {
+		return lx.lexNumber()
+	}
+	if b == '"' || b == '\'' {
+		return lx.lexString()
+	}
+	return lx.lexOp()
+}
+
+// handleIndent processes leading whitespace of a logical line. It returns
+// the first queued INDENT/DEDENT/NEWLINE token if any was emitted.
+func (lx *lexer) handleIndent() (Token, bool, error) {
+	lx.atLine = false
+	for {
+		width := 0
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.peekByte() == ' ' {
+			lx.advance()
+			width++
+		}
+		// Blank line or comment-only line: consume and retry.
+		if lx.pos < len(lx.src) && (lx.peekByte() == '\n' || lx.peekByte() == '#') {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			if lx.pos < len(lx.src) {
+				lx.advance() // newline
+			}
+			if lx.pos >= len(lx.src) {
+				t, err := lx.finish()
+				return t, true, err
+			}
+			continue
+		}
+		if lx.pos >= len(lx.src) {
+			t, err := lx.finish()
+			return t, true, err
+		}
+		_ = start
+		cur := lx.indents[len(lx.indents)-1]
+		switch {
+		case width > cur:
+			lx.indents = append(lx.indents, width)
+			return lx.tok(tokIndent, ""), true, nil
+		case width < cur:
+			var emitted []Token
+			for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > width {
+				lx.indents = lx.indents[:len(lx.indents)-1]
+				emitted = append(emitted, lx.tok(tokDedent, ""))
+			}
+			if lx.indents[len(lx.indents)-1] != width {
+				return Token{}, false, lx.errf("unindent does not match any outer indentation level")
+			}
+			lx.pending = append(lx.pending, emitted[1:]...)
+			return emitted[0], true, nil
+		default:
+			return Token{}, false, nil
+		}
+	}
+}
+
+// finish emits the trailing NEWLINE and DEDENTs then EOF.
+func (lx *lexer) finish() (Token, error) {
+	lx.done = true
+	var emitted []Token
+	emitted = append(emitted, lx.tok(tokNewline, "\n"))
+	for len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		emitted = append(emitted, lx.tok(tokDedent, ""))
+	}
+	emitted = append(emitted, lx.tok(tokEOF, ""))
+	lx.pending = append(lx.pending, emitted[1:]...)
+	return emitted[0], nil
+}
+
+func isNameStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isNameCont(b byte) bool {
+	return isNameStart(b) || (b >= '0' && b <= '9')
+}
+
+func (lx *lexer) lexName() (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isNameCont(lx.peekByte()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.pos]
+	if keywords[text] {
+		return lx.tok(tokKeyword, text), nil
+	}
+	return lx.tok(tokName, text), nil
+}
+
+func (lx *lexer) lexNumber() (Token, error) {
+	start := lx.pos
+	isFloat := false
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		if b >= '0' && b <= '9' {
+			lx.advance()
+		} else if b == '.' && !isFloat && !(lx.peekAt(1) == '.') {
+			isFloat = true
+			lx.advance()
+		} else if (b == 'e' || b == 'E') && lx.pos > start {
+			nb := lx.peekAt(1)
+			if nb >= '0' && nb <= '9' || ((nb == '+' || nb == '-') && lx.peekAt(2) >= '0' && lx.peekAt(2) <= '9') {
+				isFloat = true
+				lx.advance() // e
+				lx.advance() // sign or digit
+				continue
+			}
+			break
+		} else {
+			break
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		return lx.tok(tokFloat, text), nil
+	}
+	return lx.tok(tokInt, text), nil
+}
+
+func (lx *lexer) lexString() (Token, error) {
+	quote := lx.advance()
+	triple := false
+	if lx.peekByte() == quote && lx.peekAt(1) == quote {
+		lx.advance()
+		lx.advance()
+		triple = true
+	}
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf("unterminated string literal")
+		}
+		b := lx.advance()
+		if b == '\\' {
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf("unterminated string escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			case '\n':
+				// escaped newline: nothing
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		if triple {
+			if b == quote && lx.peekByte() == quote && lx.peekAt(1) == quote {
+				lx.advance()
+				lx.advance()
+				break
+			}
+			sb.WriteByte(b)
+			continue
+		}
+		if b == quote {
+			break
+		}
+		if b == '\n' {
+			return Token{}, lx.errf("newline in string literal")
+		}
+		sb.WriteByte(b)
+	}
+	return lx.tok(tokString, sb.String()), nil
+}
+
+var multiOps = []string{
+	"**=", "//=", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+	"**", "//", "->",
+}
+
+func (lx *lexer) lexOp() (Token, error) {
+	rest := lx.src[lx.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				lx.advance()
+			}
+			return lx.tok(tokOp, op), nil
+		}
+	}
+	b := lx.advance()
+	switch b {
+	case '(', '[', '{':
+		lx.bracket++
+		return lx.tok(tokOp, string(b)), nil
+	case ')', ']', '}':
+		if lx.bracket > 0 {
+			lx.bracket--
+		}
+		return lx.tok(tokOp, string(b)), nil
+	case '+', '-', '*', '/', '%', '<', '>', '=', ',', ':', '.', ';', '@', '&', '|', '^', '~':
+		return lx.tok(tokOp, string(b)), nil
+	}
+	return Token{}, lx.errf("unexpected character %q", string(b))
+}

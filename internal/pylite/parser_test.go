@@ -1,0 +1,183 @@
+package pylite
+
+import (
+	"strings"
+	"testing"
+
+	"qfusor/internal/data"
+)
+
+func TestLexIndentation(t *testing.T) {
+	src := "def f():\n    if 1:\n        return 2\n    return 3\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents, dedents := 0, 0
+	for _, tk := range toks {
+		switch tk.Kind {
+		case tokIndent:
+			indents++
+		case tokDedent:
+			dedents++
+		}
+	}
+	if indents != 2 || dedents != 2 {
+		t.Fatalf("indents=%d dedents=%d", indents, dedents)
+	}
+}
+
+func TestLexBracketsSuppressNewlines(t *testing.T) {
+	src := "x = [1,\n     2,\n     3]\n"
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Body) != 1 {
+		t.Fatalf("stmts = %d", len(mod.Body))
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	it := NewInterp()
+	if err := it.Exec(`s = "a\nb\t\"q\""` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := it.Global("s")
+	if v.S != "a\nb\t\"q\"" {
+		t.Fatalf("got %q", v.S)
+	}
+}
+
+func TestLexTripleQuoted(t *testing.T) {
+	it := NewInterp()
+	if err := it.Exec("s = \"\"\"line1\nline2\"\"\"\n"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := it.Global("s")
+	if v.S != "line1\nline2" {
+		t.Fatalf("got %q", v.S)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		"def f(:\n    pass\n",
+		"if x\n    pass\n",
+		"def f():\nreturn 1\n",
+		"x = (1 + \n",
+		"for in y:\n    pass\n",
+		"def f():\n        pass\n   pass\n", // bad dedent level
+		"x = 1 +\n",
+		"try:\n    pass\n", // try without except/finally
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad source:\n%s", src)
+		}
+	}
+}
+
+func TestInlineSuites(t *testing.T) {
+	it := NewInterp()
+	src := "def f(x):\n    if x > 0: return 1\n    else: return -1\n"
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoratorsRecorded(t *testing.T) {
+	mod, err := Parse("@scalarudf\n@other(1, 2)\ndef f(x: str) -> int:\n    return 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, ok := mod.Body[0].(*FuncDef)
+	if !ok {
+		t.Fatalf("not a funcdef: %T", mod.Body[0])
+	}
+	if len(fd.Decorators) != 2 || fd.Decorators[0] != "scalarudf" {
+		t.Fatalf("decorators = %v", fd.Decorators)
+	}
+	if fd.Params[0].Annotation != "str" || fd.Returns != "int" {
+		t.Fatalf("annotations: %+v returns=%q", fd.Params, fd.Returns)
+	}
+}
+
+func TestGeneratorDetection(t *testing.T) {
+	mod, err := Parse("def g():\n    yield 1\n\ndef f():\n    return 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mod.Body[0].(*FuncDef).IsGen || mod.Body[1].(*FuncDef).IsGen {
+		t.Fatal("IsGen detection wrong")
+	}
+}
+
+func TestChainedComparisonAndTernary(t *testing.T) {
+	it := NewInterp()
+	src := `
+def f(x):
+    return "mid" if 0 < x < 10 else "out"
+`
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := it.Global("f")
+	v, err := it.Call(fn, []data.Value{data.Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != "mid" {
+		t.Fatalf("got %v", v)
+	}
+	v, _ = it.Call(fn, []data.Value{data.Int(15)})
+	if v.S != "out" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	it := NewInterp()
+	if err := it.Exec("x = 1 + \\\n    2\n"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := it.Global("x")
+	if v.I != 3 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := strings.Join([]string{
+		"# leading comment",
+		"x = 1  # trailing",
+		"",
+		"    # indented comment-only line",
+		"y = x + 1",
+		"",
+	}, "\n")
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := it.Global("y")
+	if v.I != 2 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr(`a + len("xy") * 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*BinOp); !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, err := ParseExpr("a +"); err == nil {
+		t.Fatal("accepted bad expression")
+	}
+	if _, err := ParseExpr("a; b"); err == nil {
+		t.Fatal("accepted trailing statement")
+	}
+}

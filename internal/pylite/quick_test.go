@@ -1,0 +1,478 @@
+package pylite
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qfusor/internal/data"
+)
+
+// progGen builds random PyLite programs from a small grammar that stays
+// within deterministic, exception-free territory, for the
+// interpreter ≡ compiled-tier property.
+type progGen struct {
+	r    *rand.Rand
+	b    strings.Builder
+	vars []string
+	tmpN int
+}
+
+func (g *progGen) v() string {
+	if len(g.vars) == 0 || g.r.Intn(3) == 0 {
+		g.tmpN++
+		name := fmt.Sprintf("v%d", g.tmpN)
+		g.vars = append(g.vars, name)
+		return name
+	}
+	return g.vars[g.r.Intn(len(g.vars))]
+}
+
+func (g *progGen) existing() string {
+	return g.vars[g.r.Intn(len(g.vars))]
+}
+
+// expr emits an integer-valued expression over existing variables.
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+			return g.existing()
+		}
+		return fmt.Sprint(g.r.Intn(50))
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.r.Intn(len(ops))], g.expr(depth-1))
+}
+
+func (g *progGen) cond() string {
+	cmp := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), cmp[g.r.Intn(len(cmp))], g.expr(1))
+}
+
+func (g *progGen) stmt(indent string, depth int) {
+	switch g.r.Intn(6) {
+	case 0, 1:
+		// Build the RHS first: it may only read already-assigned vars.
+		rhs := g.expr(2)
+		fmt.Fprintf(&g.b, "%s%s = %s\n", indent, g.v(), rhs)
+	case 2:
+		if len(g.vars) > 0 {
+			fmt.Fprintf(&g.b, "%s%s = %s + 1\n", indent, g.existing(), g.existing())
+		} else {
+			fmt.Fprintf(&g.b, "%s%s = 1\n", indent, g.v())
+		}
+	case 3:
+		if depth > 0 {
+			// Vars created in branches are conditionally assigned — drop
+			// them from the definitely-assigned set afterwards.
+			fmt.Fprintf(&g.b, "%sif %s:\n", indent, g.cond())
+			snap := len(g.vars)
+			g.stmt(indent+"    ", depth-1)
+			g.vars = g.vars[:snap]
+			fmt.Fprintf(&g.b, "%selse:\n", indent)
+			g.stmt(indent+"    ", depth-1)
+			g.vars = g.vars[:snap]
+		} else {
+			rhs := g.expr(1)
+			fmt.Fprintf(&g.b, "%s%s = %s\n", indent, g.v(), rhs)
+		}
+	case 4:
+		if depth > 0 {
+			// range(n≥1) always assigns the loop var at least once.
+			lv := g.v()
+			fmt.Fprintf(&g.b, "%sfor %s in range(%d):\n", indent, lv, 1+g.r.Intn(6))
+			snap := len(g.vars)
+			g.stmt(indent+"    ", depth-1)
+			g.vars = g.vars[:snap]
+		} else {
+			rhs := g.expr(1)
+			fmt.Fprintf(&g.b, "%s%s = %s\n", indent, g.v(), rhs)
+		}
+	default:
+		// String/list statements keep coverage of non-numeric paths.
+		switch g.r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.b, "%s%s = len(\"abc\" * %d)\n", indent, g.v(), g.r.Intn(4))
+		case 1:
+			fmt.Fprintf(&g.b, "%s%s = sum([i for i in range(%d)])\n", indent, g.v(), g.r.Intn(8))
+		default:
+			e1, e2 := g.expr(0), g.expr(0)
+			fmt.Fprintf(&g.b, "%s%s = len(sorted([%s, %s, 3]))\n", indent, g.v(), e1, e2)
+		}
+	}
+}
+
+// generate builds `def f(a, b):` with a random body returning an int
+// expression over everything assigned.
+func generateProgram(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.vars = []string{"a", "b"}
+	g.b.WriteString("def f(a, b):\n")
+	n := 2 + g.r.Intn(6)
+	for i := 0; i < n; i++ {
+		g.stmt("    ", 2)
+	}
+	ret := make([]string, 0, len(g.vars))
+	ret = append(ret, g.vars...)
+	g.b.WriteString("    return " + strings.Join(ret, " + ") + "\n")
+	return g.b.String()
+}
+
+// TestInterpCompiledParityProperty: for random programs, the tree-walking
+// interpreter and the closure compiler produce identical results.
+func TestInterpCompiledParityProperty(t *testing.T) {
+	f := func(seed int64, a, b int8) bool {
+		src := generateProgram(seed)
+		it := NewInterp()
+		if err := it.Exec(src); err != nil {
+			t.Logf("generated program failed to parse:\n%s\n%v", src, err)
+			return false
+		}
+		fnv, _ := it.Global("f")
+		fn := fnv.P.(*FuncValue)
+		args := []data.Value{data.Int(int64(a)), data.Int(int64(b))}
+		want, werr := it.Call(fnv, args)
+		cf, cerr := Compile(fn)
+		if cerr != nil {
+			t.Logf("compile failed:\n%s\n%v", src, cerr)
+			return false
+		}
+		got, gerr := cf.Call(it, args, nil)
+		if (werr == nil) != (gerr == nil) {
+			t.Logf("error mismatch: interp=%v compiled=%v\n%s", werr, gerr, src)
+			return false
+		}
+		if werr != nil {
+			return true
+		}
+		if !data.Equal(want, got) {
+			t.Logf("parity: interp=%v compiled=%v\n%s", want, got, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStringMethodMatrix pins down the string method semantics both
+// tiers share.
+func TestStringMethodMatrix(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`"A-B-C".split("-")[1]`, "B"},
+		{`" x ".strip()`, "x"},
+		{`"abc".upper()`, "ABC"},
+		{`"ABC".lower()`, "abc"},
+		{`"a,b".replace(",", ";")`, "a;b"},
+		{`"hello"[1:3]`, "el"},
+		{`"hello"[::-1]`, "olleh"},
+		{`"-".join(["a", "b"])`, "a-b"},
+		{`"hello".find("ll")`, "2"},
+		{`"9".zfill(3)`, "009"},
+		{`"ab cd".title()`, "Ab Cd"},
+		{`str(len("abcd"))`, "4"},
+		{`"%s=%d" % ("x", 7)`, "x=7"},
+		{`"{}-{}".format(1, "z")`, "1-z"},
+		{`"aaa".count("a")`, "3"},
+		{`"a b  c".split()[2]`, "c"},
+		{`"Xyz".swapcase()`, "xYZ"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			it := NewInterp()
+			src := "def f():\n    return " + tc.expr + "\n"
+			if err := it.Exec(src); err != nil {
+				t.Fatal(err)
+			}
+			fnv, _ := it.Global("f")
+			got, err := it.Call(fnv, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != tc.want {
+				t.Fatalf("got %q want %q", got.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestModulesJSONReMath(t *testing.T) {
+	src := `
+import json
+import re
+import math
+
+def f():
+    d = json.loads("{\"a\": [1, 2, 3]}")
+    total = sum(d["a"])
+    s = re.sub("[0-9]+", "#", "a1b22c")
+    m = re.search("([a-z]+)([0-9]+)", "run42x")
+    g = m.group(2)
+    found = re.findall("[0-9]", "a1b2")
+    return json.dumps([total, s, g, found, math.floor(math.sqrt(16.0))])
+`
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fnv, _ := it.Global("f")
+	got, err := it.Call(fnv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[6,"a#b#c","42",["1","2"],4]`
+	if got.S != want {
+		t.Fatalf("got %q want %q", got.S, want)
+	}
+}
+
+func TestGeneratorEagerAndOverflow(t *testing.T) {
+	src := `
+def small():
+    for i in range(5):
+        yield i
+
+def big():
+    i = 0
+    while i < 5000:
+        yield i
+        i = i + 1
+
+def f():
+    a = 0
+    for x in small():
+        a = a + x
+    b = 0
+    for x in big():
+        b = b + x
+    return [a, b]
+`
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fnv, _ := it.Global("f")
+	got, err := it.Call(fnv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := got.List().Items
+	if items[0].I != 10 || items[1].I != 12497500 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDictAndSetMethods(t *testing.T) {
+	src := `
+def f():
+    d = {"x": 1}
+    d["y"] = 2
+    d.update({"z": 3})
+    keys = sorted(d.keys())
+    s = set([1, 2])
+    s.add(3)
+    s.discard(1)
+    return [",".join(keys), d.get("w", -1), len(s), 2 in s]
+`
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fnv, _ := it.Global("f")
+	got, err := it.Call(fnv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := got.List().Items
+	if items[0].S != "x,y,z" || items[1].I != -1 || items[2].I != 2 || !items[3].AsBool() {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCompiledMethodCallFastPathParity(t *testing.T) {
+	// The compiled tier specializes obj.method(...) calls; verify parity
+	// across instance methods, module attrs, list append and str methods.
+	src := `
+class box:
+    def init(self):
+        self.items = []
+    def add(self, x):
+        self.items.append(x)
+    def total(self):
+        return sum(self.items)
+
+def f(n):
+    b = box()
+    b.init()
+    i = 0
+    while i < n:
+        b.add(i)
+        i = i + 1
+    import json
+    return json.dumps([b.total(), "ab".upper()])
+`
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fnv, _ := it.Global("f")
+	fn := fnv.P.(*FuncValue)
+	want, err := it.Call(fnv, []data.Value{data.Int(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := Compile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(it, []data.Value{data.Int(10)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.S != got.S || want.S != `[45,"AB"]` {
+		t.Fatalf("interp=%q compiled=%q", want.S, got.S)
+	}
+}
+
+// TestCompiledStatementCoverage runs del/global/assert/try-finally and
+// nested defs through both tiers.
+func TestCompiledStatementCoverage(t *testing.T) {
+	src := `
+counter = 0
+
+def f(n):
+    global counter
+    counter = counter + 1
+    d = {"a": 1, "b": 2}
+    del d["a"]
+    xs = [1, 2, 3]
+    del xs[0]
+    assert len(xs) == 2, "len"
+    total = 0
+    try:
+        total = xs[5]
+    except IndexError:
+        total = -1
+    finally:
+        total = total + counter
+
+    def helper(y):
+        return y * 10
+
+    return total + helper(n) + len(d)
+`
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fnv, _ := it.Global("f")
+	fn := fnv.P.(*FuncValue)
+	want, err := it.Call(fnv, []data.Value{data.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := Compile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(it, []data.Value{data.Int(3)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// counter differs between the two calls (1 vs 2): compare modulo it.
+	wi, _ := want.AsInt()
+	gi, _ := got.AsInt()
+	if gi != wi+1 {
+		t.Fatalf("interp=%d compiled=%d (expected +1 from the global counter)", wi, gi)
+	}
+}
+
+// TestCompiledAugAssignVariants hits every augmented operator in both
+// tiers.
+func TestCompiledAugAssignVariants(t *testing.T) {
+	src := `
+def f(x):
+    x += 3
+    x -= 1
+    x *= 4
+    x //= 3
+    x %= 7
+    x **= 2
+    return x
+`
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	fnv, _ := it.Global("f")
+	fn := fnv.P.(*FuncValue)
+	for _, arg := range []int64{0, 5, 11} {
+		want, err := it.Call(fnv, []data.Value{data.Int(arg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, _ := Compile(fn)
+		got, err := cf.Call(it, []data.Value{data.Int(arg)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !data.Equal(want, got) {
+			t.Fatalf("arg %d: %v vs %v", arg, want, got)
+		}
+	}
+}
+
+// TestBuiltinsMatrix pins the remaining builtins both tiers share.
+func TestBuiltinsMatrix(t *testing.T) {
+	cases := []struct{ expr, want string }{
+		{`min([3, 1, 2])`, "1"},
+		{`max(4, 9, 2)`, "9"},
+		{`sum([1, 2, 3], 10)`, "16"},
+		{`len(reversed([1, 2, 3]))`, "3"},
+		{`reversed([1, 2, 3])[0]`, "3"},
+		{`any([0, "", 5])`, "True"},
+		{`all([1, "x", []])`, "False"},
+		{`abs(-3.5)`, "3.5"},
+		{`round(2.567, 2)`, "2.57"},
+		{`round(2.5)`, "3"},
+		{`int("42")`, "42"},
+		{`float("2.5") * 2`, "5.0"},
+		{`bool([])`, "False"},
+		{`ord("A")`, "65"},
+		{`chr(98)`, "b"},
+		{`list(range(2, 8, 3))[1]`, "5"},
+		{`sorted([3, 1, 2], reverse=True)[0]`, "3"},
+		{`len(list(zip([1, 2], ["a", "b", "c"])))`, "2"},
+		{`list(enumerate(["x", "y"], 1))[1][0]`, "2"},
+		{`len(list(filter(lambda v: v > 1, [0, 1, 2, 3])))`, "2"},
+		{`list(map(lambda v: v * v, [2, 3]))[1]`, "9"},
+		{`isinstance(1, int)`, "True"},
+		{`type("x")`, "str"},
+		{`repr("a")`, "\"a\""},
+		{`next(iterhelper())`, "7"},
+	}
+	pre := "def iterhelper():\n    yield 7\n    yield 8\n\n"
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			it := NewInterp()
+			src := pre + "def f():\n    return " + tc.expr + "\n"
+			if err := it.Exec(src); err != nil {
+				t.Fatal(err)
+			}
+			fnv, _ := it.Global("f")
+			got, err := it.Call(fnv, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != tc.want {
+				t.Fatalf("got %q want %q", got.String(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+// Package pylite implements a Python-subset language used to author UDFs:
+// a lexer, parser, tree-walking interpreter (the "CPython" cost baseline)
+// and a closure compiler (the tracing-JIT backend, see package jit).
+//
+// The subset covers everything the paper's UDF design specifications need:
+// functions, closures, lambdas, generators (yield), classes with the
+// init-step-final aggregate model, lists/dicts/sets, string methods,
+// comprehensions, try/except, and the json / re / math modules.
+package pylite
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	tokEOF TokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokName
+	tokInt
+	tokFloat
+	tokString
+	tokKeyword
+	tokOp
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokNewline:
+		return "NEWLINE"
+	case tokIndent:
+		return "INDENT"
+	case tokDedent:
+		return "DEDENT"
+	case tokName:
+		return "NAME"
+	case tokInt:
+		return "INT"
+	case tokFloat:
+		return "FLOAT"
+	case tokString:
+		return "STRING"
+	case tokKeyword:
+		return "KEYWORD"
+	case tokOp:
+		return "OP"
+	}
+	return "?"
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "yield": true, "if": true, "elif": true,
+	"else": true, "for": true, "while": true, "in": true, "not": true,
+	"and": true, "or": true, "is": true, "None": true, "True": true,
+	"False": true, "class": true, "pass": true, "break": true,
+	"continue": true, "lambda": true, "import": true, "del": true,
+	"try": true, "except": true, "raise": true, "from": true,
+	"global": true, "assert": true, "finally": true,
+}

@@ -1,0 +1,122 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+)
+
+// Catalog holds tables and registered UDFs. It is safe for concurrent
+// readers; DDL takes the write lock.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*data.Table
+	udfs   map[string]*ffi.UDF
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*data.Table),
+		udfs:   make(map[string]*ffi.UDF),
+	}
+}
+
+// PutTable registers (or replaces) a table.
+func (c *Catalog) PutTable(t *data.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*data.Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Tables returns the table names.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PutUDF registers a UDF (the CREATE FUNCTION step of the registration
+// mechanism).
+func (c *Catalog) PutUDF(u *ffi.UDF) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.udfs[strings.ToLower(u.Name)] = u
+}
+
+// UDF looks up a UDF by name.
+func (c *Catalog) UDF(name string) (*ffi.UDF, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.udfs[strings.ToLower(name)]
+	return u, ok
+}
+
+// DropUDF removes a UDF registration.
+func (c *Catalog) DropUDF(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.udfs, strings.ToLower(name))
+}
+
+// UDFs returns all registered UDFs.
+func (c *Catalog) UDFs() []*ffi.UDF {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*ffi.UDF, 0, len(c.udfs))
+	for _, u := range c.udfs {
+		out = append(out, u)
+	}
+	return out
+}
+
+// nativeAggregates are the engine's built-in aggregate functions.
+var nativeAggregates = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"median": true,
+}
+
+// IsNativeAggregate reports whether name is a built-in aggregate.
+func IsNativeAggregate(name string) bool {
+	return nativeAggregates[strings.ToLower(name)]
+}
+
+// nativeScalars are built-in scalar functions evaluated natively by the
+// engine (no UDF boundary crossing).
+var nativeScalars = map[string]bool{
+	"length": true, "abs": true, "coalesce": true, "substr": true,
+	"instr": true, "nullif": true, "ifnull": true, "typeof": true,
+	"trim": true, "sqlupper": true, "sqllower": true, "round": true,
+}
+
+// IsNativeScalar reports whether name is a built-in scalar function.
+func IsNativeScalar(name string) bool {
+	return nativeScalars[strings.ToLower(name)]
+}
+
+// ErrNoSuchTable is returned for unknown table references.
+func errNoSuchTable(name string) error {
+	return fmt.Errorf("sql: no such table: %s", name)
+}

@@ -1,0 +1,200 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"qfusor/internal/data"
+)
+
+// Exec runs a DDL or DML statement (CREATE TABLE, INSERT, UPDATE,
+// DELETE). UDFs are fully supported in DML expressions and predicates —
+// the capability the paper notes is missing from SOTA comparators
+// (§4.2.5); QFusor's fusion applies to these plans too.
+func (e *Engine) Exec(sql string) error {
+	st, err := ParseSQL(sql)
+	if err != nil {
+		return err
+	}
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		e.Catalog.PutTable(data.NewTable(s.Name, s.Schema))
+		return nil
+	case *InsertStmt:
+		return e.execInsert(s)
+	case *UpdateStmt:
+		return e.ExecUpdate(s)
+	case *DeleteStmt:
+		return e.execDelete(s)
+	case *SelectStmt:
+		_, err := e.PlanQuery(s)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("sql: use Query for SELECT statements")
+	}
+	return fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+func (e *Engine) execInsert(s *InsertStmt) error {
+	t, ok := e.Catalog.Table(s.Table)
+	if !ok {
+		return errNoSuchTable(s.Table)
+	}
+	if s.Select != nil {
+		q, err := e.PlanQuery(s.Select)
+		if err != nil {
+			return err
+		}
+		res, err := e.Execute(q)
+		if err != nil {
+			return err
+		}
+		if len(res.Cols) != len(t.Cols) {
+			return fmt.Errorf("sql: INSERT arity mismatch: %d vs %d", len(res.Cols), len(t.Cols))
+		}
+		n := res.NumRows()
+		for i := 0; i < n; i++ {
+			for c := range t.Cols {
+				t.Cols[c].AppendValue(res.Cols[c].Get(i))
+			}
+		}
+		return nil
+	}
+	for _, row := range s.Rows {
+		if len(row) != len(t.Cols) {
+			return fmt.Errorf("sql: INSERT arity mismatch: %d values for %d columns", len(row), len(t.Cols))
+		}
+		vals := make([]data.Value, len(row))
+		for i, ex := range row {
+			v, err := e.evalRow(ex, nil)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecUpdate applies an UPDATE (exposed separately so QFusor can rewrite
+// the SET/WHERE expressions before execution).
+func (e *Engine) ExecUpdate(s *UpdateStmt) error {
+	t, ok := e.Catalog.Table(s.Table)
+	if !ok {
+		return errNoSuchTable(s.Table)
+	}
+	scan := &Plan{Op: OpScan, Table: t.Name, Schema: t.Schema,
+		Quals: qualsFor(t.Name, len(t.Schema)), EstRows: float64(t.NumRows())}
+	pl := &planner{cat: e.Catalog, ctes: map[string]*Plan{}}
+
+	colIdx := make([]int, len(s.Cols))
+	exprs := make([]SQLExpr, len(s.Exprs))
+	for i, col := range s.Cols {
+		idx := t.Schema.IndexOf(col)
+		if idx < 0 {
+			return fmt.Errorf("sql: no such column %s in %s", col, s.Table)
+		}
+		colIdx[i] = idx
+		ex := cloneExpr(s.Exprs[i])
+		if err := pl.bindExpr(ex, scan); err != nil {
+			return err
+		}
+		exprs[i] = ex
+	}
+	var where SQLExpr
+	if s.Where != nil {
+		where = cloneExpr(s.Where)
+		if err := pl.bindExpr(where, scan); err != nil {
+			return err
+		}
+	}
+
+	ch := t.Chunk()
+	n := ch.NumRows()
+	var keep []bool
+	if where != nil {
+		var err error
+		keep, err = e.evalBoolVec(where, ch)
+		if err != nil {
+			return err
+		}
+	}
+	// Compute new values over the affected rows, then write back.
+	var idx []int
+	for i := 0; i < n; i++ {
+		if keep == nil || keep[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	sub := ch.Take(idx)
+	for c, ex := range exprs {
+		vals, err := e.evalVec(ex, sub)
+		if err != nil {
+			return err
+		}
+		col := t.Cols[colIdx[c]]
+		tmp := data.NewColumnCap("tmp", col.Kind, len(vals))
+		for _, v := range vals {
+			tmp.AppendValue(v)
+		}
+		for m, i := range idx {
+			switch col.Kind {
+			case data.KindInt:
+				col.Ints[i] = tmp.Ints[m]
+			case data.KindFloat:
+				col.Floats[i] = tmp.Floats[m]
+			case data.KindBool:
+				col.Bools[i] = tmp.Bools[m]
+			default:
+				col.Strs[i] = tmp.Strs[m]
+			}
+			if col.Nulls != nil {
+				col.Nulls[i] = tmp.IsNull(m)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execDelete(s *DeleteStmt) error {
+	t, ok := e.Catalog.Table(s.Table)
+	if !ok {
+		return errNoSuchTable(s.Table)
+	}
+	if s.Where == nil {
+		e.Catalog.PutTable(data.NewTable(t.Name, t.Schema))
+		return nil
+	}
+	scan := &Plan{Op: OpScan, Table: t.Name, Schema: t.Schema,
+		Quals: qualsFor(t.Name, len(t.Schema))}
+	pl := &planner{cat: e.Catalog, ctes: map[string]*Plan{}}
+	where := cloneExpr(s.Where)
+	if err := pl.bindExpr(where, scan); err != nil {
+		return err
+	}
+	ch := t.Chunk()
+	n := ch.NumRows()
+	drop, err := e.evalBoolVec(where, ch)
+	if err != nil {
+		return err
+	}
+	var idx []int
+	for i := 0; i < n; i++ {
+		if !drop[i] {
+			idx = append(idx, i)
+		}
+	}
+	nt := data.NewTable(t.Name, t.Schema)
+	nt.Cols = ch.Take(idx).Cols
+	for i, c := range nt.Cols {
+		c.Name = t.Schema[i].Name
+	}
+	e.Catalog.PutTable(nt)
+	return nil
+}

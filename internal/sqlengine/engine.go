@@ -1,0 +1,258 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+)
+
+// ExecMode selects the physical execution model.
+type ExecMode int
+
+const (
+	// ModeColumnar is operator-at-a-time with full intermediate
+	// materialization (MonetDB's model).
+	ModeColumnar ExecMode = iota
+	// ModeChunked is vectorized pipelined execution over fixed-size
+	// chunks (DuckDB's model).
+	ModeChunked
+	// ModeRow is tuple-at-a-time Volcano iteration (SQLite/PostgreSQL).
+	ModeRow
+)
+
+// String names the mode for EXPLAIN and experiment output.
+func (m ExecMode) String() string {
+	switch m {
+	case ModeColumnar:
+		return "columnar"
+	case ModeChunked:
+		return "chunked"
+	case ModeRow:
+		return "row"
+	}
+	return "?"
+}
+
+// Engine is one configured SQL database instance: a catalog plus a
+// physical execution model and a UDF transport. The engine profiles in
+// package engines wrap it with paper-specific settings.
+type Engine struct {
+	Name    string
+	Catalog *Catalog
+	Invoker ffi.Invoker
+	Mode    ExecMode
+	// ChunkSize bounds vectorized batch size in ModeChunked.
+	ChunkSize int
+	// Parallelism is the number of worker goroutines for partitionable
+	// operators (scans, filters, projections) in columnar modes.
+	Parallelism int
+
+	// LastStats records measurements of the most recent query.
+	LastStats ExecStats
+}
+
+// ExecStats carries per-query measurements used by the experiments.
+type ExecStats struct {
+	PlanTime time.Duration
+	ExecTime time.Duration
+	Rows     int
+}
+
+// New creates an engine with the given execution model and transport.
+func New(name string, mode ExecMode, inv ffi.Invoker) *Engine {
+	return &Engine{
+		Name:        name,
+		Catalog:     NewCatalog(),
+		Invoker:     inv,
+		Mode:        mode,
+		ChunkSize:   2048,
+		Parallelism: 1,
+	}
+}
+
+// Query parses, plans, optimizes and executes a SELECT, returning the
+// result as a table.
+func (e *Engine) Query(sql string) (*data.Table, error) {
+	st, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		q, err := e.PlanQuery(s)
+		if err != nil {
+			return nil, err
+		}
+		return e.Execute(q)
+	case *ExplainStmt:
+		sel, ok := s.Stmt.(*SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("sql: EXPLAIN supports SELECT only")
+		}
+		q, err := e.PlanQuery(sel)
+		if err != nil {
+			return nil, err
+		}
+		t := data.NewTable("explain", data.Schema{{Name: "plan", Kind: data.KindString}})
+		for _, line := range strings.Split(strings.TrimRight(q.Explain(), "\n"), "\n") {
+			_ = t.AppendRow(data.Str(line))
+		}
+		return t, nil
+	default:
+		if err := e.Exec(sql); err != nil {
+			return nil, err
+		}
+		return data.NewTable("ok", data.Schema{}), nil
+	}
+}
+
+// PlanQuery plans and optimizes a parsed SELECT.
+func (e *Engine) PlanQuery(st *SelectStmt) (*Query, error) {
+	start := time.Now()
+	q, err := PlanSelect(e.Catalog, st)
+	if err != nil {
+		return nil, err
+	}
+	Optimize(q, e.Catalog)
+	e.LastStats.PlanTime = time.Since(start)
+	return q, nil
+}
+
+// Plan parses + plans a SELECT string (the EXPLAIN hook QFusor's client
+// uses to obtain the optimizer's plan).
+func (e *Engine) Plan(sql string) (*Query, error) {
+	st, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	if ex, ok := st.(*ExplainStmt); ok {
+		st = ex.Stmt
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: not a SELECT statement")
+	}
+	return e.PlanQuery(sel)
+}
+
+// Execute runs an optimized query through the configured executor.
+func (e *Engine) Execute(q *Query) (*data.Table, error) {
+	start := time.Now()
+	ectx := newExecCtx(e)
+	for _, cte := range q.CTEs {
+		ch, err := e.execPlan(cte.Plan, ectx)
+		if err != nil {
+			return nil, fmt.Errorf("cte %s: %w", cte.Name, err)
+		}
+		ectx.ctes[strings.ToLower(cte.Name)] = ch
+	}
+	ch, err := e.execPlan(q.Root, ectx)
+	if err != nil {
+		return nil, err
+	}
+	e.LastStats.ExecTime = time.Since(start)
+	e.LastStats.Rows = ch.NumRows()
+	out := data.FromChunk("result", ch)
+	out.Schema = q.Root.Schema
+	for i, c := range out.Cols {
+		if i < len(q.Root.Schema) {
+			c.Name = q.Root.Schema[i].Name
+		}
+	}
+	return out, nil
+}
+
+// execPlan dispatches to the physical executor for this engine's mode.
+func (e *Engine) execPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	switch e.Mode {
+	case ModeRow:
+		return e.execRowPlan(p, ectx)
+	default:
+		return e.execColumnar(p, ectx)
+	}
+}
+
+// execCtx carries per-query execution state.
+type execCtx struct {
+	eng  *Engine
+	ctes map[string]*data.Chunk
+}
+
+func newExecCtx(e *Engine) *execCtx {
+	return &execCtx{eng: e, ctes: make(map[string]*data.Chunk)}
+}
+
+// callScalarUDFRow invokes a scalar UDF for a single row through the
+// engine's transport.
+func (e *Engine) callScalarUDFRow(u *ffi.UDF, args []data.Value) (data.Value, error) {
+	switch inv := e.Invoker.(type) {
+	case *ffi.ProcessInvoker:
+		// One-row IPC round trip (PostgreSQL's per-call protocol).
+		cols := make([]*data.Column, len(args))
+		for i, a := range args {
+			k := a.Kind
+			if i < len(u.InKinds) {
+				k = u.InKinds[i]
+			}
+			if k == data.KindNull {
+				k = data.KindString
+			}
+			c := data.NewColumn(fmt.Sprintf("a%d", i), k)
+			c.AppendValue(a)
+			cols[i] = c
+		}
+		switch u.Kind {
+		case ffi.Scalar:
+			out, err := inv.CallScalar(u, cols, 1)
+			if err != nil {
+				return data.Null, err
+			}
+			return out.Get(0), nil
+		default:
+			return data.Null, fmt.Errorf("sql: %s UDF in scalar position", u.Kind)
+		}
+	default:
+		if u.Kind != ffi.Scalar {
+			return data.Null, fmt.Errorf("sql: %s UDF in scalar position", u.Kind)
+		}
+		if u.Fused {
+			// Tuple engines call fused wrappers per row (one-element
+			// vectors), keeping the per-tuple crossing but still fusing
+			// the UDF pipeline inside.
+			cols := make([]*data.Column, len(args))
+			for i, a := range args {
+				k := a.Kind
+				if i < len(u.InKinds) {
+					k = u.InKinds[i]
+				}
+				if k == data.KindNull {
+					k = data.KindString
+				}
+				c := data.NewColumn(fmt.Sprintf("a%d", i), k)
+				c.AppendValue(a)
+				cols[i] = c
+			}
+			out, err := ffi.CallFusedVector(u, cols, 1, []string{u.Name}, []data.Kind{u.OutKind()})
+			if err != nil {
+				return data.Null, err
+			}
+			if out[0].Len() == 0 {
+				return data.Null, nil
+			}
+			return out[0].Get(0), nil
+		}
+		start := time.Now()
+		v, err := u.Invoke(args)
+		if err != nil {
+			return data.Null, fmt.Errorf("udf %s: %w", u.Name, err)
+		}
+		u.Stats.Calls.Add(1)
+		u.Stats.InRows.Add(1)
+		u.Stats.OutRows.Add(1)
+		u.Stats.WallNanos.Add(time.Since(start).Nanoseconds())
+		return v, nil
+	}
+}

@@ -1,0 +1,731 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+)
+
+// execColumnar is the vectorized operator-at-a-time executor: every
+// operator materializes its full output before the parent runs
+// (MonetDB's model; ModeChunked splits UDF batches but keeps the same
+// operator boundaries).
+func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	switch p.Op {
+	case OpScan:
+		t, ok := e.Catalog.Table(p.Table)
+		if !ok {
+			if ch, ok := ectx.ctes[lower(p.Table)]; ok {
+				return ch, nil
+			}
+			return nil, errNoSuchTable(p.Table)
+		}
+		return t.Chunk(), nil
+	case OpCTERef:
+		ch, ok := ectx.ctes[lower(p.Table)]
+		if !ok {
+			return nil, fmt.Errorf("sql: CTE %s not materialized", p.Table)
+		}
+		return ch, nil
+	case OpProject:
+		if len(p.Children) == 0 {
+			// FROM-less SELECT: one dummy row. The planner's placeholder
+			// node has no expressions — keep the dummy row so a parent
+			// projection evaluates once.
+			if len(p.Exprs) == 0 {
+				return oneRowChunk(), nil
+			}
+			return e.projectChunk(p, oneRowChunk())
+		}
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return e.projectChunk(p, in)
+	case OpFilter:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return e.filterChunk(p.Exprs[0], in)
+	case OpJoin:
+		return e.joinChunk(p, ectx)
+	case OpAggregate:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return e.aggregateChunk(p, in)
+	case OpSort:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return e.sortChunk(p, in)
+	case OpDistinct:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return distinctChunk(in), nil
+	case OpLimit:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		lo := int(p.OffsetN)
+		hi := lo + int(p.LimitN)
+		n := in.NumRows()
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		return in.Slice(lo, hi), nil
+	case OpUnion:
+		l, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.execColumnar(p.Children[1], ectx)
+		if err != nil {
+			return nil, err
+		}
+		out := data.EmptyChunk(p.Schema)
+		for i, c := range out.Cols {
+			c.AppendColumn(l.Cols[i])
+			c.AppendColumn(r.Cols[i])
+		}
+		if !p.UnionAll {
+			return distinctChunk(out), nil
+		}
+		return out, nil
+	case OpTableFunc:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		if p.UDF.Fused {
+			// A fused wrapper re-submitted as a table function (rewrite
+			// path 1) uses the vector calling convention.
+			return e.runFusedAsTable(p, in)
+		}
+		extra := make([]data.Value, len(p.TFArgs))
+		for i, a := range p.TFArgs {
+			v, err := e.evalRow(a, nil)
+			if err != nil {
+				return nil, err
+			}
+			extra[i] = v
+		}
+		out, err := e.Invoker.CallTable(p.UDF, in, extra)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range out.Cols {
+			if i < len(p.Schema) {
+				c.Name = p.Schema[i].Name
+			}
+		}
+		return out, nil
+	case OpExpand:
+		in, err := e.execColumnar(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return e.expandChunk(p, in)
+	case OpFused, OpFusedAgg:
+		return e.execFusedColumnar(p, ectx)
+	}
+	return nil, fmt.Errorf("sql: columnar executor: unsupported op %s", p.Op)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+func oneRowChunk() *data.Chunk {
+	c := data.NewColumn("__dummy", data.KindInt)
+	c.AppendInt(0)
+	return data.NewChunk(c)
+}
+
+// projectChunk evaluates the projection expressions over the chunk,
+// optionally splitting into batches (ModeChunked) and across workers.
+func (e *Engine) projectChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+	n := in.NumRows()
+	eval := func(part *data.Chunk) (*data.Chunk, error) {
+		cols := make([]*data.Column, len(p.Exprs))
+		for i, ex := range p.Exprs {
+			// Zero-copy pass-through for pure column refs of matching kind.
+			if cr, ok := ex.(*ColRef); ok && cr.Index >= 0 && cr.Index < len(part.Cols) &&
+				part.Cols[cr.Index].Kind == p.Schema[i].Kind {
+				cp := *part.Cols[cr.Index]
+				cp.Name = p.Schema[i].Name
+				cols[i] = &cp
+				continue
+			}
+			vals, err := e.evalVec(ex, part)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = ffi.UnboxValues(p.Schema[i].Name, p.Schema[i].Kind, vals)
+		}
+		return data.NewChunk(cols...), nil
+	}
+	return e.runPartitioned(in, n, eval)
+}
+
+// runPartitioned executes fn over row ranges of in, in parallel when the
+// engine allows, and concatenates the partial outputs in order.
+func (e *Engine) runPartitioned(in *data.Chunk, n int, fn func(*data.Chunk) (*data.Chunk, error)) (*data.Chunk, error) {
+	batch := n
+	if e.Mode == ModeChunked && e.ChunkSize > 0 && e.ChunkSize < n {
+		batch = e.ChunkSize
+	}
+	workers := e.Parallelism
+	if workers <= 1 && batch >= n {
+		return fn(in)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Build the batch list.
+	type span struct{ lo, hi int }
+	var spans []span
+	if workers > 1 && batch >= n {
+		per := (n + workers - 1) / workers
+		if per < 1 {
+			per = 1
+		}
+		batch = per
+	}
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	if len(spans) == 0 {
+		spans = append(spans, span{0, 0})
+	}
+	outs := make([]*data.Chunk, len(spans))
+	errs := make([]error, len(spans))
+	if workers == 1 {
+		for i, s := range spans {
+			outs[i], errs[i] = fn(in.Slice(s.lo, s.hi))
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, s := range spans {
+			wg.Add(1)
+			go func(i int, s span) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outs[i], errs[i] = fn(in.Slice(s.lo, s.hi))
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(outs) == 1 {
+		return outs[0], nil
+	}
+	res := outs[0]
+	merged := data.EmptyChunk(res.Schema())
+	for _, o := range outs {
+		for i, c := range merged.Cols {
+			c.AppendColumn(o.Cols[i])
+		}
+	}
+	return merged, nil
+}
+
+// filterChunk keeps rows where the predicate holds.
+func (e *Engine) filterChunk(pred SQLExpr, in *data.Chunk) (*data.Chunk, error) {
+	n := in.NumRows()
+	return e.runPartitioned(in, n, func(part *data.Chunk) (*data.Chunk, error) {
+		keep, err := e.evalBoolVec(pred, part)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, 0, len(keep)/2)
+		for i, k := range keep {
+			if k {
+				idx = append(idx, i)
+			}
+		}
+		return part.Take(idx), nil
+	})
+}
+
+// expandChunk applies an expand UDF per row, replicating kept columns.
+func (e *Engine) expandChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+	n := in.NumRows()
+	argCols := make([]*data.Column, len(p.TFArgs))
+	for i, a := range p.TFArgs {
+		cr, ok := a.(*ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: expand arg must be a column ref")
+		}
+		argCols[i] = in.Cols[cr.Index]
+	}
+	perRow, err := e.Invoker.CallExpand(p.UDF, argCols, n)
+	if err != nil {
+		return nil, err
+	}
+	out := data.EmptyChunk(p.Schema)
+	nKeep := len(p.KeepCols)
+	for i := 0; i < n; i++ {
+		for _, row := range perRow[i] {
+			for k, ci := range p.KeepCols {
+				out.Cols[k].AppendValue(in.Cols[ci].Get(i))
+			}
+			for j := 0; j < len(out.Cols)-nKeep; j++ {
+				if j < len(row) {
+					out.Cols[nKeep+j].AppendValue(row[j])
+				} else {
+					out.Cols[nKeep+j].AppendNull()
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinChunk executes a join: hash join for equi predicates, else a
+// filtered cross product.
+func (e *Engine) joinChunk(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	l, err := e.execColumnar(p.Children[0], ectx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.execColumnar(p.Children[1], ectx)
+	if err != nil {
+		return nil, err
+	}
+	nl := len(p.Children[0].Schema)
+	leftKeys, rightKeys, residual := splitEquiJoin(p.JoinOn, nl)
+	if len(leftKeys) > 0 {
+		return e.hashJoin(p, l, r, leftKeys, rightKeys, residual, nl)
+	}
+	// Nested-loop (cross product with optional predicate).
+	out := data.EmptyChunk(p.Schema)
+	nL, nR := l.NumRows(), r.NumRows()
+	row := make([]data.Value, len(p.Schema))
+	for i := 0; i < nL; i++ {
+		for j := 0; j < nR; j++ {
+			for c := range l.Cols {
+				row[c] = l.Cols[c].Get(i)
+			}
+			for c := range r.Cols {
+				row[nl+c] = r.Cols[c].Get(j)
+			}
+			if p.JoinOn != nil {
+				v, err := e.evalRow(p.JoinOn, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			for c := range out.Cols {
+				out.Cols[c].AppendValue(row[c])
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitEquiJoin extracts equi-key pairs (left col = right col) from a
+// join predicate; residual carries the remaining conjuncts.
+func splitEquiJoin(on SQLExpr, nl int) (leftKeys, rightKeys []int, residual []SQLExpr) {
+	if on == nil {
+		return nil, nil, nil
+	}
+	var conjuncts []SQLExpr
+	var split func(SQLExpr)
+	split = func(e SQLExpr) {
+		if b, ok := e.(*BinExpr); ok && b.Op == "AND" {
+			split(b.L)
+			split(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	split(on)
+	for _, c := range conjuncts {
+		b, ok := c.(*BinExpr)
+		if ok && b.Op == "=" {
+			lc, lok := b.L.(*ColRef)
+			rc, rok := b.R.(*ColRef)
+			if lok && rok {
+				switch {
+				case lc.Index < nl && rc.Index >= nl:
+					leftKeys = append(leftKeys, lc.Index)
+					rightKeys = append(rightKeys, rc.Index-nl)
+					continue
+				case rc.Index < nl && lc.Index >= nl:
+					leftKeys = append(leftKeys, rc.Index)
+					rightKeys = append(rightKeys, lc.Index-nl)
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return leftKeys, rightKeys, residual
+}
+
+// hashJoin builds on the right side and probes with the left.
+func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, residual []SQLExpr, nl int) (*data.Chunk, error) {
+	build := make(map[string][]int)
+	nR := r.NumRows()
+	for j := 0; j < nR; j++ {
+		k := joinKey(r, rightKeys, j)
+		build[k] = append(build[k], j)
+	}
+	var li, ri []int
+	nL := l.NumRows()
+	for i := 0; i < nL; i++ {
+		k := joinKey(l, leftKeys, i)
+		for _, j := range build[k] {
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+		if p.JoinKind == "LEFT" && len(build[k]) == 0 {
+			li = append(li, i)
+			ri = append(ri, -1)
+		}
+	}
+	out := data.EmptyChunk(p.Schema)
+	row := make([]data.Value, len(p.Schema))
+	for m := range li {
+		i, j := li[m], ri[m]
+		for c := range l.Cols {
+			row[c] = l.Cols[c].Get(i)
+		}
+		for c := range r.Cols {
+			if j < 0 {
+				row[nl+c] = data.Null
+			} else {
+				row[nl+c] = r.Cols[c].Get(j)
+			}
+		}
+		if len(residual) > 0 && j >= 0 {
+			pass := true
+			for _, pr := range residual {
+				v, err := e.evalRow(pr, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+		}
+		for c := range out.Cols {
+			out.Cols[c].AppendValue(row[c])
+		}
+	}
+	return out, nil
+}
+
+func joinKey(ch *data.Chunk, keys []int, row int) string {
+	if len(keys) == 1 {
+		c := ch.Cols[keys[0]]
+		if c.Kind == data.KindString && !c.IsNull(row) {
+			return c.Strs[row]
+		}
+		return c.Get(row).Key()
+	}
+	k := ""
+	for _, ci := range keys {
+		k += ch.Cols[ci].Get(row).Key() + "\x00"
+	}
+	return k
+}
+
+// aggregateChunk groups the input and folds native and UDF aggregates.
+func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+	n := in.NumRows()
+	// Group assignment.
+	groupIDs := make([]int, n)
+	var groupRows []int // first row of each group (for key output)
+	var keyVecs [][]data.Value
+	if len(p.GroupBy) == 0 {
+		groupRows = []int{0}
+		if n == 0 {
+			groupRows = []int{-1}
+		}
+	} else {
+		keyVecs = make([][]data.Value, len(p.GroupBy))
+		for i, k := range p.GroupBy {
+			v, err := e.evalVec(k, in)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		seen := make(map[string]int)
+		for i := 0; i < n; i++ {
+			var kb []byte
+			for _, kv := range keyVecs {
+				kb = append(kb, kv[i].Key()...)
+				kb = append(kb, 0)
+			}
+			k := string(kb)
+			gid, ok := seen[k]
+			if !ok {
+				gid = len(groupRows)
+				seen[k] = gid
+				groupRows = append(groupRows, i)
+			}
+			groupIDs[i] = gid
+		}
+	}
+	g := len(groupRows)
+	if len(p.GroupBy) == 0 && n == 0 {
+		g = 1
+	}
+
+	out := data.EmptyChunk(p.Schema)
+	// Key columns.
+	for ki := range p.GroupBy {
+		col := out.Cols[ki]
+		for _, r := range groupRows {
+			if r < 0 {
+				col.AppendNull()
+			} else {
+				col.AppendValue(keyVecs[ki][r])
+			}
+		}
+	}
+	// Aggregate columns.
+	for ai, spec := range p.Aggs {
+		col := out.Cols[len(p.GroupBy)+ai]
+		var results []data.Value
+		var err error
+		if spec.UDF != nil {
+			argCols := make([]*data.Column, len(spec.Args))
+			for i, a := range spec.Args {
+				if cr, ok := a.(*ColRef); ok {
+					argCols[i] = in.Cols[cr.Index]
+					continue
+				}
+				vals, verr := e.evalVec(a, in)
+				if verr != nil {
+					return nil, verr
+				}
+				kind := data.KindString
+				if i < len(spec.UDF.InKinds) {
+					kind = spec.UDF.InKinds[i]
+				}
+				argCols[i] = ffi.UnboxValues(fmt.Sprintf("a%d", i), kind, vals)
+			}
+			results, err = e.Invoker.CallAggregate(spec.UDF, argCols, n, groupIDs, g)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			results, err = e.nativeAggregate(spec, in, groupIDs, g, n)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, v := range results {
+			col.AppendValue(v)
+		}
+	}
+	return out, nil
+}
+
+// nativeAggregate folds a built-in aggregate per group.
+func (e *Engine) nativeAggregate(spec AggSpec, in *data.Chunk, groupIDs []int, g, n int) ([]data.Value, error) {
+	var argVals []data.Value
+	if !spec.Star && len(spec.Args) > 0 {
+		v, err := e.evalVec(spec.Args[0], in)
+		if err != nil {
+			return nil, err
+		}
+		argVals = v
+	}
+	switch spec.Name {
+	case "count":
+		counts := make([]int64, g)
+		for i := 0; i < n; i++ {
+			if spec.Star || !argVals[i].IsNull() {
+				counts[groupIDs[i]]++
+			}
+		}
+		out := make([]data.Value, g)
+		for i, c := range counts {
+			out[i] = data.Int(c)
+		}
+		return out, nil
+	case "sum", "avg":
+		sums := make([]float64, g)
+		counts := make([]int64, g)
+		allInt := true
+		for i := 0; i < n; i++ {
+			v := argVals[i]
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				continue
+			}
+			if v.Kind == data.KindFloat {
+				allInt = false
+			}
+			sums[groupIDs[i]] += f
+			counts[groupIDs[i]]++
+		}
+		out := make([]data.Value, g)
+		for i := range out {
+			if counts[i] == 0 {
+				out[i] = data.Null
+				continue
+			}
+			if spec.Name == "avg" {
+				out[i] = data.Float(sums[i] / float64(counts[i]))
+			} else if allInt {
+				out[i] = data.Int(int64(sums[i]))
+			} else {
+				out[i] = data.Float(sums[i])
+			}
+		}
+		return out, nil
+	case "min", "max":
+		best := make([]data.Value, g)
+		for i := 0; i < n; i++ {
+			v := argVals[i]
+			if v.IsNull() {
+				continue
+			}
+			gid := groupIDs[i]
+			if best[gid].IsNull() {
+				best[gid] = v
+				continue
+			}
+			c, ok := data.Compare(v, best[gid])
+			if !ok {
+				continue
+			}
+			if (spec.Name == "min" && c < 0) || (spec.Name == "max" && c > 0) {
+				best[gid] = v
+			}
+		}
+		return best, nil
+	case "median":
+		// Blocking aggregate: materializes each group's input.
+		groups := make([][]float64, g)
+		for i := 0; i < n; i++ {
+			if argVals[i].IsNull() {
+				continue
+			}
+			f, ok := argVals[i].AsFloat()
+			if !ok {
+				continue
+			}
+			gid := groupIDs[i]
+			groups[gid] = append(groups[gid], f)
+		}
+		out := make([]data.Value, g)
+		for i, vals := range groups {
+			if len(vals) == 0 {
+				out[i] = data.Null
+				continue
+			}
+			sort.Float64s(vals)
+			m := len(vals) / 2
+			if len(vals)%2 == 1 {
+				out[i] = data.Float(vals[m])
+			} else {
+				out[i] = data.Float((vals[m-1] + vals[m]) / 2)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sql: unknown aggregate %s", spec.Name)
+}
+
+// sortChunk orders the chunk by the plan's sort items.
+func (e *Engine) sortChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+	n := in.NumRows()
+	keyVecs := make([][]data.Value, len(p.SortItems))
+	for i, s := range p.SortItems {
+		v, err := e.evalVec(s.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, s := range p.SortItems {
+			c, ok := data.Compare(keyVecs[k][idx[a]], keyVecs[k][idx[b]])
+			if !ok {
+				c = compareStr(keyVecs[k][idx[a]].String(), keyVecs[k][idx[b]].String())
+			}
+			if c == 0 {
+				continue
+			}
+			if s.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return in.Take(idx), nil
+}
+
+// distinctChunk removes duplicate rows.
+func distinctChunk(in *data.Chunk) *data.Chunk {
+	n := in.NumRows()
+	seen := make(map[string]bool, n)
+	var idx []int
+	for i := 0; i < n; i++ {
+		var kb []byte
+		for _, c := range in.Cols {
+			kb = append(kb, c.Get(i).Key()...)
+			kb = append(kb, 0)
+		}
+		k := string(kb)
+		if !seen[k] {
+			seen[k] = true
+			idx = append(idx, i)
+		}
+	}
+	return in.Take(idx)
+}

@@ -1,0 +1,500 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+)
+
+// evalVec evaluates a bound expression over all rows of a chunk,
+// returning boxed values. Scalar UDF calls are dispatched to the
+// engine's transport per column batch; relational operators between
+// UDFs therefore materialize intermediates — the overhead QFusor fuses
+// away.
+func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
+	n := ch.NumRows()
+	switch ex := x.(type) {
+	case *ColRef:
+		if ex.Index < 0 || ex.Index >= len(ch.Cols) {
+			return nil, fmt.Errorf("sql: unbound column %s", ex)
+		}
+		return ffi.BoxColumn(ch.Cols[ex.Index], n), nil
+	case *Lit:
+		out := make([]data.Value, n)
+		for i := range out {
+			out[i] = ex.Value
+		}
+		return out, nil
+	case *FuncExpr:
+		if u, ok := e.Catalog.UDF(ex.Name); ok && u.Kind == ffi.Scalar {
+			return e.evalScalarUDFVec(u, ex, ch)
+		}
+		// Native scalar: vector args, row-native application.
+		argVecs := make([][]data.Value, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := e.evalVec(a, ch)
+			if err != nil {
+				return nil, err
+			}
+			argVecs[i] = v
+		}
+		out := make([]data.Value, n)
+		row := make([]data.Value, len(argVecs))
+		for i := 0; i < n; i++ {
+			for j := range argVecs {
+				row[j] = argVecs[j][i]
+			}
+			v, err := evalNativeScalar(ex.Name, row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case *BinExpr:
+		l, err := e.evalVec(ex.L, ch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalVec(ex.R, ch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			v, err := sqlBinOp(ex.Op, l[i], r[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case *UnaryExpr:
+		v, err := e.evalVec(ex.E, ch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			if ex.Op == "NOT" {
+				out[i] = data.Bool(!v[i].Truthy())
+			} else {
+				nv, err := sqlBinOp("-", data.Int(0), v[i])
+				if err != nil {
+					return nil, err
+				}
+				out[i] = nv
+			}
+		}
+		return out, nil
+	case *CaseExpr:
+		// Operator-at-a-time CASE: all branches evaluated fully, then
+		// merged (faithful to columnar engines; the row executor
+		// short-circuits instead).
+		var operand []data.Value
+		if ex.Operand != nil {
+			v, err := e.evalVec(ex.Operand, ch)
+			if err != nil {
+				return nil, err
+			}
+			operand = v
+		}
+		conds := make([][]data.Value, len(ex.Whens))
+		thens := make([][]data.Value, len(ex.Thens))
+		for i := range ex.Whens {
+			cv, err := e.evalVec(ex.Whens[i], ch)
+			if err != nil {
+				return nil, err
+			}
+			conds[i] = cv
+			tv, err := e.evalVec(ex.Thens[i], ch)
+			if err != nil {
+				return nil, err
+			}
+			thens[i] = tv
+		}
+		var els []data.Value
+		if ex.Else != nil {
+			v, err := e.evalVec(ex.Else, ch)
+			if err != nil {
+				return nil, err
+			}
+			els = v
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			matched := false
+			for b := range conds {
+				hit := false
+				if operand != nil {
+					hit = data.Equal(operand[i], conds[b][i])
+				} else {
+					hit = conds[b][i].Truthy()
+				}
+				if hit {
+					out[i] = thens[b][i]
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				if els != nil {
+					out[i] = els[i]
+				} else {
+					out[i] = data.Null
+				}
+			}
+		}
+		return out, nil
+	case *BetweenExpr:
+		v, err := e.evalVec(ex.E, ch)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := e.evalVec(ex.Lo, ch)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := e.evalVec(ex.Hi, ch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			if v[i].IsNull() || lo[i].IsNull() || hi[i].IsNull() {
+				out[i] = data.Null
+				continue
+			}
+			ge, _ := sqlBinOp(">=", v[i], lo[i])
+			le, _ := sqlBinOp("<=", v[i], hi[i])
+			res := ge.Truthy() && le.Truthy()
+			if ex.Not {
+				res = !res
+			}
+			out[i] = data.Bool(res)
+		}
+		return out, nil
+	case *InExpr:
+		v, err := e.evalVec(ex.E, ch)
+		if err != nil {
+			return nil, err
+		}
+		lists := make([][]data.Value, len(ex.List))
+		for i, item := range ex.List {
+			lv, err := e.evalVec(item, ch)
+			if err != nil {
+				return nil, err
+			}
+			lists[i] = lv
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			found := false
+			for _, lv := range lists {
+				if data.Equal(v[i], lv[i]) {
+					found = true
+					break
+				}
+			}
+			if ex.Not {
+				found = !found
+			}
+			out[i] = data.Bool(found)
+		}
+		return out, nil
+	case *IsNullExpr:
+		v, err := e.evalVec(ex.E, ch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			isNull := v[i].IsNull()
+			if ex.Not {
+				isNull = !isNull
+			}
+			out[i] = data.Bool(isNull)
+		}
+		return out, nil
+	case *CastExpr:
+		v, err := e.evalVec(ex.E, ch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]data.Value, n)
+		for i := 0; i < n; i++ {
+			out[i] = castValue(v[i], ex.Kind)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sql: cannot vectorize %T", x)
+}
+
+// evalScalarUDFVec crosses into the UDF environment once per batch:
+// arguments become engine columns (materializing + serializing any
+// intermediate UDF results) and the transport converts back.
+func (e *Engine) evalScalarUDFVec(u *ffi.UDF, ex *FuncExpr, ch *data.Chunk) ([]data.Value, error) {
+	n := ch.NumRows()
+	argCols := make([]*data.Column, len(ex.Args))
+	for i, a := range ex.Args {
+		// Direct column references avoid an extra copy (the engine hands
+		// the UDF its own column, like MonetDB passing a BAT pointer).
+		if cr, ok := a.(*ColRef); ok {
+			argCols[i] = ch.Cols[cr.Index]
+			continue
+		}
+		vals, err := e.evalVec(a, ch)
+		if err != nil {
+			return nil, err
+		}
+		kind := data.KindString
+		if i < len(u.InKinds) {
+			kind = u.InKinds[i]
+		} else {
+			for _, v := range vals {
+				if !v.IsNull() {
+					kind = v.Kind
+					break
+				}
+			}
+		}
+		// Intermediate materialization: the nested expression's result
+		// becomes a real engine column (serializing lists/dicts to JSON).
+		argCols[i] = ffi.UnboxValues(fmt.Sprintf("a%d", i), kind, vals)
+	}
+	if u.Fused {
+		// Fused wrapper: one boundary crossing, the loop runs inside the
+		// UDF runtime as a single trace.
+		cols, err := ffi.CallFusedVector(u, argCols, n, []string{u.Name}, []data.Kind{u.OutKind()})
+		if err != nil {
+			return nil, err
+		}
+		return ffi.BoxColumn(cols[0], cols[0].Len()), nil
+	}
+	out, err := e.Invoker.CallScalar(u, argCols, n)
+	if err != nil {
+		return nil, err
+	}
+	return ffi.BoxColumn(out, n), nil
+}
+
+// evalBoolVec evaluates a predicate over a chunk with unboxed fast
+// paths for simple column comparisons (the engine-native filter the
+// offloading experiments compare against).
+func (e *Engine) evalBoolVec(x SQLExpr, ch *data.Chunk) ([]bool, error) {
+	n := ch.NumRows()
+	switch ex := x.(type) {
+	case *BinExpr:
+		switch ex.Op {
+		case "AND":
+			l, err := e.evalBoolVec(ex.L, ch)
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.evalBoolVec(ex.R, ch)
+			if err != nil {
+				return nil, err
+			}
+			for i := range l {
+				l[i] = l[i] && r[i]
+			}
+			return l, nil
+		case "OR":
+			l, err := e.evalBoolVec(ex.L, ch)
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.evalBoolVec(ex.R, ch)
+			if err != nil {
+				return nil, err
+			}
+			for i := range l {
+				l[i] = l[i] || r[i]
+			}
+			return l, nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			if out, ok, err := e.fastCompare(ex, ch); err != nil {
+				return nil, err
+			} else if ok {
+				return out, nil
+			}
+		}
+	case *UnaryExpr:
+		if ex.Op == "NOT" {
+			v, err := e.evalBoolVec(ex.E, ch)
+			if err != nil {
+				return nil, err
+			}
+			for i := range v {
+				v[i] = !v[i]
+			}
+			return v, nil
+		}
+	}
+	vals, err := e.evalVec(x, ch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, n)
+	for i, v := range vals {
+		out[i] = v.Truthy()
+	}
+	return out, nil
+}
+
+// fastCompare handles col-vs-literal and col-vs-col comparisons without
+// boxing. ok=false means the shape didn't match and the caller should
+// fall back.
+func (e *Engine) fastCompare(ex *BinExpr, ch *data.Chunk) ([]bool, bool, error) {
+	lc, lok := ex.L.(*ColRef)
+	rc, rok := ex.R.(*ColRef)
+	llit, llok := ex.L.(*Lit)
+	rlit, rlok := ex.R.(*Lit)
+	n := ch.NumRows()
+	cmp := func(c int) bool {
+		switch ex.Op {
+		case "=":
+			return c == 0
+		case "!=":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+	switch {
+	case lok && rlok:
+		col := ch.Cols[lc.Index]
+		return compareColLit(col, rlit.Value, n, cmp, false)
+	case rok && llok:
+		col := ch.Cols[rc.Index]
+		return compareColLit(col, llit.Value, n, cmp, true)
+	case lok && rok:
+		a, b := ch.Cols[lc.Index], ch.Cols[rc.Index]
+		if a.Kind != b.Kind {
+			return nil, false, nil
+		}
+		out := make([]bool, n)
+		switch a.Kind {
+		case data.KindInt:
+			for i := 0; i < n; i++ {
+				if a.IsNull(i) || b.IsNull(i) {
+					continue
+				}
+				out[i] = cmp(compareInt(a.Ints[i], b.Ints[i]))
+			}
+		case data.KindFloat:
+			for i := 0; i < n; i++ {
+				if a.IsNull(i) || b.IsNull(i) {
+					continue
+				}
+				out[i] = cmp(compareFloat(a.Floats[i], b.Floats[i]))
+			}
+		case data.KindString:
+			for i := 0; i < n; i++ {
+				if a.IsNull(i) || b.IsNull(i) {
+					continue
+				}
+				out[i] = cmp(compareStr(a.Strs[i], b.Strs[i]))
+			}
+		default:
+			return nil, false, nil
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+func compareColLit(col *data.Column, lit data.Value, n int, cmp func(int) bool, flip bool) ([]bool, bool, error) {
+	apply := func(c int) bool {
+		if flip {
+			c = -c
+		}
+		return cmp(c)
+	}
+	out := make([]bool, n)
+	switch {
+	case col.Kind == data.KindInt && (lit.Kind == data.KindInt || lit.Kind == data.KindBool):
+		v := lit.I
+		for i := 0; i < n; i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			out[i] = apply(compareInt(col.Ints[i], v))
+		}
+	case col.Kind == data.KindFloat && lit.Kind == data.KindFloat:
+		v := lit.F
+		for i := 0; i < n; i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			out[i] = apply(compareFloat(col.Floats[i], v))
+		}
+	case col.Kind == data.KindFloat && lit.Kind == data.KindInt:
+		v := float64(lit.I)
+		for i := 0; i < n; i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			out[i] = apply(compareFloat(col.Floats[i], v))
+		}
+	case col.Kind == data.KindInt && lit.Kind == data.KindFloat:
+		v := lit.F
+		for i := 0; i < n; i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			out[i] = apply(compareFloat(float64(col.Ints[i]), v))
+		}
+	case col.Kind == data.KindString && lit.Kind == data.KindString:
+		v := lit.S
+		for i := 0; i < n; i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			out[i] = apply(compareStr(col.Strs[i], v))
+		}
+	default:
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

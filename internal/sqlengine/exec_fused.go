@@ -1,0 +1,198 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+)
+
+// The two plan operators QFusor's rewriter injects (§5.4, path 2: the
+// rewritten plan is dispatched straight to the execution engine).
+
+const (
+	// OpFused runs a fused wrapper UDF over its child's columns; it may
+	// change cardinality (offloaded filters/expands/distinct run inside).
+	OpFused PlanOp = 100 + iota
+	// OpFusedAgg computes group ids engine-side (the exported internal
+	// group-by) and folds a fused aggregating wrapper per group.
+	OpFusedAgg
+)
+
+func init() {
+	// Extend the operator printer for the fused ops.
+	fusedOpNames[OpFused] = "Fused"
+	fusedOpNames[OpFusedAgg] = "FusedAgg"
+}
+
+var fusedOpNames = map[PlanOp]string{}
+
+// execFusedColumnar executes OpFused/OpFusedAgg in the vectorized
+// executors.
+func (e *Engine) execFusedColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	in, err := e.execPlan(p.Children[0], ectx)
+	if err != nil {
+		return nil, err
+	}
+	return e.runFused(p, in)
+}
+
+// runFusedAsTable executes a fused wrapper invoked through table-
+// function syntax (the SQL produced by rewrite path 1): every child
+// column feeds the wrapper in order.
+func (e *Engine) runFusedAsTable(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+	proxy := &Plan{Op: OpFused, UDF: p.UDF, Schema: p.Schema, Quals: p.Quals,
+		NoPartition: p.NoPartition, EstRows: p.EstRows}
+	for i := range in.Cols {
+		proxy.TFArgs = append(proxy.TFArgs, &ColRef{Name: in.Cols[i].Name, Index: i})
+	}
+	return e.runFused(proxy, in)
+}
+
+// runFused applies the fused wrapper over a materialized input chunk.
+func (e *Engine) runFused(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+	n := in.NumRows()
+	args := make([]*data.Column, len(p.TFArgs))
+	for i, a := range p.TFArgs {
+		cr, ok := a.(*ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: fused input must be a column ref, got %T", a)
+		}
+		if cr.Index < 0 || cr.Index >= len(in.Cols) {
+			return nil, fmt.Errorf("sql: fused input %s out of range", cr)
+		}
+		args[i] = in.Cols[cr.Index]
+	}
+	names := p.Schema.Names()
+	kinds := make([]data.Kind, len(p.Schema))
+	for i, f := range p.Schema {
+		kinds[i] = f.Kind
+	}
+	if p.Op == OpFused {
+		if p.NoPartition {
+			cols, err := ffi.CallFusedVector(p.UDF, args, n, names, kinds)
+			if err != nil {
+				return nil, err
+			}
+			return data.NewChunk(cols...), nil
+		}
+		// Stateless fused wrappers are embarrassingly parallel over row
+		// ranges (like the engine's own vectorized operators).
+		argChunk := data.NewChunk(args...)
+		return e.runPartitioned(argChunk, n, func(part *data.Chunk) (*data.Chunk, error) {
+			cols, err := ffi.CallFusedVector(p.UDF, part.Cols, part.NumRows(), names, kinds)
+			if err != nil {
+				return nil, err
+			}
+			return data.NewChunk(cols...), nil
+		})
+	}
+	// OpFusedAgg with a compiled trace: grouping happens inside the
+	// trace (after fused filters) via the native group-by export.
+	if tr := p.UDF.Trace; tr != nil {
+		// Mergeable aggregates run as per-partition partials across the
+		// engine's workers (partial aggregation + merge).
+		if e.Parallelism > 1 && !p.NoPartition && tr.Mergeable() && n > 2*e.Parallelism {
+			argChunk := data.NewChunk(args...)
+			per := (n + e.Parallelism - 1) / e.Parallelism
+			type part struct {
+				cols []*data.Column
+				err  error
+			}
+			parts := make([]part, 0, e.Parallelism)
+			done := make(chan int, e.Parallelism)
+			for lo := 0; lo < n; lo += per {
+				hi := lo + per
+				if hi > n {
+					hi = n
+				}
+				parts = append(parts, part{})
+				go func(i, lo, hi int) {
+					sub := argChunk.Slice(lo, hi)
+					cols, err := ffi.RunTraceAgg(p.UDF, tr, sub.Cols, hi-lo, names, kinds)
+					parts[i].cols, parts[i].err = cols, err
+					done <- i
+				}(len(parts)-1, lo, hi)
+			}
+			for range parts {
+				<-done
+			}
+			all := make([][]*data.Column, len(parts))
+			for i, pt := range parts {
+				if pt.err != nil {
+					return nil, pt.err
+				}
+				all[i] = pt.cols
+			}
+			return data.NewChunk(ffi.MergeTraceAggPartials(tr, all, names, kinds)...), nil
+		}
+		cols, err := ffi.RunTraceAgg(p.UDF, tr, args, n, names, kinds)
+		if err != nil {
+			return nil, err
+		}
+		return data.NewChunk(cols...), nil
+	}
+	// Legacy path (PyLite aggregate wrapper): engine-side grouping,
+	// fused fold. Only reachable for sections without fused filters.
+	nKeys := len(p.GroupBy)
+	groupIDs := make([]int, n)
+	var groupRows []int
+	if nKeys == 0 {
+		groupRows = []int{0}
+		if n == 0 {
+			groupRows = nil
+		}
+	} else {
+		keyVecs := make([][]data.Value, nKeys)
+		for i, k := range p.GroupBy {
+			v, err := e.evalVec(k, in)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		seen := make(map[string]int)
+		for i := 0; i < n; i++ {
+			var kb []byte
+			for _, kv := range keyVecs {
+				kb = append(kb, kv[i].Key()...)
+				kb = append(kb, 0)
+			}
+			k := string(kb)
+			gid, ok := seen[k]
+			if !ok {
+				gid = len(groupRows)
+				seen[k] = gid
+				groupRows = append(groupRows, i)
+			}
+			groupIDs[i] = gid
+		}
+		defer func() { _ = keyVecs }()
+		g := len(groupRows)
+		aggCols, err := ffi.CallFusedAggVector(p.UDF, args, n, groupIDs, g,
+			names[nKeys:], kinds[nKeys:])
+		if err != nil {
+			return nil, err
+		}
+		out := data.EmptyChunk(p.Schema)
+		for ki := 0; ki < nKeys; ki++ {
+			for _, r := range groupRows {
+				out.Cols[ki].AppendValue(keyVecs[ki][r])
+			}
+		}
+		for i, c := range aggCols {
+			out.Cols[nKeys+i] = c
+			c.Name = p.Schema[nKeys+i].Name
+		}
+		return out, nil
+	}
+	g := len(groupRows)
+	if g == 0 {
+		g = 1
+	}
+	aggCols, err := ffi.CallFusedAggVector(p.UDF, args, n, groupIDs, g, names, kinds)
+	if err != nil {
+		return nil, err
+	}
+	return data.NewChunk(aggCols...), nil
+}

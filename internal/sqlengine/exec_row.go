@@ -1,0 +1,458 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"qfusor/internal/data"
+)
+
+// execRowPlan runs the plan through the Volcano-style tuple-at-a-time
+// executor (SQLite/PostgreSQL model): every operator pulls one row at a
+// time, every UDF call crosses the boundary per tuple.
+func (e *Engine) execRowPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	it, err := e.buildRowIter(p, ectx)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := data.EmptyChunk(p.Schema)
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		for i, c := range out.Cols {
+			if i < len(row) {
+				c.AppendValue(row[i])
+			} else {
+				c.AppendNull()
+			}
+		}
+	}
+}
+
+// rowIter is the Volcano iterator protocol.
+type rowIter interface {
+	Next() ([]data.Value, bool, error)
+	Close()
+}
+
+func (e *Engine) buildRowIter(p *Plan, ectx *execCtx) (rowIter, error) {
+	switch p.Op {
+	case OpScan:
+		t, ok := e.Catalog.Table(p.Table)
+		if !ok {
+			if ch, ok := ectx.ctes[lower(p.Table)]; ok {
+				return &chunkIter{ch: ch}, nil
+			}
+			return nil, errNoSuchTable(p.Table)
+		}
+		return &chunkIter{ch: t.Chunk()}, nil
+	case OpCTERef:
+		ch, ok := ectx.ctes[lower(p.Table)]
+		if !ok {
+			return nil, fmt.Errorf("sql: CTE %s not materialized", p.Table)
+		}
+		return &chunkIter{ch: ch}, nil
+	case OpProject:
+		if len(p.Children) == 0 {
+			return &projectIter{eng: e, plan: p, child: &chunkIter{ch: oneRowChunk()}}, nil
+		}
+		child, err := e.buildRowIter(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{eng: e, plan: p, child: child}, nil
+	case OpFilter:
+		child, err := e.buildRowIter(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{eng: e, pred: p.Exprs[0], child: child}, nil
+	case OpJoin:
+		return e.buildJoinIter(p, ectx)
+	case OpAggregate, OpSort, OpDistinct, OpUnion, OpTableFunc:
+		// Blocking (or engine-side) operators reuse the columnar
+		// implementations over the drained child; rows then stream out.
+		ch, err := e.execBlockingRow(p, ectx)
+		if err != nil {
+			return nil, err
+		}
+		return &chunkIter{ch: ch}, nil
+	case OpLimit:
+		child, err := e.buildRowIter(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, limit: p.LimitN, offset: p.OffsetN}, nil
+	case OpExpand:
+		child, err := e.buildRowIter(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		return &expandIter{eng: e, plan: p, child: child}, nil
+	case OpFused, OpFusedAgg:
+		// Fused wrappers are vectorized by construction; tuple engines
+		// materialize the child first (the paper's temp-table
+		// decomposition on SQLite), then stream the fused output.
+		in, err := e.execRowPlan(p.Children[0], ectx)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := e.runFused(p, in)
+		if err != nil {
+			return nil, err
+		}
+		return &chunkIter{ch: ch}, nil
+	}
+	return nil, fmt.Errorf("sql: row executor: unsupported op %s", p.Op)
+}
+
+// execBlockingRow drains children tuple-at-a-time, then runs the
+// blocking operator's columnar implementation on the materialized input.
+func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	drain := func(c *Plan) (*data.Chunk, error) {
+		return e.execRowPlan(c, ectx)
+	}
+	switch p.Op {
+	case OpAggregate:
+		in, err := drain(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return e.aggregateChunk(p, in)
+	case OpSort:
+		in, err := drain(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return e.sortChunk(p, in)
+	case OpDistinct:
+		in, err := drain(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return distinctChunk(in), nil
+	case OpUnion:
+		l, err := drain(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := drain(p.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		out := data.EmptyChunk(p.Schema)
+		for i, c := range out.Cols {
+			c.AppendColumn(l.Cols[i])
+			c.AppendColumn(r.Cols[i])
+		}
+		if !p.UnionAll {
+			return distinctChunk(out), nil
+		}
+		return out, nil
+	case OpTableFunc:
+		in, err := drain(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		if p.UDF.Fused {
+			return e.runFusedAsTable(p, in)
+		}
+		extra := make([]data.Value, len(p.TFArgs))
+		for i, a := range p.TFArgs {
+			v, err := e.evalRow(a, nil)
+			if err != nil {
+				return nil, err
+			}
+			extra[i] = v
+		}
+		out, err := e.Invoker.CallTable(p.UDF, in, extra)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range out.Cols {
+			if i < len(p.Schema) {
+				c.Name = p.Schema[i].Name
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sql: not a blocking op: %s", p.Op)
+}
+
+// chunkIter streams a materialized chunk row by row (boxing per tuple).
+type chunkIter struct {
+	ch  *data.Chunk
+	pos int
+}
+
+func (it *chunkIter) Next() ([]data.Value, bool, error) {
+	if it.pos >= it.ch.NumRows() {
+		return nil, false, nil
+	}
+	row := it.ch.Row(it.pos)
+	it.pos++
+	return row, true, nil
+}
+
+func (it *chunkIter) Close() {}
+
+type projectIter struct {
+	eng   *Engine
+	plan  *Plan
+	child rowIter
+}
+
+func (it *projectIter) Next() ([]data.Value, bool, error) {
+	in, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make([]data.Value, len(it.plan.Exprs))
+	for i, ex := range it.plan.Exprs {
+		v, err := it.eng.evalRow(ex, in)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) Close() { it.child.Close() }
+
+type filterIter struct {
+	eng   *Engine
+	pred  SQLExpr
+	child rowIter
+}
+
+func (it *filterIter) Next() ([]data.Value, bool, error) {
+	for {
+		in, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := it.eng.evalRow(it.pred, in)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Truthy() {
+			return in, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.child.Close() }
+
+type limitIter struct {
+	child   rowIter
+	limit   int64
+	offset  int64
+	emitted int64
+	skipped int64
+}
+
+func (it *limitIter) Next() ([]data.Value, bool, error) {
+	for it.skipped < it.offset {
+		_, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.skipped++
+	}
+	if it.emitted >= it.limit {
+		return nil, false, nil
+	}
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.emitted++
+	return row, true, nil
+}
+
+func (it *limitIter) Close() { it.child.Close() }
+
+// expandIter applies an expand UDF per input row, buffering its output.
+type expandIter struct {
+	eng   *Engine
+	plan  *Plan
+	child rowIter
+
+	buf [][]data.Value
+	pos int
+}
+
+func (it *expandIter) Next() ([]data.Value, bool, error) {
+	for it.pos >= len(it.buf) {
+		in, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		args := make([]*data.Column, len(it.plan.TFArgs))
+		for i, a := range it.plan.TFArgs {
+			cr, ok := a.(*ColRef)
+			if !ok {
+				return nil, false, fmt.Errorf("sql: expand arg must be a column ref")
+			}
+			kind := data.KindString
+			if i < len(it.plan.UDF.InKinds) {
+				kind = it.plan.UDF.InKinds[i]
+			}
+			c := data.NewColumn(fmt.Sprintf("a%d", i), kind)
+			c.AppendValue(in[cr.Index])
+			args[i] = c
+		}
+		perRow, err := it.eng.Invoker.CallExpand(it.plan.UDF, args, 1)
+		if err != nil {
+			return nil, false, err
+		}
+		it.buf = it.buf[:0]
+		it.pos = 0
+		nKeep := len(it.plan.KeepCols)
+		for _, row := range perRow[0] {
+			out := make([]data.Value, len(it.plan.Schema))
+			for k, ci := range it.plan.KeepCols {
+				out[k] = in[ci]
+			}
+			for j := 0; j < len(it.plan.Schema)-nKeep; j++ {
+				if j < len(row) {
+					out[nKeep+j] = row[j]
+				}
+			}
+			it.buf = append(it.buf, out)
+		}
+	}
+	row := it.buf[it.pos]
+	it.pos++
+	return row, true, nil
+}
+
+func (it *expandIter) Close() { it.child.Close() }
+
+// buildJoinIter builds a hash join (materializing the right side) or a
+// nested loop for non-equi predicates.
+func (e *Engine) buildJoinIter(p *Plan, ectx *execCtx) (rowIter, error) {
+	left, err := e.buildRowIter(p.Children[0], ectx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.execRowPlan(p.Children[1], ectx)
+	if err != nil {
+		left.Close()
+		return nil, err
+	}
+	nl := len(p.Children[0].Schema)
+	leftKeys, rightKeys, residual := splitEquiJoin(p.JoinOn, nl)
+	ji := &joinIter{eng: e, plan: p, left: left, right: right, nl: nl,
+		leftKeys: leftKeys, rightKeys: rightKeys, residual: residual}
+	if len(leftKeys) > 0 {
+		ji.build = make(map[string][]int)
+		for j := 0; j < right.NumRows(); j++ {
+			k := joinKey(right, rightKeys, j)
+			ji.build[k] = append(ji.build[k], j)
+		}
+	}
+	return ji, nil
+}
+
+type joinIter struct {
+	eng       *Engine
+	plan      *Plan
+	left      rowIter
+	right     *data.Chunk
+	nl        int
+	leftKeys  []int
+	rightKeys []int
+	residual  []SQLExpr
+	build     map[string][]int
+
+	curLeft  []data.Value
+	matches  []int
+	matchPos int
+}
+
+func (it *joinIter) Next() ([]data.Value, bool, error) {
+	for {
+		for it.matchPos >= len(it.matches) {
+			row, ok, err := it.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.curLeft = row
+			it.matchPos = 0
+			if it.build != nil {
+				k := rowJoinKey(row, it.leftKeys)
+				it.matches = it.build[k]
+				if len(it.matches) == 0 && it.plan.JoinKind == "LEFT" {
+					it.matches = []int{-1}
+				}
+			} else {
+				// Nested loop: all right rows are candidates.
+				it.matches = it.matches[:0]
+				for j := 0; j < it.right.NumRows(); j++ {
+					it.matches = append(it.matches, j)
+				}
+			}
+		}
+		j := it.matches[it.matchPos]
+		it.matchPos++
+		out := make([]data.Value, len(it.plan.Schema))
+		copy(out, it.curLeft)
+		for c := range it.right.Cols {
+			if j < 0 {
+				out[it.nl+c] = data.Null
+			} else {
+				out[it.nl+c] = it.right.Cols[c].Get(j)
+			}
+		}
+		if it.plan.JoinOn != nil && it.build == nil && j >= 0 {
+			v, err := it.eng.evalRow(it.plan.JoinOn, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		if len(it.residual) > 0 && j >= 0 {
+			pass := true
+			for _, pr := range it.residual {
+				v, err := it.eng.evalRow(pr, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !v.Truthy() {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+		}
+		return out, true, nil
+	}
+}
+
+func (it *joinIter) Close() { it.left.Close() }
+
+func rowJoinKey(row []data.Value, keys []int) string {
+	if len(keys) == 1 {
+		v := row[keys[0]]
+		if v.Kind == data.KindString {
+			return v.S
+		}
+		return v.Key()
+	}
+	k := ""
+	for _, ci := range keys {
+		k += row[ci].Key() + "\x00"
+	}
+	return k
+}

@@ -1,0 +1,947 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qfusor/internal/data"
+)
+
+// ParseSQL parses one SQL statement.
+func ParseSQL(src string) (Statement, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if !p.at(sTokEOF) {
+		return nil, p.errf("unexpected trailing input %q", p.cur().Text)
+	}
+	return st, nil
+}
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+	src  string
+}
+
+func (p *sqlParser) cur() sqlToken  { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlToken { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) at(kind sqlTokKind) bool { return p.cur().Kind == kind }
+
+func (p *sqlParser) atKw(kw string) bool {
+	t := p.cur()
+	return t.Kind == sTokKeyword && t.Text == kw
+}
+
+func (p *sqlParser) atOp(op string) bool {
+	t := p.cur()
+	return t.Kind == sTokOp && t.Text == op
+}
+
+func (p *sqlParser) acceptKw(kw string) bool {
+	if p.atKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) acceptOp(op string) bool {
+	if p.atOp(op) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, got %q", op, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	if !p.at(sTokIdent) {
+		return "", p.errf("expected identifier, got %q", p.cur().Text)
+	}
+	return p.next().Text, nil
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) parseStatement() (Statement, error) {
+	switch {
+	case p.acceptKw("EXPLAIN"):
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: st}, nil
+	case p.atKw("SELECT") || p.atKw("WITH"):
+		return p.parseSelect()
+	case p.atKw("UPDATE"):
+		return p.parseUpdate()
+	case p.atKw("DELETE"):
+		return p.parseDelete()
+	case p.atKw("CREATE"):
+		return p.parseCreate()
+	case p.atKw("INSERT"):
+		return p.parseInsert()
+	}
+	return nil, p.errf("expected statement, got %q", p.cur().Text)
+}
+
+func (p *sqlParser) parseSelect() (*SelectStmt, error) {
+	st := &SelectStmt{Limit: -1}
+	if p.acceptKw("WITH") {
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			cte := CTE{Name: name}
+			if p.acceptOp("(") {
+				for {
+					col, err := p.expectIdent()
+					if err != nil {
+						return nil, err
+					}
+					cte.Columns = append(cte.Columns, col)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectKw("AS"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			cte.Query = sub
+			st.CTEs = append(st.CTEs, cte)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	core, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	st.Cores = append(st.Cores, core)
+	for {
+		var op string
+		switch {
+		case p.acceptKw("UNION"):
+			op = "UNION"
+			if p.acceptKw("ALL") {
+				op = "UNION ALL"
+			}
+		case p.acceptKw("EXCEPT"):
+			op = "EXCEPT"
+		case p.acceptKw("INTERSECT"):
+			op = "INTERSECT"
+		default:
+			goto tail
+		}
+		core, err = p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		st.Cores = append(st.Cores, core)
+		st.UnionOp = append(st.UnionOp, op)
+	}
+tail:
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		if !p.at(sTokNumber) {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, _ := strconv.ParseInt(p.next().Text, 10, 64)
+		st.Limit = n
+		if p.acceptKw("OFFSET") {
+			if !p.at(sTokNumber) {
+				return nil, p.errf("expected number after OFFSET")
+			}
+			o, _ := strconv.ParseInt(p.next().Text, 10, 64)
+			st.Offset = o
+		}
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseSelectCore() (*SelectCore, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	core := &SelectCore{}
+	if p.acceptKw("DISTINCT") {
+		core.Distinct = true
+	}
+	for {
+		item := SelectItem{}
+		if p.atOp("*") {
+			p.next()
+			item.Star = true
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = e
+			if p.acceptKw("AS") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.at(sTokIdent) {
+				item.Alias = p.next().Text
+			}
+		}
+		core.Items = append(core.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		core.From = append(core.From, fi)
+		for {
+			if p.acceptOp(",") {
+				fi, err := p.parseFromItem()
+				if err != nil {
+					return nil, err
+				}
+				core.From = append(core.From, fi)
+				continue
+			}
+			kind := ""
+			switch {
+			case p.acceptKw("JOIN"):
+				kind = "INNER"
+			case p.atKw("INNER"):
+				p.next()
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "INNER"
+			case p.atKw("LEFT"):
+				p.next()
+				p.acceptKw("OUTER")
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "LEFT"
+			case p.atKw("CROSS"):
+				p.next()
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "CROSS"
+			default:
+				goto whereClause
+			}
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			jc := JoinClause{Kind: kind, Item: fi}
+			if kind != "CROSS" {
+				if err := p.expectKw("ON"); err != nil {
+					return nil, err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				jc.On = on
+			}
+			core.Joins = append(core.Joins, jc)
+		}
+	}
+whereClause:
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			core.GroupBy = append(core.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Having = e
+	}
+	return core, nil
+}
+
+func (p *sqlParser) parseFromItem() (FromItem, error) {
+	var fi FromItem
+	switch {
+	case p.acceptOp("("):
+		sub, err := p.parseSelect()
+		if err != nil {
+			return fi, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return fi, err
+		}
+		fi.Subquery = sub
+	case p.at(sTokIdent):
+		name := p.next().Text
+		if p.atOp("(") { // table function
+			p.next()
+			fn := &FuncExpr{Name: name}
+			for !p.atOp(")") {
+				// A nested SELECT as a table-function argument (the
+				// paper's tudf((SELECT col FROM t)) pattern).
+				if p.atOp("(") && p.toks[p.pos+1].Kind == sTokKeyword &&
+					(p.toks[p.pos+1].Text == "SELECT" || p.toks[p.pos+1].Text == "WITH") {
+					p.next()
+					sub, err := p.parseSelect()
+					if err != nil {
+						return fi, err
+					}
+					if err := p.expectOp(")"); err != nil {
+						return fi, err
+					}
+					fn.Args = append(fn.Args, &subqueryArg{Query: sub})
+				} else if p.atKw("SELECT") || p.atKw("WITH") {
+					sub, err := p.parseSelect()
+					if err != nil {
+						return fi, err
+					}
+					fn.Args = append(fn.Args, &subqueryArg{Query: sub})
+				} else {
+					a, err := p.parseExpr()
+					if err != nil {
+						return fi, err
+					}
+					fn.Args = append(fn.Args, a)
+				}
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return fi, err
+			}
+			fi.Func = fn
+		} else {
+			fi.Table = name
+		}
+	default:
+		return fi, p.errf("expected table reference, got %q", p.cur().Text)
+	}
+	if p.acceptKw("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return fi, err
+		}
+		fi.Alias = a
+	} else if p.at(sTokIdent) {
+		fi.Alias = p.next().Text
+	}
+	return fi, nil
+}
+
+// subqueryArg is a SELECT used as a table-function argument.
+type subqueryArg struct {
+	Query *SelectStmt
+}
+
+func (*subqueryArg) exprNode()        {}
+func (s *subqueryArg) String() string { return "(subquery)" }
+
+func (p *sqlParser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		st.Exprs = append(st.Exprs, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(sTokIdent) && !p.at(sTokKeyword) {
+			return nil, p.errf("expected type name for column %s", col)
+		}
+		typ := p.next().Text
+		kind, err := data.KindFromName(typ)
+		if err != nil {
+			return nil, p.errf("column %s: %v", col, err)
+		}
+		st.Schema = append(st.Schema, data.Field{Name: col, Kind: kind})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.atKw("SELECT") || p.atKw("WITH") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []SQLExpr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// ---- expression parsing ----
+
+func (p *sqlParser) parseExpr() (SQLExpr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (SQLExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAnd() (SQLExpr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseNot() (SQLExpr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sqlParser) parseComparison() (SQLExpr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atOp("=") || p.atOp("<") || p.atOp(">") || p.atOp("<=") || p.atOp(">=") || p.atOp("!=") || p.atOp("<>"):
+			op := p.next().Text
+			if op == "<>" {
+				op = "!="
+			}
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinExpr{Op: op, L: left, R: right}
+		case p.atKw("LIKE"):
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinExpr{Op: "LIKE", L: left, R: right}
+		case p.atKw("NOT"):
+			// x NOT BETWEEN / NOT IN / NOT LIKE
+			save := p.pos
+			p.next()
+			switch {
+			case p.atKw("BETWEEN"):
+				p.next()
+				lo, err := p.parseAdd()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKw("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdd()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{E: left, Lo: lo, Hi: hi, Not: true}
+			case p.atKw("IN"):
+				p.next()
+				list, err := p.parseInList()
+				if err != nil {
+					return nil, err
+				}
+				left = &InExpr{E: left, List: list, Not: true}
+			case p.atKw("LIKE"):
+				p.next()
+				right, err := p.parseAdd()
+				if err != nil {
+					return nil, err
+				}
+				left = &UnaryExpr{Op: "NOT", E: &BinExpr{Op: "LIKE", L: left, R: right}}
+			default:
+				p.pos = save
+				return left, nil
+			}
+		case p.atKw("BETWEEN"):
+			p.next()
+			lo, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			left = &BetweenExpr{E: left, Lo: lo, Hi: hi}
+		case p.atKw("IN"):
+			p.next()
+			list, err := p.parseInList()
+			if err != nil {
+				return nil, err
+			}
+			left = &InExpr{E: left, List: list}
+		case p.atKw("IS"):
+			p.next()
+			not := p.acceptKw("NOT")
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{E: left, Not: not}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *sqlParser) parseInList() ([]SQLExpr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var list []SQLExpr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+func (p *sqlParser) parseAdd() (SQLExpr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") || p.atOp("||") {
+		op := p.next().Text
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseMul() (SQLExpr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.next().Text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseUnary() (SQLExpr, error) {
+	if p.atOp("-") {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if l, ok := e.(*Lit); ok {
+			switch l.Value.Kind {
+			case data.KindInt:
+				return &Lit{Value: data.Int(-l.Value.I)}, nil
+			case data.KindFloat:
+				return &Lit{Value: data.Float(-l.Value.F)}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.parseAtomExpr()
+}
+
+func (p *sqlParser) parseAtomExpr() (SQLExpr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case sTokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Lit{Value: data.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Lit{Value: data.Int(i)}, nil
+	case sTokString:
+		p.next()
+		return &Lit{Value: data.Str(t.Text)}, nil
+	case sTokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Lit{Value: data.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Lit{Value: data.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Lit{Value: data.Bool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AS"); err != nil {
+				return nil, err
+			}
+			if !p.at(sTokIdent) && !p.at(sTokKeyword) {
+				return nil, p.errf("expected type in CAST")
+			}
+			typ := p.next().Text
+			kind, err := data.KindFromName(typ)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{E: e, Kind: kind}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case sTokIdent:
+		p.next()
+		name := t.Text
+		if p.atOp("(") { // function call
+			p.next()
+			fn := &FuncExpr{Name: name}
+			if p.atOp("*") {
+				p.next()
+				fn.Star = true
+			} else {
+				p.acceptKw("DISTINCT") // COUNT(DISTINCT x) treated as COUNT(x)
+				for !p.atOp(")") {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, a)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fn, nil
+		}
+		if p.acceptOp(".") {
+			if p.atOp("*") {
+				p.next()
+				return &ColRef{Table: name, Name: "*", Index: -1}, nil
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Name: col, Index: -1}, nil
+		}
+		return &ColRef{Name: name, Index: -1}, nil
+	case sTokOp:
+		if t.Text == "(" {
+			p.next()
+			if p.atKw("SELECT") || p.atKw("WITH") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &subqueryArg{Query: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			p.next()
+			return &StarExpr{}, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.Text)
+}
+
+func (p *sqlParser) parseCase() (SQLExpr, error) {
+	p.next() // CASE
+	c := &CaseExpr{}
+	if !p.atKw("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, cond)
+		c.Thens = append(c.Thens, res)
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

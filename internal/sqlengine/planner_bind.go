@@ -1,0 +1,174 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"qfusor/internal/data"
+)
+
+// cloneExpr deep-copies an expression so binding never aliases the
+// parsed AST (plans may rebind the same source expression at different
+// schema levels).
+func cloneExpr(e SQLExpr) SQLExpr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColRef:
+		cp := *x
+		return &cp
+	case *Lit:
+		cp := *x
+		return &cp
+	case *FuncExpr:
+		cp := &FuncExpr{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			cp.Args = append(cp.Args, cloneExpr(a))
+		}
+		return cp
+	case *BinExpr:
+		return &BinExpr{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, E: cloneExpr(x.E)}
+	case *CaseExpr:
+		cp := &CaseExpr{Operand: cloneExpr(x.Operand), Else: cloneExpr(x.Else)}
+		for i := range x.Whens {
+			cp.Whens = append(cp.Whens, cloneExpr(x.Whens[i]))
+			cp.Thens = append(cp.Thens, cloneExpr(x.Thens[i]))
+		}
+		return cp
+	case *BetweenExpr:
+		return &BetweenExpr{E: cloneExpr(x.E), Lo: cloneExpr(x.Lo), Hi: cloneExpr(x.Hi), Not: x.Not}
+	case *InExpr:
+		cp := &InExpr{E: cloneExpr(x.E), Not: x.Not}
+		for _, it := range x.List {
+			cp.List = append(cp.List, cloneExpr(it))
+		}
+		return cp
+	case *IsNullExpr:
+		return &IsNullExpr{E: cloneExpr(x.E), Not: x.Not}
+	case *CastExpr:
+		return &CastExpr{E: cloneExpr(x.E), Kind: x.Kind}
+	case *StarExpr:
+		return &StarExpr{}
+	case *subqueryArg:
+		return x
+	}
+	return e
+}
+
+// bindExpr resolves every ColRef in e against the plan's schema.
+func (pl *planner) bindExpr(e SQLExpr, p *Plan) error {
+	var firstErr error
+	walkExpr(e, func(x SQLExpr) bool {
+		cr, ok := x.(*ColRef)
+		if !ok {
+			return true
+		}
+		idx := resolveCol(p, cr)
+		if idx < 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sql: no such column: %s (schema %s)", cr, p.Schema)
+			}
+			return false
+		}
+		cr.Index = idx
+		return true
+	})
+	return firstErr
+}
+
+// resolveCol finds the schema index of a column reference (-1 if absent).
+func resolveCol(p *Plan, cr *ColRef) int {
+	for i, f := range p.Schema {
+		if !strings.EqualFold(f.Name, cr.Name) {
+			continue
+		}
+		if cr.Table != "" && i < len(p.Quals) && !strings.EqualFold(p.Quals[i], cr.Table) {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// exprKind infers the output kind of a bound expression.
+func (pl *planner) exprKind(e SQLExpr, in *Plan) data.Kind {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Index >= 0 && x.Index < len(in.Schema) {
+			return in.Schema[x.Index].Kind
+		}
+		return data.KindString
+	case *Lit:
+		if x.Value.Kind == data.KindNull {
+			return data.KindString
+		}
+		return x.Value.Kind
+	case *FuncExpr:
+		if u, ok := pl.cat.UDF(x.Name); ok {
+			return u.OutKind()
+		}
+		switch strings.ToLower(x.Name) {
+		case "count", "length", "instr":
+			return data.KindInt
+		case "avg", "median", "round":
+			return data.KindFloat
+		case "sum", "min", "max", "abs", "coalesce", "ifnull", "nullif":
+			if len(x.Args) > 0 {
+				return pl.exprKind(x.Args[0], in)
+			}
+			return data.KindFloat
+		default:
+			return data.KindString
+		}
+	case *BinExpr:
+		switch x.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=", "LIKE":
+			return data.KindBool
+		case "||":
+			return data.KindString
+		default:
+			lk := pl.exprKind(x.L, in)
+			rk := pl.exprKind(x.R, in)
+			if lk == data.KindFloat || rk == data.KindFloat {
+				return data.KindFloat
+			}
+			if lk == data.KindString || rk == data.KindString {
+				return data.KindString
+			}
+			return data.KindInt
+		}
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return data.KindBool
+		}
+		return pl.exprKind(x.E, in)
+	case *CaseExpr:
+		for _, t := range x.Thens {
+			if lit, ok := t.(*Lit); ok && lit.Value.IsNull() {
+				continue
+			}
+			return pl.exprKind(t, in)
+		}
+		if x.Else != nil {
+			return pl.exprKind(x.Else, in)
+		}
+		return data.KindString
+	case *BetweenExpr, *InExpr, *IsNullExpr:
+		return data.KindBool
+	case *CastExpr:
+		return x.Kind
+	}
+	return data.KindString
+}
+
+// PlanStatement plans any supported statement kind into a Query plus a
+// tag describing the DML action ("" for pure SELECT).
+func PlanStatement(cat *Catalog, st Statement) (*Query, error) {
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: PlanStatement supports SELECT; use Engine.Exec for DML/DDL")
+	}
+	return PlanSelect(cat, sel)
+}

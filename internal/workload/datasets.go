@@ -1,0 +1,348 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"qfusor/internal/data"
+)
+
+// Size scales a dataset. The row counts are laptop-scale stand-ins for
+// the paper's multi-GB datasets; experiments report relative behaviour.
+type Size string
+
+const (
+	Tiny   Size = "tiny"
+	Small  Size = "small"
+	Medium Size = "medium"
+	Large  Size = "large"
+)
+
+// Factor converts a size into a row multiplier.
+func (s Size) Factor() int {
+	switch s {
+	case Tiny:
+		return 1
+	case Small:
+		return 4
+	case Medium:
+		return 12
+	case Large:
+		return 40
+	default:
+		return 1
+	}
+}
+
+// rng is a splitmix64 deterministic generator.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pick chooses one element.
+func pick[T any](r *rng, xs []T) T { return xs[r.intn(len(xs))] }
+
+var firstNames = []string{
+	"alice", "bob", "carol", "david", "eva", "frank", "georgia", "hans",
+	"irene", "jon", "katerina", "liam", "maria", "nikos", "olga", "pavel",
+	"quinn", "rosa", "stefan", "tina", "ursula", "viktor", "wei", "xenia",
+	"yannis", "zoe", "al", "bo", "cy", "di",
+}
+
+var lastNames = []string{
+	"smith", "jones", "papadopoulos", "mueller", "garcia", "rossi",
+	"kim", "chen", "ivanov", "silva", "dubois", "novak", "berg",
+	"costa", "marino", "weber", "laine", "moreau", "li", "okafor",
+	"tanaka", "petrov", "sanchez", "olsen", "vargas", "du", "ek", "ma",
+}
+
+var funders = []string{"EC", "NSF", "NIH", "ERC", "DFG", "UKRI"}
+var classes = []string{"H2020", "FP7", "HE", "STG", "ADG", "COG"}
+
+var techWords = []string{
+	"query", "optimization", "databases", "learning", "systems",
+	"distributed", "storage", "indexing", "vectorized", "compilation",
+	"streaming", "graphs", "analytics", "transactions", "caching",
+	"hashing", "networks", "scheduling", "modeling", "inference",
+	"processing", "encoding", "sampling", "mining", "clustering",
+}
+
+// dirtyDate renders a date in one of the paper's messy formats.
+func dirtyDate(r *rng) string {
+	y := 2008 + r.intn(16)
+	m := 1 + r.intn(12)
+	d := 1 + r.intn(28)
+	switch r.intn(4) {
+	case 0:
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	case 1:
+		return fmt.Sprintf("%04d/%d/%d", y, m, d)
+	case 2:
+		return fmt.Sprintf("%02d.%02d.%04d", d, m, y) // day-first
+	default:
+		return fmt.Sprintf("%04d%02d%02d", y, m, d)
+	}
+}
+
+func personName(r *rng) string {
+	n := pick(r, firstNames) + " " + pick(r, lastNames)
+	switch r.intn(5) {
+	case 0:
+		return strings.ToUpper(n[:1]) + n[1:]
+	case 1:
+		return strings.ToUpper(n)
+	default:
+		return n
+	}
+}
+
+func sentence(r *rng, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = pick(r, techWords)
+	}
+	return strings.Join(words, " ")
+}
+
+// UDFBenchData generates the publication tables: pubs (with JSON author
+// lists and project metadata) and artifacts.
+type UDFBenchData struct {
+	Pubs      *data.Table
+	Artifacts *data.Table
+}
+
+// GenUDFBench builds the UDFBench-style dataset at the given size.
+func GenUDFBench(size Size) *UDFBenchData {
+	f := size.Factor()
+	r := newRNG(0xbe9c4)
+	nPubs := 600 * f
+	nArt := 400 * f
+
+	pubs := data.NewTable("pubs", data.Schema{
+		{Name: "pubid", Kind: data.KindInt},
+		{Name: "pubdate", Kind: data.KindString},
+		{Name: "authors", Kind: data.KindString}, // JSON list
+		{Name: "project", Kind: data.KindString}, // JSON dict ("" = none)
+		{Name: "title", Kind: data.KindString},
+		{Name: "abstract", Kind: data.KindString},
+		{Name: "citations", Kind: data.KindInt},
+	})
+	nProjects := 20 + 5*f
+	for i := 0; i < nPubs; i++ {
+		na := 2 + r.intn(4)
+		authors := make([]string, na)
+		for a := range authors {
+			authors[a] = fmt.Sprintf("%q", personName(r))
+		}
+		project := ""
+		if r.intn(10) < 6 {
+			pid := r.intn(nProjects)
+			pr := newRNG(uint64(pid) * 7919)
+			startY := 2010 + pr.intn(10)
+			project = fmt.Sprintf(`{"id":"P%04d","funder":%q,"class":%q,"start":"%04d-01-01","end":"%04d-12-31"}`,
+				pid, pick(pr, funders), pick(pr, classes), startY, startY+2+pr.intn(3))
+		}
+		_ = pubs.AppendRow(
+			data.Int(int64(i)),
+			data.Str(dirtyDate(r)),
+			data.Str("["+strings.Join(authors, ",")+"]"),
+			data.Str(project),
+			data.Str(sentence(r, 4+r.intn(5))),
+			data.Str(sentence(r, 20+r.intn(30))),
+			data.Int(int64(r.intn(500))),
+		)
+	}
+
+	arts := data.NewTable("artifacts", data.Schema{
+		{Name: "aid", Kind: data.KindInt},
+		{Name: "cat", Kind: data.KindString},
+		{Name: "title", Kind: data.KindString},
+		{Name: "terms", Kind: data.KindString}, // comma separated
+		{Name: "vals", Kind: data.KindString},  // JSON int list
+		{Name: "score", Kind: data.KindFloat},
+		{Name: "created", Kind: data.KindString},
+	})
+	cats := []string{"dataset", "software", "model", "benchmark", "paper"}
+	for i := 0; i < nArt; i++ {
+		nt := 3 + r.intn(6)
+		terms := make([]string, nt)
+		for t := range terms {
+			w := pick(r, techWords)
+			if r.intn(6) == 0 {
+				w = w[:2] // short term to be cleansed away
+			}
+			terms[t] = w
+		}
+		nv := 2 + r.intn(6)
+		vals := make([]string, nv)
+		for v := range vals {
+			vals[v] = fmt.Sprint(r.intn(1000))
+		}
+		_ = arts.AppendRow(
+			data.Int(int64(i)),
+			data.Str(pick(r, cats)),
+			data.Str(sentence(r, 5+r.intn(4))),
+			data.Str(strings.Join(terms, ", ")),
+			data.Str("["+strings.Join(vals, ",")+"]"),
+			data.Float(float64(r.intn(10000))/100),
+			data.Str(dirtyDate(r)),
+		)
+	}
+	return &UDFBenchData{Pubs: pubs, Artifacts: arts}
+}
+
+// GenZillow builds the Zillow-style listings table.
+func GenZillow(size Size) *data.Table {
+	f := size.Factor()
+	r := newRNG(0x211103)
+	n := 1500 * f
+	t := data.NewTable("listings", data.Schema{
+		{Name: "url", Kind: data.KindString},
+		{Name: "title", Kind: data.KindString},
+		{Name: "address", Kind: data.KindString},
+		{Name: "city", Kind: data.KindString},
+		{Name: "state", Kind: data.KindString},
+		{Name: "price", Kind: data.KindString},
+		{Name: "facts", Kind: data.KindString},
+		{Name: "offer", Kind: data.KindString},
+	})
+	cities := []string{"boston", "NEW YORK", "seattle", " austin ", "Denver", "chicago", "MIAMI", "portland"}
+	states := []string{"MA", "NY", "WA", "TX", "CO", "IL", "FL", "OR"}
+	kinds := []string{"Condo", "House", "Apartment", "Townhome", "Single family home"}
+	offers := []string{"for sale", "For Rent", "recently sold", "foreclosure", "FOR SALE"}
+	streets := []string{"Main St", "Oak Ave", "Pine Rd", "Elm Dr", "Maple Ln", "Cedar Ct"}
+	for i := 0; i < n; i++ {
+		ci := r.intn(len(cities))
+		bd := 1 + r.intn(5)
+		ba := 1 + r.intn(3)
+		sqft := 400 + r.intn(4200)
+		priceV := 80 + r.intn(2800)
+		var price string
+		switch r.intn(3) {
+		case 0:
+			price = fmt.Sprintf("$%d,%03d", priceV, r.intn(1000))
+		case 1:
+			price = fmt.Sprintf("$%d.%dK", priceV, r.intn(10))
+		default:
+			price = fmt.Sprintf("$%d.%02dM", priceV/100, r.intn(100))
+		}
+		facts := fmt.Sprintf("%d bd, %d ba , %s sqft", bd, ba, withComma(sqft))
+		_ = t.AppendRow(
+			data.Str(fmt.Sprintf("https://www.zillow.com/homedetails/%s/%d_zpid/", strings.ReplaceAll(strings.TrimSpace(cities[ci]), " ", "-"), 10000000+i)),
+			data.Str(fmt.Sprintf("%s %s", pick(r, kinds), pick(r, offers))),
+			data.Str(fmt.Sprintf("%d %s, %s, %s %05d", 1+r.intn(999), pick(r, streets), strings.TrimSpace(cities[ci]), states[ci], 10000+r.intn(89999))),
+			data.Str(cities[ci]),
+			data.Str(states[ci]),
+			data.Str(price),
+			data.Str(facts),
+			data.Str(pick(r, offers)),
+		)
+	}
+	return t
+}
+
+func withComma(v int) string {
+	if v < 1000 {
+		return fmt.Sprint(v)
+	}
+	return fmt.Sprintf("%d,%03d", v/1000, v%1000)
+}
+
+// GenWeld builds the Weld comparison datasets: population (numeric) and
+// a dirty-values table for data_cleaning.
+func GenWeld(size Size) (population, dirty *data.Table) {
+	f := size.Factor()
+	r := newRNG(0x77e1d)
+	n := 4000 * f
+
+	population = data.NewTable("population", data.Schema{
+		{Name: "city", Kind: data.KindString},
+		{Name: "state", Kind: data.KindString},
+		{Name: "population", Kind: data.KindInt},
+		{Name: "area", Kind: data.KindFloat},
+		{Name: "growth", Kind: data.KindFloat},
+	})
+	states := []string{"MA", "NY", "WA", "TX", "CO", "IL", "FL", "OR", "CA", "AZ"}
+	for i := 0; i < n; i++ {
+		_ = population.AppendRow(
+			data.Str(fmt.Sprintf("city%06d", i)),
+			data.Str(pick(r, states)),
+			data.Int(int64(1000+r.intn(5_000_000))),
+			data.Float(float64(r.intn(100000))/10),
+			data.Float(float64(r.intn(2500))/10-25),
+		)
+	}
+
+	dirty = data.NewTable("dirty", data.Schema{
+		{Name: "id", Kind: data.KindInt},
+		{Name: "f1", Kind: data.KindString},
+		{Name: "f2", Kind: data.KindString},
+		{Name: "f3", Kind: data.KindString},
+	})
+	dirtyVal := func() string {
+		switch r.intn(8) {
+		case 0:
+			return "?"
+		case 1:
+			return "NA"
+		case 2:
+			return "null"
+		case 3:
+			return fmt.Sprintf(" %d ", r.intn(10000))
+		case 4:
+			return fmt.Sprintf("%d.0", r.intn(10000))
+		default:
+			return fmt.Sprint(r.intn(10000))
+		}
+	}
+	for i := 0; i < n; i++ {
+		_ = dirty.AppendRow(data.Int(int64(i)), data.Str(dirtyVal()),
+			data.Str(dirtyVal()), data.Str(dirtyVal()))
+	}
+	return population, dirty
+}
+
+// GenUDO builds the UDO comparison datasets: arrays (JSON int lists)
+// and docs (text rows for contains-database).
+func GenUDO(size Size) (arrays, docs *data.Table) {
+	f := size.Factor()
+	r := newRNG(0xd0)
+	n := 2500 * f
+
+	arrays = data.NewTable("arrays", data.Schema{
+		{Name: "id", Kind: data.KindInt},
+		{Name: "vals", Kind: data.KindString},
+	})
+	for i := 0; i < n; i++ {
+		nv := 1 + r.intn(8)
+		vals := make([]string, nv)
+		for v := range vals {
+			vals[v] = fmt.Sprint(r.intn(100000))
+		}
+		_ = arrays.AppendRow(data.Int(int64(i)), data.Str("["+strings.Join(vals, ",")+"]"))
+	}
+
+	docs = data.NewTable("docs", data.Schema{
+		{Name: "id", Kind: data.KindInt},
+		{Name: "text", Kind: data.KindString},
+	})
+	for i := 0; i < n; i++ {
+		s := sentence(r, 10+r.intn(20))
+		if r.intn(5) == 0 {
+			s += " database systems"
+		}
+		_ = docs.AppendRow(data.Int(int64(i)), data.Str(s))
+	}
+	return arrays, docs
+}

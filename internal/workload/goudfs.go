@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"qfusor/internal/data"
+	"qfusor/internal/engines"
+	"qfusor/internal/ffi"
+)
+
+// Native ("C") UDF implementations: the mdb/c-udf baseline of Fig. 4 —
+// UDFs written in the engine's own language, running in-process with no
+// interpreter. Semantically identical to their PyLite twins.
+
+func strArg(args []data.Value, i int) (string, bool) {
+	if i >= len(args) || args[i].IsNull() {
+		return "", false
+	}
+	return args[i].String(), true
+}
+
+// goScalar wraps a native string function with NULL pass-through.
+func goScalar(fn func(string) data.Value) func([]data.Value) (data.Value, error) {
+	return func(args []data.Value) (data.Value, error) {
+		s, ok := strArg(args, 0)
+		if !ok {
+			return data.Null, nil
+		}
+		return fn(s), nil
+	}
+}
+
+var zpidRe = regexp.MustCompile(`([0-9]+)_zpid`)
+
+// nativeUDFs maps UDF names to native implementations.
+func nativeUDFs() map[string]func([]data.Value) (data.Value, error) {
+	return map[string]func([]data.Value) (data.Value, error){
+		"lower": goScalar(func(s string) data.Value { return data.Str(strings.ToLower(s)) }),
+		"cleandate": goScalar(func(s string) data.Value {
+			s = strings.ReplaceAll(strings.ReplaceAll(strings.TrimSpace(s), "/", "-"), ".", "-")
+			parts := strings.Split(s, "-")
+			if len(parts) == 3 {
+				y, m, d := parts[0], parts[1], parts[2]
+				if len(y) != 4 && len(d) == 4 {
+					y, d = d, y
+				}
+				return data.Str(y + "-" + pad2(m) + "-" + pad2(d))
+			}
+			if len(parts) == 1 && len(s) == 8 && isDigits(s) {
+				return data.Str(s[0:4] + "-" + s[4:6] + "-" + s[6:8])
+			}
+			return data.Str(s)
+		}),
+		"extractmonth": goScalar(func(s string) data.Value {
+			s = strings.ReplaceAll(s, "/", "-")
+			parts := strings.Split(s, "-")
+			if len(parts) >= 2 {
+				if m, err := strconv.ParseInt(parts[1], 10, 64); err == nil {
+					return data.Int(m)
+				}
+			}
+			return data.Null
+		}),
+		"extractfunder": goScalar(func(s string) data.Value { return jsonField(s, "funder") }),
+		"extractclass":  goScalar(func(s string) data.Value { return jsonField(s, "class") }),
+		"extractid":     goScalar(func(s string) data.Value { return jsonField(s, "id") }),
+		"extractstart":  goScalar(func(s string) data.Value { return jsonField(s, "start") }),
+		"extractend":    goScalar(func(s string) data.Value { return jsonField(s, "end") }),
+		"jpack": goScalar(func(s string) data.Value {
+			var toks []data.Value
+			for _, w := range strings.Fields(strings.ToLower(s)) {
+				toks = append(toks, data.Str(w))
+			}
+			return data.Str(data.MarshalJSONValue(data.NewList(toks)))
+		}),
+		"jsoncount": goScalar(func(s string) data.Value {
+			v, err := data.UnmarshalJSONValue(s)
+			if err != nil || v.List() == nil {
+				return data.Null
+			}
+			return data.Int(int64(len(v.List().Items)))
+		}),
+		"hostname": goScalar(func(s string) data.Value {
+			s = strings.TrimPrefix(strings.TrimPrefix(s, "https://"), "http://")
+			return data.Str(strings.SplitN(s, "/", 2)[0])
+		}),
+		"urldepth": goScalar(func(s string) data.Value {
+			s = strings.TrimPrefix(strings.TrimPrefix(s, "https://"), "http://")
+			n := 0
+			for _, p := range strings.Split(s, "/") {
+				if p != "" {
+					n++
+				}
+			}
+			return data.Int(int64(n - 1))
+		}),
+		"extracturlid": goScalar(func(s string) data.Value {
+			m := zpidRe.FindStringSubmatch(s)
+			if m == nil {
+				return data.Null
+			}
+			v, _ := strconv.ParseInt(m[1], 10, 64)
+			return data.Int(v)
+		}),
+	}
+}
+
+func pad2(s string) string {
+	if len(s) == 1 {
+		return "0" + s
+	}
+	return s
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func jsonField(s, key string) data.Value {
+	if s == "" {
+		return data.Null
+	}
+	v, err := data.UnmarshalJSONValue(s)
+	if err != nil {
+		return data.Null
+	}
+	d := v.Dict()
+	if d == nil {
+		return data.Null
+	}
+	out, ok := d.Get(key)
+	if !ok {
+		return data.Null
+	}
+	return out
+}
+
+// InstallNativeUDFs overrides the named UDFs on an instance with native
+// Go implementations (the C-UDF engine baseline). UDFs without a native
+// twin keep their PyLite implementation.
+func InstallNativeUDFs(in *engines.Instance) {
+	impls := nativeUDFs()
+	for name, fn := range impls {
+		u, ok := in.Eng.Catalog.UDF(name)
+		if !ok {
+			u = &ffi.UDF{Name: name, Kind: ffi.Scalar,
+				InKinds:  []data.Kind{data.KindString},
+				OutKinds: []data.Kind{data.KindString}}
+			in.Eng.Catalog.PutUDF(u)
+		}
+		u.GoFn = fn
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import "fmt"
+
+// The evaluation queries. Numbering follows the paper's experiment
+// sections (Figure 4's query table): Q1–Q3 UDFBench, Q4–Q7 UDF-type
+// micro benchmarks, Q8 offloading, Q9/Q10 physical optimization,
+// Q11–Q14 Zillow, Q15/Q16 Weld, Q17/Q18 UDO.
+
+// Q1: three scalar UDFs over independent columns — no beneficial fusion
+// opportunity (QC-1).
+const Q1 = `
+SELECT cleandate(pubdate) AS day, lower(title) AS t, extractfunder(project) AS f
+FROM pubs`
+
+// Q2: complex relational logic blended with scalar UDFs (QC-2).
+const Q2 = `
+SELECT funder, COUNT(*) AS pubs, SUM(citations) AS cites
+FROM (SELECT extractfunder(project) AS funder, cleandate(pubdate) AS day, citations
+      FROM pubs) AS p
+WHERE day >= '2012-01-01' AND funder IS NOT NULL
+GROUP BY funder
+ORDER BY funder`
+
+// Q3: the paper's running example (Fig. 1) — author-pair collaboration
+// before/during/after each project.
+const Q3 = `
+WITH pairs(pubid, pubdate, projectstart, projectend, funder, class, projectid, authorpair) AS (
+    SELECT pubid, pubdate,
+           extractstart(project),
+           extractend(project),
+           extractfunder(project),
+           extractclass(project),
+           extractid(project),
+           combinations(jsort(jsortvalues(removeshortterms(lower(authors)))), 2) AS authorpair
+    FROM pubs
+)
+SELECT projectpairs.funder, projectpairs.class, projectpairs.projectid,
+       SUM(CASE WHEN cleandate(pairs.pubdate) BETWEEN projectpairs.projectstart AND projectpairs.projectend
+                THEN 1 ELSE NULL END) AS authors_during,
+       SUM(CASE WHEN cleandate(pairs.pubdate) < projectpairs.projectstart
+                THEN 1 ELSE NULL END) AS authors_before,
+       SUM(CASE WHEN cleandate(pairs.pubdate) > projectpairs.projectend
+                THEN 1 ELSE NULL END) AS authors_after
+FROM (SELECT * FROM pairs WHERE projectid IS NOT NULL) AS projectpairs, pairs
+WHERE projectpairs.authorpair = pairs.authorpair
+GROUP BY projectpairs.funder, projectpairs.class, projectpairs.projectid`
+
+// Q4: scalar → scalar fusion (TF1).
+const Q4 = `SELECT stem(normtext(title)) AS t FROM artifacts`
+
+// Q5: scalar → aggregate fusion (TF2).
+const Q5 = `SELECT cat, topterm(normtext(title)) AS top FROM artifacts GROUP BY cat`
+
+// Q6: scalar → table fusion (TF3).
+const Q6 = `SELECT aid, splitterms(cleanterms(lower(terms))) AS term FROM artifacts`
+
+// Q7: table → aggregate fusion (TF6).
+const Q7 = `
+SELECT cat, topterm(term) AS top
+FROM (SELECT cat, splitterms(cleanterms(lower(terms))) AS term FROM artifacts) AS t
+GROUP BY cat`
+
+// Q8 applies cleandate then a range filter whose selectivity the
+// offloading experiment sweeps (§6.4.2). pct is the fraction of rows
+// that pass, in percent.
+func Q8(pct int) string {
+	// Dates are uniform over 2008–2023 (16 years).
+	cut := 2008 + (16*pct)/100
+	return fmt.Sprintf(`
+SELECT day FROM (SELECT cleandate(pubdate) AS day FROM pubs) AS d
+WHERE day < '%04d-01-01'`, cut)
+}
+
+// Q9: two lightweight scalar UDFs over the big table (compilation /
+// conversion overheads dominate — §6.4.3).
+const Q9 = `SELECT cleandate(pubdate) AS day, extractmonth(pubdate) AS m FROM pubs`
+
+// Q10: complex data types — tokens returns a Python list, which the
+// engine stores as a serialized JSON column between the two UDFs unless
+// fusion passes it through directly (§4.2.4, §6.4.3).
+const Q10 = `SELECT counttokens(tokens(abstract)) AS n FROM pubs`
+
+// Q11: the Zillow cleaning pipeline with aggregation and group-by.
+const Q11 = `
+SELECT c, t, COUNT(*) AS n, SUM(p) AS totalprice, SUM(sq) AS totalsqft
+FROM (SELECT cleancity(city) AS c, extracttype(title) AS t,
+             extractprice(price) AS p, extractsqft(facts) AS sq,
+             extractbd(facts) AS bd, extractoffer(offer) AS o
+      FROM listings) AS x
+WHERE bd >= 2 AND o = 'sale'
+GROUP BY c, t
+ORDER BY c, t`
+
+// Q12: three scalar UDFs over the url column (the pluggability test,
+// §6.4.10).
+const Q12 = `SELECT hostname(url) AS h, urldepth(url) AS d, extracturlid(url) AS zpid FROM listings`
+
+// Q13: a short query (compilation latency, §6.4.5).
+const Q13 = `
+SELECT extractbd(facts) AS bd, extractprice(price) AS p
+FROM listings
+WHERE extractoffer(offer) = 'sale'`
+
+// Q14: a more complex short query (compilation latency, §6.4.5).
+const Q14 = `
+SELECT c, COUNT(*) AS n,
+       SUM(CASE WHEN bd >= 3 THEN p ELSE NULL END) AS bigprice,
+       SUM(CASE WHEN bd < 3 THEN p ELSE NULL END) AS smallprice
+FROM (SELECT cleancity(city) AS c, extractbd(facts) AS bd,
+             extractprice(price) AS p, extractoffer(offer) AS o
+      FROM listings) AS x
+WHERE o != 'unknown'
+GROUP BY c`
+
+// Q15: Weld's get_population_stats.
+const Q15 = `
+SELECT state, COUNT(*) AS cities, SUM(population) AS pop,
+       AVG(logpop(population)) AS avglog, MAX(clamppct(growth)) AS maxgrowth
+FROM population
+GROUP BY state
+ORDER BY state`
+
+// Q16: Weld's data_cleaning.
+const Q16 = `
+SELECT COUNT(*) AS rows_kept, SUM(v1) AS s1, SUM(v2) AS s2
+FROM (SELECT cleanint(f1) AS v1, cleanint(f2) AS v2, cleanint(f3) AS v3 FROM dirty) AS c
+WHERE v1 IS NOT NULL AND v2 IS NOT NULL AND v3 IS NOT NULL`
+
+// Q17: UDO's split-arrays pipeline (table UDF, no fusion opportunity).
+const Q17 = `SELECT id, splitarray(vals) AS v FROM arrays`
+
+// Q18: UDO's contains-database pipeline.
+const Q18 = `SELECT COUNT(*) AS hits FROM docs WHERE containsdb(text)`
+
+// AllQueries maps query ids to SQL for the overhead experiment
+// (Fig. 4 bottom). Parametrized queries use a representative setting.
+func AllQueries() map[string]string {
+	return map[string]string{
+		"Q1": Q1, "Q2": Q2, "Q3": Q3, "Q4": Q4, "Q5": Q5, "Q6": Q6,
+		"Q7": Q7, "Q8": Q8(50), "Q9": Q9, "Q10": Q10, "Q11": Q11,
+		"Q12": Q12, "Q13": Q13, "Q14": Q14, "Q15": Q15, "Q16": Q16,
+		"Q17": Q17, "Q18": Q18,
+	}
+}
+
+// QueryDataset names the dataset family each query needs.
+func QueryDataset(id string) string {
+	switch id {
+	case "Q1", "Q2", "Q3", "Q8", "Q9", "Q10":
+		return "udfbench-pubs"
+	case "Q4", "Q5", "Q6", "Q7":
+		return "udfbench-artifacts"
+	case "Q11", "Q12", "Q13", "Q14":
+		return "zillow"
+	case "Q15", "Q16":
+		return "weld"
+	case "Q17", "Q18":
+		return "udo"
+	}
+	return ""
+}

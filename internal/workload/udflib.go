@@ -1,0 +1,420 @@
+// Package workload provides the datasets, UDF libraries and queries of
+// the paper's evaluation: UDFBench-style publication data, the Zillow
+// listings pipeline, the Weld numeric queries and the UDO pipelines,
+// all generated deterministically at configurable scales.
+package workload
+
+import (
+	"qfusor/internal/core"
+	"qfusor/internal/data"
+	"qfusor/internal/engines"
+	"qfusor/internal/ffi"
+)
+
+// UDFBenchLib is the PyLite source of the UDFBench-style UDF library:
+// the cleansing functions of the paper's running example (§3.1) plus
+// the micro-benchmark UDFs of §6.4.
+const UDFBenchLib = `
+import json
+import re
+import itertools
+
+@scalarudf
+def lower(s: str) -> str:
+    return s.lower()
+
+@scalarudf
+def removeshortterms(s: str) -> str:
+    vals = json.loads(s)
+    out = []
+    for v in vals:
+        words = []
+        for w in v.split(" "):
+            if len(w) > 2:
+                words.append(w)
+        if len(words) > 0:
+            out.append(" ".join(words))
+    return json.dumps(out)
+
+@scalarudf
+def cleanterms(s: str) -> str:
+    out = []
+    for w in s.split(","):
+        w = w.strip()
+        if len(w) > 2:
+            out.append(w)
+    return ",".join(out)
+
+@scalarudf
+def jsortvalues(s: str) -> str:
+    vals = json.loads(s)
+    out = []
+    for v in vals:
+        parts = sorted(v.strip().lower().split(" "))
+        out.append(" ".join(parts))
+    return json.dumps(out)
+
+@scalarudf
+def jsort(s: str) -> str:
+    vals = json.loads(s)
+    return json.dumps(sorted(vals))
+
+@scalarudf
+def extractid(s: str) -> str:
+    if s is None or s == "":
+        return None
+    d = json.loads(s)
+    return d.get("id")
+
+@scalarudf
+def extractfunder(s: str) -> str:
+    if s is None or s == "":
+        return None
+    d = json.loads(s)
+    return d.get("funder")
+
+@scalarudf
+def extractclass(s: str) -> str:
+    if s is None or s == "":
+        return None
+    d = json.loads(s)
+    return d.get("class")
+
+@scalarudf
+def extractstart(s: str) -> str:
+    if s is None or s == "":
+        return None
+    d = json.loads(s)
+    return d.get("start")
+
+@scalarudf
+def extractend(s: str) -> str:
+    if s is None or s == "":
+        return None
+    d = json.loads(s)
+    return d.get("end")
+
+@scalarudf
+def cleandate(s: str) -> str:
+    if s is None:
+        return None
+    s = s.strip().replace("/", "-").replace(".", "-")
+    parts = s.split("-")
+    if len(parts) == 3:
+        y = parts[0]
+        m = parts[1]
+        d = parts[2]
+        if len(y) != 4 and len(d) == 4:
+            y, d = d, y
+        return y + "-" + m.zfill(2) + "-" + d.zfill(2)
+    if len(parts) == 1 and len(s) == 8 and s.isdigit():
+        return s[0:4] + "-" + s[4:6] + "-" + s[6:8]
+    return s
+
+@scalarudf
+def extractmonth(s: str) -> int:
+    if s is None:
+        return None
+    s = s.replace("/", "-")
+    parts = s.split("-")
+    if len(parts) >= 2:
+        try:
+            return int(parts[1])
+        except ValueError:
+            return None
+    return None
+
+@expandudf
+def combinations(s: str, k: int) -> str:
+    vals = json.loads(s)
+    for combo in itertools.combinations(vals, k):
+        yield "|".join(combo)
+
+@expandudf
+def splitterms(s: str) -> str:
+    for w in s.split(","):
+        w = w.strip()
+        if w != "":
+            yield w
+
+@aggregateudf
+class countauthors:
+    def init(self):
+        self.n = 0
+    def step(self, s):
+        if s is None:
+            return
+        self.n = self.n + len(json.loads(s))
+    def final(self):
+        return self.n
+
+@aggregateudf
+class topterm:
+    def init(self):
+        self.counts = {}
+    def step(self, s):
+        if s is None:
+            return
+        self.counts[s] = self.counts.get(s, 0) + 1
+    def final(self):
+        best = None
+        bestn = -1
+        for k in sorted(self.counts.keys()):
+            if self.counts[k] > bestn:
+                best = k
+                bestn = self.counts[k]
+        return best
+
+@scalarudf
+def jpack(s: str) -> str:
+    toks = []
+    for w in s.split(" "):
+        w = w.strip().lower()
+        if w != "":
+            toks.append(w)
+    return json.dumps(toks)
+
+@scalarudf
+def jsoncount(s: str) -> int:
+    return len(json.loads(s))
+
+@scalarudf
+def tokens(s: str) -> list:
+    out = []
+    for w in s.split(" "):
+        w = w.strip().lower()
+        if w != "":
+            out.append(w)
+    return out
+
+@scalarudf
+def counttokens(xs: list) -> int:
+    return len(xs)
+
+@scalarudf
+def normtext(s: str) -> str:
+    s = s.lower().strip()
+    s = re.sub("[^a-z0-9 ]", " ", s)
+    return re.sub("  *", " ", s)
+
+@scalarudf
+def stem(s: str) -> str:
+    out = []
+    for w in s.split(" "):
+        if w.endswith("ing") and len(w) > 5:
+            w = w[0:-3]
+        elif w.endswith("ed") and len(w) > 4:
+            w = w[0:-2]
+        elif w.endswith("s") and len(w) > 3:
+            w = w[0:-1]
+        out.append(w)
+    return " ".join(out)
+`
+
+// udfBenchSpecs lists registrations needing explicit metadata beyond
+// what decorators carry.
+var udfBenchSpecs = []core.UDFSpec{
+	{Name: "countauthors", Kind: ffi.Aggregate, In: []data.Kind{data.KindString}, Out: []data.Kind{data.KindInt}},
+	{Name: "topterm", Kind: ffi.Aggregate, In: []data.Kind{data.KindString}, Out: []data.Kind{data.KindString}},
+}
+
+// InstallUDFBench defines and registers the UDFBench library on an
+// engine instance.
+func InstallUDFBench(in *engines.Instance) error {
+	if err := in.Define(UDFBenchLib); err != nil {
+		return err
+	}
+	for _, spec := range udfBenchSpecs {
+		if err := in.Register(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ZillowLib is the Zillow cleaning pipeline's UDF library (Tuplex's
+// running example, extended with aggregation helpers).
+const ZillowLib = `
+import re
+
+@scalarudf
+def extractbd(s: str) -> int:
+    i = s.find("bd")
+    if i < 0:
+        return None
+    part = s[0:i].strip().split(" ")
+    try:
+        return int(part[len(part) - 1])
+    except ValueError:
+        return None
+
+@scalarudf
+def extractba(s: str) -> int:
+    i = s.find("ba")
+    if i < 0:
+        return None
+    part = s[0:i].strip().split(" ")
+    try:
+        v = float(part[len(part) - 1])
+        return int(v)
+    except ValueError:
+        return None
+
+@scalarudf
+def extractsqft(s: str) -> int:
+    i = s.find("sqft")
+    if i < 0:
+        return None
+    part = s[0:i].strip().replace(",", "").split(" ")
+    try:
+        return int(part[len(part) - 1])
+    except ValueError:
+        return None
+
+@scalarudf
+def extractprice(s: str) -> int:
+    s = s.strip()
+    if s.startswith("$"):
+        s = s[1:]
+    s = s.replace(",", "")
+    mult = 1
+    if s.endswith("M"):
+        mult = 1000000
+        s = s[0:-1]
+    elif s.endswith("K"):
+        mult = 1000
+        s = s[0:-1]
+    try:
+        return int(float(s) * mult)
+    except ValueError:
+        return None
+
+@scalarudf
+def extractoffer(s: str) -> str:
+    s = s.lower()
+    if "sale" in s:
+        return "sale"
+    if "rent" in s:
+        return "rent"
+    if "sold" in s:
+        return "sold"
+    if "foreclos" in s:
+        return "foreclosed"
+    return "unknown"
+
+@scalarudf
+def extracttype(s: str) -> str:
+    t = s.lower()
+    if "condo" in t or "apartment" in t:
+        return "condo"
+    if "house" in t or "home" in t:
+        return "house"
+    return "unknown"
+
+@scalarudf
+def cleancity(s: str) -> str:
+    return s.strip().lower().title()
+
+@scalarudf
+def extractzip(s: str) -> str:
+    m = re.search("[0-9][0-9][0-9][0-9][0-9]", s)
+    if m is None:
+        return None
+    return m.group(0)
+
+@scalarudf
+def extracturlid(s: str) -> int:
+    m = re.search("([0-9]+)_zpid", s)
+    if m is None:
+        return None
+    return int(m.group(1))
+
+@scalarudf
+def hostname(s: str) -> str:
+    s = s.replace("https://", "").replace("http://", "")
+    return s.split("/")[0]
+
+@scalarudf
+def urldepth(s: str) -> int:
+    s = s.replace("https://", "").replace("http://", "")
+    n = 0
+    for p in s.split("/"):
+        if p != "":
+            n = n + 1
+    return n - 1
+`
+
+// InstallZillow defines the Zillow library on an engine instance.
+func InstallZillow(in *engines.Instance) error {
+	return in.Define(ZillowLib)
+}
+
+// WeldLib holds the numeric UDFs of the Weld comparison (§6.3.3): the
+// get_population_stats and data_cleaning computations.
+const WeldLib = `
+@scalarudf
+def logpop(x: int) -> float:
+    import math
+    if x is None or x <= 0:
+        return 0.0
+    return math.log(float(x))
+
+@scalarudf
+def zscoreable(x: int) -> float:
+    if x is None:
+        return 0.0
+    return float(x)
+
+@scalarudf
+def cleanint(s: str) -> int:
+    s = s.strip()
+    if s == "" or s == "?" or s == "NA" or s == "null":
+        return None
+    try:
+        return int(float(s))
+    except ValueError:
+        return None
+
+@scalarudf
+def clamppct(x: float) -> float:
+    if x is None:
+        return 0.0
+    if x < 0.0:
+        return 0.0
+    if x > 100.0:
+        return 100.0
+    return x
+`
+
+// InstallWeld defines the Weld comparison library.
+func InstallWeld(in *engines.Instance) error {
+	return in.Define(WeldLib)
+}
+
+// UDOLib holds the UDO comparison pipelines' UDFs (§6.3.4): split
+// arrays (a table UDF) and contains-database (string matching).
+const UDOLib = `
+import json
+
+@expandudf
+def splitarray(s: str) -> int:
+    for v in json.loads(s):
+        yield v
+
+@scalarudf
+def containsdb(s: str) -> bool:
+    t = s.lower()
+    return "database" in t or "data base" in t
+
+@scalarudf
+def arraysum(s: str) -> int:
+    total = 0
+    for v in json.loads(s):
+        total = total + v
+    return total
+`
+
+// InstallUDO defines the UDO comparison library.
+func InstallUDO(in *engines.Instance) error {
+	return in.Define(UDOLib)
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"testing"
+
+	"qfusor/internal/core"
+	"qfusor/internal/data"
+)
+
+// callUDF runs one library UDF directly on the registry runtime.
+func callUDF(t *testing.T, reg *core.Registry, name string, args ...data.Value) data.Value {
+	t.Helper()
+	fn, ok := reg.RT.Global(name)
+	if !ok {
+		t.Fatalf("udf %s undefined", name)
+	}
+	v, err := reg.RT.Call(fn, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func udfbenchReg(t *testing.T) *core.Registry {
+	t.Helper()
+	reg := core.NewRegistry(2)
+	if err := reg.Define(UDFBenchLib); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestCleandateFormats(t *testing.T) {
+	reg := udfbenchReg(t)
+	cases := map[string]string{
+		"2020-03-07": "2020-03-07",
+		"2020/3/7":   "2020-03-07",
+		"07.03.2020": "2020-03-07",
+		"20200307":   "2020-03-07",
+		" 2020-3-7 ": "2020-03-07",
+	}
+	for in, want := range cases {
+		if got := callUDF(t, reg, "cleandate", data.Str(in)); got.S != want {
+			t.Errorf("cleandate(%q) = %q, want %q", in, got.S, want)
+		}
+	}
+	if got := callUDF(t, reg, "cleandate", data.Null); !got.IsNull() {
+		t.Error("cleandate(NULL) should be NULL")
+	}
+}
+
+func TestExtractMonth(t *testing.T) {
+	reg := udfbenchReg(t)
+	if got := callUDF(t, reg, "extractmonth", data.Str("2020-11-02")); got.I != 11 {
+		t.Errorf("extractmonth = %v", got)
+	}
+	if got := callUDF(t, reg, "extractmonth", data.Str("garbage")); !got.IsNull() {
+		t.Errorf("extractmonth(garbage) = %v", got)
+	}
+}
+
+func TestAuthorPipeline(t *testing.T) {
+	reg := udfbenchReg(t)
+	authors := `["Zoe AB","al smith","Bo Lee x"]`
+	lowered := callUDF(t, reg, "lower", data.Str(authors))
+	cleaned := callUDF(t, reg, "removeshortterms", lowered)
+	sortedVals := callUDF(t, reg, "jsortvalues", cleaned)
+	final := callUDF(t, reg, "jsort", sortedVals)
+	// "Zoe AB" -> zoe (ab dropped); "al smith" -> smith; "Bo Lee x" -> lee
+	if final.S != `["lee","smith","zoe"]` {
+		t.Fatalf("pipeline = %q", final.S)
+	}
+}
+
+func TestCombinationsYieldsPairs(t *testing.T) {
+	reg := udfbenchReg(t)
+	// Materialize the generator through a helper defined on the fly.
+	if err := reg.Define(`
+def __drain(s, k):
+    out = []
+    for p in combinations(s, k):
+        out.append(p)
+    return out
+`); err != nil {
+		t.Fatal(err)
+	}
+	dr := mustGlobal(t, reg, "__drain")
+	out, err := reg.RT.Call(dr, []data.Value{data.Str(`["a","b","c"]`), data.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []string
+	for _, v := range out.List().Items {
+		pairs = append(pairs, v.S)
+	}
+	if len(pairs) != 3 || pairs[0] != "a|b" || pairs[2] != "b|c" {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func mustGlobal(t *testing.T, reg *core.Registry, name string) data.Value {
+	t.Helper()
+	v, ok := reg.RT.Global(name)
+	if !ok {
+		t.Fatalf("global %s missing", name)
+	}
+	return v
+}
+
+func TestTokensRoundTrip(t *testing.T) {
+	reg := udfbenchReg(t)
+	toks := callUDF(t, reg, "tokens", data.Str("The  Quick fox"))
+	if toks.List() == nil || len(toks.List().Items) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	n := callUDF(t, reg, "counttokens", toks)
+	if n.I != 3 {
+		t.Fatalf("counttokens = %v", n)
+	}
+}
+
+func TestZillowExtractors(t *testing.T) {
+	reg := core.NewRegistry(2)
+	if err := reg.Define(ZillowLib); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		fn   string
+		in   string
+		want data.Value
+	}{
+		{"extractbd", "3 bd, 2 ba , 1,540 sqft", data.Int(3)},
+		{"extractba", "3 bd, 2 ba , 1,540 sqft", data.Int(2)},
+		{"extractsqft", "3 bd, 2 ba , 1,540 sqft", data.Int(1540)},
+		{"extractprice", "$1,250", data.Int(1250)},
+		{"extractprice", "$2.5M", data.Int(2500000)},
+		{"extractprice", "$750.0K", data.Int(750000)},
+		{"extractoffer", "Condo For Sale", data.Str("sale")},
+		{"extractoffer", "recently sold", data.Str("sold")},
+		{"extracttype", "Lovely house in town", data.Str("house")},
+		{"cleancity", "  NEW york ", data.Str("New York")},
+		{"extractzip", "12 Main St, Boston, MA 02134", data.Str("02134")},
+		{"extracturlid", "https://z.com/homedetails/x/10000017_zpid/", data.Int(10000017)},
+		{"hostname", "https://www.zillow.com/a/b", data.Str("www.zillow.com")},
+		{"urldepth", "https://www.zillow.com/a/b", data.Int(2)},
+	}
+	for _, c := range cases {
+		got := callUDF(t, reg, c.fn, data.Str(c.in))
+		if !data.Equal(got, c.want) {
+			t.Errorf("%s(%q) = %v, want %v", c.fn, c.in, got, c.want)
+		}
+	}
+	if got := callUDF(t, reg, "extractbd", data.Str("no data")); !got.IsNull() {
+		t.Errorf("extractbd on dirty input = %v", got)
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a := GenUDFBench(Tiny)
+	b := GenUDFBench(Tiny)
+	if a.Pubs.NumRows() != b.Pubs.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for i := 0; i < a.Pubs.NumRows(); i++ {
+		for c := range a.Pubs.Cols {
+			if !data.Equal(a.Pubs.Cols[c].Get(i), b.Pubs.Cols[c].Get(i)) {
+				t.Fatalf("row %d col %d differs", i, c)
+			}
+		}
+	}
+	z1, z2 := GenZillow(Tiny), GenZillow(Tiny)
+	if z1.NumRows() != z2.NumRows() || z1.Cols[0].Strs[0] != z2.Cols[0].Strs[0] {
+		t.Fatal("zillow generator not deterministic")
+	}
+}
+
+func TestSizesScale(t *testing.T) {
+	tiny := GenZillow(Tiny).NumRows()
+	small := GenZillow(Small).NumRows()
+	if small <= tiny {
+		t.Fatalf("sizes don't scale: tiny=%d small=%d", tiny, small)
+	}
+}
+
+func TestNativeUDFsMatchPyLite(t *testing.T) {
+	reg := udfbenchReg(t)
+	impls := []struct {
+		name string
+		in   string
+	}{
+		{"cleandate", "2020/3/7"},
+		{"cleandate", "07.03.2020"},
+		{"extractmonth", "2021-09-17"},
+		{"extractfunder", `{"id":"P1","funder":"EC","class":"H2020"}`},
+		{"jpack", "The Quick fox"},
+		{"lower", "ABC def"},
+	}
+	native := nativeUDFs()
+	for _, c := range impls {
+		py := callUDF(t, reg, c.name, data.Str(c.in))
+		gofn, ok := native[c.name]
+		if !ok {
+			t.Fatalf("no native twin for %s", c.name)
+		}
+		gov, err := gofn([]data.Value{data.Str(c.in)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if py.String() != gov.String() {
+			t.Errorf("%s(%q): pylite=%q native=%q", c.name, c.in, py.String(), gov.String())
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/engines"
+	"qfusor/internal/workload"
+)
+
+// setup launches a monet-profile instance with every workload installed
+// at tiny scale.
+func setup(t *testing.T) *engines.Instance {
+	t.Helper()
+	in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+	t.Cleanup(in.Close)
+	if err := workload.InstallUDFBench(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.InstallZillow(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.InstallWeld(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.InstallUDO(in); err != nil {
+		t.Fatal(err)
+	}
+	ub := workload.GenUDFBench(workload.Tiny)
+	in.Put(ub.Pubs)
+	in.Put(ub.Artifacts)
+	in.Put(workload.GenZillow(workload.Tiny))
+	pop, dirty := workload.GenWeld(workload.Tiny)
+	in.Put(pop)
+	in.Put(dirty)
+	arrays, docs := workload.GenUDO(workload.Tiny)
+	in.Put(arrays)
+	in.Put(docs)
+	return in
+}
+
+func keysOf(tbl *data.Table) map[string]int {
+	out := map[string]int{}
+	for i := 0; i < tbl.NumRows(); i++ {
+		k := ""
+		for _, c := range tbl.Cols {
+			k += c.Get(i).Key() + "|"
+		}
+		out[k]++
+	}
+	return out
+}
+
+// TestAllQueriesFusedParity runs every evaluation query natively and
+// through QFusor, asserting identical result multisets.
+func TestAllQueriesFusedParity(t *testing.T) {
+	in := setup(t)
+	for id, sql := range workload.AllQueries() {
+		id, sql := id, sql
+		t.Run(id, func(t *testing.T) {
+			want, err := in.Query(sql)
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			got, err := in.QueryFused(sql)
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			if want.NumRows() != got.NumRows() {
+				t.Fatalf("rows: native=%d fused=%d (sections=%d)",
+					want.NumRows(), got.NumRows(), in.QF.LastReport.Sections)
+			}
+			wk, gk := keysOf(want), keysOf(got)
+			for k, n := range wk {
+				if gk[k] != n {
+					t.Fatalf("row %q: native×%d fused×%d\nsources: %v",
+						k, n, gk[k], in.QF.LastReport.Sources)
+				}
+			}
+			if want.NumRows() == 0 {
+				t.Fatalf("%s returned no rows — dataset too sparse for a meaningful test", id)
+			}
+		})
+	}
+}
+
+// TestQ3ProducesCollaborations sanity-checks the running example's
+// output shape.
+func TestQ3ProducesCollaborations(t *testing.T) {
+	in := setup(t)
+	res, err := in.QueryFused(workload.Q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("Q3 returned no project rows")
+	}
+	if len(res.Cols) != 6 {
+		t.Fatalf("Q3 arity = %d, want 6", len(res.Cols))
+	}
+	if in.QF.LastReport.Sections == 0 {
+		t.Fatal("Q3 fused no sections")
+	}
+}
+
+// TestFusionSpeedsUpQ10 checks the headline direction: fused execution
+// of the serialization-heavy query is faster than native interpreted.
+func TestFusionSpeedsUpQ10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	native := engines.Launch(engines.Config{Profile: engines.Monet, JIT: false})
+	defer native.Close()
+	fused := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+	defer fused.Close()
+	for _, in := range []*engines.Instance{native, fused} {
+		if err := workload.InstallUDFBench(in); err != nil {
+			t.Fatal(err)
+		}
+		in.Put(workload.GenUDFBench(workload.Small).Pubs)
+	}
+	// Warm both (first run compiles/loads).
+	if _, err := native.Query(workload.Q10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fused.QueryFused(workload.Q10); err != nil {
+		t.Fatal(err)
+	}
+	tn := timeQuery(t, func() error { _, err := native.Query(workload.Q10); return err })
+	tf := timeQuery(t, func() error { _, err := fused.QueryFused(workload.Q10); return err })
+	if tf >= tn {
+		t.Fatalf("fused (%v) not faster than native interpreted (%v)", tf, tn)
+	}
+}
+
+func timeQuery(t *testing.T, fn func() error) int64 {
+	t.Helper()
+	best := int64(1 << 62)
+	for i := 0; i < 3; i++ {
+		start := nowNanos()
+		if err := fn(); err != nil {
+			t.Fatal(err)
+		}
+		if d := nowNanos() - start; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }

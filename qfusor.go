@@ -1,0 +1,291 @@
+// Package qfusor is the public API of the QFusor reproduction: a
+// pluggable UDF-query optimizer (EDBT 2026) over a self-contained SQL
+// engine substrate with a Python-subset UDF runtime.
+//
+// A DB bundles an engine profile (MonetDB-, PostgreSQL-, SQLite-,
+// DuckDB-, PySpark- or dbX-style execution), a UDF registry backed by
+// the PyLite runtime with a tracing JIT, and a QFusor optimizer plugged
+// into the engine. Queries issued through Query go through the full
+// QFusor pipeline — plan probing, data-flow-graph construction,
+// fusible-section discovery, fused-wrapper JIT code generation and plan
+// rewrite; QueryNative bypasses it for comparison.
+//
+//	db, _ := qfusor.Open(qfusor.MonetDB)
+//	defer db.Close()
+//	db.Define(`
+//	@scalarudf
+//	def upname(s: str) -> str:
+//	    return s.upper()
+//	`)
+//	db.Exec("CREATE TABLE t (name string)")
+//	db.Exec("INSERT INTO t VALUES ('ada'), ('grace')")
+//	rows, _ := db.Query("SELECT upname(name) FROM t")
+package qfusor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qfusor/internal/core"
+	"qfusor/internal/data"
+	"qfusor/internal/engines"
+	"qfusor/internal/ffi"
+	"qfusor/internal/workload"
+)
+
+// Profile selects the engine configuration a DB runs on.
+type Profile = engines.Profile
+
+// The six engine profiles of the paper's evaluation.
+const (
+	MonetDB    = engines.Monet
+	PostgreSQL = engines.Postgres
+	SQLite     = engines.SQLite
+	DuckDB     = engines.Duck
+	PySpark    = engines.Spark
+	DBX        = engines.DBX
+)
+
+// Re-exported data types for building tables programmatically.
+type (
+	// Table is a named columnar relation.
+	Table = data.Table
+	// Schema describes a table's columns.
+	Schema = data.Schema
+	// Field is one schema column.
+	Field = data.Field
+	// Value is a boxed dynamic value.
+	Value = data.Value
+	// Kind enumerates value types.
+	Kind = data.Kind
+)
+
+// Value constructors and kinds.
+var (
+	Null       = data.Null
+	Int        = data.Int
+	Float      = data.Float
+	Str        = data.Str
+	Bool       = data.Bool
+	NewList    = data.NewList
+	NewTable   = data.NewTable
+	KindInt    = data.KindInt
+	KindFloat  = data.KindFloat
+	KindString = data.KindString
+	KindBool   = data.KindBool
+	KindList   = data.KindList
+	KindDict   = data.KindDict
+)
+
+// UDFKind classifies UDFs.
+type UDFKind = ffi.UDFKind
+
+// UDF kinds per the paper's design specifications (§4.2).
+const (
+	Scalar    = ffi.Scalar
+	Aggregate = ffi.Aggregate
+	TableUDF  = ffi.Table
+	Expand    = ffi.Expand
+)
+
+// UDFSpec registers a UDF with explicit metadata (when decorators and
+// annotations are not enough).
+type UDFSpec = core.UDFSpec
+
+// Options are the QFusor technique switches (ablations flip these).
+type Options = core.Options
+
+// Report carries per-query optimizer measurements.
+type Report = core.Report
+
+// Option configures Open.
+type Option func(*engines.Config)
+
+// WithJIT toggles the UDF runtime's tracing JIT (default on).
+func WithJIT(on bool) Option {
+	return func(c *engines.Config) { c.JIT = on }
+}
+
+// WithParallelism sets the engine's worker count.
+func WithParallelism(n int) Option {
+	return func(c *engines.Config) { c.Parallelism = n }
+}
+
+// DB is an opened engine instance with QFusor attached.
+type DB struct {
+	in *engines.Instance
+}
+
+// Open launches an engine with the given profile.
+func Open(profile Profile, opts ...Option) (*DB, error) {
+	cfg := engines.Config{Profile: profile, JIT: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DB{in: engines.Launch(cfg)}, nil
+}
+
+// Close releases the engine's resources.
+func (db *DB) Close() { db.in.Close() }
+
+// Define executes UDF module source (PyLite — the Python subset of the
+// UDF design specifications) and registers every decorated definition.
+func (db *DB) Define(src string) error { return db.in.Define(src) }
+
+// Register adds a UDF with explicit metadata.
+func (db *DB) Register(spec UDFSpec) error { return db.in.Register(spec) }
+
+// PutTable installs a prebuilt table.
+func (db *DB) PutTable(t *Table) { db.in.Put(t) }
+
+// Exec runs a DDL/DML statement (CREATE TABLE / INSERT / UPDATE /
+// DELETE). UPDATE and DELETE predicates may call UDFs.
+func (db *DB) Exec(sql string) error { return db.in.Eng.Exec(sql) }
+
+// Query runs a SELECT through the QFusor pipeline (fusion + JIT).
+func (db *DB) Query(sql string) (*Table, error) { return db.in.QueryFused(sql) }
+
+// QueryNative runs a SELECT with engine-native UDF execution (no
+// fusion) for comparison.
+func (db *DB) QueryNative(sql string) (*Table, error) { return db.in.Query(sql) }
+
+// Explain returns the engine's plan for sql after QFusor's rewrite,
+// plus the generated fused-wrapper sources.
+func (db *DB) Explain(sql string) (string, error) {
+	q, rep, err := db.in.QF.Process(db.in.Eng, sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(q.Explain())
+	for i, src := range rep.Sources {
+		fmt.Fprintf(&b, "\n-- fused wrapper %d --\n%s", i+1, src)
+	}
+	return b.String(), nil
+}
+
+// RewriteSQL returns the fused query as standard SQL calling the
+// generated wrapper UDFs as table functions (the paper's rewrite
+// path 1). executable reports whether this engine can re-run it.
+func (db *DB) RewriteSQL(sql string) (out string, executable bool, err error) {
+	return db.in.QF.RewriteSQL(db.in.Eng, sql)
+}
+
+// ExecFused runs a DML statement with QFusor's UDF-pipeline fusion
+// applied to its expressions (§4.2.5).
+func (db *DB) ExecFused(sql string) error {
+	return db.in.QF.ExecDML(db.in.Eng, sql)
+}
+
+// ExplainNative returns the engine plan without QFusor's rewrite.
+func (db *DB) ExplainNative(sql string) (string, error) {
+	q, err := db.in.Eng.Plan(sql)
+	if err != nil {
+		return "", err
+	}
+	return q.Explain(), nil
+}
+
+// LastReport returns measurements of the most recent Query's fusion
+// pipeline (discovery + codegen times, fused section count).
+func (db *DB) LastReport() Report { return db.in.QF.LastReport }
+
+// SetOptions adjusts the QFusor technique switches.
+func (db *DB) SetOptions(o Options) { db.in.QF.Opts = o }
+
+// DefaultOptions returns the full pipeline's switches.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Format renders a result table for display (up to limit rows).
+func Format(t *Table, limit int) string {
+	var b strings.Builder
+	for i, f := range t.Schema {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(f.Name)
+	}
+	b.WriteByte('\n')
+	n := t.NumRows()
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for r := 0; r < n; r++ {
+		for i, c := range t.Cols {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(c.Get(r).String())
+		}
+		b.WriteByte('\n')
+	}
+	if t.NumRows() > n {
+		fmt.Fprintf(&b, "... (%d rows total)\n", t.NumRows())
+	}
+	return b.String()
+}
+
+// ProfileColdUDFs probes statistics for registered UDFs that have none
+// yet, sampling rows from the named table (§5.2.2's cold-start
+// exploration). Returns how many UDFs were probed.
+func (db *DB) ProfileColdUDFs(table string) int {
+	return core.NewProfiler().ProfileColdUDFs(db.in.Eng, table)
+}
+
+// Tables lists the catalog's table names.
+func (db *DB) Tables() []string { return db.in.Eng.Catalog.Tables() }
+
+// UDFList describes the registered UDFs (name, kind, signature).
+func (db *DB) UDFList() []string {
+	var out []string
+	for _, u := range db.in.Eng.Catalog.UDFs() {
+		sig := make([]string, len(u.InKinds))
+		for i, k := range u.InKinds {
+			sig[i] = k.String()
+		}
+		out = append(out, fmt.Sprintf("%s(%s) -> %s  [%s]",
+			u.Name, strings.Join(sig, ", "), u.OutKind(), u.Kind))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefineWorkload installs one of the paper's UDF libraries by name:
+// "udfbench", "zillow", "weld" or "udo".
+func (db *DB) DefineWorkload(name string) error {
+	switch name {
+	case "udfbench":
+		return workload.InstallUDFBench(db.in)
+	case "zillow":
+		return workload.InstallZillow(db.in)
+	case "weld":
+		return workload.InstallWeld(db.in)
+	case "udo":
+		return workload.InstallUDO(db.in)
+	}
+	return fmt.Errorf("qfusor: unknown workload %q", name)
+}
+
+// Workload re-exports (used by the examples and benchmarks).
+var (
+	// GenUDFBench builds the publication-data workload.
+	GenUDFBench = workload.GenUDFBench
+	// GenZillow builds the listings workload.
+	GenZillow = workload.GenZillow
+	// InstallUDFBench registers the UDFBench UDF library on a DB.
+	InstallUDFBench = func(db *DB) error { return workload.InstallUDFBench(db.in) }
+	// InstallZillow registers the Zillow UDF library on a DB.
+	InstallZillow = func(db *DB) error { return workload.InstallZillow(db.in) }
+)
+
+// Size re-exports workload scales.
+type Size = workload.Size
+
+// Workload sizes.
+const (
+	Tiny   = workload.Tiny
+	Small  = workload.Small
+	Medium = workload.Medium
+	Large  = workload.Large
+)
