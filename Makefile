@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: the full pre-commit gate — build, vet, race-enabled tests.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: run the paper experiments quickly, with a metrics snapshot.
+bench:
+	$(GO) run ./cmd/qfusor-bench -quick -obs BENCH_obs.json

@@ -2,6 +2,7 @@ package qfusor_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"qfusor"
@@ -233,4 +234,144 @@ def pieces_first(s: str) -> str:
 			t.Fatalf("row %d: %v vs %v", i, a.Cols[0].Get(i), b.Cols[0].Get(i))
 		}
 	}
+}
+
+// TestQueryAnalyze: EXPLAIN ANALYZE on a fusing query must return a
+// span tree covering all five optimizer phases plus execution, with
+// per-operator row counts and per-UDF wrapper-vs-body time.
+func TestQueryAnalyze(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	a, err := db.QueryAnalyze(
+		"SELECT longest(p) AS l FROM (SELECT pieces(slug(title)) AS p FROM notes) AS x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Cols[0].Get(0).String() != "databases" {
+		t.Fatalf("analyzed result wrong: %s", qfusor.Format(a.Result, 5))
+	}
+	if a.Report.Sections == 0 {
+		t.Fatal("query did not fuse — test precondition broken")
+	}
+	for _, phase := range []string{
+		"phase:plan_probe", "phase:dfg_build", "phase:discover",
+		"phase:codegen", "phase:rewrite", "phase:execute",
+	} {
+		if a.Root.Find(phase) == nil {
+			t.Errorf("span tree missing %s:\n%s", phase, a.Root.Render())
+		}
+	}
+	// The codegen phase carries one child span per generated wrapper.
+	cg := a.Root.Find("phase:codegen")
+	if cg.Find("wrapper") == nil {
+		t.Errorf("no wrapper span under phase:codegen:\n%s", a.Root.Render())
+	}
+	// Every executed operator span reports its output cardinality, and
+	// the fused operator is marked with its section membership.
+	ex := a.Root.Find("phase:execute")
+	if ex == nil {
+		t.Fatal("no execute phase")
+	}
+	ops, fusedOps := 0, 0
+	ex.Walk(func(sp *qfusor.Span, depth int) {
+		if !strings.HasPrefix(sp.Name, "op:") {
+			return
+		}
+		ops++
+		if _, ok := sp.Counter("rows_out"); !ok {
+			t.Errorf("operator %s has no rows_out counter", sp.Name)
+		}
+		if sec, _ := sp.Attr("section"); sec == "fused" {
+			fusedOps++
+			if rows, _ := sp.Counter("rows_out"); rows == 0 {
+				t.Errorf("fused operator %s reports zero rows_out", sp.Name)
+			}
+		}
+	})
+	if ops == 0 {
+		t.Fatalf("no operator spans under phase:execute:\n%s", a.Root.Render())
+	}
+	if fusedOps == 0 {
+		t.Fatalf("no operator marked section=fused:\n%s", a.Root.Render())
+	}
+	// UDF usage distinguishes wrapper (boundary) time from body time.
+	if len(a.UDFs) == 0 {
+		t.Fatal("analysis reports no UDF usage")
+	}
+	for _, u := range a.UDFs {
+		if u.Wall != u.Wrapper+u.Body {
+			t.Errorf("%s: wall %v != wrapper %v + body %v", u.Name, u.Wall, u.Wrapper, u.Body)
+		}
+		if u.RowsIn == 0 || u.Calls == 0 {
+			t.Errorf("%s: empty usage %+v", u.Name, u)
+		}
+	}
+	// The metrics delta covers this query's engine activity.
+	if a.Metrics.Counters["engine.queries"] == 0 {
+		t.Errorf("metrics delta missing engine.queries: %+v", a.Metrics.Counters)
+	}
+	// Render includes the tree and the UDF table without panicking.
+	out := a.Render()
+	if !strings.Contains(out, "phase:codegen") || !strings.Contains(out, "wrapper") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+// TestQueryAnalyzeCacheHit: re-analyzing the same query must report a
+// wrapper cache hit on the second run.
+func TestQueryAnalyzeCacheHit(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	sql := "SELECT longest(p) AS l FROM (SELECT pieces(slug(title)) AS p FROM notes) AS x"
+	if _, err := db.QueryAnalyze(sql); err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.QueryAnalyze(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.Root.Find("wrapper")
+	if w == nil {
+		t.Fatalf("no wrapper span:\n%s", a.Root.Render())
+	}
+	if c, _ := w.Attr("cache"); c != "hit" {
+		t.Errorf("second run wrapper cache = %q, want hit", c)
+	}
+	if a.Report.CacheHits == 0 {
+		t.Error("second run reported no cache hits")
+	}
+}
+
+// TestConcurrentQueriesRaceFree hammers one DB from many goroutines
+// mixing Query, QueryAnalyze and LastReport — meaningful under -race.
+func TestConcurrentQueriesRaceFree(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				switch (i + j) % 3 {
+				case 0:
+					if _, err := db.Query("SELECT slug(title) FROM notes"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					a, err := db.QueryAnalyze("SELECT id, slug(title) FROM notes ORDER BY id")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if a.Root.Find("phase:execute") == nil {
+						t.Error("analysis missing execute phase")
+						return
+					}
+				default:
+					_ = db.LastReport()
+					_ = qfusor.Metrics()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }

@@ -9,23 +9,37 @@
 //	qfusor-bench -exp fig6b-offload    # one experiment
 //	qfusor-bench -quick                # trimmed sweeps
 //	qfusor-bench -list                 # list experiment names
+//	qfusor-bench -obs BENCH_obs.json   # also write results + metrics JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"qfusor/internal/bench"
+	"qfusor/internal/obs"
 	"qfusor/internal/workload"
 )
+
+// obsReport is the machine-readable run record -obs writes: the figures
+// alongside the engine-wide metrics delta accumulated while producing
+// them (FFI crossings, JIT compiles, cache hits, executor row counts).
+type obsReport struct {
+	Size    string          `json:"size"`
+	Quick   bool            `json:"quick"`
+	Results []*bench.Result `json:"results"`
+	Metrics obs.Snapshot    `json:"metrics"`
+}
 
 func main() {
 	size := flag.String("size", "small", "dataset size: tiny | small | medium | large")
 	exp := flag.String("exp", "", "run a single experiment (see -list)")
 	quick := flag.Bool("quick", false, "trim sweeps and repetitions")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	obsOut := flag.String("obs", "", "write results + metrics snapshot as JSON to this file (e.g. BENCH_obs.json)")
 	flag.Parse()
 
 	r := bench.NewRunner(workload.Size(*size), os.Stdout)
@@ -43,6 +57,8 @@ func main() {
 		return
 	}
 
+	base := obs.Default.Snapshot()
+
 	if *exp != "" {
 		fn, ok := r.Experiments()[*exp]
 		if !ok {
@@ -55,11 +71,38 @@ func main() {
 			os.Exit(1)
 		}
 		r.Print(res)
+		writeObs(*obsOut, *size, *quick, []*bench.Result{res}, base)
 		return
 	}
 
-	if _, err := r.All(); err != nil {
+	results, err := r.All()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments failed: %v\n", err)
 		os.Exit(1)
 	}
+	writeObs(*obsOut, *size, *quick, results, base)
+}
+
+// writeObs emits the -obs JSON record (a no-op without -obs).
+func writeObs(path, size string, quick bool, results []*bench.Result, base obs.Snapshot) {
+	if path == "" {
+		return
+	}
+	rec := obsReport{
+		Size:    size,
+		Quick:   quick,
+		Results: results,
+		Metrics: obs.Default.Snapshot().Diff(base),
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		return
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		return
+	}
+	fmt.Printf("\nwrote %s\n", path)
 }

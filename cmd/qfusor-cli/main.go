@@ -2,11 +2,14 @@
 // pick an engine profile, optionally preload a paper workload, then
 // type SQL (UDF queries run through the QFusor pipeline).
 //
-// Meta commands:
+// Meta commands (a leading "." works the same as "\"):
 //
 //	\native <sql>   run without fusion
 //	\explain <sql>  show the rewritten plan + fused wrappers
+//	\analyze <sql>  EXPLAIN ANALYZE: run with tracing, show the span tree
 //	\rewrite <sql>  show the fused query as SQL (rewrite path 1)
+//	\trace on|off   trace every following query (prints the span tree)
+//	\metrics        dump the engine-wide metrics registry (expvar-style)
 //	\def            enter UDF definition mode (end with a line: \end)
 //	\tables         list tables
 //	\udfs           list registered UDFs
@@ -59,9 +62,26 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
+		// Dot-prefixed meta commands (SQLite style) are aliases.
+		if strings.HasPrefix(trimmed, ".") {
+			trimmed = "\\" + trimmed[1:]
+		}
 		switch {
 		case trimmed == "\\quit" || trimmed == "\\q":
 			return
+		case trimmed == "\\metrics":
+			fmt.Print(qfusor.Metrics().Text())
+			prompt()
+			continue
+		case trimmed == "\\trace on" || trimmed == "\\trace off":
+			traceOn = trimmed == "\\trace on"
+			fmt.Printf("tracing %s\n", map[bool]string{true: "on", false: "off"}[traceOn])
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, "\\analyze "):
+			analyze(db, strings.TrimSuffix(strings.TrimPrefix(trimmed, "\\analyze "), ";"))
+			prompt()
+			continue
 		case trimmed == "\\tables":
 			listTables(db)
 			prompt()
@@ -119,6 +139,9 @@ func main() {
 	}
 }
 
+// traceOn makes every SELECT run through EXPLAIN ANALYZE (\trace on).
+var traceOn bool
+
 func execute(db *qfusor.DB, sql string) {
 	up := strings.ToUpper(strings.Fields(sql + " ")[0])
 	if up == "CREATE" || up == "INSERT" || up == "UPDATE" || up == "DELETE" {
@@ -129,12 +152,29 @@ func execute(db *qfusor.DB, sql string) {
 		}
 		return
 	}
+	if traceOn {
+		analyze(db, sql)
+		return
+	}
 	runOne(db.Query, sql)
 	rep := db.LastReport()
 	if rep.Sections > 0 {
 		fmt.Printf("(%d fused sections, optimize %v, codegen %v)\n",
 			rep.Sections, rep.FusOptim, rep.CodeGen)
 	}
+}
+
+// analyze runs sql through EXPLAIN ANALYZE and prints the result table
+// followed by the annotated span tree.
+func analyze(db *qfusor.DB, sql string) {
+	a, err := db.QueryAnalyze(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(qfusor.Format(a.Result, 25))
+	fmt.Printf("(%d rows)\n\n", a.Result.NumRows())
+	fmt.Print(a.Render())
 }
 
 func runOne(run func(string) (*qfusor.Table, error), sql string) {

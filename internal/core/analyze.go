@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"qfusor/internal/data"
+	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
+	"qfusor/internal/sqlengine"
+)
+
+// Analysis is a per-query EXPLAIN ANALYZE handle: the executed result
+// plus the full query-lifecycle span tree (optimizer phases, one span
+// per plan operator), per-UDF time split into wrapper vs body, and the
+// engine-wide metrics delta attributable to this query. Unlike the
+// legacy LastReport field it is returned per query, so concurrent
+// queries cannot clobber each other's measurements.
+type Analysis struct {
+	// SQL is the analyzed query text.
+	SQL string
+	// Result is the executed query's output table.
+	Result *data.Table
+	// Report carries the optimizer measurements (Fig. 4 bottom).
+	Report Report
+	// Root is the span tree: phase:plan_probe, phase:dfg_build,
+	// phase:discover, phase:codegen, phase:rewrite and phase:execute
+	// (with op:* operator spans) hang off it.
+	Root *obs.Span
+	// Plan is the rewritten plan's EXPLAIN text.
+	Plan string
+	// UDFs summarizes per-UDF work done during this query, most
+	// expensive first.
+	UDFs []UDFUsage
+	// Metrics is the obs.Default delta over this query (counters and
+	// histograms subtract; gauges read current).
+	Metrics obs.Snapshot
+}
+
+// UDFUsage is one UDF's contribution to a query. Wrapper is time spent
+// at the FFI boundary (boxing columns in, unboxing results out); Body
+// is the remainder — time inside the UDF's own logic.
+type UDFUsage struct {
+	Name    string
+	Fused   bool
+	Calls   int64
+	RowsIn  int64
+	RowsOut int64
+	Wall    time.Duration
+	Wrapper time.Duration
+	Body    time.Duration
+}
+
+// QueryAnalyze runs the full QFusor pipeline with tracing enabled,
+// executes the (possibly rewritten) query, and returns the annotated
+// analysis — EXPLAIN ANALYZE for UDF queries.
+func (qf *QFusor) QueryAnalyze(eng *sqlengine.Engine, sql string) (*Analysis, error) {
+	root := obs.NewTracer().Start("query")
+
+	// Per-UDF stats baseline: wrappers registered during Process simply
+	// have no baseline entry, which reads as zero.
+	base := map[string]ffi.StatsSnapshot{}
+	for _, u := range eng.Catalog.UDFs() {
+		base[u.Name] = u.Stats.Snapshot()
+	}
+	m0 := obs.Default.Snapshot()
+
+	q, rep, err := qf.ProcessTraced(eng, sql, root)
+	if err != nil {
+		return nil, err
+	}
+	ex := root.Child("phase:execute")
+	res, err := eng.ExecuteTraced(q, ex)
+	ex.End()
+	root.End()
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Analysis{
+		SQL:     sql,
+		Result:  res,
+		Report:  *rep,
+		Root:    root,
+		Plan:    q.Explain(),
+		Metrics: obs.Default.Snapshot().Diff(m0),
+	}
+	for _, u := range eng.Catalog.UDFs() {
+		d := u.Stats.Snapshot().Sub(base[u.Name])
+		if d.IsZero() {
+			continue
+		}
+		wall := time.Duration(d.WallNanos)
+		wrap := time.Duration(d.WrapNanos)
+		a.UDFs = append(a.UDFs, UDFUsage{
+			Name: u.Name, Fused: u.Fused,
+			Calls: d.Calls, RowsIn: d.InRows, RowsOut: d.OutRows,
+			Wall: wall, Wrapper: wrap, Body: wall - wrap,
+		})
+	}
+	sort.Slice(a.UDFs, func(i, j int) bool {
+		if a.UDFs[i].Wall != a.UDFs[j].Wall {
+			return a.UDFs[i].Wall > a.UDFs[j].Wall
+		}
+		return a.UDFs[i].Name < a.UDFs[j].Name
+	})
+	return a, nil
+}
+
+// Render formats the analysis for terminals: the annotated span tree,
+// the per-UDF time table and the optimizer summary line.
+func (a *Analysis) Render() string {
+	var b strings.Builder
+	b.WriteString(a.Root.Render())
+	if len(a.UDFs) > 0 {
+		b.WriteString("\nUDF time (wrapper = FFI boxing/unboxing, body = UDF logic):\n")
+		for _, u := range a.UDFs {
+			tag := ""
+			if u.Fused {
+				tag = " [fused]"
+			}
+			fmt.Fprintf(&b, "  %-22s calls=%d rows_in=%d rows_out=%d wall=%s wrapper=%s body=%s%s\n",
+				u.Name, u.Calls, u.RowsIn, u.RowsOut,
+				fmtAnalyzeDur(u.Wall), fmtAnalyzeDur(u.Wrapper), fmtAnalyzeDur(u.Body), tag)
+		}
+	}
+	fmt.Fprintf(&b, "\nsections=%d cache_hits=%d fus_optim=%s code_gen=%s\n",
+		a.Report.Sections, a.Report.CacheHits,
+		fmtAnalyzeDur(a.Report.FusOptim), fmtAnalyzeDur(a.Report.CodeGen))
+	return b.String()
+}
+
+// fmtAnalyzeDur matches the span renderer's compact duration format.
+func fmtAnalyzeDur(d time.Duration) string {
+	switch {
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -23,6 +23,10 @@ type fusedResult struct {
 	Sources []string
 	// SpanLo/SpanHi is the replaced plan-node range in the segment.
 	SpanLo, SpanHi int
+	// Wrapper is the registered wrapper's name; Cached reports whether it
+	// was reused from the compile cache rather than freshly generated.
+	Wrapper string
+	Cached  bool
 }
 
 // generateSection lowers a discovered section into fused wrapper(s)
@@ -36,7 +40,7 @@ func (qf *QFusor) generateSection(seg *Segment, g *DFG, sec *Section) (*fusedRes
 	lo, hi := spanOf(g, inSec)
 	top := seg.Chain[hi]
 
-	if top.Op == sqlengine.OpAggregate && keysHaveUDF(top, qf.cat) {
+	if top.Op == sqlengine.OpAggregate && keysHaveUDF(top, qf.catalog()) {
 		// Group keys calling UDFs are not resolvable to trace registers;
 		// shrink the section below the aggregate (the keys then run
 		// through the engine's vectorized UDF path).
@@ -440,7 +444,6 @@ func (qf *QFusor) emitWrapper(seg *Segment, g *DFG, inSec map[int]bool, lo, hi i
 	if err != nil {
 		return nil, err
 	}
-	_ = cached
 	if u.Trace == nil {
 		// Compile the wrapper's hot loop to a native trace (the final
 		// JIT tier); unsupported shapes keep the PyLite wrapper.
@@ -492,7 +495,7 @@ func (qf *QFusor) emitWrapper(seg *Segment, g *DFG, inSec map[int]bool, lo, hi i
 		node.Op = sqlengine.OpFused
 	}
 	return &fusedResult{Nodes: []*sqlengine.Plan{node}, Sources: []string{src},
-		SpanLo: lo, SpanHi: hi}, nil
+		SpanLo: lo, SpanHi: hi, Wrapper: u.Name, Cached: cached}, nil
 }
 
 // emitValueNodes emits assignments for the section's value-producing

@@ -11,7 +11,7 @@ import (
 // into wrapper UDFs before execution (§4.2.5 — the capability the paper
 // notes is missing from the SOTA comparators).
 func (qf *QFusor) ExecDML(eng *sqlengine.Engine, sql string) error {
-	qf.cat = eng.Catalog
+	qf.setCatalog(eng.Catalog)
 	st, err := sqlengine.ParseSQL(sql)
 	if err != nil {
 		return err
@@ -35,7 +35,7 @@ func (qf *QFusor) ExecDML(eng *sqlengine.Engine, sql string) error {
 		}
 		up.Where = nw
 	}
-	qf.LastReport = *rep
+	qf.setReport(*rep)
 	return eng.ExecUpdate(up)
 }
 

@@ -50,8 +50,8 @@ func (qf *QFusor) fuseExprChains(e sqlengine.SQLExpr, childSchema data.Schema, r
 	}
 	// Try the whole subtree when rooted at a UDF call.
 	if f, ok := e.(*sqlengine.FuncExpr); ok {
-		if u, isUDF := qf.cat.UDF(f.Name); isUDF && u.Kind == ffi.Scalar {
-			if qf.scalarChainEligible(e) && countScalarUDFs(e, qf.cat) >= 2 {
+		if u, isUDF := qf.catalog().UDF(f.Name); isUDF && u.Kind == ffi.Scalar {
+			if qf.scalarChainEligible(e) && countScalarUDFs(e, qf.catalog()) >= 2 {
 				return qf.emitScalarWrapper(e, childSchema, rep)
 			}
 		}
@@ -116,7 +116,7 @@ func (qf *QFusor) scalarChainEligible(e sqlengine.SQLExpr) bool {
 	sqlengine.WalkExpr(e, func(x sqlengine.SQLExpr) bool {
 		switch f := x.(type) {
 		case *sqlengine.FuncExpr:
-			if u, isUDF := qf.cat.UDF(f.Name); isUDF {
+			if u, isUDF := qf.catalog().UDF(f.Name); isUDF {
 				if u.Kind != ffi.Scalar {
 					ok = false
 					return false
@@ -205,7 +205,7 @@ func (qf *QFusor) emitScalarWrapper(e sqlengine.SQLExpr, childSchema data.Schema
 
 	outKind := data.KindString
 	if f, ok := e.(*sqlengine.FuncExpr); ok {
-		if u, isUDF := qf.cat.UDF(f.Name); isUDF {
+		if u, isUDF := qf.catalog().UDF(f.Name); isUDF {
 			outKind = u.OutKind()
 		}
 	}
@@ -226,7 +226,7 @@ func (qf *QFusor) emitScalarWrapper(e sqlengine.SQLExpr, childSchema data.Schema
 	}
 	u.InKinds = inKinds
 	// The engine must resolve the wrapper by name during execution.
-	qf.cat.PutUDF(u)
+	qf.catalog().PutUDF(u)
 	rep.Sections++
 	rep.Sources = append(rep.Sources, src.String())
 

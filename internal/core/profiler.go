@@ -1,10 +1,9 @@
 package core
 
 import (
-	"math"
-
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 	"qfusor/internal/sqlengine"
 )
 
@@ -47,12 +46,8 @@ func (p *Profiler) ProfileColdUDFs(eng *sqlengine.Engine, tableName string) int 
 		if _, err := (ffi.VectorInvoker{}).CallScalar(u, cols, n); err == nil {
 			probed++
 		} else {
-			// Reset poisoned partial stats.
-			u.Stats.InRows.Store(0)
-			u.Stats.OutRows.Store(0)
-			u.Stats.WallNanos.Store(0)
-			u.Stats.WrapNanos.Store(0)
-			u.Stats.Calls.Store(0)
+			// A failing probe must leave the UDF fully cold.
+			u.Stats.Reset()
 		}
 	}
 	return probed
@@ -99,15 +94,13 @@ func (p *Profiler) sampleArgs(t *data.Table, u *ffi.UDF) []*data.Column {
 
 // CostBucket quantizes a learned per-row cost into the coarse-grained
 // buckets the paper's dictionary stores (powers of ~3.16, i.e. half
-// decades of nanoseconds).
+// decades of nanoseconds). The quantization lives in obs so the metrics
+// registry's latency histograms use identical buckets.
 func CostBucket(nanosPerRow float64) int {
-	if nanosPerRow <= 0 {
-		return 0
-	}
-	return int(math.Round(2 * math.Log10(nanosPerRow)))
+	return obs.Bucket(nanosPerRow)
 }
 
 // BucketedCost converts a bucket back to a representative cost.
 func BucketedCost(bucket int) float64 {
-	return math.Pow(10, float64(bucket)/2)
+	return obs.BucketValue(bucket)
 }

@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"testing"
+
+	"qfusor/internal/core"
+	"qfusor/internal/ffi"
+)
+
+// TestProfilerPopulatesColdStats: probing a cold scalar UDF must leave
+// measured statistics in its stateful dictionary (ffi.Stats), so
+// Algorithm 2 decides from learned costs instead of defaults.
+func TestProfilerPopulatesColdStats(t *testing.T) {
+	eng, _ := buildEngine(t)
+	u, ok := eng.Catalog.UDF("upname")
+	if !ok {
+		t.Fatal("upname not registered")
+	}
+	if !u.Stats.Snapshot().IsZero() {
+		t.Fatalf("expected cold stats before probing, got %+v", u.Stats.Snapshot())
+	}
+	probed := core.NewProfiler().ProfileColdUDFs(eng, "people")
+	if probed == 0 {
+		t.Fatal("no UDFs probed")
+	}
+	s := u.Stats.Snapshot()
+	if s.Calls == 0 || s.InRows == 0 || s.OutRows == 0 {
+		t.Fatalf("probe did not populate stats: %+v", s)
+	}
+	// Probing again must not re-probe warmed UDFs.
+	if again := core.NewProfiler().ProfileColdUDFs(eng, "people"); again != 0 {
+		t.Fatalf("warm UDFs re-probed: %d", again)
+	}
+}
+
+// TestProfilerFailingProbeLeavesCold: a probe that errors must leave
+// the UDF fully cold — no partial statistics the cost model could
+// mistake for learned values.
+func TestProfilerFailingProbeLeavesCold(t *testing.T) {
+	eng, _ := buildEngine(t)
+	reg := core.NewRegistry(0)
+	if err := reg.Define(`
+@scalarudf
+def explodes(s: str) -> str:
+    return s.definitely_not_a_method()
+`); err != nil {
+		t.Fatal(err)
+	}
+	reg.Attach(eng)
+	core.NewProfiler().ProfileColdUDFs(eng, "people")
+	u, ok := eng.Catalog.UDF("explodes")
+	if !ok {
+		t.Fatal("explodes not registered")
+	}
+	if !u.Stats.Snapshot().IsZero() {
+		t.Fatalf("failing probe left partial stats: %+v", u.Stats.Snapshot())
+	}
+}
+
+// TestStatsResetClearsEveryField exercises the (*Stats).Reset the
+// profiler's error path relies on.
+func TestStatsResetClearsEveryField(t *testing.T) {
+	var s ffi.Stats
+	s.Calls.Add(3)
+	s.InRows.Add(96)
+	s.OutRows.Add(96)
+	s.WallNanos.Add(12345)
+	s.WrapNanos.Add(234)
+	if s.Snapshot().IsZero() {
+		t.Fatal("stats should be non-zero before reset")
+	}
+	s.Reset()
+	if !s.Snapshot().IsZero() {
+		t.Fatalf("Reset left fields set: %+v", s.Snapshot())
+	}
+}
+
+// TestCostBucketRoundTrip: a bucket's representative value must
+// quantize back to the same bucket across the half-decade range the
+// dictionary stores, and the representative cost must grow by ~sqrt(10)
+// per bucket.
+func TestCostBucketRoundTrip(t *testing.T) {
+	for b := 0; b <= 24; b++ {
+		v := core.BucketedCost(b)
+		if got := core.CostBucket(v); got != b {
+			t.Errorf("bucket %d: representative %.3g re-quantized to %d", b, v, got)
+		}
+	}
+	if core.BucketedCost(2) != 10 {
+		t.Errorf("bucket 2 representative = %v, want 10 (one decade = two buckets)", core.BucketedCost(2))
+	}
+	// Non-positive costs collapse to bucket 0.
+	if core.CostBucket(0) != 0 || core.CostBucket(-17) != 0 {
+		t.Error("non-positive costs must map to bucket 0")
+	}
+	// Known half-decade anchors.
+	anchors := map[float64]int{1: 0, 3.16: 1, 10: 2, 100: 4, 1000: 6, 1e6: 12}
+	for v, want := range anchors {
+		if got := core.CostBucket(v); got != want {
+			t.Errorf("CostBucket(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestProfilerSkipsUnsampleableUDFs: UDFs whose declared inputs cannot
+// be matched to table columns stay cold without error.
+func TestProfilerSkipsUnsampleableUDFs(t *testing.T) {
+	eng, _ := buildEngine(t)
+	reg := core.NewRegistry(0)
+	if err := reg.Define(`
+@scalarudf
+def needsfloat(x: float) -> float:
+    return x * 2.0
+`); err != nil {
+		t.Fatal(err)
+	}
+	reg.Attach(eng)
+	// people has no float column, so needsfloat cannot be sampled.
+	core.NewProfiler().ProfileColdUDFs(eng, "people")
+	u, _ := eng.Catalog.UDF("needsfloat")
+	if u == nil {
+		t.Fatal("needsfloat not registered")
+	}
+	if !u.Stats.Snapshot().IsZero() {
+		t.Fatalf("unsampleable UDF gained stats: %+v", u.Stats.Snapshot())
+	}
+}

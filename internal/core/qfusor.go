@@ -9,7 +9,19 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 	"qfusor/internal/sqlengine"
+)
+
+// Optimizer-wide metrics (obs.Default): always-on atomic counters, plus
+// half-decade latency histograms for the two phases Fig. 4 reports.
+var (
+	mProcessed = obs.Default.Counter("qfusor.queries")
+	mSections  = obs.Default.Counter("qfusor.sections")
+	mCacheHits = obs.Default.Counter("qfusor.cache.hits")
+	mCacheMiss = obs.Default.Counter("qfusor.cache.misses")
+	mFusNanos  = obs.Default.Histogram("qfusor.fusoptim_nanos")
+	mGenNanos  = obs.Default.Histogram("qfusor.codegen_nanos")
 )
 
 // Options selects which QFusor techniques run — the knobs the paper's
@@ -60,14 +72,14 @@ type QFusor struct {
 	CM   *CostModel
 	Opts Options
 
-	cat *sqlengine.Catalog
-
 	mu    sync.Mutex
+	cat   *sqlengine.Catalog
 	seq   int
 	cache map[string]*ffi.UDF // wrapper source hash -> registered UDF
 
-	// LastReport is the most recent Process measurement.
-	LastReport Report
+	// lastReport is the most recent Process measurement (guarded by mu;
+	// read through LastReport).
+	lastReport Report
 }
 
 // New creates a QFusor instance over a registry.
@@ -83,6 +95,37 @@ func (qf *QFusor) nextName() string {
 	return fmt.Sprintf("__qf_fused%d", qf.seq)
 }
 
+// LastReport returns the most recent Process measurement.
+//
+// Deprecated: "most recent" is ambiguous when queries run concurrently;
+// prefer the per-query *Report returned by Process, or the Analysis
+// handle from QueryAnalyze.
+func (qf *QFusor) LastReport() Report {
+	qf.mu.Lock()
+	defer qf.mu.Unlock()
+	return qf.lastReport
+}
+
+func (qf *QFusor) setReport(rep Report) {
+	qf.mu.Lock()
+	qf.lastReport = rep
+	qf.mu.Unlock()
+}
+
+func (qf *QFusor) setCatalog(c *sqlengine.Catalog) {
+	qf.mu.Lock()
+	qf.cat = c
+	qf.mu.Unlock()
+}
+
+// catalog returns the engine catalog of the current Process call (nil
+// before the first one).
+func (qf *QFusor) catalog() *sqlengine.Catalog {
+	qf.mu.Lock()
+	defer qf.mu.Unlock()
+	return qf.cat
+}
+
 // registerWrapper compiles + registers a fused wrapper, consulting the
 // compile cache.
 func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds []data.Kind, isAgg bool) (*ffi.UDF, bool, error) {
@@ -94,6 +137,7 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 		qf.mu.Lock()
 		if u, ok := qf.cache[key]; ok {
 			qf.mu.Unlock()
+			mCacheHits.Inc()
 			return u, true, nil
 		}
 		qf.mu.Unlock()
@@ -106,11 +150,12 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 	if err != nil {
 		return nil, false, err
 	}
+	mCacheMiss.Inc()
 	qf.Reg.RegisterFused(u)
-	if qf.cat != nil {
+	if cat := qf.catalog(); cat != nil {
 		// CREATE FUNCTION: the rewritten SQL of path 1 calls the wrapper
 		// as a table function, so the engine must resolve it by name.
-		qf.cat.PutUDF(u)
+		cat.PutUDF(u)
 	}
 	if qf.Opts.Cache {
 		qf.mu.Lock()
@@ -146,14 +191,28 @@ func indexOfStr(s, sub string) int {
 // fusion (Alg. 2 + cost model), JIT-generate fused wrappers, and
 // rewrite the plan. Returns the (possibly rewritten) executable query.
 func (qf *QFusor) Process(eng *sqlengine.Engine, sql string) (*sqlengine.Query, *Report, error) {
-	qf.cat = eng.Catalog
+	return qf.ProcessTraced(eng, sql, nil)
+}
+
+// ProcessTraced is Process with query-lifecycle tracing: when root is
+// non-nil, each optimizer phase — plan probe, DFG build, section
+// discovery, codegen, rewrite — is recorded as a child span with its
+// counters. A nil root (what Process passes) costs one pointer compare
+// per hook.
+func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Span) (*sqlengine.Query, *Report, error) {
+	qf.setCatalog(eng.Catalog)
+	mProcessed.Inc()
+
+	sp := root.Child("phase:plan_probe")
 	q, err := eng.Plan(sql)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &Report{}
 	if !q.HasUDF(eng.Catalog) || !qf.Opts.Fusion {
-		qf.LastReport = *rep
+		sp.SetAttr("fusion", "skipped")
+		qf.setReport(*rep)
 		return q, rep, nil
 	}
 
@@ -163,54 +222,88 @@ func (qf *QFusor) Process(eng *sqlengine.Engine, sql string) (*sqlengine.Query, 
 		seg  *Segment
 		g    *DFG
 		secs []*Section
-		// scalarChains for the ScalarOnly mode.
+		// secs stays nil in ScalarOnly mode (no section discovery).
 	}
+	sp = root.Child("phase:dfg_build")
 	var jobs []job
 	roots := make([]*sqlengine.Plan, 0, len(q.CTEs)+1)
 	for i := range q.CTEs {
 		roots = append(roots, q.CTEs[i].Plan)
 	}
 	roots = append(roots, q.Root)
-	for _, root := range roots {
-		for _, seg := range FindSegments(root) {
+	for _, pr := range roots {
+		for _, seg := range FindSegments(pr) {
 			g, err := BuildDFG(seg, eng.Catalog)
 			if err != nil {
 				continue // untranslatable segment: leave it to the engine
 			}
-			if qf.Opts.ScalarOnly {
-				jobs = append(jobs, job{seg: seg, g: g})
-				continue
-			}
-			secs := DiscoverSections(g, qf.CM, eng.Catalog)
-			secs = qf.filterSections(g, secs)
-			if len(secs) > 0 {
-				jobs = append(jobs, job{seg: seg, g: g, secs: secs})
-			}
+			jobs = append(jobs, job{seg: seg, g: g})
 		}
 	}
-	rep.FusOptim = time.Since(t0)
+	sp.SetInt("segments", int64(len(jobs)))
+	sp.End()
 
-	// --- JIT code generation + query rewrite ---
+	sp = root.Child("phase:discover")
+	kept := jobs[:0]
+	nSecs := 0
+	for _, j := range jobs {
+		if qf.Opts.ScalarOnly {
+			kept = append(kept, j)
+			continue
+		}
+		secs := DiscoverSections(j.g, qf.CM, eng.Catalog)
+		secs = qf.filterSections(j.g, secs)
+		if len(secs) > 0 {
+			j.secs = secs
+			nSecs += len(secs)
+			kept = append(kept, j)
+		}
+	}
+	jobs = kept
+	sp.SetInt("sections", int64(nSecs))
+	sp.End()
+	rep.FusOptim = time.Since(t0)
+	mFusNanos.Observe(float64(rep.FusOptim.Nanoseconds()))
+
+	// --- JIT code generation (no plan surgery yet) ---
 	t1 := time.Now()
-	newRoots := make(map[*sqlengine.Plan]*sqlengine.Plan)
+	sp = root.Child("phase:codegen")
+	type realizedJob struct {
+		seg  *Segment
+		byLo map[int]*fusedResult
+	}
+	var done []realizedJob
 	for _, j := range jobs {
 		if qf.Opts.ScalarOnly {
 			if err := qf.fuseScalarChains(j.seg, rep); err != nil {
+				sp.End()
 				return nil, nil, err
 			}
 			continue
 		}
-		top, err := qf.rewriteSegment(j.seg, j.g, j.secs, rep)
+		byLo, err := qf.realizeSections(j.seg, j.g, j.secs, rep, sp)
 		if err != nil {
 			// Realization failed (unsupported shape): fall back to
 			// scalar-chain fusion for this segment.
 			if err2 := qf.fuseScalarChains(j.seg, rep); err2 != nil {
+				sp.End()
 				return nil, nil, err2
 			}
 			continue
 		}
-		if top != nil && j.seg.Parent == nil {
-			newRoots[j.seg.Chain[len(j.seg.Chain)-1]] = top
+		done = append(done, realizedJob{seg: j.seg, byLo: byLo})
+	}
+	sp.SetInt("wrappers", int64(len(rep.Sources)))
+	sp.SetInt("cache_hits", int64(rep.CacheHits))
+	sp.End()
+
+	// --- plan rewrite ---
+	sp = root.Child("phase:rewrite")
+	newRoots := make(map[*sqlengine.Plan]*sqlengine.Plan)
+	for _, rj := range done {
+		top := qf.spliceSegment(rj.seg, rj.byLo)
+		if top != nil && rj.seg.Parent == nil {
+			newRoots[rj.seg.Chain[len(rj.seg.Chain)-1]] = top
 		}
 	}
 	// Re-root where a whole root segment was replaced.
@@ -222,8 +315,11 @@ func (qf *QFusor) Process(eng *sqlengine.Engine, sql string) (*sqlengine.Query, 
 	if nr, ok := newRoots[q.Root]; ok {
 		q.Root = nr
 	}
+	sp.SetInt("sections_fused", int64(rep.Sections))
+	sp.End()
 	rep.CodeGen = time.Since(t1)
-	qf.LastReport = *rep
+	mGenNanos.Observe(float64(rep.CodeGen.Nanoseconds()))
+	qf.setReport(*rep)
 	return q, rep, nil
 }
 
@@ -282,18 +378,16 @@ func exprIsConstant(e sqlengine.SQLExpr) bool {
 	return constant
 }
 
-// rewriteSegment reassembles a segment's plan chain, replacing each
-// fused section's span with its fused node(s). Returns the new top node
-// when the segment's top was the query root (the caller re-roots), and
-// wires Parent otherwise.
-func (qf *QFusor) rewriteSegment(seg *Segment, g *DFG, secs []*Section, rep *Report) (*sqlengine.Plan, error) {
-	// Realize all sections first (no plan surgery on failure).
-	type realized struct {
-		res *fusedResult
-	}
+// realizeSections JIT-generates every section of a segment, keyed by
+// the low end of the plan-node span each one replaces. No plan surgery
+// happens here, so a failing realization leaves the query untouched and
+// the caller can fall back to scalar-chain fusion.
+func (qf *QFusor) realizeSections(seg *Segment, g *DFG, secs []*Section, rep *Report, span *obs.Span) (map[int]*fusedResult, error) {
 	byLo := map[int]*fusedResult{}
 	for _, s := range secs {
+		ws := span.Child("wrapper")
 		res, err := qf.generateSection(seg, g, s)
+		ws.End()
 		if err != nil {
 			return nil, err
 		}
@@ -303,14 +397,29 @@ func (qf *QFusor) rewriteSegment(seg *Segment, g *DFG, secs []*Section, rep *Rep
 		if _, dup := byLo[res.SpanLo]; dup {
 			continue
 		}
+		ws.SetAttr("name", res.Wrapper)
+		if res.Cached {
+			ws.SetAttr("cache", "hit")
+			rep.CacheHits++
+		} else {
+			ws.SetAttr("cache", "miss")
+		}
 		byLo[res.SpanLo] = res
 		rep.Sections++
 		rep.Sources = append(rep.Sources, res.Sources...)
+		mSections.Inc()
 	}
 	if len(byLo) == 0 {
 		return nil, fmt.Errorf("core: no realizable sections")
 	}
+	return byLo, nil
+}
 
+// spliceSegment reassembles a segment's plan chain, replacing each
+// realized section's span with its fused node(s). Returns the new top
+// node when the segment's top was the query root (the caller re-roots),
+// and wires Parent otherwise.
+func (qf *QFusor) spliceSegment(seg *Segment, byLo map[int]*fusedResult) *sqlengine.Plan {
 	cursor := seg.Base
 	pi := 0
 	for pi < len(seg.Chain) {
@@ -339,9 +448,8 @@ func (qf *QFusor) rewriteSegment(seg *Segment, g *DFG, secs []*Section, rep *Rep
 	}
 	if seg.Parent != nil {
 		seg.Parent.Children[seg.ParentSlot] = cursor
-		return cursor, nil
 	}
-	return cursor, nil
+	return cursor
 }
 
 func schemaOf(p *sqlengine.Plan) data.Schema {

@@ -262,7 +262,7 @@ func TestWrapperCacheHitsAcrossQueries(t *testing.T) {
 	if _, _, err := qf.Process(eng, sql); err != nil {
 		t.Fatal(err)
 	}
-	before := len(qf.LastReport.Sources)
+	before := len(qf.LastReport().Sources)
 	if before == 0 {
 		t.Fatal("first query fused nothing")
 	}

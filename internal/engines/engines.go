@@ -146,6 +146,12 @@ func (in *Instance) QueryFused(sql string) (*data.Table, error) {
 	return in.QF.Query(in.Eng, sql)
 }
 
+// QueryAnalyze runs sql through the QFusor pipeline with tracing
+// enabled and returns the per-query EXPLAIN ANALYZE handle.
+func (in *Instance) QueryAnalyze(sql string) (*core.Analysis, error) {
+	return in.QF.QueryAnalyze(in.Eng, sql)
+}
+
 // Close releases transport resources.
 func (in *Instance) Close() {
 	if in.proc != nil {

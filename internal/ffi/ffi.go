@@ -15,7 +15,25 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/obs"
 	"qfusor/internal/pylite"
+)
+
+// Engine-wide wrapper-layer metrics (obs.Default). Resolved once so the
+// hot paths pay only atomic adds.
+var (
+	mUDFCalls     = obs.Default.Counter("ffi.udf.calls")
+	mUDFRowsIn    = obs.Default.Counter("ffi.udf.rows_in")
+	mUDFRowsOut   = obs.Default.Counter("ffi.udf.rows_out")
+	mUDFWallNanos = obs.Default.Counter("ffi.udf.wall_nanos")
+	mUDFWrapNanos = obs.Default.Counter("ffi.udf.wrap_nanos")
+	mUDFCallNanos = obs.Default.Histogram("ffi.udf.call_nanos")
+	mBytesIn      = obs.Default.Counter("ffi.boundary.bytes_in")
+	mBytesOut     = obs.Default.Counter("ffi.boundary.bytes_out")
+	mIPCTrips     = obs.Default.Counter("ffi.ipc.roundtrips")
+	mIPCBytes     = obs.Default.Counter("ffi.ipc.bytes")
+	mTraceRows    = obs.Default.Counter("ffi.trace.rows")          // rows through compiled (JIT) traces
+	mInterpRows   = obs.Default.Counter("ffi.wrapper.interp_rows") // rows through PyLite fused wrappers
 )
 
 // UDFKind classifies a UDF per the paper's design specifications (§4.2).
@@ -88,6 +106,48 @@ func (s *Stats) Selectivity() float64 {
 	return float64(s.OutRows.Load()) / float64(in)
 }
 
+// Reset zeroes every statistic (used when a probe poisons partial
+// stats). Adding a field to Stats only requires updating this method —
+// callers must not reset fields one by one.
+func (s *Stats) Reset() {
+	s.Calls.Store(0)
+	s.InRows.Store(0)
+	s.OutRows.Store(0)
+	s.WallNanos.Store(0)
+	s.WrapNanos.Store(0)
+}
+
+// StatsSnapshot is a point-in-time copy of Stats, used by EXPLAIN
+// ANALYZE to diff per-query UDF activity.
+type StatsSnapshot struct {
+	Calls, InRows, OutRows, WallNanos, WrapNanos int64
+}
+
+// Snapshot atomically reads every statistic.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Calls:     s.Calls.Load(),
+		InRows:    s.InRows.Load(),
+		OutRows:   s.OutRows.Load(),
+		WallNanos: s.WallNanos.Load(),
+		WrapNanos: s.WrapNanos.Load(),
+	}
+}
+
+// Sub returns s minus b, field-wise.
+func (s StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Calls:     s.Calls - b.Calls,
+		InRows:    s.InRows - b.InRows,
+		OutRows:   s.OutRows - b.OutRows,
+		WallNanos: s.WallNanos - b.WallNanos,
+		WrapNanos: s.WrapNanos - b.WrapNanos,
+	}
+}
+
+// IsZero reports whether every field is zero.
+func (s StatsSnapshot) IsZero() bool { return s == StatsSnapshot{} }
+
 // UDF is a registered user-defined function: the developer's PyLite
 // source wrapped with type metadata, bound to a runtime.
 type UDF struct {
@@ -130,13 +190,20 @@ func (u *UDF) OutKind() data.Kind {
 	return data.KindString
 }
 
-// record updates the stateful statistics dictionary after a call.
+// record updates the stateful statistics dictionary after a call, and
+// mirrors the totals into the engine-wide metrics registry.
 func (u *UDF) record(inRows, outRows int, wall, wrap time.Duration) {
 	u.Stats.Calls.Add(1)
 	u.Stats.InRows.Add(int64(inRows))
 	u.Stats.OutRows.Add(int64(outRows))
 	u.Stats.WallNanos.Add(wall.Nanoseconds())
 	u.Stats.WrapNanos.Add(wrap.Nanoseconds())
+	mUDFCalls.Inc()
+	mUDFRowsIn.Add(int64(inRows))
+	mUDFRowsOut.Add(int64(outRows))
+	mUDFWallNanos.Add(wall.Nanoseconds())
+	mUDFWrapNanos.Add(wrap.Nanoseconds())
+	mUDFCallNanos.Observe(float64(wall.Nanoseconds()))
 }
 
 // CrossIn boxes one engine value into the UDF environment. String
@@ -166,9 +233,12 @@ func CrossOut(col *data.Column, v data.Value) {
 // (copied) across the boundary.
 func BoxColumn(c *data.Column, n int) []data.Value {
 	out := make([]data.Value, n)
+	bytes := int64(0)
 	for i := 0; i < n; i++ {
 		out[i] = CrossIn(c, i)
+		bytes += int64(len(out[i].S))
 	}
+	mBytesIn.Add(bytes)
 	return out
 }
 
@@ -177,12 +247,15 @@ func BoxColumn(c *data.Column, n int) []data.Value {
 // marshalling strings.
 func UnboxValues(name string, kind data.Kind, vals []data.Value) *data.Column {
 	col := data.NewColumnCap(name, kind, len(vals))
+	bytes := int64(0)
 	for _, v := range vals {
 		if v.Kind == data.KindString {
 			v.S = strings.Clone(v.S)
+			bytes += int64(len(v.S))
 		}
 		col.AppendValue(v)
 	}
+	mBytesOut.Add(bytes)
 	return col
 }
 

@@ -55,6 +55,7 @@ func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outK
 	if err != nil {
 		return nil, err
 	}
+	mInterpRows.Add(int64(n))
 	u.record(n, outRows, time.Since(start), wrap)
 	return cols, nil
 }
@@ -91,6 +92,7 @@ func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g in
 	if err != nil {
 		return nil, err
 	}
+	mInterpRows.Add(int64(n))
 	u.record(n, outRows, time.Since(start), wrap)
 	return cols, nil
 }

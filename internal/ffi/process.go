@@ -141,6 +141,8 @@ func (p *ProcessInvoker) roundTrip(r procRequest, in *data.Chunk) (*data.Chunk, 
 	r.resp = make(chan procResponse, 1)
 	p.req <- r
 	resp := <-r.resp
+	mIPCTrips.Inc()
+	mIPCBytes.Add(int64(len(r.payload) + len(resp.payload)))
 	if resp.err != nil {
 		return nil, resp.err
 	}

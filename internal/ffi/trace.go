@@ -126,6 +126,7 @@ func RunTraceVector(u *UDF, t *Trace, args []*data.Column, n int, outNames []str
 			return nil, err
 		}
 	}
+	mTraceRows.Add(int64(n))
 	u.record(n, outRows, time.Since(start), 0)
 	return outs, nil
 }
@@ -492,6 +493,7 @@ func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string
 		}
 		outs[nKeys+ai] = col
 	}
+	mTraceRows.Add(int64(n))
 	u.record(n, g, time.Since(start), 0)
 	return outs, nil
 }

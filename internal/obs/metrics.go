@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Bucket quantizes a positive value into half-decade log buckets
+// (powers of ~3.16): bucket = round(2·log10(v)). This is the same
+// quantization the cost model's stateful dictionary stores
+// (core.CostBucket delegates here), so histogram buckets and learned
+// cost buckets line up.
+func Bucket(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	return int(math.Round(2 * math.Log10(v)))
+}
+
+// BucketValue converts a bucket back to its representative value.
+func BucketValue(bucket int) float64 {
+	return math.Pow(10, float64(bucket)/2)
+}
+
+// histBuckets bounds a histogram's bucket array: half-decades from 1
+// (bucket 0) to 10^17.5 ns ≈ 3.6 years (bucket 35); out-of-range
+// observations clamp to the edges.
+const histBuckets = 36
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket log-scale histogram (half-decade buckets,
+// see Bucket). Observations are lock-free atomic adds.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // raw units, truncated to int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (typically nanoseconds).
+func (h *Histogram) Observe(v float64) {
+	b := Bucket(v)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(v))
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a histogram's point-in-time state. Buckets maps
+// bucket index → observation count (only non-empty buckets appear).
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Registry is a process-wide named metrics store. Metric handles are
+// get-or-create and stable, so hot paths resolve them once into
+// package-level vars and pay only atomic adds afterwards.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the engine-wide registry every pipeline layer reports to.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot captures every metric's current value. Safe to call
+// concurrently with updates (values are read atomically, the set of
+// metrics under the registry lock).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		for b := 0; b < histBuckets; b++ {
+			if n := h.buckets[b].Load(); n != 0 {
+				if hs.Buckets == nil {
+					hs.Buckets = make(map[int]int64)
+				}
+				hs.Buckets[b] = n
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, also used
+// as a delta (see Diff) so bench runs report per-run numbers.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Diff returns this snapshot minus base: counter and histogram values
+// subtract (zero-delta entries are dropped); gauges keep their current
+// value (an instantaneous reading has no meaningful delta).
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range s.Counters {
+		if d := v - base.Counters[name]; d != 0 {
+			out.Counters[name] = d
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		bh := base.Histograms[name]
+		d := HistogramSnapshot{Count: h.Count - bh.Count, Sum: h.Sum - bh.Sum}
+		for b, n := range h.Buckets {
+			if dn := n - bh.Buckets[b]; dn != 0 {
+				if d.Buckets == nil {
+					d.Buckets = make(map[int]int64)
+				}
+				d.Buckets[b] = dn
+			}
+		}
+		if d.Count != 0 || d.Sum != 0 || len(d.Buckets) > 0 {
+			out.Histograms[name] = d
+		}
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot expvar-style: one "name value" line per
+// metric, sorted by name. Histograms print count/sum/mean plus their
+// non-empty buckets as representative-value:count pairs.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s count=%d sum=%d mean=%.1f", n, h.Count, h.Sum, h.Mean())
+		bks := make([]int, 0, len(h.Buckets))
+		for bk := range h.Buckets {
+			bks = append(bks, bk)
+		}
+		sort.Ints(bks)
+		for _, bk := range bks {
+			fmt.Fprintf(&b, " ~%.3g:%d", BucketValue(bk), h.Buckets[bk])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

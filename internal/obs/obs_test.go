@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("query")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Every method must be a no-op on a nil span.
+	child := sp.Child("phase")
+	child.SetAttr("k", "v")
+	child.SetInt("rows", 3)
+	child.AddInt("rows", 1)
+	child.End()
+	sp.End()
+	if sp.Duration() != 0 || sp.Render() != "" || sp.Find("phase") != nil {
+		t.Fatal("nil span leaked state")
+	}
+	if _, ok := sp.Attr("k"); ok {
+		t.Fatal("nil span returned an attr")
+	}
+	if got := sp.Children(); got != nil {
+		t.Fatal("nil span returned children")
+	}
+}
+
+func TestSpanTreeNestingAndRender(t *testing.T) {
+	root := NewTracer().Start("query")
+	probe := root.Child("phase:plan_probe")
+	probe.End()
+	exec := root.Child("phase:execute")
+	op := exec.Child("op:Project")
+	op.SetInt("rows_out", 42)
+	op.SetAttr("udf", "upname")
+	op.End()
+	exec.End()
+	root.End()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+	if root.Find("op:Project") == nil {
+		t.Fatal("Find missed a nested span")
+	}
+	if v, ok := root.Find("op:Project").Counter("rows_out"); !ok || v != 42 {
+		t.Fatalf("rows_out = %d,%v", v, ok)
+	}
+	out := root.Render()
+	for _, want := range []string{"query", "phase:plan_probe", "op:Project", "rows_out=42", "udf=upname"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// Depth via Walk: op:Project sits at depth 2.
+	depths := map[string]int{}
+	root.Walk(func(sp *Span, d int) { depths[sp.Name] = d })
+	if depths["op:Project"] != 2 {
+		t.Fatalf("op depth = %d, want 2", depths["op:Project"])
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	sp := NewSpan("s")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestBucketRoundTripHalfDecades(t *testing.T) {
+	for b := 0; b < 20; b++ {
+		if got := Bucket(BucketValue(b)); got != b {
+			t.Fatalf("Bucket(BucketValue(%d)) = %d", b, got)
+		}
+	}
+	if Bucket(0) != 0 || Bucket(-5) != 0 {
+		t.Fatal("non-positive values must land in bucket 0")
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ffi.calls")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("ffi.calls") != c || c.Value() != 3 {
+		t.Fatal("counter not stable/get-or-create")
+	}
+	g := r.Gauge("pool.size")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := r.Histogram("lat")
+	h.Observe(100)  // bucket 4
+	h.Observe(100)  // bucket 4
+	h.Observe(1000) // bucket 6
+	snap := r.Snapshot()
+	hs := snap.Histograms["lat"]
+	if hs.Count != 3 || hs.Sum != 1200 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+	if hs.Buckets[4] != 2 || hs.Buckets[6] != 1 {
+		t.Fatalf("buckets = %v", hs.Buckets)
+	}
+	if got := hs.Mean(); got != 400 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.Counter("b").Add(1)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(100)
+	base := r.Snapshot()
+	r.Counter("a").Add(5)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(100)
+	r.Histogram("h").Observe(10)
+	d := r.Snapshot().Diff(base)
+	if d.Counters["a"] != 5 {
+		t.Fatalf("diff a = %d", d.Counters["a"])
+	}
+	if _, ok := d.Counters["b"]; ok {
+		t.Fatal("zero-delta counter must be dropped")
+	}
+	if d.Gauges["g"] != 9 {
+		t.Fatalf("gauge keeps current value, got %d", d.Gauges["g"])
+	}
+	h := d.Histograms["h"]
+	if h.Count != 2 || h.Buckets[4] != 1 || h.Buckets[2] != 1 {
+		t.Fatalf("hist diff = %+v", h)
+	}
+}
+
+func TestSnapshotExportJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.queries").Add(2)
+	r.Histogram("engine.exec_nanos").Observe(1e6)
+	snap := r.Snapshot()
+	js, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["engine.queries"] != 2 {
+		t.Fatalf("JSON round trip lost counter: %s", js)
+	}
+	txt := snap.Text()
+	if !strings.Contains(txt, "engine.queries 2") || !strings.Contains(txt, "engine.exec_nanos count=1") {
+		t.Fatalf("text export:\n%s", txt)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(float64(j + 1))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 4000 {
+		t.Fatalf("lost counts: %d", r.Counter("c").Value())
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Child("c")
+				c.AddInt("n", 1)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(root.Children()); got != 800 {
+		t.Fatalf("children = %d", got)
+	}
+}

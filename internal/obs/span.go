@@ -1,0 +1,290 @@
+// Package obs is the engine-wide observability layer: lightweight
+// nested spans for query-lifecycle tracing and a process-wide metrics
+// registry (counters, gauges, log-bucket latency histograms) with
+// snapshot-and-diff support. It is zero-dependency (stdlib only) so
+// every layer of the pipeline — optimizer, SQL executors, FFI wrappers,
+// the PyLite runtime — can hook into it without import cycles.
+//
+// Tracing is strictly opt-in and pay-for-use: a nil *Tracer or nil
+// *Span is a valid receiver for every method and reduces each hook to
+// a single pointer comparison, so untraced queries run at full speed
+// (the nil-tracer zero-overhead guarantee noted in DESIGN.md). Metrics
+// are always on but consist only of atomic adds.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer gates span collection. A nil Tracer (the default for every
+// query path) disables tracing entirely; EXPLAIN ANALYZE and the CLI's
+// \trace mode install one.
+type Tracer struct{}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a root span, or returns nil on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return NewSpan(name)
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Span is one timed region of a query's lifecycle. Spans nest: the
+// optimizer phases hang off the query root, plan operators hang off the
+// execute phase. All methods are nil-safe so instrumentation sites can
+// call through without checking whether tracing is on.
+type Span struct {
+	Name string
+
+	mu       sync.Mutex
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	counters map[string]int64
+	order    []string // counter insertion order (stable rendering)
+	children []*Span
+}
+
+// NewSpan opens a root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// Child opens a nested span. Nil-safe: returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Idempotent; nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's wall time (time since start if the span
+// is still open). Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// SetInt sets a per-span counter. Nil-safe.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setCounterLocked(key, v)
+	s.mu.Unlock()
+}
+
+// AddInt increments a per-span counter. Nil-safe.
+func (s *Span) AddInt(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	cur := int64(0)
+	if s.counters != nil {
+		cur = s.counters[key]
+	}
+	s.setCounterLocked(key, cur+delta)
+	s.mu.Unlock()
+}
+
+func (s *Span) setCounterLocked(key string, v int64) {
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	if _, ok := s.counters[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.counters[key] = v
+}
+
+// Attr returns an annotation's value. Nil-safe.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Counter returns a per-span counter's value. Nil-safe.
+func (s *Span) Counter(key string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.counters[key]
+	return v, ok
+}
+
+// Children returns a copy of the nested spans. Nil-safe.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first span named name in a pre-order walk of the
+// subtree (including s itself), or nil. Nil-safe.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Walk visits the subtree pre-order with each span's depth. Nil-safe.
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	s.walk(fn, 0)
+}
+
+func (s *Span) walk(fn func(*Span, int), depth int) {
+	if s == nil {
+		return
+	}
+	fn(s, depth)
+	for _, c := range s.Children() {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Render formats the span tree as an indented annotated outline, one
+// span per line: name, duration, counters, attributes.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.renderInto(&b, "", true, true)
+	return b.String()
+}
+
+func (s *Span) renderInto(b *strings.Builder, prefix string, last, root bool) {
+	if !root {
+		if last {
+			b.WriteString(prefix + "└─ ")
+		} else {
+			b.WriteString(prefix + "├─ ")
+		}
+	}
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, "  %s", fmtDur(s.Duration()))
+	s.mu.Lock()
+	for _, k := range s.order {
+		fmt.Fprintf(b, "  %s=%d", k, s.counters[k])
+	}
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, "  %s=%s", a.Key, a.Val)
+	}
+	s.mu.Unlock()
+	b.WriteByte('\n')
+	kids := s.Children()
+	for i, c := range kids {
+		cp := prefix
+		if !root {
+			if last {
+				cp += "   "
+			} else {
+				cp += "│  "
+			}
+		}
+		c.renderInto(b, cp, i == len(kids)-1, false)
+	}
+}
+
+// fmtDur renders a duration compactly (µs below 10ms, ms below 10s).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// SortChildrenBy reorders children for deterministic rendering (used by
+// tests; execution order is already deterministic in practice).
+func (s *Span) SortChildrenBy(less func(a, b *Span) bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	sort.SliceStable(s.children, func(i, j int) bool { return less(s.children[i], s.children[j]) })
+	s.mu.Unlock()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/obs"
 )
 
 // Env is a lexical scope: a name→value map chained to its parent.
@@ -39,6 +40,17 @@ type Stats struct {
 	Compilations  atomic.Int64
 	CompileNanos  atomic.Int64
 }
+
+// Engine-wide runtime metrics (obs.Default): the per-interp Stats above
+// feed the experiments; these aggregate across every runtime in the
+// process so EXPLAIN ANALYZE and the metrics registry can report
+// interpreter-tier vs compiled-tier activity and JIT compile counts.
+var (
+	mInterpCalls   = obs.Default.Counter("pylite.interp_calls")
+	mCompiledCalls = obs.Default.Counter("pylite.compiled_calls")
+	mCompilations  = obs.Default.Counter("pylite.jit_compiles")
+	mCompileNanos  = obs.Default.Counter("pylite.jit_compile_nanos")
+)
 
 // Interp is a PyLite runtime: globals, builtins, and the tracing-JIT
 // policy. With HotThreshold == 0 it behaves like a pure interpreter
@@ -163,6 +175,7 @@ func (it *Interp) callKw(fn data.Value, args []data.Value, kwargs map[string]dat
 func (it *Interp) callFunc(fn *FuncValue, args []data.Value, kwargs map[string]data.Value) (data.Value, error) {
 	if c := fn.Compiled(); c != nil {
 		it.Stats.CompiledCalls.Add(1)
+		mCompiledCalls.Inc()
 		return c.Call(it, args, kwargs)
 	}
 	if it.HotThreshold > 0 && !fn.Uncompilable() && fn.Heat() >= it.HotThreshold {
@@ -173,12 +186,16 @@ func (it *Interp) callFunc(fn *FuncValue, args []data.Value, kwargs map[string]d
 			it.Stats.Compilations.Add(1)
 			it.Stats.CompileNanos.Add(time.Since(start).Nanoseconds())
 			it.Stats.CompiledCalls.Add(1)
+			mCompilations.Inc()
+			mCompileNanos.Add(time.Since(start).Nanoseconds())
+			mCompiledCalls.Inc()
 			return c.Call(it, args, kwargs)
 		}
 		// Uncompilable constructs fall back to interpretation forever.
 		fn.SetCompiled(nil)
 	}
 	it.Stats.InterpCalls.Add(1)
+	mInterpCalls.Inc()
 	env, err := bindParams(fn, args, kwargs)
 	if err != nil {
 		return data.Null, err

@@ -3,10 +3,21 @@ package sqlengine
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
+)
+
+// Engine-wide execution metrics (obs.Default).
+var (
+	mQueries      = obs.Default.Counter("engine.queries")
+	mRowsOut      = obs.Default.Counter("engine.rows_out")
+	mExecNanos    = obs.Default.Histogram("engine.exec_nanos")
+	mPlanNanos    = obs.Default.Histogram("engine.plan_nanos")
+	mZeroCopyCols = obs.Default.Counter("engine.zero_copy_cols")
 )
 
 // ExecMode selects the physical execution model.
@@ -50,8 +61,10 @@ type Engine struct {
 	// operators (scans, filters, projections) in columnar modes.
 	Parallelism int
 
-	// LastStats records measurements of the most recent query.
-	LastStats ExecStats
+	// statsMu guards lastStats: concurrent queries on one engine each
+	// write it, so access goes through LastStats().
+	statsMu   sync.Mutex
+	lastStats ExecStats
 }
 
 // ExecStats carries per-query measurements used by the experiments.
@@ -117,8 +130,21 @@ func (e *Engine) PlanQuery(st *SelectStmt) (*Query, error) {
 		return nil, err
 	}
 	Optimize(q, e.Catalog)
-	e.LastStats.PlanTime = time.Since(start)
+	planTime := time.Since(start)
+	mPlanNanos.Observe(float64(planTime.Nanoseconds()))
+	e.statsMu.Lock()
+	e.lastStats.PlanTime = planTime
+	e.statsMu.Unlock()
 	return q, nil
+}
+
+// LastStats returns measurements of the most recent query. Prefer the
+// per-query numbers carried by EXPLAIN ANALYZE (core.Analysis) when
+// queries run concurrently.
+func (e *Engine) LastStats() ExecStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.lastStats
 }
 
 // Plan parses + plans a SELECT string (the EXPLAIN hook QFusor's client
@@ -140,21 +166,40 @@ func (e *Engine) Plan(sql string) (*Query, error) {
 
 // Execute runs an optimized query through the configured executor.
 func (e *Engine) Execute(q *Query) (*data.Table, error) {
+	return e.ExecuteTraced(q, nil)
+}
+
+// ExecuteTraced runs an optimized query, hanging one span per plan
+// operator (rows in/out, wall time) off root when a tracer is attached.
+// A nil root is the zero-overhead fast path Execute takes.
+func (e *Engine) ExecuteTraced(q *Query, root *obs.Span) (*data.Table, error) {
 	start := time.Now()
 	ectx := newExecCtx(e)
+	ectx.span = root
 	for _, cte := range q.CTEs {
+		sp := root.Child("cte:" + cte.Name)
+		ectx.span = sp
 		ch, err := e.execPlan(cte.Plan, ectx)
+		ectx.span = root
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("cte %s: %w", cte.Name, err)
 		}
+		sp.SetInt("rows_out", int64(ch.NumRows()))
 		ectx.ctes[strings.ToLower(cte.Name)] = ch
 	}
 	ch, err := e.execPlan(q.Root, ectx)
 	if err != nil {
 		return nil, err
 	}
-	e.LastStats.ExecTime = time.Since(start)
-	e.LastStats.Rows = ch.NumRows()
+	execTime := time.Since(start)
+	mQueries.Inc()
+	mRowsOut.Add(int64(ch.NumRows()))
+	mExecNanos.Observe(float64(execTime.Nanoseconds()))
+	e.statsMu.Lock()
+	e.lastStats.ExecTime = execTime
+	e.lastStats.Rows = ch.NumRows()
+	e.statsMu.Unlock()
 	out := data.FromChunk("result", ch)
 	out.Schema = q.Root.Schema
 	for i, c := range out.Cols {
@@ -165,8 +210,52 @@ func (e *Engine) Execute(q *Query) (*data.Table, error) {
 	return out, nil
 }
 
-// execPlan dispatches to the physical executor for this engine's mode.
+// execPlan runs one plan node through the physical executor for this
+// engine's mode, wrapping it in a per-operator span when the query is
+// traced. Child executions recurse through here, so the span tree
+// mirrors the plan tree. With no tracer the hook is one nil check.
 func (e *Engine) execPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	if ectx.span == nil {
+		return e.execPlanNode(p, ectx)
+	}
+	parent := ectx.span
+	sp := parent.Child("op:" + p.Op.String())
+	annotateOpSpan(sp, p)
+	ectx.span = sp
+	ch, err := e.execPlanNode(p, ectx)
+	ectx.span = parent
+	sp.End()
+	if ch != nil {
+		sp.SetInt("rows_out", int64(ch.NumRows()))
+	}
+	return ch, err
+}
+
+// annotateOpSpan attaches the operator's identifying payload to its
+// span: scanned table, UDF name, fused-section membership.
+func annotateOpSpan(sp *obs.Span, p *Plan) {
+	switch p.Op {
+	case OpScan, OpCTERef:
+		sp.SetAttr("table", p.Table)
+	case OpTableFunc, OpExpand, OpFused, OpFusedAgg:
+		if p.UDF != nil {
+			sp.SetAttr("udf", p.UDF.Name)
+			if p.UDF.Fused {
+				sp.SetAttr("section", "fused")
+				if p.UDF.Trace != nil {
+					sp.SetAttr("tier", "jit-trace")
+				} else {
+					sp.SetAttr("tier", "pylite")
+				}
+			}
+		}
+	}
+	sp.SetInt("est_rows", int64(p.EstRows))
+}
+
+// execPlanNode dispatches to the physical executor for this engine's
+// mode.
+func (e *Engine) execPlanNode(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	switch e.Mode {
 	case ModeRow:
 		return e.execRowPlan(p, ectx)
@@ -179,6 +268,10 @@ func (e *Engine) execPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 type execCtx struct {
 	eng  *Engine
 	ctes map[string]*data.Chunk
+	// span is the current parent span when the query is traced (nil
+	// otherwise). Child plan nodes execute sequentially, so execPlan may
+	// swap it in place while descending.
+	span *obs.Span
 }
 
 func newExecCtx(e *Engine) *execCtx {

@@ -40,13 +40,13 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			}
 			return e.projectChunk(p, oneRowChunk())
 		}
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
 		return e.projectChunk(p, in)
 	case OpFilter:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -54,25 +54,25 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	case OpJoin:
 		return e.joinChunk(p, ectx)
 	case OpAggregate:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
 		return e.aggregateChunk(p, in)
 	case OpSort:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
 		return e.sortChunk(p, in)
 	case OpDistinct:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
 		return distinctChunk(in), nil
 	case OpLimit:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -87,11 +87,11 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		}
 		return in.Slice(lo, hi), nil
 	case OpUnion:
-		l, err := e.execColumnar(p.Children[0], ectx)
+		l, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.execColumnar(p.Children[1], ectx)
+		r, err := e.execPlan(p.Children[1], ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +105,7 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		}
 		return out, nil
 	case OpTableFunc:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +133,7 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		}
 		return out, nil
 	case OpExpand:
-		in, err := e.execColumnar(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +173,7 @@ func (e *Engine) projectChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 				cp := *part.Cols[cr.Index]
 				cp.Name = p.Schema[i].Name
 				cols[i] = &cp
+				mZeroCopyCols.Inc()
 				continue
 			}
 			vals, err := e.evalVec(ex, part)
@@ -316,11 +317,11 @@ func (e *Engine) expandChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 // joinChunk executes a join: hash join for equi predicates, else a
 // filtered cross product.
 func (e *Engine) joinChunk(p *Plan, ectx *execCtx) (*data.Chunk, error) {
-	l, err := e.execColumnar(p.Children[0], ectx)
+	l, err := e.execPlan(p.Children[0], ectx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.execColumnar(p.Children[1], ectx)
+	r, err := e.execPlan(p.Children[1], ectx)
 	if err != nil {
 		return nil, err
 	}

@@ -98,7 +98,7 @@ func (e *Engine) buildRowIter(p *Plan, ectx *execCtx) (rowIter, error) {
 		// Fused wrappers are vectorized by construction; tuple engines
 		// materialize the child first (the paper's temp-table
 		// decomposition on SQLite), then stream the fused output.
-		in, err := e.execRowPlan(p.Children[0], ectx)
+		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +115,7 @@ func (e *Engine) buildRowIter(p *Plan, ectx *execCtx) (rowIter, error) {
 // blocking operator's columnar implementation on the materialized input.
 func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	drain := func(c *Plan) (*data.Chunk, error) {
-		return e.execRowPlan(c, ectx)
+		return e.execPlan(c, ectx)
 	}
 	switch p.Op {
 	case OpAggregate:
@@ -342,7 +342,7 @@ func (e *Engine) buildJoinIter(p *Plan, ectx *execCtx) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.execRowPlan(p.Children[1], ectx)
+	right, err := e.execPlan(p.Children[1], ectx)
 	if err != nil {
 		left.Close()
 		return nil, err

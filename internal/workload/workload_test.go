@@ -69,13 +69,13 @@ func TestAllQueriesFusedParity(t *testing.T) {
 			}
 			if want.NumRows() != got.NumRows() {
 				t.Fatalf("rows: native=%d fused=%d (sections=%d)",
-					want.NumRows(), got.NumRows(), in.QF.LastReport.Sections)
+					want.NumRows(), got.NumRows(), in.QF.LastReport().Sections)
 			}
 			wk, gk := keysOf(want), keysOf(got)
 			for k, n := range wk {
 				if gk[k] != n {
 					t.Fatalf("row %q: native×%d fused×%d\nsources: %v",
-						k, n, gk[k], in.QF.LastReport.Sources)
+						k, n, gk[k], in.QF.LastReport().Sources)
 				}
 			}
 			if want.NumRows() == 0 {
@@ -99,7 +99,7 @@ func TestQ3ProducesCollaborations(t *testing.T) {
 	if len(res.Cols) != 6 {
 		t.Fatalf("Q3 arity = %d, want 6", len(res.Cols))
 	}
-	if in.QF.LastReport.Sections == 0 {
+	if in.QF.LastReport().Sections == 0 {
 		t.Fatal("Q3 fused no sections")
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"qfusor/internal/data"
 	"qfusor/internal/engines"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 	"qfusor/internal/workload"
 )
 
@@ -98,6 +99,27 @@ type Options = core.Options
 
 // Report carries per-query optimizer measurements.
 type Report = core.Report
+
+// Analysis is the per-query EXPLAIN ANALYZE handle returned by
+// QueryAnalyze: the executed result plus the annotated span tree,
+// per-UDF wrapper-vs-body time, and the engine-wide metrics delta.
+type Analysis = core.Analysis
+
+// UDFUsage is one UDF's contribution to an analyzed query.
+type UDFUsage = core.UDFUsage
+
+// Span is one timed region of a query's lifecycle (Analysis.Root is the
+// tree of them).
+type Span = obs.Span
+
+// MetricsSnapshot is a point-in-time copy (or diff) of the engine-wide
+// metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Metrics returns a snapshot of the process-wide metrics registry:
+// counters, gauges and half-decade latency histograms from every layer
+// (optimizer, executors, FFI boundary, UDF runtime).
+func Metrics() MetricsSnapshot { return obs.Default.Snapshot() }
 
 // Option configures Open.
 type Option func(*engines.Config)
@@ -187,9 +209,21 @@ func (db *DB) ExplainNative(sql string) (string, error) {
 	return q.Explain(), nil
 }
 
+// QueryAnalyze runs a SELECT through the full QFusor pipeline with
+// tracing enabled — EXPLAIN ANALYZE. The returned Analysis carries the
+// result table, the span tree (optimizer phases plus one span per
+// executed plan operator with row counts), per-UDF wrapper-vs-body
+// time, and the engine-wide metrics delta for the query.
+func (db *DB) QueryAnalyze(sql string) (*Analysis, error) {
+	return db.in.QueryAnalyze(sql)
+}
+
 // LastReport returns measurements of the most recent Query's fusion
 // pipeline (discovery + codegen times, fused section count).
-func (db *DB) LastReport() Report { return db.in.QF.LastReport }
+//
+// Deprecated: "most recent" is ambiguous when queries run concurrently;
+// prefer the per-query Analysis from QueryAnalyze.
+func (db *DB) LastReport() Report { return db.in.QF.LastReport() }
 
 // SetOptions adjusts the QFusor technique switches.
 func (db *DB) SetOptions(o Options) { db.in.QF.Opts = o }
