@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-smoke
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -21,3 +21,8 @@ race:
 ## bench: run the paper experiments quickly, with a metrics snapshot.
 bench:
 	$(GO) run ./cmd/qfusor-bench -quick -obs BENCH_obs.json
+
+## bench-smoke: just the morsel-executor A/B (serial vs parallel, with
+## the result-identity check), refreshing BENCH_obs.json.
+bench-smoke:
+	$(GO) run ./cmd/qfusor-bench -quick -exp morsel-speedup -obs BENCH_obs.json

@@ -40,10 +40,12 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps and repetitions")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	obsOut := flag.String("obs", "", "write results + metrics snapshot as JSON to this file (e.g. BENCH_obs.json)")
+	parallelism := flag.Int("parallelism", 0, "executor workers for experiments that don't pin their own: 0 = auto (one per core), 1 = serial")
 	flag.Parse()
 
 	r := bench.NewRunner(workload.Size(*size), os.Stdout)
 	r.Quick = *quick
+	r.Parallelism = *parallelism
 
 	if *list {
 		var names []string

@@ -33,9 +33,10 @@ func main() {
 	profile := flag.String("engine", "monetdb", "engine profile: monetdb | postgresql | sqlite | duckdb | pyspark | dbx")
 	load := flag.String("load", "", "preload a workload: udfbench | zillow | weld | udo (comma separated)")
 	size := flag.String("size", "tiny", "workload size: tiny | small | medium | large")
+	parallelism := flag.Int("parallelism", 0, "executor workers: 0 = auto (one per core), 1 = serial")
 	flag.Parse()
 
-	db, err := qfusor.Open(qfusor.Profile(*profile))
+	db, err := qfusor.Open(qfusor.Profile(*profile), qfusor.WithParallelism(*parallelism))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -39,6 +39,19 @@ type Runner struct {
 	// Quick trims sweeps (fewer selectivity points, fewer repetitions)
 	// for CI runs.
 	Quick bool
+	// Parallelism is the executor worker count applied to every launched
+	// instance whose experiment does not pin its own (0 = auto, 1 =
+	// serial). Parallelism sweeps ignore it.
+	Parallelism int
+}
+
+// launch builds an instance, applying the runner's default parallelism
+// when the experiment left the config at 0 (auto).
+func (r *Runner) launch(cfg engines.Config) *engines.Instance {
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = r.Parallelism
+	}
+	return engines.Launch(cfg)
 }
 
 // NewRunner builds a runner printing to w.
@@ -133,7 +146,7 @@ const (
 
 // launchWorkload builds an instance with the named dataset installed.
 func (r *Runner) launchWorkload(cfg engines.Config, dataset string) (*engines.Instance, error) {
-	in := engines.Launch(cfg)
+	in := r.launch(cfg)
 	if err := r.install(in, dataset); err != nil {
 		in.Close()
 		return nil, err
@@ -203,7 +216,7 @@ func runSQL(in *engines.Instance, sql string, mode runMode) (time.Duration, int,
 func (r *Runner) engineLineup(dataset string) []sysConfig {
 	mk := func(name string, cfg engines.Config, mode runMode, opts *core.Options, nativeUDFs bool) sysConfig {
 		return sysConfig{name: name, build: func() (*engines.Instance, runMode) {
-			in := engines.Launch(cfg)
+			in := r.launch(cfg)
 			if err := r.install(in, dataset); err != nil {
 				panic(err)
 			}

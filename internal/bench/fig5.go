@@ -9,7 +9,7 @@ import (
 
 // engLaunchAll launches a monet+JIT instance with every workload loaded.
 func engLaunchAll(r *Runner) *engines.Instance {
-	in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+	in := r.launch(engines.Config{Profile: engines.Monet, JIT: true})
 	for _, ds := range []string{"udfbench", "zillow", "weld", "udo"} {
 		if err := r.install(in, ds); err != nil {
 			panic(err)
@@ -47,7 +47,7 @@ func (r *Runner) Fig5Weld() (*Result, error) {
 				Order: []string{"preprocess_ms", "load_ms", "execute_ms", "total_ms", "rows"}})
 
 			// QFusor: read (already-loaded columnar tables) + execute.
-			in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+			in := r.launch(engines.Config{Profile: engines.Monet, JIT: true})
 			if err := workload.InstallWeld(in); err != nil {
 				return nil, err
 			}
@@ -96,7 +96,7 @@ func (r *Runner) Fig5UDO() (*Result, error) {
 			Metrics: map[string]float64{"time_ms": ms(st.ExecTime), "rows": float64(n)},
 			Order:   []string{"time_ms", "rows"}})
 
-		in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+		in := r.launch(engines.Config{Profile: engines.Monet, JIT: true})
 		if err := workload.InstallUDO(in); err != nil {
 			return nil, err
 		}

@@ -162,7 +162,7 @@ func (r *Runner) Fig6dShortQueries() (*Result, error) {
 
 	// --- compile latency (Q13 small, Q14 complex) ---
 	for _, q := range []struct{ id, sql string }{{"Q13", workload.Q13}, {"Q14", workload.Q14}} {
-		in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+		in := r.launch(engines.Config{Profile: engines.Monet, JIT: true})
 		if err := workload.InstallZillow(in); err != nil {
 			return nil, err
 		}

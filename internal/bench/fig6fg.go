@@ -40,7 +40,7 @@ func (r *Runner) Fig6fDiskMem() (*Result, error) {
 		{"pyspark", engines.Config{Profile: engines.Spark, JIT: false, Parallelism: 4}, runNative},
 	} {
 		// disk-cold: decode from file + run.
-		in := engines.Launch(sys.cfg)
+		in := r.launch(sys.cfg)
 		if err := workload.InstallZillow(in); err != nil {
 			return nil, err
 		}

@@ -21,7 +21,7 @@ func (r *Runner) Fig8Pluggability() (*Result, error) {
 		for _, prof := range engines.AllProfiles() {
 			var native, enhanced float64
 			for _, fused := range []bool{false, true} {
-				in := engines.Launch(engines.Config{Profile: prof, JIT: true})
+				in := r.launch(engines.Config{Profile: prof, JIT: true})
 				if err := workload.InstallZillow(in); err != nil {
 					return nil, err
 				}
@@ -90,6 +90,7 @@ func (r *Runner) All() ([]*Result, error) {
 		{"fig6g-parallel", r.Fig6gParallel},
 		{"fig7-resources", r.Fig7Resources},
 		{"fig8-pluggability", r.Fig8Pluggability},
+		{"morsel-speedup", r.MorselSpeedup},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -120,5 +121,6 @@ func (r *Runner) Experiments() map[string]func() (*Result, error) {
 		"fig6g-parallel":     r.Fig6gParallel,
 		"fig7-resources":     r.Fig7Resources,
 		"fig8-pluggability":  r.Fig8Pluggability,
+		"morsel-speedup":     r.MorselSpeedup,
 	}
 }

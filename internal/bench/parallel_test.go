@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+
+	"qfusor/internal/engines"
+	"qfusor/internal/workload"
+)
+
+// TestWorkloadParallelismEquivalence is the workload-level property
+// test: every paper query, run through the full QFusor pipeline
+// (fusion + JIT + morsel executor), returns the same row set at
+// parallelism 1 (legacy serial), 2 and 8.
+func TestWorkloadParallelismEquivalence(t *testing.T) {
+	size := workload.Small
+	if testing.Short() {
+		size = workload.Tiny
+	}
+	r := NewRunner(size, nil)
+
+	// Group queries by the dataset they need so each (dataset, par)
+	// pair launches one instance.
+	byDataset := map[string][]string{}
+	for id := range workload.AllQueries() {
+		ds := workload.QueryDataset(id)
+		byDataset[ds] = append(byDataset[ds], id)
+	}
+	for _, ids := range byDataset {
+		sort.Strings(ids)
+	}
+
+	for ds, ids := range byDataset {
+		ds, ids := ds, ids
+		t.Run(ds, func(t *testing.T) {
+			want := map[string]string{}
+			wantRows := map[string]int{}
+			for _, par := range []int{1, 2, 8} {
+				in, err := r.launchWorkload(engines.Config{Profile: engines.Monet, JIT: true, Parallelism: par}, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, id := range ids {
+					res, err := in.QueryFused(workload.AllQueries()[id])
+					if err != nil {
+						in.Close()
+						t.Fatalf("%s par=%d: %v", id, par, err)
+					}
+					fp := tableFingerprint(res)
+					if par == 1 {
+						want[id] = fp
+						wantRows[id] = res.NumRows()
+					} else if fp != want[id] {
+						t.Fatalf("%s par=%d: result differs from serial (%d vs %d rows)",
+							id, par, res.NumRows(), wantRows[id])
+					}
+				}
+				in.Close()
+			}
+		})
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // CostModel implements §5.2: hybrid cost-based + rule-based decisions.
 // UDF costs come from the stateful statistics dictionary (ffi.Stats,
 // learned across executions); wrapper costs are concrete and measured;
@@ -21,6 +23,53 @@ type CostModel struct {
 	// CrossCost: fixed cost of one engine↔UDF boundary crossing
 	// (per batch for vectorized transports, amortized here per tuple).
 	CrossCost float64
+	// ScaleEff: marginal efficiency of each morsel partition beyond the
+	// first (1.0 = perfect scaling; merge overhead and skew keep it
+	// below that in practice).
+	ScaleEff float64
+	// MorselRows: rows per morsel in the executor — inputs smaller than
+	// one morsel never partition, so their cost is unchanged.
+	MorselRows float64
+
+	// workers is the executor parallelism last reported via SetWorkers
+	// (0 until a query runs, which keeps costs identical to the serial
+	// model — important for tests and cold estimates). Accessed
+	// atomically (plain int64 keeps the struct copyable for tests).
+	workers int64
+}
+
+// SetWorkers records the executor's worker count so per-row costs are
+// divided by the expected morsel speedup for inputs large enough to
+// partition.
+func (cm *CostModel) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&cm.workers, int64(n))
+}
+
+// speedup returns the modeled parallel speedup for an operator over the
+// given row count: partitions = min(workers, rows/MorselRows), each
+// extra partition contributing ScaleEff of a worker.
+func (cm *CostModel) speedup(rows float64) float64 {
+	return 1 + float64(cm.partitions(rows)-1)*cm.ScaleEff
+}
+
+// partitions returns how many morsel partitions the executor would use
+// for the given row count under the reported worker budget.
+func (cm *CostModel) partitions(rows float64) int64 {
+	w := atomic.LoadInt64(&cm.workers)
+	if w <= 1 || cm.ScaleEff <= 0 || cm.MorselRows <= 0 {
+		return 1
+	}
+	parts := int64(rows / cm.MorselRows)
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > w {
+		parts = w
+	}
+	return parts
 }
 
 // DefaultCostModel returns constants calibrated against the ffi
@@ -39,6 +88,8 @@ func DefaultCostModel() *CostModel {
 		UDFFactor:  3,
 		UDFDefault: 800,
 		CrossCost:  200,
+		ScaleEff:   0.7,
+		MorselRows: 2048,
 	}
 }
 
@@ -79,10 +130,12 @@ func (cm *CostModel) Single(n *DFGNode) float64 {
 	case n.Kind.IsUDF():
 		// Each isolated UDF pays wrapper input conversion per argument,
 		// output conversion per produced value, and a boundary crossing
-		// — once per (unfused) use of the shared call.
-		return uses * (rows*(cm.WIn*float64(max(1, len(n.In)))+cm.WOut*n.Sel*float64(max(1, len(n.Out)))+cm.udfRowCost(n)) + cm.CrossCost)
+		// — once per (unfused) use of the shared call. Morsel execution
+		// spreads the per-row work across partitions but pays one
+		// boundary crossing per partition.
+		return uses * (rows*(cm.WIn*float64(max(1, len(n.In)))+cm.WOut*n.Sel*float64(max(1, len(n.Out)))+cm.udfRowCost(n))/cm.speedup(rows) + cm.CrossCost*float64(cm.partitions(rows)))
 	default:
-		return rows * cm.relRowCost(n.Kind)
+		return rows * cm.relRowCost(n.Kind) / cm.speedup(rows)
 	}
 }
 
@@ -94,7 +147,11 @@ func (cm *CostModel) Fused(nodes []*DFGNode, extIn, extOut int, entryRows float6
 	if entryRows < 1 {
 		entryRows = 1
 	}
-	cost := entryRows*cm.WIn*float64(extIn) + cm.CrossCost
+	// Fused wrappers run under the same morsel executor (per-worker
+	// interpreter clones), so per-row terms scale with the entry rows'
+	// speedup while each partition pays its own boundary crossing.
+	sp := cm.speedup(entryRows)
+	cost := entryRows*cm.WIn*float64(extIn)/sp + cm.CrossCost*float64(cm.partitions(entryRows))
 	outRows := entryRows
 	for _, n := range nodes {
 		rows := n.Rows
@@ -102,12 +159,12 @@ func (cm *CostModel) Fused(nodes []*DFGNode, extIn, extOut int, entryRows float6
 			rows = 1
 		}
 		if n.Kind.IsUDF() {
-			cost += rows * cm.udfRowCost(n)
+			cost += rows * cm.udfRowCost(n) / sp
 		} else if n.Kind == KRelGroupBy {
 			// Offloaded through the engine-FFI: engine cost, no penalty.
-			cost += rows * cm.relRowCost(n.Kind)
+			cost += rows * cm.relRowCost(n.Kind) / sp
 		} else {
-			cost += rows * cm.relRowCost(n.Kind) * cm.UDFFactor
+			cost += rows * cm.relRowCost(n.Kind) * cm.UDFFactor / sp
 		}
 		if n.Sel > 0 {
 			outRows = rows * n.Sel
@@ -117,7 +174,7 @@ func (cm *CostModel) Fused(nodes []*DFGNode, extIn, extOut int, entryRows float6
 	// (Per-column final materialization is paid identically by the
 	// unfused plan, so only the single crossing differentiates.)
 	_ = extOut
-	cost += outRows * cm.WOut
+	cost += outRows * cm.WOut / sp
 	return cost
 }
 

@@ -201,6 +201,7 @@ func (qf *QFusor) Process(eng *sqlengine.Engine, sql string) (*sqlengine.Query, 
 // per hook.
 func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Span) (*sqlengine.Query, *Report, error) {
 	qf.setCatalog(eng.Catalog)
+	qf.CM.SetWorkers(eng.Workers())
 	mProcessed.Inc()
 
 	sp := root.Child("phase:plan_probe")

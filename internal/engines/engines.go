@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"qfusor/internal/core"
 	"qfusor/internal/data"
@@ -66,6 +67,15 @@ type Instance struct {
 	proc *ffi.ProcessInvoker
 }
 
+// workersFor resolves a Config.Parallelism value to a concrete worker
+// count (0 = auto, mirroring sqlengine.Engine.Workers).
+func workersFor(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Launch builds an engine instance for the profile.
 func Launch(cfg Config) *Instance {
 	hot := 0
@@ -97,7 +107,9 @@ func Launch(cfg Config) *Instance {
 		if batch <= 0 {
 			batch = 4096
 		}
-		proc = ffi.NewProcessInvoker(batch)
+		// One transport worker per executor worker so parallel morsels
+		// never queue behind a single serialization loop.
+		proc = ffi.NewProcessInvokerN(batch, workersFor(cfg.Parallelism))
 		mode, inv = sqlengine.ModeChunked, proc
 	case DBX:
 		mode, inv = sqlengine.ModeColumnar, ffi.VectorInvoker{}
@@ -105,11 +117,9 @@ func Launch(cfg Config) *Instance {
 		mode, inv = sqlengine.ModeColumnar, ffi.VectorInvoker{}
 	}
 	eng := sqlengine.New(string(cfg.Profile), mode, inv)
-	if cfg.Parallelism > 0 {
-		eng.Parallelism = cfg.Parallelism
-	} else if cfg.Profile == DBX || cfg.Profile == Spark {
-		eng.Parallelism = 4
-	}
+	// 0 keeps the engine's auto default (every core); 1 forces the
+	// legacy serial executor for A/B baselines.
+	eng.Parallelism = cfg.Parallelism
 	inst := &Instance{Name: string(cfg.Profile), Eng: eng, Reg: reg,
 		QF: core.New(reg), proc: proc}
 	return inst

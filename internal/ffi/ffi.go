@@ -148,6 +148,17 @@ func (s StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 // IsZero reports whether every field is zero.
 func (s StatsSnapshot) IsZero() bool { return s == StatsSnapshot{} }
 
+// Merge adds a snapshot — typically a worker clone's totals — into s,
+// so the profiler's cold-start heuristics see aggregated statistics
+// rather than whichever worker happened to finish last.
+func (s *Stats) Merge(b StatsSnapshot) {
+	s.Calls.Add(b.Calls)
+	s.InRows.Add(b.InRows)
+	s.OutRows.Add(b.OutRows)
+	s.WallNanos.Add(b.WallNanos)
+	s.WrapNanos.Add(b.WrapNanos)
+}
+
 // UDF is a registered user-defined function: the developer's PyLite
 // source wrapped with type metadata, bound to a runtime.
 type UDF struct {
@@ -180,6 +191,38 @@ type UDF struct {
 	EstCost float64
 
 	Stats Stats
+}
+
+// WorkerClone returns a per-worker instance of the UDF for morsel-
+// parallel fused execution: the clone shares the function object, the
+// compiled trace, and all metadata, but runs on its own interpreter
+// view (pylite.Interp.Worker) and accumulates its own Stats, so workers
+// never serialize on shared counters. The caller must fold the clone
+// back with AbsorbWorker after the barrier — dropping it would leave
+// the profiler with only a fraction of the query's true activity.
+func (u *UDF) WorkerClone() *UDF {
+	c := &UDF{
+		Name: u.Name, Kind: u.Kind, Params: u.Params,
+		InKinds: u.InKinds, OutKinds: u.OutKinds, OutNames: u.OutNames,
+		Source: u.Source, Fn: u.Fn, RT: u.RT, GoFn: u.GoFn, GoAgg: u.GoAgg,
+		Fused: u.Fused, Trace: u.Trace, EstCost: u.EstCost,
+	}
+	if u.RT != nil {
+		c.RT = u.RT.Worker()
+	}
+	return c
+}
+
+// AbsorbWorker folds a worker clone's learned statistics (UDF stats and
+// interpreter counters) back into u.
+func (u *UDF) AbsorbWorker(c *UDF) {
+	if c == nil {
+		return
+	}
+	u.Stats.Merge(c.Stats.Snapshot())
+	if u.RT != nil && c.RT != nil && c.RT != u.RT {
+		u.RT.MergeStats(c.RT)
+	}
 }
 
 // OutKind returns the single output kind for scalar/aggregate UDFs.
@@ -265,11 +308,40 @@ type AggState interface {
 	Final() (data.Value, error)
 }
 
+// AggStateMerger marks an aggregate state as decomposable: states
+// folded over disjoint partitions combine with Merge into the state the
+// serial fold would have produced. Native (GoAgg) aggregates implement
+// the interface directly; PyLite aggregate classes opt in by defining a
+// merge(self, other) method.
+type AggStateMerger interface {
+	AggState
+	Merge(other AggState) error
+}
+
+// DecomposableAgg reports whether the UDF's aggregate state supports
+// partial merge — the property the DFG analysis needs before letting an
+// aggregating section run as per-worker partials.
+func DecomposableAgg(u *UDF) bool {
+	if u == nil || u.Kind != Aggregate {
+		return false
+	}
+	if u.GoAgg != nil {
+		_, ok := u.GoAgg().(AggStateMerger)
+		return ok
+	}
+	cls, ok := u.Fn.P.(*pylite.Class)
+	if u.Fn.Kind != data.KindObject || !ok {
+		return false
+	}
+	return cls.Methods["merge"] != nil
+}
+
 type pyAggState struct {
-	rt   *pylite.Interp
-	self data.Value
-	step data.Value
-	fin  data.Value
+	rt    *pylite.Interp
+	self  data.Value
+	step  data.Value
+	fin   data.Value
+	merge data.Value // bound merge method; Null when the class has none
 }
 
 // Invoke calls the UDF's scalar implementation: the native ("C") path
@@ -308,7 +380,11 @@ func NewAggState(u *UDF) (AggState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ffi: %s has no final method", u.Name)
 	}
-	return &pyAggState{rt: u.RT, self: self, step: stepFn, fin: finFn}, nil
+	st := &pyAggState{rt: u.RT, self: self, step: stepFn, fin: finFn}
+	if mergeFn, err := pyAttr(ctx, self, "merge"); err == nil {
+		st.merge = mergeFn
+	}
+	return st, nil
 }
 
 func pyAttr(ctx *pylite.Ctx, obj data.Value, name string) (data.Value, error) {
@@ -330,4 +406,19 @@ func (a *pyAggState) Step(args []data.Value) error {
 
 func (a *pyAggState) Final() (data.Value, error) {
 	return a.rt.Call(a.fin, nil)
+}
+
+// Merge implements AggStateMerger for PyLite aggregates with a
+// merge(self, other) method: the other partial's instance crosses into
+// the call so the class can fold its fields.
+func (a *pyAggState) Merge(other AggState) error {
+	o, ok := other.(*pyAggState)
+	if !ok {
+		return fmt.Errorf("ffi: cannot merge mismatched aggregate states")
+	}
+	if a.merge.IsNull() {
+		return fmt.Errorf("ffi: aggregate has no merge method")
+	}
+	_, err := a.rt.Call(a.merge, []data.Value{o.self})
+	return err
 }

@@ -23,6 +23,10 @@ type ProcessInvoker struct {
 	// row-by-row; a batch of 1 reproduces that, larger batches model
 	// result-set chunking).
 	BatchRows int
+	// Workers is the UDF-side pool size. One worker models Postgres's
+	// single backend; a pool models Spark's executor fan-out, so the
+	// engine's morsel workers don't serialize behind one process.
+	Workers int
 }
 
 type procRequest struct {
@@ -40,13 +44,26 @@ type procResponse struct {
 	err     error
 }
 
-// NewProcessInvoker starts the worker goroutine.
+// NewProcessInvoker starts a single worker goroutine (one UDF process).
 func NewProcessInvoker(batchRows int) *ProcessInvoker {
+	return NewProcessInvokerN(batchRows, 1)
+}
+
+// NewProcessInvokerN starts a pool of workers draining the shared
+// request channel. Each request is self-contained (its own response
+// channel), so concurrent engine-side callers round-trip in parallel up
+// to the pool size.
+func NewProcessInvokerN(batchRows, workers int) *ProcessInvoker {
 	if batchRows <= 0 {
 		batchRows = 1024
 	}
-	p := &ProcessInvoker{req: make(chan procRequest), BatchRows: batchRows}
-	go p.worker()
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ProcessInvoker{req: make(chan procRequest), BatchRows: batchRows, Workers: workers}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
 	return p
 }
 
@@ -157,6 +174,7 @@ func (p *ProcessInvoker) roundTrip(r procRequest, in *data.Chunk) (*data.Chunk, 
 // boundary per message.
 func (p *ProcessInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Column, error) {
 	start := time.Now()
+	wallBefore := u.Stats.WallNanos.Load()
 	out := data.NewColumnCap(u.Name, u.OutKind(), n)
 	for lo := 0; lo < n; lo += p.BatchRows {
 		hi := lo + p.BatchRows
@@ -173,9 +191,14 @@ func (p *ProcessInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.C
 		}
 		out.AppendColumn(res.Cols[0])
 	}
-	// The worker already recorded per-row stats; account transport time
-	// as wrapper cost.
-	u.Stats.WrapNanos.Add(time.Since(start).Nanoseconds() - u.Stats.WallNanos.Load())
+	// The worker already recorded per-row stats; the transport's share of
+	// the elapsed time (elapsed minus the UDF wall time this call added)
+	// is wrapper cost. Concurrent callers make the delta approximate, but
+	// never the cumulative-total subtraction the old accounting did.
+	wrap := time.Since(start).Nanoseconds() - (u.Stats.WallNanos.Load() - wallBefore)
+	if wrap > 0 {
+		u.Stats.WrapNanos.Add(wrap)
+	}
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package ffi
 
 import (
+	"fmt"
 	"time"
 
 	"qfusor/internal/data"
@@ -145,7 +146,15 @@ func runOps(u *UDF, ops []TraceOp, regs []data.Value, emit func([]data.Value) er
 			var v data.Value
 			var err error
 			if op.Compiled != nil {
-				v, err = op.Compiled.Call(op.UDF.RT, callArgs, nil)
+				// Compiled bodies run on the host wrapper's runtime: for a
+				// worker clone that is the per-worker interpreter view, so
+				// parallel trace execution never contends on one runtime's
+				// counters. Serially u.RT and op.UDF.RT are the same interp.
+				rt := op.UDF.RT
+				if u != nil && u.RT != nil {
+					rt = u.RT
+				}
+				v, err = op.Compiled.Call(rt, callArgs, nil)
 			} else {
 				v, err = op.UDF.Invoke(callArgs)
 			}
@@ -327,6 +336,137 @@ type aggState struct {
 	udf   AggState
 }
 
+// newAggStates allocates one fresh accumulator per aggregate spec.
+func newAggStates(t *Trace) ([]aggState, error) {
+	sts := make([]aggState, len(t.Aggs))
+	for ai, spec := range t.Aggs {
+		if spec.Kind == "udf" {
+			st, err := NewAggState(spec.UDF)
+			if err != nil {
+				return nil, err
+			}
+			sts[ai].udf = st
+		} else {
+			sts[ai].isInt = true
+		}
+	}
+	return sts, nil
+}
+
+// stepAggState folds one row's value into an accumulator.
+func stepAggState(st *aggState, spec *TraceAgg, v data.Value) error {
+	switch spec.Kind {
+	case "count":
+		if spec.Star || !v.IsNull() {
+			st.count++
+		}
+	case "sum", "avg":
+		if v.IsNull() {
+			return nil
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return nil
+		}
+		if v.Kind == data.KindFloat {
+			st.isInt = false
+		}
+		st.sum += f
+		st.sumI += v.I
+		st.count++
+		st.any = true
+	case "min", "max":
+		if v.IsNull() {
+			return nil
+		}
+		if !st.any {
+			st.best = v
+			st.any = true
+			return nil
+		}
+		c, ok := data.Compare(v, st.best)
+		if ok && ((spec.Kind == "min" && c < 0) || (spec.Kind == "max" && c > 0)) {
+			st.best = v
+		}
+	case "udf":
+		return st.udf.Step([]data.Value{v})
+	}
+	return nil
+}
+
+// mergeAggState folds one partition's accumulator (src) into dst. The
+// rules: count adds; sum/avg add both sum forms and the non-null count
+// (avg finalizes from the merged ratio — partial averages are never
+// averaged); min/max compare the partial winners, keeping the earlier
+// partition's on incomparable ties like the serial fold keeps the first
+// seen; UDF states merge through the decomposable-aggregate hook.
+func mergeAggState(dst, src *aggState, spec *TraceAgg) error {
+	switch spec.Kind {
+	case "count":
+		dst.count += src.count
+	case "sum", "avg":
+		if !src.any {
+			return nil
+		}
+		dst.sum += src.sum
+		dst.sumI += src.sumI
+		dst.count += src.count
+		if !src.isInt {
+			dst.isInt = false
+		}
+		dst.any = true
+	case "min", "max":
+		if !src.any {
+			return nil
+		}
+		if !dst.any {
+			dst.best = src.best
+			dst.any = true
+			return nil
+		}
+		c, ok := data.Compare(src.best, dst.best)
+		if ok && ((spec.Kind == "min" && c < 0) || (spec.Kind == "max" && c > 0)) {
+			dst.best = src.best
+		}
+	case "udf":
+		m, ok := dst.udf.(AggStateMerger)
+		if !ok {
+			return fmt.Errorf("ffi: aggregate %s is not decomposable", spec.UDF.Name)
+		}
+		return m.Merge(src.udf)
+	}
+	return nil
+}
+
+// finalizeAggValue turns an accumulator into the group's output value.
+func finalizeAggValue(st *aggState, spec *TraceAgg) (data.Value, error) {
+	switch spec.Kind {
+	case "count":
+		return data.Int(st.count), nil
+	case "sum":
+		if !st.any {
+			return data.Null, nil
+		}
+		if st.isInt {
+			return data.Int(st.sumI), nil
+		}
+		return data.Float(st.sum), nil
+	case "avg":
+		if !st.any || st.count == 0 {
+			return data.Null, nil
+		}
+		return data.Float(st.sum / float64(st.count)), nil
+	case "min", "max":
+		if !st.any {
+			return data.Null, nil
+		}
+		return st.best, nil
+	case "udf":
+		return st.udf.Final()
+	}
+	return data.Null, fmt.Errorf("ffi: unknown trace aggregate %s", spec.Kind)
+}
+
 // RunTraceAgg executes an aggregating trace. Group assignment happens
 // inside the trace, after fused filters, via the native hash group-by —
 // the reproduction of invoking the engine's exported grouping functions
@@ -344,17 +484,9 @@ func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string
 			keys[i] = regs[r]
 		}
 		keyRows = append(keyRows, keys)
-		sts := make([]aggState, len(t.Aggs))
-		for ai, spec := range t.Aggs {
-			if spec.Kind == "udf" {
-				st, err := NewAggState(spec.UDF)
-				if err != nil {
-					return 0, err
-				}
-				sts[ai].udf = st
-			} else {
-				sts[ai].isInt = true
-			}
+		sts, err := newAggStates(t)
+		if err != nil {
+			return 0, err
 		}
 		states = append(states, sts)
 		return len(states) - 1, nil
@@ -386,49 +518,13 @@ func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string
 			}
 			for ai := range t.Aggs {
 				spec := &t.Aggs[ai]
-				st := &states[gid][ai]
 				var v data.Value
 				if spec.ArgReg >= 0 {
 					v = regs[spec.ArgReg]
 				}
-				switch spec.Kind {
-				case "count":
-					if spec.Star || !v.IsNull() {
-						st.count++
-					}
-				case "sum", "avg":
-					if v.IsNull() {
-						continue
-					}
-					f, ok := v.AsFloat()
-					if !ok {
-						continue
-					}
-					if v.Kind == data.KindFloat {
-						st.isInt = false
-					}
-					st.sum += f
-					st.sumI += v.I
-					st.count++
-					st.any = true
-				case "min", "max":
-					if v.IsNull() {
-						continue
-					}
-					if !st.any {
-						st.best = v
-						st.any = true
-						continue
-					}
-					c, ok := data.Compare(v, st.best)
-					if ok && ((spec.Kind == "min" && c < 0) || (spec.Kind == "max" && c > 0)) {
-						st.best = v
-					}
-				case "udf":
-					if err := st.udf.Step([]data.Value{v}); err != nil {
-						stepErr = err
-						return stepErr
-					}
+				if err := stepAggState(&states[gid][ai], spec, v); err != nil {
+					stepErr = err
+					return stepErr
 				}
 			}
 			return nil
@@ -456,44 +552,181 @@ func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string
 		}
 		outs[ki] = col
 	}
-	for ai, spec := range t.Aggs {
+	for ai := range t.Aggs {
+		spec := &t.Aggs[ai]
 		col := data.NewColumnCap(outNames[nKeys+ai], outKinds[nKeys+ai], g)
 		for gi := 0; gi < g; gi++ {
-			st := &states[gi][ai]
-			switch spec.Kind {
-			case "count":
-				col.AppendValue(data.Int(st.count))
-			case "sum":
-				if !st.any {
-					col.AppendNull()
-				} else if st.isInt {
-					col.AppendValue(data.Int(st.sumI))
-				} else {
-					col.AppendValue(data.Float(st.sum))
-				}
-			case "avg":
-				if !st.any || st.count == 0 {
-					col.AppendNull()
-				} else {
-					col.AppendValue(data.Float(st.sum / float64(st.count)))
-				}
-			case "min", "max":
-				if !st.any {
-					col.AppendNull()
-				} else {
-					col.AppendValue(st.best)
-				}
-			case "udf":
-				v, err := st.udf.Final()
-				if err != nil {
-					return nil, err
-				}
-				col.AppendValue(v)
+			v, err := finalizeAggValue(&states[gi][ai], spec)
+			if err != nil {
+				return nil, err
 			}
+			col.AppendValue(v)
 		}
 		outs[nKeys+ai] = col
 	}
 	mTraceRows.Add(int64(n))
 	u.record(n, g, time.Since(start), 0)
+	return outs, nil
+}
+
+// PartialMergeable reports whether the trace's aggregates can run as
+// per-worker partial STATES merged at the barrier. This is strictly
+// wider than Mergeable (which merges finalized output columns and so
+// cannot reconstruct an avg from its ratio): live states keep the
+// sum/count decomposition for avg, and UDF aggregates qualify when
+// their state is decomposable (a merge hook exists).
+func (t *Trace) PartialMergeable() bool {
+	if len(t.Aggs) == 0 {
+		return false
+	}
+	for _, a := range t.Aggs {
+		switch a.Kind {
+		case "count", "sum", "min", "max", "avg":
+		case "udf":
+			if !DecomposableAgg(a.UDF) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// TraceAggPartial is one worker's partial group table from
+// RunTraceAggPartial: group keys in first-seen order plus live
+// aggregate states. FinalizeTraceAggPartials merges a set of partials
+// (in partition order) into the final output columns.
+type TraceAggPartial struct {
+	keys    []string
+	keyRows [][]data.Value
+	states  [][]aggState
+}
+
+// RunTraceAggPartial executes an aggregating trace over one partition,
+// returning the live partial states instead of finalized columns. Input
+// rows are recorded on u's stats here; the finalize step records the
+// output groups.
+func RunTraceAggPartial(u *UDF, t *Trace, args []*data.Column, n int) (*TraceAggPartial, error) {
+	start := time.Now()
+	pt := &TraceAggPartial{}
+	groupIdx := map[string]int{}
+	regs := make([]data.Value, t.NumRegs)
+	for i, r := range t.ConstRegs {
+		regs[r] = t.Consts[i]
+	}
+	var stepErr error
+	for i := 0; i < n; i++ {
+		for j, c := range args {
+			regs[j] = CrossIn(c, i)
+		}
+		err := runOps(u, t.Ops, regs, func(regs []data.Value) error {
+			var kb []byte
+			for _, r := range t.KeyRegs {
+				kb = append(kb, regs[r].Key()...)
+				kb = append(kb, 0)
+			}
+			gid, ok := groupIdx[string(kb)]
+			if !ok {
+				keys := make([]data.Value, len(t.KeyRegs))
+				for ki, r := range t.KeyRegs {
+					keys[ki] = regs[r]
+				}
+				sts, err := newAggStates(t)
+				if err != nil {
+					stepErr = err
+					return err
+				}
+				gid = len(pt.states)
+				groupIdx[string(kb)] = gid
+				pt.keys = append(pt.keys, string(kb))
+				pt.keyRows = append(pt.keyRows, keys)
+				pt.states = append(pt.states, sts)
+			}
+			for ai := range t.Aggs {
+				spec := &t.Aggs[ai]
+				var v data.Value
+				if spec.ArgReg >= 0 {
+					v = regs[spec.ArgReg]
+				}
+				if err := stepAggState(&pt.states[gid][ai], spec, v); err != nil {
+					stepErr = err
+					return stepErr
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	mTraceRows.Add(int64(n))
+	u.record(n, 0, time.Since(start), 0)
+	return pt, nil
+}
+
+// FinalizeTraceAggPartials merges partial group tables in partition
+// order — reproducing the serial first-seen group order — and finalizes
+// them into the trace's output columns.
+func FinalizeTraceAggPartials(u *UDF, t *Trace, parts []*TraceAggPartial, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	start := time.Now()
+	nKeys := len(t.KeyRegs)
+	idx := map[string]int{}
+	var keyRows [][]data.Value
+	var states [][]aggState
+	for _, pt := range parts {
+		if pt == nil {
+			continue
+		}
+		for gi, k := range pt.keys {
+			g, ok := idx[k]
+			if !ok {
+				idx[k] = len(states)
+				keyRows = append(keyRows, pt.keyRows[gi])
+				states = append(states, pt.states[gi])
+				continue
+			}
+			for ai := range t.Aggs {
+				if err := mergeAggState(&states[g][ai], &pt.states[gi][ai], &t.Aggs[ai]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	g := len(states)
+	// Global aggregate over zero rows still produces one (empty) group.
+	if nKeys == 0 && g == 0 {
+		sts, err := newAggStates(t)
+		if err != nil {
+			return nil, err
+		}
+		keyRows = append(keyRows, nil)
+		states = append(states, sts)
+		g = 1
+	}
+	outs := make([]*data.Column, nKeys+len(t.Aggs))
+	for ki := 0; ki < nKeys; ki++ {
+		col := data.NewColumnCap(outNames[ki], outKinds[ki], g)
+		for gi := 0; gi < g; gi++ {
+			col.AppendValue(keyRows[gi][ki])
+		}
+		outs[ki] = col
+	}
+	for ai := range t.Aggs {
+		spec := &t.Aggs[ai]
+		col := data.NewColumnCap(outNames[nKeys+ai], outKinds[nKeys+ai], g)
+		for gi := 0; gi < g; gi++ {
+			v, err := finalizeAggValue(&states[gi][ai], spec)
+			if err != nil {
+				return nil, err
+			}
+			col.AppendValue(v)
+		}
+		outs[nKeys+ai] = col
+	}
+	u.record(0, g, time.Since(start), 0)
 	return outs, nil
 }

@@ -83,6 +83,32 @@ func NewInterp() *Interp {
 // Ctx returns the callback context for builtins.
 func (it *Interp) Ctx() *Ctx { return it.ctx }
 
+// Worker returns a per-worker view of the runtime for parallel fused
+// execution: the view shares Globals and builtins (read-only once UDF
+// registration is done) and the JIT threshold, but accumulates its own
+// Stats so concurrent workers never contend on the parent's counters —
+// and the profiler can tell what each worker actually executed. Fold
+// the counters back with MergeStats at the barrier.
+func (it *Interp) Worker() *Interp {
+	w := &Interp{
+		Globals:      it.Globals,
+		builtins:     it.builtins,
+		HotThreshold: it.HotThreshold,
+	}
+	w.ctx = &Ctx{Call: func(fn data.Value, args []data.Value) (data.Value, error) {
+		return w.Call(fn, args)
+	}}
+	return w
+}
+
+// MergeStats folds a worker view's counters into this runtime's Stats.
+func (it *Interp) MergeStats(w *Interp) {
+	it.Stats.InterpCalls.Add(w.Stats.InterpCalls.Load())
+	it.Stats.CompiledCalls.Add(w.Stats.CompiledCalls.Load())
+	it.Stats.Compilations.Add(w.Stats.Compilations.Load())
+	it.Stats.CompileNanos.Add(w.Stats.CompileNanos.Load())
+}
+
 // Exec parses and runs src at module level (defining functions, classes
 // and module-level names into Globals).
 func (it *Interp) Exec(src string) error {

@@ -58,7 +58,8 @@ type Engine struct {
 	// ChunkSize bounds vectorized batch size in ModeChunked.
 	ChunkSize int
 	// Parallelism is the number of worker goroutines for partitionable
-	// operators (scans, filters, projections) in columnar modes.
+	// and blocking operators (morsel-driven execution): 0 = auto (every
+	// core the runtime sees), 1 = legacy serial for A/B baselines.
 	Parallelism int
 
 	// statsMu guards lastStats: concurrent queries on one engine each
@@ -82,7 +83,7 @@ func New(name string, mode ExecMode, inv ffi.Invoker) *Engine {
 		Invoker:     inv,
 		Mode:        mode,
 		ChunkSize:   2048,
-		Parallelism: 1,
+		Parallelism: 0, // auto: runtime.GOMAXPROCS(0) workers (see Workers)
 	}
 }
 

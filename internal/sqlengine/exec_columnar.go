@@ -7,12 +7,15 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 )
 
 // execColumnar is the vectorized operator-at-a-time executor: every
 // operator materializes its full output before the parent runs
 // (MonetDB's model; ModeChunked splits UDF batches but keeps the same
-// operator boundaries).
+// operator boundaries). Operators that scan full inputs run
+// morsel-parallel over the engine's worker pool (see morsel.go); the
+// blocking ones keep per-worker partial state and merge at the barrier.
 func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	switch p.Op {
 	case OpScan:
@@ -38,19 +41,19 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			if len(p.Exprs) == 0 {
 				return oneRowChunk(), nil
 			}
-			return e.projectChunk(p, oneRowChunk())
+			return e.projectChunk(p, oneRowChunk(), ectx.span)
 		}
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.projectChunk(p, in)
+		return e.projectChunk(p, in, ectx.span)
 	case OpFilter:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.filterChunk(p.Exprs[0], in)
+		return e.filterChunk(p.Exprs[0], in, ectx.span)
 	case OpJoin:
 		return e.joinChunk(p, ectx)
 	case OpAggregate:
@@ -58,19 +61,19 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.aggregateChunk(p, in)
+		return e.aggregateChunk(p, in, ectx.span)
 	case OpSort:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.sortChunk(p, in)
+		return e.sortChunk(p, in, ectx.span)
 	case OpDistinct:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return distinctChunk(in), nil
+		return e.distinctChunk(in, ectx.span), nil
 	case OpLimit:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
@@ -101,7 +104,7 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			c.AppendColumn(r.Cols[i])
 		}
 		if !p.UnionAll {
-			return distinctChunk(out), nil
+			return e.distinctChunk(out, ectx.span), nil
 		}
 		return out, nil
 	case OpTableFunc:
@@ -112,7 +115,7 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		if p.UDF.Fused {
 			// A fused wrapper re-submitted as a table function (rewrite
 			// path 1) uses the vector calling convention.
-			return e.runFusedAsTable(p, in)
+			return e.runFusedAsTable(p, in, ectx.span)
 		}
 		extra := make([]data.Value, len(p.TFArgs))
 		for i, a := range p.TFArgs {
@@ -161,8 +164,9 @@ func oneRowChunk() *data.Chunk {
 }
 
 // projectChunk evaluates the projection expressions over the chunk,
-// optionally splitting into batches (ModeChunked) and across workers.
-func (e *Engine) projectChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+// split into morsels (ModeChunked batches double as morsels) and driven
+// by the worker pool.
+func (e *Engine) projectChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
 	n := in.NumRows()
 	eval := func(part *data.Chunk) (*data.Chunk, error) {
 		cols := make([]*data.Column, len(p.Exprs))
@@ -184,88 +188,13 @@ func (e *Engine) projectChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 		}
 		return data.NewChunk(cols...), nil
 	}
-	return e.runPartitioned(in, n, eval)
-}
-
-// runPartitioned executes fn over row ranges of in, in parallel when the
-// engine allows, and concatenates the partial outputs in order.
-func (e *Engine) runPartitioned(in *data.Chunk, n int, fn func(*data.Chunk) (*data.Chunk, error)) (*data.Chunk, error) {
-	batch := n
-	if e.Mode == ModeChunked && e.ChunkSize > 0 && e.ChunkSize < n {
-		batch = e.ChunkSize
-	}
-	workers := e.Parallelism
-	if workers <= 1 && batch >= n {
-		return fn(in)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Build the batch list.
-	type span struct{ lo, hi int }
-	var spans []span
-	if workers > 1 && batch >= n {
-		per := (n + workers - 1) / workers
-		if per < 1 {
-			per = 1
-		}
-		batch = per
-	}
-	for lo := 0; lo < n; lo += batch {
-		hi := lo + batch
-		if hi > n {
-			hi = n
-		}
-		spans = append(spans, span{lo, hi})
-	}
-	if len(spans) == 0 {
-		spans = append(spans, span{0, 0})
-	}
-	outs := make([]*data.Chunk, len(spans))
-	errs := make([]error, len(spans))
-	if workers == 1 {
-		for i, s := range spans {
-			outs[i], errs[i] = fn(in.Slice(s.lo, s.hi))
-			if errs[i] != nil {
-				return nil, errs[i]
-			}
-		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i, s := range spans {
-			wg.Add(1)
-			go func(i int, s span) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				outs[i], errs[i] = fn(in.Slice(s.lo, s.hi))
-			}(i, s)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	if len(outs) == 1 {
-		return outs[0], nil
-	}
-	res := outs[0]
-	merged := data.EmptyChunk(res.Schema())
-	for _, o := range outs {
-		for i, c := range merged.Cols {
-			c.AppendColumn(o.Cols[i])
-		}
-	}
-	return merged, nil
+	return e.runPartitioned(in, n, sp, eval)
 }
 
 // filterChunk keeps rows where the predicate holds.
-func (e *Engine) filterChunk(pred SQLExpr, in *data.Chunk) (*data.Chunk, error) {
+func (e *Engine) filterChunk(pred SQLExpr, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
 	n := in.NumRows()
-	return e.runPartitioned(in, n, func(part *data.Chunk) (*data.Chunk, error) {
+	return e.runPartitioned(in, n, sp, func(part *data.Chunk) (*data.Chunk, error) {
 		keep, err := e.evalBoolVec(pred, part)
 		if err != nil {
 			return nil, err
@@ -328,7 +257,7 @@ func (e *Engine) joinChunk(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	nl := len(p.Children[0].Schema)
 	leftKeys, rightKeys, residual := splitEquiJoin(p.JoinOn, nl)
 	if len(leftKeys) > 0 {
-		return e.hashJoin(p, l, r, leftKeys, rightKeys, residual, nl)
+		return e.hashJoin(p, l, r, leftKeys, rightKeys, residual, nl, ectx.span)
 	}
 	// Nested-loop (cross product with optional predicate).
 	out := data.EmptyChunk(p.Schema)
@@ -399,139 +328,450 @@ func splitEquiJoin(on SQLExpr, nl int) (leftKeys, rightKeys []int, residual []SQ
 	return leftKeys, rightKeys, residual
 }
 
-// hashJoin builds on the right side and probes with the left.
-func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, residual []SQLExpr, nl int) (*data.Chunk, error) {
+// hashJoin builds a shared table on the right side, probes it with
+// morsels of the left across the worker pool, and materializes the
+// matched rows in parallel. The build table is written once before the
+// pool starts and only read afterwards, so probing needs no locks;
+// per-morsel match lists concatenate in input order so the output is
+// byte-identical to the serial join.
+func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, residual []SQLExpr, nl int, sp *obs.Span) (*data.Chunk, error) {
+	// Build phase (serial: the build side is the smaller input and the
+	// map write path would need sharding to parallelize safely).
 	build := make(map[string][]int)
 	nR := r.NumRows()
+	var kb []byte
 	for j := 0; j < nR; j++ {
-		k := joinKey(r, rightKeys, j)
+		kb = appendRowKey(kb[:0], r, rightKeys, j)
+		k := string(kb)
 		build[k] = append(build[k], j)
 	}
-	var li, ri []int
+
+	// Probe phase: morsels over the left input, thread-local match lists.
 	nL := l.NumRows()
-	for i := 0; i < nL; i++ {
-		k := joinKey(l, leftKeys, i)
-		for _, j := range build[k] {
-			li = append(li, i)
-			ri = append(ri, j)
+	probeSpans := e.morselsFor(nL)
+	type matches struct{ li, ri []int }
+	probes := make([]matches, len(probeSpans))
+	_, err := e.runMorsels(nL, sp, func(_, m, lo, hi int) error {
+		var pm matches
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			kb = appendRowKey(kb[:0], l, leftKeys, i)
+			hits := build[string(kb)]
+			for _, j := range hits {
+				pm.li = append(pm.li, i)
+				pm.ri = append(pm.ri, j)
+			}
+			if p.JoinKind == "LEFT" && len(hits) == 0 {
+				pm.li = append(pm.li, i)
+				pm.ri = append(pm.ri, -1)
+			}
 		}
-		if p.JoinKind == "LEFT" && len(build[k]) == 0 {
-			li = append(li, i)
-			ri = append(ri, -1)
-		}
+		probes[m] = pm
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	total := 0
+	for _, pm := range probes {
+		total += len(pm.li)
+	}
+	li := make([]int, 0, total)
+	ri := make([]int, 0, total)
+	for _, pm := range probes {
+		li = append(li, pm.li...)
+		ri = append(ri, pm.ri...)
+	}
+
+	// Materialization phase: morsels over the match list; each worker
+	// fills its own output chunk (and evaluates the residual predicate
+	// on its own rows), then the parts concatenate in order.
+	outSpans := e.morselsFor(total)
+	outs := make([]*data.Chunk, len(outSpans))
+	_, err = e.runMorsels(total, sp, func(_, m, lo, hi int) error {
+		part := data.EmptyChunk(p.Schema)
+		row := make([]data.Value, len(p.Schema))
+		for x := lo; x < hi; x++ {
+			i, j := li[x], ri[x]
+			for c := range l.Cols {
+				row[c] = l.Cols[c].Get(i)
+			}
+			for c := range r.Cols {
+				if j < 0 {
+					row[nl+c] = data.Null
+				} else {
+					row[nl+c] = r.Cols[c].Get(j)
+				}
+			}
+			if len(residual) > 0 && j >= 0 {
+				pass := true
+				for _, pr := range residual {
+					v, err := e.evalRow(pr, row)
+					if err != nil {
+						return err
+					}
+					if !v.Truthy() {
+						pass = false
+						break
+					}
+				}
+				if !pass {
+					continue
+				}
+			}
+			for c := range part.Cols {
+				part.Cols[c].AppendValue(row[c])
+			}
+		}
+		outs[m] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) == 1 {
+		return outs[0], nil
+	}
+	defer e.mergeTimer(sp)()
 	out := data.EmptyChunk(p.Schema)
-	row := make([]data.Value, len(p.Schema))
-	for m := range li {
-		i, j := li[m], ri[m]
-		for c := range l.Cols {
-			row[c] = l.Cols[c].Get(i)
-		}
-		for c := range r.Cols {
-			if j < 0 {
-				row[nl+c] = data.Null
-			} else {
-				row[nl+c] = r.Cols[c].Get(j)
-			}
-		}
-		if len(residual) > 0 && j >= 0 {
-			pass := true
-			for _, pr := range residual {
-				v, err := e.evalRow(pr, row)
-				if err != nil {
-					return nil, err
-				}
-				if !v.Truthy() {
-					pass = false
-					break
-				}
-			}
-			if !pass {
-				continue
-			}
-		}
+	for _, o := range outs {
 		for c := range out.Cols {
-			out.Cols[c].AppendValue(row[c])
+			out.Cols[c].AppendColumn(o.Cols[c])
 		}
 	}
 	return out, nil
 }
 
-func joinKey(ch *data.Chunk, keys []int, row int) string {
-	if len(keys) == 1 {
-		c := ch.Cols[keys[0]]
-		if c.Kind == data.KindString && !c.IsNull(row) {
-			return c.Strs[row]
+// aggPartial is one worker's partial state for a native aggregate,
+// indexed by morsel-local group id. The merge rules at the barrier:
+// count adds; sum/avg add sums and non-null counts (avg finalizes from
+// the merged ratio, never from partial averages); min/max compare the
+// partial winners; median concatenates the gathered inputs (blocking —
+// it has no decomposition and must see every value).
+type aggPartial struct {
+	counts []int64
+	sums   []float64
+	scount []int64
+	allInt bool
+	best   []data.Value
+	vals   [][]float64
+}
+
+// foldNative folds one native aggregate over a morsel into pt, using
+// morsel-local group ids.
+func (e *Engine) foldNative(pt *aggPartial, spec AggSpec, part *data.Chunk, gids []int, g int) error {
+	n := part.NumRows()
+	var argVals []data.Value
+	if !spec.Star && len(spec.Args) > 0 {
+		v, err := e.evalVec(spec.Args[0], part)
+		if err != nil {
+			return err
 		}
-		return c.Get(row).Key()
+		argVals = v
 	}
-	k := ""
-	for _, ci := range keys {
-		k += ch.Cols[ci].Get(row).Key() + "\x00"
+	pt.allInt = true
+	switch spec.Name {
+	case "count":
+		pt.counts = make([]int64, g)
+		for i := 0; i < n; i++ {
+			if spec.Star || !argVals[i].IsNull() {
+				pt.counts[gids[i]]++
+			}
+		}
+	case "sum", "avg":
+		pt.sums = make([]float64, g)
+		pt.scount = make([]int64, g)
+		for i := 0; i < n; i++ {
+			v := argVals[i]
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				continue
+			}
+			if v.Kind == data.KindFloat {
+				pt.allInt = false
+			}
+			pt.sums[gids[i]] += f
+			pt.scount[gids[i]]++
+		}
+	case "min", "max":
+		pt.best = make([]data.Value, g)
+		for i := 0; i < n; i++ {
+			v := argVals[i]
+			if v.IsNull() {
+				continue
+			}
+			foldBest(spec.Name, pt.best, gids[i], v)
+		}
+	case "median":
+		pt.vals = make([][]float64, g)
+		for i := 0; i < n; i++ {
+			if argVals[i].IsNull() {
+				continue
+			}
+			f, ok := argVals[i].AsFloat()
+			if !ok {
+				continue
+			}
+			pt.vals[gids[i]] = append(pt.vals[gids[i]], f)
+		}
+	default:
+		return fmt.Errorf("sql: unknown aggregate %s", spec.Name)
 	}
-	return k
+	return nil
+}
+
+// foldBest applies the min/max comparison rule: first non-null wins the
+// seat, later values replace it only when comparable and strictly
+// better (identical to the serial fold, so the merge at the barrier
+// keeps the earliest-morsel winner on incomparable ties).
+func foldBest(name string, best []data.Value, gid int, v data.Value) {
+	if best[gid].IsNull() {
+		best[gid] = v
+		return
+	}
+	c, ok := data.Compare(v, best[gid])
+	if !ok {
+		return
+	}
+	if (name == "min" && c < 0) || (name == "max" && c > 0) {
+		best[gid] = v
+	}
+}
+
+// mergeNative folds src (one morsel's partial, local group ids) into
+// dst (global group ids) through the local→global id map.
+func mergeNative(dst, src *aggPartial, spec AggSpec, l2g []int) {
+	if !src.allInt {
+		dst.allInt = false
+	}
+	switch spec.Name {
+	case "count":
+		for lg, c := range src.counts {
+			dst.counts[l2g[lg]] += c
+		}
+	case "sum", "avg":
+		for lg, s := range src.sums {
+			dst.sums[l2g[lg]] += s
+			dst.scount[l2g[lg]] += src.scount[lg]
+		}
+	case "min", "max":
+		for lg, v := range src.best {
+			if v.IsNull() {
+				continue
+			}
+			foldBest(spec.Name, dst.best, l2g[lg], v)
+		}
+	case "median":
+		for lg, vs := range src.vals {
+			dst.vals[l2g[lg]] = append(dst.vals[l2g[lg]], vs...)
+		}
+	}
+}
+
+// finalizeNative turns a merged partial into the per-group output
+// values.
+func finalizeNative(spec AggSpec, pt *aggPartial, g int) []data.Value {
+	out := make([]data.Value, g)
+	switch spec.Name {
+	case "count":
+		for i := 0; i < g; i++ {
+			out[i] = data.Int(pt.counts[i])
+		}
+	case "sum", "avg":
+		for i := 0; i < g; i++ {
+			if pt.scount[i] == 0 {
+				out[i] = data.Null
+				continue
+			}
+			if spec.Name == "avg" {
+				out[i] = data.Float(pt.sums[i] / float64(pt.scount[i]))
+			} else if pt.allInt {
+				out[i] = data.Int(int64(pt.sums[i]))
+			} else {
+				out[i] = data.Float(pt.sums[i])
+			}
+		}
+	case "min", "max":
+		copy(out, pt.best)
+	case "median":
+		for i, vals := range pt.vals {
+			if len(vals) == 0 {
+				out[i] = data.Null
+				continue
+			}
+			sort.Float64s(vals)
+			m := len(vals) / 2
+			if len(vals)%2 == 1 {
+				out[i] = data.Float(vals[m])
+			} else {
+				out[i] = data.Float((vals[m-1] + vals[m]) / 2)
+			}
+		}
+	}
+	return out
+}
+
+// newGlobalPartial allocates the merged partial for a spec with g
+// global groups.
+func newGlobalPartial(spec AggSpec, g int) *aggPartial {
+	pt := &aggPartial{allInt: true}
+	switch spec.Name {
+	case "count":
+		pt.counts = make([]int64, g)
+	case "sum", "avg":
+		pt.sums = make([]float64, g)
+		pt.scount = make([]int64, g)
+	case "min", "max":
+		pt.best = make([]data.Value, g)
+	case "median":
+		pt.vals = make([][]float64, g)
+	}
+	return pt
 }
 
 // aggregateChunk groups the input and folds native and UDF aggregates.
-func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+// It runs morsel-parallel: each worker builds a thread-local hash table
+// over its morsels (group keys via the separator-safe byte encoding)
+// and folds native partials with morsel-local group ids; the barrier
+// merges the local tables in morsel order — which reproduces the serial
+// first-occurrence group order exactly — then merges the partials
+// through the local→global id maps. UDF aggregates keep the single
+// invoker call over the merged global group vector: the generic path
+// cannot assume the aggregate is decomposable (decomposable traced
+// aggregates take the partial path in exec_fused.go instead).
+func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
 	n := in.NumRows()
-	// Group assignment.
-	groupIDs := make([]int, n)
-	var groupRows []int // first row of each group (for key output)
-	var keyVecs [][]data.Value
-	if len(p.GroupBy) == 0 {
-		groupRows = []int{0}
-		if n == 0 {
-			groupRows = []int{-1}
-		}
-	} else {
-		keyVecs = make([][]data.Value, len(p.GroupBy))
-		for i, k := range p.GroupBy {
-			v, err := e.evalVec(k, in)
-			if err != nil {
-				return nil, err
+	spans := e.morselsFor(n)
+
+	type morselGroups struct {
+		keyVecs  [][]data.Value // evaluated group-by keys, morsel rows
+		localGID []int          // morsel row -> local group id
+		keys     []string       // local group id -> encoded key
+		firstRow []int          // local group id -> morsel-local first row
+		parts    []*aggPartial  // per agg spec; nil for UDF aggs
+	}
+	morsels := make([]*morselGroups, len(spans))
+
+	_, err := e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+		part := in.Slice(lo, hi)
+		mg := &morselGroups{localGID: make([]int, hi-lo)}
+		if len(p.GroupBy) > 0 {
+			mg.keyVecs = make([][]data.Value, len(p.GroupBy))
+			for i, k := range p.GroupBy {
+				v, err := e.evalVec(k, part)
+				if err != nil {
+					return err
+				}
+				mg.keyVecs[i] = v
 			}
-			keyVecs[i] = v
-		}
-		seen := make(map[string]int)
-		for i := 0; i < n; i++ {
+			seen := make(map[string]int)
 			var kb []byte
-			for _, kv := range keyVecs {
-				kb = append(kb, kv[i].Key()...)
-				kb = append(kb, 0)
+			for i := 0; i < hi-lo; i++ {
+				kb = appendVecKey(kb[:0], mg.keyVecs, i)
+				gid, ok := seen[string(kb)]
+				if !ok {
+					gid = len(mg.keys)
+					k := string(kb)
+					seen[k] = gid
+					mg.keys = append(mg.keys, k)
+					mg.firstRow = append(mg.firstRow, i)
+				}
+				mg.localGID[i] = gid
 			}
-			k := string(kb)
-			gid, ok := seen[k]
+		} else if hi > lo {
+			// Global aggregate: every row folds into one group.
+			mg.keys = []string{""}
+			mg.firstRow = []int{0}
+		}
+		mg.parts = make([]*aggPartial, len(p.Aggs))
+		for ai, spec := range p.Aggs {
+			if spec.UDF != nil {
+				continue
+			}
+			mg.parts[ai] = &aggPartial{}
+			if err := e.foldNative(mg.parts[ai], spec, part, mg.localGID, len(mg.keys)); err != nil {
+				return err
+			}
+		}
+		morsels[m] = mg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Barrier: merge local group tables in morsel order so global group
+	// ids follow first occurrence over the whole input, like the serial
+	// scan did.
+	endMerge := e.mergeTimer(sp)
+	globalIdx := make(map[string]int)
+	type groupRef struct{ m, row int }
+	var groups []groupRef
+	l2g := make([][]int, len(spans))
+	for m, mg := range morsels {
+		l2g[m] = make([]int, len(mg.keys))
+		for lg, k := range mg.keys {
+			gid, ok := globalIdx[k]
 			if !ok {
-				gid = len(groupRows)
-				seen[k] = gid
-				groupRows = append(groupRows, i)
+				gid = len(groups)
+				globalIdx[k] = gid
+				groups = append(groups, groupRef{m, mg.firstRow[lg]})
 			}
-			groupIDs[i] = gid
+			l2g[m][lg] = gid
 		}
 	}
-	g := len(groupRows)
-	if len(p.GroupBy) == 0 && n == 0 {
+	g := len(groups)
+	if len(p.GroupBy) == 0 && g == 0 {
+		// Empty input still emits one (null/zero) aggregate row.
 		g = 1
 	}
 
+	// Merge native partials through the id maps.
+	merged := make([]*aggPartial, len(p.Aggs))
+	for ai, spec := range p.Aggs {
+		if spec.UDF != nil {
+			continue
+		}
+		merged[ai] = newGlobalPartial(spec, g)
+		for m, mg := range morsels {
+			mergeNative(merged[ai], mg.parts[ai], spec, l2g[m])
+		}
+	}
+
+	// UDF aggregates need the full-length global group vector.
+	var groupIDs []int
+	needGID := false
+	for _, spec := range p.Aggs {
+		if spec.UDF != nil {
+			needGID = true
+		}
+	}
+	if needGID {
+		groupIDs = make([]int, n)
+		for m, mg := range morsels {
+			lo := spans[m].lo
+			for r, lg := range mg.localGID {
+				groupIDs[lo+r] = l2g[m][lg]
+			}
+		}
+	}
+	endMerge()
+
 	out := data.EmptyChunk(p.Schema)
-	// Key columns.
+	// Key columns from each group's first-occurrence row.
 	for ki := range p.GroupBy {
 		col := out.Cols[ki]
-		for _, r := range groupRows {
-			if r < 0 {
-				col.AppendNull()
-			} else {
-				col.AppendValue(keyVecs[ki][r])
-			}
+		for _, ref := range groups {
+			col.AppendValue(morsels[ref.m].keyVecs[ki][ref.row])
 		}
 	}
 	// Aggregate columns.
 	for ai, spec := range p.Aggs {
 		col := out.Cols[len(p.GroupBy)+ai]
 		var results []data.Value
-		var err error
 		if spec.UDF != nil {
 			argCols := make([]*data.Column, len(spec.Args))
 			for i, a := range spec.Args {
@@ -554,10 +794,7 @@ func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 				return nil, err
 			}
 		} else {
-			results, err = e.nativeAggregate(spec, in, groupIDs, g, n)
-			if err != nil {
-				return nil, err
-			}
+			results = finalizeNative(spec, merged[ai], g)
 		}
 		for _, v := range results {
 			col.AppendValue(v)
@@ -566,137 +803,36 @@ func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 	return out, nil
 }
 
-// nativeAggregate folds a built-in aggregate per group.
-func (e *Engine) nativeAggregate(spec AggSpec, in *data.Chunk, groupIDs []int, g, n int) ([]data.Value, error) {
-	var argVals []data.Value
-	if !spec.Star && len(spec.Args) > 0 {
-		v, err := e.evalVec(spec.Args[0], in)
-		if err != nil {
-			return nil, err
-		}
-		argVals = v
-	}
-	switch spec.Name {
-	case "count":
-		counts := make([]int64, g)
-		for i := 0; i < n; i++ {
-			if spec.Star || !argVals[i].IsNull() {
-				counts[groupIDs[i]]++
-			}
-		}
-		out := make([]data.Value, g)
-		for i, c := range counts {
-			out[i] = data.Int(c)
-		}
-		return out, nil
-	case "sum", "avg":
-		sums := make([]float64, g)
-		counts := make([]int64, g)
-		allInt := true
-		for i := 0; i < n; i++ {
-			v := argVals[i]
-			if v.IsNull() {
-				continue
-			}
-			f, ok := v.AsFloat()
-			if !ok {
-				continue
-			}
-			if v.Kind == data.KindFloat {
-				allInt = false
-			}
-			sums[groupIDs[i]] += f
-			counts[groupIDs[i]]++
-		}
-		out := make([]data.Value, g)
-		for i := range out {
-			if counts[i] == 0 {
-				out[i] = data.Null
-				continue
-			}
-			if spec.Name == "avg" {
-				out[i] = data.Float(sums[i] / float64(counts[i]))
-			} else if allInt {
-				out[i] = data.Int(int64(sums[i]))
-			} else {
-				out[i] = data.Float(sums[i])
-			}
-		}
-		return out, nil
-	case "min", "max":
-		best := make([]data.Value, g)
-		for i := 0; i < n; i++ {
-			v := argVals[i]
-			if v.IsNull() {
-				continue
-			}
-			gid := groupIDs[i]
-			if best[gid].IsNull() {
-				best[gid] = v
-				continue
-			}
-			c, ok := data.Compare(v, best[gid])
-			if !ok {
-				continue
-			}
-			if (spec.Name == "min" && c < 0) || (spec.Name == "max" && c > 0) {
-				best[gid] = v
-			}
-		}
-		return best, nil
-	case "median":
-		// Blocking aggregate: materializes each group's input.
-		groups := make([][]float64, g)
-		for i := 0; i < n; i++ {
-			if argVals[i].IsNull() {
-				continue
-			}
-			f, ok := argVals[i].AsFloat()
-			if !ok {
-				continue
-			}
-			gid := groupIDs[i]
-			groups[gid] = append(groups[gid], f)
-		}
-		out := make([]data.Value, g)
-		for i, vals := range groups {
-			if len(vals) == 0 {
-				out[i] = data.Null
-				continue
-			}
-			sort.Float64s(vals)
-			m := len(vals) / 2
-			if len(vals)%2 == 1 {
-				out[i] = data.Float(vals[m])
-			} else {
-				out[i] = data.Float((vals[m-1] + vals[m]) / 2)
-			}
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("sql: unknown aggregate %s", spec.Name)
-}
-
-// sortChunk orders the chunk by the plan's sort items.
-func (e *Engine) sortChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+// sortChunk orders the chunk by the plan's sort items: the key vectors
+// evaluate morsel-parallel into shared (disjoint) ranges, each worker
+// stable-sorts a contiguous run, and the runs fold together with a
+// pairwise stable merge — ties always prefer the earlier run, so the
+// result is identical to a full stable sort.
+func (e *Engine) sortChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
 	n := in.NumRows()
 	keyVecs := make([][]data.Value, len(p.SortItems))
-	for i, s := range p.SortItems {
-		v, err := e.evalVec(s.Expr, in)
-		if err != nil {
-			return nil, err
-		}
-		keyVecs[i] = v
+	for i := range keyVecs {
+		keyVecs[i] = make([]data.Value, n)
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
+	_, err := e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+		part := in.Slice(lo, hi)
 		for k, s := range p.SortItems {
-			c, ok := data.Compare(keyVecs[k][idx[a]], keyVecs[k][idx[b]])
+			v, err := e.evalVec(s.Expr, part)
+			if err != nil {
+				return err
+			}
+			copy(keyVecs[k][lo:hi], v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	less := func(a, b int) bool {
+		for k, s := range p.SortItems {
+			c, ok := data.Compare(keyVecs[k][a], keyVecs[k][b])
 			if !ok {
-				c = compareStr(keyVecs[k][idx[a]].String(), keyVecs[k][idx[b]].String())
+				c = compareStr(keyVecs[k][a].String(), keyVecs[k][b].String())
 			}
 			if c == 0 {
 				continue
@@ -707,26 +843,125 @@ func (e *Engine) sortChunk(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 			return c < 0
 		}
 		return false
-	})
-	return in.Take(idx), nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	workers := e.Workers()
+	if workers <= 1 || n < minParallelRows {
+		sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		return in.Take(idx), nil
+	}
+	// Sorted runs: one contiguous range per worker.
+	per := (n + workers - 1) / workers
+	runs := morselPlan(n, per)
+	var wg sync.WaitGroup
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r morselSpan) {
+			defer wg.Done()
+			seg := idx[r.lo:r.hi]
+			sort.SliceStable(seg, func(a, b int) bool { return less(seg[a], seg[b]) })
+		}(r)
+	}
+	wg.Wait()
+	endMerge := e.mergeTimer(sp)
+	buf := make([]int, n)
+	for len(runs) > 1 {
+		next := make([]morselSpan, 0, (len(runs)+1)/2)
+		var mwg sync.WaitGroup
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				r := runs[i]
+				copy(buf[r.lo:r.hi], idx[r.lo:r.hi])
+				next = append(next, r)
+				continue
+			}
+			a, b := runs[i], runs[i+1]
+			mwg.Add(1)
+			go func(a, b morselSpan) {
+				defer mwg.Done()
+				mergeRuns(idx, buf, a, b, less)
+			}(a, b)
+			next = append(next, morselSpan{a.lo, b.hi})
+		}
+		mwg.Wait()
+		idx, buf = buf, idx
+		runs = next
+	}
+	endMerge()
+	return e.takeParallel(in, idx, sp), nil
 }
 
-// distinctChunk removes duplicate rows.
-func distinctChunk(in *data.Chunk) *data.Chunk {
+// mergeRuns stable-merges two adjacent sorted runs of src into the same
+// positions of dst: an element from the right run only passes the left
+// one when strictly less, preserving input order on ties.
+func mergeRuns(src, dst []int, a, b morselSpan, less func(x, y int) bool) {
+	i, j, o := a.lo, b.lo, a.lo
+	for i < a.hi && j < b.hi {
+		if less(src[j], src[i]) {
+			dst[o] = src[j]
+			j++
+		} else {
+			dst[o] = src[i]
+			i++
+		}
+		o++
+	}
+	for i < a.hi {
+		dst[o] = src[i]
+		i++
+		o++
+	}
+	for j < b.hi {
+		dst[o] = src[j]
+		j++
+		o++
+	}
+}
+
+// distinctChunk removes duplicate rows: morsel-local dedup tables keep
+// each worker's first sightings, and the barrier merges them in morsel
+// order so the kept row set (and order) matches the serial scan.
+func (e *Engine) distinctChunk(in *data.Chunk, sp *obs.Span) *data.Chunk {
 	n := in.NumRows()
+	spans := e.morselsFor(n)
+	type dedup struct {
+		keys []string
+		rows []int
+	}
+	parts := make([]dedup, len(spans))
+	_, _ = e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+		seen := make(map[string]bool)
+		var d dedup
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			kb = kb[:0]
+			for _, c := range in.Cols {
+				kb = appendColKey(kb, c, i)
+			}
+			if !seen[string(kb)] {
+				k := string(kb)
+				seen[k] = true
+				d.keys = append(d.keys, k)
+				d.rows = append(d.rows, i)
+			}
+		}
+		parts[m] = d
+		return nil
+	})
+	endMerge := e.mergeTimer(sp)
 	seen := make(map[string]bool, n)
 	var idx []int
-	for i := 0; i < n; i++ {
-		var kb []byte
-		for _, c := range in.Cols {
-			kb = append(kb, c.Get(i).Key()...)
-			kb = append(kb, 0)
-		}
-		k := string(kb)
-		if !seen[k] {
-			seen[k] = true
-			idx = append(idx, i)
+	for _, d := range parts {
+		for x, k := range d.keys {
+			if !seen[k] {
+				seen[k] = true
+				idx = append(idx, d.rows[x])
+			}
 		}
 	}
-	return in.Take(idx)
+	endMerge()
+	return e.takeParallel(in, idx, sp)
 }

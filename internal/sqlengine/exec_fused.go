@@ -5,6 +5,7 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 )
 
 // The two plan operators QFusor's rewriter injects (§5.4, path 2: the
@@ -34,23 +35,23 @@ func (e *Engine) execFusedColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) 
 	if err != nil {
 		return nil, err
 	}
-	return e.runFused(p, in)
+	return e.runFused(p, in, ectx.span)
 }
 
 // runFusedAsTable executes a fused wrapper invoked through table-
 // function syntax (the SQL produced by rewrite path 1): every child
 // column feeds the wrapper in order.
-func (e *Engine) runFusedAsTable(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+func (e *Engine) runFusedAsTable(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
 	proxy := &Plan{Op: OpFused, UDF: p.UDF, Schema: p.Schema, Quals: p.Quals,
 		NoPartition: p.NoPartition, EstRows: p.EstRows}
 	for i := range in.Cols {
 		proxy.TFArgs = append(proxy.TFArgs, &ColRef{Name: in.Cols[i].Name, Index: i})
 	}
-	return e.runFused(proxy, in)
+	return e.runFused(proxy, in, sp)
 }
 
 // runFused applies the fused wrapper over a materialized input chunk.
-func (e *Engine) runFused(p *Plan, in *data.Chunk) (*data.Chunk, error) {
+func (e *Engine) runFused(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
 	n := in.NumRows()
 	args := make([]*data.Column, len(p.TFArgs))
 	for i, a := range p.TFArgs {
@@ -77,54 +78,19 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 			return data.NewChunk(cols...), nil
 		}
 		// Stateless fused wrappers are embarrassingly parallel over row
-		// ranges (like the engine's own vectorized operators).
-		argChunk := data.NewChunk(args...)
-		return e.runPartitioned(argChunk, n, func(part *data.Chunk) (*data.Chunk, error) {
-			cols, err := ffi.CallFusedVector(p.UDF, part.Cols, part.NumRows(), names, kinds)
-			if err != nil {
-				return nil, err
-			}
-			return data.NewChunk(cols...), nil
-		})
+		// ranges (like the engine's own vectorized operators): each
+		// worker runs a UDF clone on its own interpreter view, so pylite
+		// execution never serializes on shared runtime state.
+		return e.runFusedMorsels(p.UDF, data.NewChunk(args...), n, names, kinds, sp)
 	}
 	// OpFusedAgg with a compiled trace: grouping happens inside the
 	// trace (after fused filters) via the native group-by export.
 	if tr := p.UDF.Trace; tr != nil {
-		// Mergeable aggregates run as per-partition partials across the
-		// engine's workers (partial aggregation + merge).
-		if e.Parallelism > 1 && !p.NoPartition && tr.Mergeable() && n > 2*e.Parallelism {
-			argChunk := data.NewChunk(args...)
-			per := (n + e.Parallelism - 1) / e.Parallelism
-			type part struct {
-				cols []*data.Column
-				err  error
-			}
-			parts := make([]part, 0, e.Parallelism)
-			done := make(chan int, e.Parallelism)
-			for lo := 0; lo < n; lo += per {
-				hi := lo + per
-				if hi > n {
-					hi = n
-				}
-				parts = append(parts, part{})
-				go func(i, lo, hi int) {
-					sub := argChunk.Slice(lo, hi)
-					cols, err := ffi.RunTraceAgg(p.UDF, tr, sub.Cols, hi-lo, names, kinds)
-					parts[i].cols, parts[i].err = cols, err
-					done <- i
-				}(len(parts)-1, lo, hi)
-			}
-			for range parts {
-				<-done
-			}
-			all := make([][]*data.Column, len(parts))
-			for i, pt := range parts {
-				if pt.err != nil {
-					return nil, pt.err
-				}
-				all[i] = pt.cols
-			}
-			return data.NewChunk(ffi.MergeTraceAggPartials(tr, all, names, kinds)...), nil
+		// Decomposable aggregates (including avg and UDF aggregates with
+		// a merge hook) run as per-worker partial states over morsels,
+		// merged at the barrier.
+		if e.Workers() > 1 && !p.NoPartition && tr.PartialMergeable() && n >= minParallelRows {
+			return e.runTraceAggMorsels(p.UDF, tr, args, n, names, kinds, sp)
 		}
 		cols, err := ffi.RunTraceAgg(p.UDF, tr, args, n, names, kinds)
 		if err != nil {
@@ -152,12 +118,9 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 			keyVecs[i] = v
 		}
 		seen := make(map[string]int)
+		var kb []byte
 		for i := 0; i < n; i++ {
-			var kb []byte
-			for _, kv := range keyVecs {
-				kb = append(kb, kv[i].Key()...)
-				kb = append(kb, 0)
-			}
+			kb = appendVecKey(kb[:0], keyVecs, i)
 			k := string(kb)
 			gid, ok := seen[k]
 			if !ok {
@@ -167,7 +130,6 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 			}
 			groupIDs[i] = gid
 		}
-		defer func() { _ = keyVecs }()
 		g := len(groupRows)
 		aggCols, err := ffi.CallFusedAggVector(p.UDF, args, n, groupIDs, g,
 			names[nKeys:], kinds[nKeys:])
@@ -195,4 +157,89 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk) (*data.Chunk, error) {
 		return nil, err
 	}
 	return data.NewChunk(aggCols...), nil
+}
+
+// runFusedMorsels drives a stateless fused wrapper over morsels of the
+// argument chunk. Each worker lazily makes one UDF clone (own pylite
+// interpreter view, own Stats); after the barrier every clone's learned
+// statistics fold back into the parent so the cost model sees the
+// query's full activity, not the last worker's.
+func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names []string, kinds []data.Kind, sp *obs.Span) (*data.Chunk, error) {
+	spans := e.morselsFor(n)
+	if len(spans) == 1 && e.Workers() <= 1 {
+		cols, err := ffi.CallFusedVector(u, argChunk.Cols, n, names, kinds)
+		if err != nil {
+			return nil, err
+		}
+		return data.NewChunk(cols...), nil
+	}
+	clones := make([]*ffi.UDF, e.Workers())
+	outs := make([]*data.Chunk, len(spans))
+	_, err := e.runMorsels(n, sp, func(w, m, lo, hi int) error {
+		cu := clones[w]
+		if cu == nil {
+			cu = u.WorkerClone()
+			clones[w] = cu
+		}
+		part := argChunk.Slice(lo, hi)
+		cols, err := ffi.CallFusedVector(cu, part.Cols, hi-lo, names, kinds)
+		if err != nil {
+			return err
+		}
+		outs[m] = data.NewChunk(cols...)
+		return nil
+	})
+	for _, cu := range clones {
+		u.AbsorbWorker(cu)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) == 1 {
+		return outs[0], nil
+	}
+	defer e.mergeTimer(sp)()
+	merged := data.EmptyChunk(outs[0].Schema())
+	for _, o := range outs {
+		for i, c := range merged.Cols {
+			c.AppendColumn(o.Cols[i])
+		}
+	}
+	return merged, nil
+}
+
+// runTraceAggMorsels executes an aggregating trace as per-worker
+// partial group tables over morsels, merging the live states at the
+// barrier (partial aggregation + merge, §5.3.2 applied in parallel).
+func (e *Engine) runTraceAggMorsels(u *ffi.UDF, tr *ffi.Trace, args []*data.Column, n int, names []string, kinds []data.Kind, sp *obs.Span) (*data.Chunk, error) {
+	argChunk := data.NewChunk(args...)
+	spans := e.morselsFor(n)
+	clones := make([]*ffi.UDF, e.Workers())
+	parts := make([]*ffi.TraceAggPartial, len(spans))
+	_, err := e.runMorsels(n, sp, func(w, m, lo, hi int) error {
+		cu := clones[w]
+		if cu == nil {
+			cu = u.WorkerClone()
+			clones[w] = cu
+		}
+		sub := argChunk.Slice(lo, hi)
+		pt, err := ffi.RunTraceAggPartial(cu, tr, sub.Cols, hi-lo)
+		if err != nil {
+			return err
+		}
+		parts[m] = pt
+		return nil
+	})
+	for _, cu := range clones {
+		u.AbsorbWorker(cu)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer e.mergeTimer(sp)()
+	cols, err := ffi.FinalizeTraceAggPartials(u, tr, parts, names, kinds)
+	if err != nil {
+		return nil, err
+	}
+	return data.NewChunk(cols...), nil
 }

@@ -102,7 +102,7 @@ func (e *Engine) buildRowIter(p *Plan, ectx *execCtx) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		ch, err := e.runFused(p, in)
+		ch, err := e.runFused(p, in, ectx.span)
 		if err != nil {
 			return nil, err
 		}
@@ -123,19 +123,19 @@ func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.aggregateChunk(p, in)
+		return e.aggregateChunk(p, in, ectx.span)
 	case OpSort:
 		in, err := drain(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return e.sortChunk(p, in)
+		return e.sortChunk(p, in, ectx.span)
 	case OpDistinct:
 		in, err := drain(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return distinctChunk(in), nil
+		return e.distinctChunk(in, ectx.span), nil
 	case OpUnion:
 		l, err := drain(p.Children[0])
 		if err != nil {
@@ -151,7 +151,7 @@ func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			c.AppendColumn(r.Cols[i])
 		}
 		if !p.UnionAll {
-			return distinctChunk(out), nil
+			return e.distinctChunk(out, ectx.span), nil
 		}
 		return out, nil
 	case OpTableFunc:
@@ -160,7 +160,7 @@ func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			return nil, err
 		}
 		if p.UDF.Fused {
-			return e.runFusedAsTable(p, in)
+			return e.runFusedAsTable(p, in, ectx.span)
 		}
 		extra := make([]data.Value, len(p.TFArgs))
 		for i, a := range p.TFArgs {
@@ -353,8 +353,10 @@ func (e *Engine) buildJoinIter(p *Plan, ectx *execCtx) (rowIter, error) {
 		leftKeys: leftKeys, rightKeys: rightKeys, residual: residual}
 	if len(leftKeys) > 0 {
 		ji.build = make(map[string][]int)
+		var kb []byte
 		for j := 0; j < right.NumRows(); j++ {
-			k := joinKey(right, rightKeys, j)
+			kb = appendRowKey(kb[:0], right, rightKeys, j)
+			k := string(kb)
 			ji.build[k] = append(ji.build[k], j)
 		}
 	}
@@ -375,6 +377,7 @@ type joinIter struct {
 	curLeft  []data.Value
 	matches  []int
 	matchPos int
+	keyBuf   []byte
 }
 
 func (it *joinIter) Next() ([]data.Value, bool, error) {
@@ -387,8 +390,11 @@ func (it *joinIter) Next() ([]data.Value, bool, error) {
 			it.curLeft = row
 			it.matchPos = 0
 			if it.build != nil {
-				k := rowJoinKey(row, it.leftKeys)
-				it.matches = it.build[k]
+				it.keyBuf = it.keyBuf[:0]
+				for _, ci := range it.leftKeys {
+					it.keyBuf = appendValueKey(it.keyBuf, row[ci])
+				}
+				it.matches = it.build[string(it.keyBuf)]
 				if len(it.matches) == 0 && it.plan.JoinKind == "LEFT" {
 					it.matches = []int{-1}
 				}
@@ -441,18 +447,3 @@ func (it *joinIter) Next() ([]data.Value, bool, error) {
 }
 
 func (it *joinIter) Close() { it.left.Close() }
-
-func rowJoinKey(row []data.Value, keys []int) string {
-	if len(keys) == 1 {
-		v := row[keys[0]]
-		if v.Kind == data.KindString {
-			return v.S
-		}
-		return v.Key()
-	}
-	k := ""
-	for _, ci := range keys {
-		k += row[ci].Key() + "\x00"
-	}
-	return k
-}

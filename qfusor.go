@@ -129,7 +129,8 @@ func WithJIT(on bool) Option {
 	return func(c *engines.Config) { c.JIT = on }
 }
 
-// WithParallelism sets the engine's worker count.
+// WithParallelism sets the engine's worker count: 0 = auto (one worker
+// per core), 1 = legacy serial execution.
 func WithParallelism(n int) Option {
 	return func(c *engines.Config) { c.Parallelism = n }
 }

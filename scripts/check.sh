@@ -1,9 +1,11 @@
 #!/bin/sh
 # Pre-commit gate: everything must build, vet clean, and pass the test
-# suite with the race detector on (the observability layer is threaded
-# through concurrent executors, so -race is not optional).
+# suite with the race detector on (the morsel executor and the
+# observability layer run concurrently, so -race is not optional).
+# GOMAXPROCS=8 forces real goroutine interleaving for the parallel
+# executor paths even on small CI hosts.
 set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
-go test -race ./...
+GOMAXPROCS=8 go test -race ./...
