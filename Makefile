@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke
+.PHONY: check build vet test race chaos bench bench-smoke
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -17,6 +17,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## chaos: the fault-injection sweep — every registered fault point is
+## fired in turn and each query must degrade to a bit-identical native
+## result or a typed QueryError, under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|Interrupt|ProcessInvoker' ./...
+
+
 
 ## bench: run the paper experiments quickly, with a metrics snapshot.
 bench:

@@ -1,0 +1,233 @@
+package qfusor_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/faultinject"
+	"qfusor/internal/resilience"
+)
+
+// renderRows makes results comparable bit-for-bit across paths.
+func renderRows(t *testing.T, res *qfusor.Table) string {
+	t.Helper()
+	return qfusor.Format(res, 0)
+}
+
+// chaosBaseline computes the native answer on a fault-free instance.
+func chaosBaseline(t *testing.T, profile qfusor.Profile, sql string) string {
+	t.Helper()
+	faultinject.Reset()
+	db := openTestDB(t, profile)
+	res, err := db.QueryNative(sql)
+	if err != nil {
+		t.Fatalf("baseline %s on %s: %v", sql, profile, err)
+	}
+	return renderRows(t, res)
+}
+
+// TestChaosSweep is the resilience acceptance gate: every registered
+// fault point is armed in turn (error, panic, and — where meaningful —
+// worker-kill) against a fusing query on each execution model. The
+// invariant: the query either returns the exact native answer (the
+// degradation ladder absorbed the fault) or a typed *qfusor.QueryError
+// whose chain reaches the injected sentinel. Never a crash, never a
+// silently wrong result.
+func TestChaosSweep(t *testing.T) {
+	// slug(slug(...)) forms a two-call scalar chain, which is the
+	// fusion threshold — the query exercises a fused wrapper, not just
+	// plain UDF calls.
+	const sql = "SELECT id, slug(slug(title)) AS s FROM notes ORDER BY id"
+	profiles := []qfusor.Profile{qfusor.MonetDB, qfusor.SQLite, qfusor.DuckDB, qfusor.PostgreSQL}
+	kindsFor := func(point string) []faultinject.Kind {
+		ks := []faultinject.Kind{faultinject.Error, faultinject.Panic}
+		if strings.HasPrefix(point, "proc.") {
+			ks = append(ks, faultinject.WorkerKill)
+		}
+		return ks
+	}
+	for _, profile := range profiles {
+		want := chaosBaseline(t, profile, sql)
+		for _, point := range faultinject.Names() {
+			for _, kind := range kindsFor(point) {
+				name := string(profile) + "/" + point + "/" + kind.String()
+				t.Run(name, func(t *testing.T) {
+					faultinject.Reset()
+					defer faultinject.Reset()
+					db := openTestDB(t, profile) // UDFs defined before arming
+					if err := faultinject.Enable(point, faultinject.Spec{Kind: kind}); err != nil {
+						t.Fatal(err)
+					}
+					res, err := db.Query(sql)
+					if err == nil {
+						if got := renderRows(t, res); got != want {
+							t.Fatalf("fault %s: wrong result\ngot:\n%s\nwant:\n%s", name, got, want)
+						}
+						return
+					}
+					var qe *qfusor.QueryError
+					if !errors.As(err, &qe) {
+						t.Fatalf("fault %s: untyped error %v", name, err)
+					}
+					if !errors.Is(err, faultinject.ErrInjected) && !faultinject.IsWorkerKill(err) {
+						// A panic fault surfaces as a recovered PanicError
+						// wrapping the injected panic value.
+						var pe *resilience.PanicError
+						var ip *faultinject.InjectedPanic
+						if !errors.As(err, &pe) && !errors.As(err, &ip) {
+							t.Fatalf("fault %s: cause chain lost the injection: %v", name, err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosFallbackIdentical pins the degradation ladder's first rung:
+// a fault only on the fused wrapper must produce the native answer
+// transparently, flag the fallback in the report, and count it in the
+// metrics registry.
+func TestChaosFallbackIdentical(t *testing.T) {
+	const sql = "SELECT id, slug(slug(title)) AS s FROM notes ORDER BY id"
+	want := chaosBaseline(t, qfusor.MonetDB, sql)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	db := openTestDB(t, qfusor.MonetDB)
+	if err := faultinject.Enable("ffi.fused", faultinject.Spec{Kind: faultinject.Error}); err != nil {
+		t.Fatal(err)
+	}
+	m0 := qfusor.Metrics()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("fused-only fault must degrade, got error: %v", err)
+	}
+	if got := renderRows(t, res); got != want {
+		t.Fatalf("fallback result differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	rep := db.LastReport()
+	if rep.Sections == 0 {
+		t.Fatalf("test premise broken: query did not fuse any section: %+v", rep)
+	}
+	if !rep.Fallback || rep.FallbackReason == "" {
+		t.Fatalf("fallback not recorded in report: %+v", rep)
+	}
+	d := qfusor.Metrics().Diff(m0)
+	if d.Counters["qfusor.fallbacks"] < 1 {
+		t.Fatalf("qfusor.fallbacks not incremented: %v", d.Counters["qfusor.fallbacks"])
+	}
+}
+
+// TestChaosCancellationLatency: cancelling a QueryContext mid-flight
+// must return promptly (within morsel/statement granularity, bounded
+// here at two seconds) with a typed cancelled error carrying the
+// context cause.
+func TestChaosCancellationLatency(t *testing.T) {
+	faultinject.Reset()
+	db := openTestDB(t, qfusor.MonetDB)
+	if err := db.Define(`
+@scalarudf
+def spinsum(x: int) -> int:
+    t = 0
+    i = 0
+    while i < 2000000:
+        t = t + i
+        i = i + 1
+    return t + x
+`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := db.QueryContext(ctx, "SELECT spinsum(id) FROM notes")
+	elapsed := time.Since(start)
+	if err == nil {
+		// The query may legitimately win the race on a fast machine.
+		t.Skip("query finished before cancellation")
+	}
+	var qe *qfusor.QueryError
+	if !errors.As(err, &qe) || qe.Stage != "cancelled" {
+		t.Fatalf("want QueryError stage cancelled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("context cause lost from chain: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestChaosStepBudget: a runaway UDF loop on a step-budgeted DB is
+// interrupted and surfaces as a cancelled QueryError rather than
+// hanging or being retried on the native plan.
+func TestChaosStepBudget(t *testing.T) {
+	faultinject.Reset()
+	db, err := qfusor.Open(qfusor.MonetDB, qfusor.WithStepBudget(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := db.Define(`
+@scalarudf
+def forever(x: int) -> int:
+    while True:
+        x = x + 1
+    return x
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE TABLE t (id int)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.QueryContext(context.Background(), "SELECT forever(id) FROM t")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var qe *qfusor.QueryError
+		if !errors.As(err, &qe) || qe.Stage != "cancelled" {
+			t.Fatalf("want cancelled QueryError, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("step budget did not stop the runaway loop")
+	}
+}
+
+// TestChaosTimeoutDeadline: a context deadline behaves like
+// cancellation and carries DeadlineExceeded in the chain.
+func TestChaosTimeoutDeadline(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	db := openTestDB(t, qfusor.MonetDB)
+	// Stall the morsel workers so the deadline reliably fires first.
+	if err := faultinject.Enable("morsel.worker", faultinject.Spec{
+		Kind: faultinject.Delay, Delay: 300 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := db.QueryContext(ctx, "SELECT slug(title) FROM notes")
+	if err == nil {
+		t.Skip("query finished before the deadline")
+	}
+	var qe *qfusor.QueryError
+	if !errors.As(err, &qe) || qe.Stage != "cancelled" {
+		t.Fatalf("want cancelled QueryError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline cause lost from chain: %v", err)
+	}
+}

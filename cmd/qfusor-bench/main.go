@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"qfusor/internal/bench"
+	"qfusor/internal/faultinject"
 	"qfusor/internal/obs"
 	"qfusor/internal/workload"
 )
@@ -41,11 +43,15 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	obsOut := flag.String("obs", "", "write results + metrics snapshot as JSON to this file (e.g. BENCH_obs.json)")
 	parallelism := flag.Int("parallelism", 0, "executor workers for experiments that don't pin their own: 0 = auto (one per core), 1 = serial")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); an expired query fails its experiment instead of wedging the run")
+	var faults faultFlags
+	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; exercises the resilience layer)")
 	flag.Parse()
 
 	r := bench.NewRunner(workload.Size(*size), os.Stdout)
 	r.Quick = *quick
 	r.Parallelism = *parallelism
+	r.QueryTimeout = *timeout
 
 	if *list {
 		var names []string
@@ -107,4 +113,18 @@ func writeObs(path, size string, quick bool, results []*bench.Result, base obs.S
 		return
 	}
 	fmt.Printf("\nwrote %s\n", path)
+}
+
+// faultFlags collects repeated -fault values, arming each as it parses
+// so a bad name or kind fails flag parsing with the valid choices.
+type faultFlags []string
+
+func (f *faultFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *faultFlags) Set(v string) error {
+	if err := faultinject.EnableFlag(v); err != nil {
+		return fmt.Errorf("%v (points: %s)", err, strings.Join(faultinject.Names(), ", "))
+	}
+	*f = append(*f, v)
+	return nil
 }

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"qfusor"
+	"qfusor/internal/faultinject"
 	"qfusor/internal/workload"
 )
 
@@ -34,7 +36,11 @@ func main() {
 	load := flag.String("load", "", "preload a workload: udfbench | zillow | weld | udo (comma separated)")
 	size := flag.String("size", "tiny", "workload size: tiny | small | medium | large")
 	parallelism := flag.Int("parallelism", 0, "executor workers: 0 = auto (one per core), 1 = serial")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a cancelled QueryError")
+	var faults faultFlags
+	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; see faultinject)")
 	flag.Parse()
+	queryTimeout = *timeout
 
 	db, err := qfusor.Open(qfusor.Profile(*profile), qfusor.WithParallelism(*parallelism))
 	if err != nil {
@@ -122,8 +128,11 @@ func main() {
 			prompt()
 			continue
 		case strings.HasPrefix(trimmed, "\\native "):
-			runOne(func(sql string) (*qfusor.Table, error) { return db.QueryNative(sql) },
-				strings.TrimPrefix(trimmed, "\\native "))
+			runOne(func(sql string) (*qfusor.Table, error) {
+				ctx, cancel := queryCtx()
+				defer cancel()
+				return db.QueryNativeContext(ctx, sql)
+			}, strings.TrimPrefix(trimmed, "\\native "))
 			prompt()
 			continue
 		}
@@ -143,6 +152,31 @@ func main() {
 // traceOn makes every SELECT run through EXPLAIN ANALYZE (\trace on).
 var traceOn bool
 
+// queryTimeout is the per-query deadline from -timeout (0 = none).
+var queryTimeout time.Duration
+
+// queryCtx returns the context every query runs under.
+func queryCtx() (context.Context, context.CancelFunc) {
+	if queryTimeout > 0 {
+		return context.WithTimeout(context.Background(), queryTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// faultFlags collects repeated -fault values, arming each as it parses
+// so a bad name or kind fails flag parsing with the valid choices.
+type faultFlags []string
+
+func (f *faultFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *faultFlags) Set(v string) error {
+	if err := faultinject.EnableFlag(v); err != nil {
+		return fmt.Errorf("%v (points: %s)", err, strings.Join(faultinject.Names(), ", "))
+	}
+	*f = append(*f, v)
+	return nil
+}
+
 func execute(db *qfusor.DB, sql string) {
 	up := strings.ToUpper(strings.Fields(sql + " ")[0])
 	if up == "CREATE" || up == "INSERT" || up == "UPDATE" || up == "DELETE" {
@@ -157,8 +191,15 @@ func execute(db *qfusor.DB, sql string) {
 		analyze(db, sql)
 		return
 	}
-	runOne(db.Query, sql)
+	runOne(func(sql string) (*qfusor.Table, error) {
+		ctx, cancel := queryCtx()
+		defer cancel()
+		return db.QueryContext(ctx, sql)
+	}, sql)
 	rep := db.LastReport()
+	if rep.Fallback {
+		fmt.Printf("(degraded to native plan: %s)\n", rep.FallbackReason)
+	}
 	if rep.Sections > 0 {
 		fmt.Printf("(%d fused sections, optimize %v, codegen %v)\n",
 			rep.Sections, rep.FusOptim, rep.CodeGen)
@@ -168,7 +209,9 @@ func execute(db *qfusor.DB, sql string) {
 // analyze runs sql through EXPLAIN ANALYZE and prints the result table
 // followed by the annotated span tree.
 func analyze(db *qfusor.DB, sql string) {
-	a, err := db.QueryAnalyze(sql)
+	ctx, cancel := queryCtx()
+	defer cancel()
+	a, err := db.QueryAnalyzeContext(ctx, sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -4,6 +4,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -43,6 +44,10 @@ type Runner struct {
 	// instance whose experiment does not pin its own (0 = auto, 1 =
 	// serial). Parallelism sweeps ignore it.
 	Parallelism int
+	// QueryTimeout bounds every measured query (0 = none): a query that
+	// exceeds it fails its experiment with a cancelled QueryError
+	// instead of wedging the whole run.
+	QueryTimeout time.Duration
 }
 
 // launch builds an instance, applying the runner's default parallelism
@@ -133,7 +138,7 @@ func timeIt(fn func() error) (time.Duration, error) {
 // sysConfig describes one system lineup entry.
 type sysConfig struct {
 	name  string
-	build func() (*engines.Instance, runMode)
+	build func() (*engines.Instance, runMode, error)
 }
 
 // runMode selects how a query is issued on an instance.
@@ -193,17 +198,24 @@ func (r *Runner) install(in *engines.Instance, dataset string) error {
 	return nil
 }
 
-// runSQL measures one query on an instance in the given mode.
-func runSQL(in *engines.Instance, sql string, mode runMode) (time.Duration, int, error) {
+// runSQLTimeout measures one query on an instance in the given mode,
+// under an optional per-query deadline.
+func runSQLTimeout(in *engines.Instance, sql string, mode runMode, timeout time.Duration) (time.Duration, int, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	var (
 		res *data.Table
 		err error
 	)
 	if mode == runFused {
-		res, err = in.QueryFused(sql)
+		res, err = in.QueryFusedCtx(ctx, sql)
 	} else {
-		res, err = in.Query(sql)
+		res, err = in.QueryCtx(ctx, sql)
 	}
 	if err != nil {
 		return 0, 0, err
@@ -215,10 +227,11 @@ func runSQL(in *engines.Instance, sql string, mode runMode) (time.Duration, int,
 // Each call launches a fresh instance (cold caches).
 func (r *Runner) engineLineup(dataset string) []sysConfig {
 	mk := func(name string, cfg engines.Config, mode runMode, opts *core.Options, nativeUDFs bool) sysConfig {
-		return sysConfig{name: name, build: func() (*engines.Instance, runMode) {
+		return sysConfig{name: name, build: func() (*engines.Instance, runMode, error) {
 			in := r.launch(cfg)
 			if err := r.install(in, dataset); err != nil {
-				panic(err)
+				in.Close()
+				return nil, mode, err
 			}
 			if nativeUDFs {
 				workload.InstallNativeUDFs(in)
@@ -226,7 +239,7 @@ func (r *Runner) engineLineup(dataset string) []sysConfig {
 			if opts != nil {
 				in.QF.Opts = *opts
 			}
-			return in, mode
+			return in, mode, nil
 		}}
 	}
 	yesql := core.Options{Fusion: true, ScalarOnly: true, Cache: true}
@@ -252,3 +265,9 @@ func speedupNote(base, v float64) string {
 }
 
 var _ = strings.TrimSpace
+
+// runSQL (method form) applies the runner's QueryTimeout to a measured
+// query.
+func (r *Runner) runSQL(in *engines.Instance, sql string, mode runMode) (time.Duration, int, error) {
+	return runSQLTimeout(in, sql, mode, r.QueryTimeout)
+}

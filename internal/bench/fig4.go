@@ -26,8 +26,11 @@ func (r *Runner) Fig4UDFBench() (*Result, error) {
 					continue
 				}
 			}
-			in, mode := sys.build()
-			d, rows, err := runSQL(in, q.sql, mode)
+			in, mode, err := sys.build()
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", q.id, sys.name, err)
+			}
+			d, rows, err := r.runSQL(in, q.sql, mode)
 			in.Close()
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", q.id, sys.name, err)
@@ -98,8 +101,11 @@ func (r *Runner) Fig4Zillow() (*Result, error) {
 			// engine lineup; mdb/numpy covers the MonetDB point.
 			continue
 		}
-		in, mode := sys.build()
-		d, rows, err := runSQL(in, workload.Q11, mode)
+		in, mode, err := sys.build()
+		if err != nil {
+			return nil, fmt.Errorf("Q11 on %s: %w", sys.name, err)
+		}
+		d, rows, err := r.runSQL(in, workload.Q11, mode)
 		in.Close()
 		if err != nil {
 			return nil, fmt.Errorf("Q11 on %s: %w", sys.name, err)
@@ -161,7 +167,10 @@ func (r *Runner) Fig4Overhead() (*Result, error) {
 		return ai < bi
 	})
 	// One instance with every workload installed.
-	in := engLaunchAll(r)
+	in, err := engLaunchAll(r)
+	if err != nil {
+		return nil, err
+	}
 	defer in.Close()
 	for _, id := range ids {
 		_, rep, err := in.QF.Process(in.Eng, queries[id])

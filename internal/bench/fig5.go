@@ -8,14 +8,15 @@ import (
 )
 
 // engLaunchAll launches a monet+JIT instance with every workload loaded.
-func engLaunchAll(r *Runner) *engines.Instance {
+func engLaunchAll(r *Runner) (*engines.Instance, error) {
 	in := r.launch(engines.Config{Profile: engines.Monet, JIT: true})
 	for _, ds := range []string{"udfbench", "zillow", "weld", "udo"} {
 		if err := r.install(in, ds); err != nil {
-			panic(err)
+			in.Close()
+			return nil, err
 		}
 	}
-	return in
+	return in, nil
 }
 
 // Fig5Weld is E4 — Fig. 5 (left/middle): QFusor vs Weld on
@@ -60,7 +61,7 @@ func (r *Runner) Fig5Weld() (*Result, error) {
 			if q == "Q16" {
 				sql = workload.Q16
 			}
-			d, rows, err := runSQL(in, sql, runFused)
+			d, rows, err := r.runSQL(in, sql, runFused)
 			in.Close()
 			if err != nil {
 				return nil, err
@@ -107,11 +108,11 @@ func (r *Runner) Fig5UDO() (*Result, error) {
 			sql = workload.Q18
 		}
 		// Hot caches: warm once, then measure.
-		if _, _, err := runSQL(in, sql, runFused); err != nil {
+		if _, _, err := r.runSQL(in, sql, runFused); err != nil {
 			in.Close()
 			return nil, err
 		}
-		d, rows, err := runSQL(in, sql, runFused)
+		d, rows, err := r.runSQL(in, sql, runFused)
 		in.Close()
 		if err != nil {
 			return nil, err

@@ -44,7 +44,7 @@ func (r *Runner) Fig6aLadder() (*Result, error) {
 			if step.mode == runFused {
 				in.QF.Opts = step.opts
 			}
-			d, rows, err := runSQL(in, workload.Q3, step.mode)
+			d, rows, err := r.runSQL(in, workload.Q3, step.mode)
 			in.Close()
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", prof, step.name, err)
@@ -82,7 +82,7 @@ func (r *Runner) Fig6bOffload() (*Result, error) {
 					mode = runFused
 					label = fmt.Sprintf("%s/sel=%d%%/fused", prof, pct)
 				}
-				d, rows, err := runSQL(in, sql, mode)
+				d, rows, err := r.runSQL(in, sql, mode)
 				in.Close()
 				if err != nil {
 					return nil, err
@@ -136,7 +136,7 @@ func (r *Runner) Fig6cPhysical() (*Result, error) {
 				if st.mode == runFused {
 					in.QF.Opts = st.opts
 				}
-				d, rows, err := runSQL(in, q.sql, st.mode)
+				d, rows, err := r.runSQL(in, q.sql, st.mode)
 				in.Close()
 				if err != nil {
 					return nil, fmt.Errorf("%s %s %s: %w", prof, q.id, st.name, err)
@@ -283,20 +283,20 @@ func (r *Runner) Fig6eUDFTypes() (*Result, error) {
 			return nil, err
 		}
 		// Hot caches: run each mode once to warm, measure the second.
-		if _, _, err := runSQL(in, q.sql, runNative); err != nil {
+		if _, _, err := r.runSQL(in, q.sql, runNative); err != nil {
 			in.Close()
 			return nil, err
 		}
-		dn, _, err := runSQL(in, q.sql, runNative)
+		dn, _, err := r.runSQL(in, q.sql, runNative)
 		if err != nil {
 			in.Close()
 			return nil, err
 		}
-		if _, _, err := runSQL(in, q.sql, runFused); err != nil {
+		if _, _, err := r.runSQL(in, q.sql, runFused); err != nil {
 			in.Close()
 			return nil, err
 		}
-		df, rows, err := runSQL(in, q.sql, runFused)
+		df, rows, err := r.runSQL(in, q.sql, runFused)
 		in.Close()
 		if err != nil {
 			return nil, err

@@ -60,7 +60,7 @@ func (r *Runner) Fig6fDiskMem() (*Result, error) {
 		res.Rows = append(res.Rows, Row{Label: sys.name + "/disk-cold",
 			Metrics: map[string]float64{"time_ms": ms(d)}, Order: []string{"time_ms"}})
 		// memory-hot: table resident, wrappers warm.
-		dh, _, err := runSQL(in, workload.Q11, sys.mode)
+		dh, _, err := r.runSQL(in, workload.Q11, sys.mode)
 		in.Close()
 		if err != nil {
 			return nil, err
@@ -158,11 +158,11 @@ func (r *Runner) Fig6gParallel() (*Result, error) {
 		}
 		in.Put(listings)
 		// Warm (compile fused wrappers), then measure.
-		if _, _, err := runSQL(in, workload.Q11, runFused); err != nil {
+		if _, _, err := r.runSQL(in, workload.Q11, runFused); err != nil {
 			in.Close()
 			return nil, err
 		}
-		d, _, err := runSQL(in, workload.Q11, runFused)
+		d, _, err := r.runSQL(in, workload.Q11, runFused)
 		in.Close()
 		if err != nil {
 			return nil, err

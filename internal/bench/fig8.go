@@ -32,7 +32,7 @@ func (r *Runner) Fig8Pluggability() (*Result, error) {
 					mode = runFused
 					label = fmt.Sprintf("%s/%s/enhanced", prof, size)
 				}
-				d, rows, err := runSQL(in, workload.Q12, mode)
+				d, rows, err := r.runSQL(in, workload.Q12, mode)
 				in.Close()
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", label, err)

@@ -48,7 +48,7 @@ func (r *Runner) MorselSpeedup() (*Result, error) {
 			}
 			best := 0.0
 			for i := 0; i < reps; i++ {
-				d, _, err := runSQL(in, p.sql, runFused)
+				d, _, err := r.runSQL(in, p.sql, runFused)
 				if err != nil {
 					in.Close()
 					return nil, fmt.Errorf("%s par=%d: %w", p.name, par, err)

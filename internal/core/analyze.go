@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +11,7 @@ import (
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
 	"qfusor/internal/obs"
+	"qfusor/internal/resilience"
 	"qfusor/internal/sqlengine"
 )
 
@@ -57,6 +60,17 @@ type UDFUsage struct {
 // executes the (possibly rewritten) query, and returns the annotated
 // analysis — EXPLAIN ANALYZE for UDF queries.
 func (qf *QFusor) QueryAnalyze(eng *sqlengine.Engine, sql string) (*Analysis, error) {
+	return qf.QueryAnalyzeCtx(context.Background(), eng, sql)
+}
+
+// QueryAnalyzeCtx is QueryAnalyze under a context: cancellation reaches
+// the executors and the UDF runtime exactly as in QueryCtx, and a
+// fused-path failure degrades to the native plan under a
+// phase:fallback span instead of failing the analysis.
+func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sql string) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	root := obs.NewTracer().Start("query")
 
 	// Per-UDF stats baseline: wrappers registered during Process simply
@@ -72,10 +86,35 @@ func (qf *QFusor) QueryAnalyze(eng *sqlengine.Engine, sql string) (*Analysis, er
 		return nil, err
 	}
 	ex := root.Child("phase:execute")
-	res, err := eng.ExecuteTraced(q, ex)
+	res, err := execTracedRecovered(ctx, eng, q, ex)
 	ex.End()
+	if err != nil && !isCancellation(ctx, err) {
+		// Degrade exactly like QueryCtx, but keep the span tree: the
+		// analysis shows the failed fused execute and the native rerun.
+		fb := root.Child("phase:fallback")
+		fb.SetAttr("cause", err.Error())
+		var nq *sqlengine.Query
+		nq, perr := eng.Plan(sql)
+		if perr == nil {
+			res, perr = execTracedRecovered(ctx, eng, nq, fb)
+		}
+		fb.End()
+		if perr != nil {
+			root.End()
+			return nil, qerr(sql, "fallback", errors.Join(err, perr))
+		}
+		mFallbacks.Inc()
+		rep.Fallback = true
+		rep.FallbackReason = err.Error()
+		q = nq
+		err = nil
+	}
 	root.End()
 	if err != nil {
+		if isCancellation(ctx, err) {
+			mCancelled.Inc()
+			return nil, qerr(sql, "cancelled", err)
+		}
 		return nil, err
 	}
 
@@ -142,4 +181,11 @@ func fmtAnalyzeDur(d time.Duration) string {
 	default:
 		return d.Round(time.Millisecond).String()
 	}
+}
+
+// execTracedRecovered executes a planned query under ctx and the given
+// span with panic containment.
+func execTracedRecovered(ctx context.Context, eng *sqlengine.Engine, q *sqlengine.Query, sp *obs.Span) (_ *data.Table, err error) {
+	defer resilience.Recover(&err)
+	return eng.ExecuteTracedCtx(ctx, q, sp)
 }

@@ -229,6 +229,7 @@ func (qf *QFusor) emitScalarWrapper(e sqlengine.SQLExpr, childSchema data.Schema
 	qf.catalog().PutUDF(u)
 	rep.Sections++
 	rep.Sources = append(rep.Sources, src.String())
+	rep.Wrappers = append(rep.Wrappers, u.Name)
 
 	args := make([]sqlengine.SQLExpr, len(cols))
 	for i, cr := range cols {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
 	"qfusor/internal/obs"
+	"qfusor/internal/resilience"
 	"qfusor/internal/sqlengine"
 )
 
@@ -61,8 +63,16 @@ type Report struct {
 	// Sections fused and wrapper sources produced.
 	Sections int
 	Sources  []string
+	// Wrappers names the fused wrappers this query used (fresh or
+	// cached) — the units the circuit breaker tracks.
+	Wrappers []string
 	// CacheHits counts wrappers reused from the compile cache.
 	CacheHits int
+	// Fallback reports that the optimized path was abandoned and the
+	// result came from the engine's native plan; FallbackReason says
+	// why (the fused-path error, or "circuit breaker open").
+	Fallback       bool
+	FallbackReason string
 }
 
 // QFusor is the pluggable optimizer: it connects to an engine, probes
@@ -72,10 +82,17 @@ type QFusor struct {
 	CM   *CostModel
 	Opts Options
 
-	mu    sync.Mutex
-	cat   *sqlengine.Catalog
-	seq   int
-	cache map[string]*ffi.UDF // wrapper source hash -> registered UDF
+	// Breaker is the degradation circuit breaker: consecutive fused-path
+	// failures per query (and per wrapper) open it, after which QueryCtx
+	// routes straight to the native plan until a cooldown probe succeeds.
+	// Nil disables degradation tracking (failures still fall back).
+	Breaker *resilience.Breaker
+
+	mu      sync.Mutex
+	cat     *sqlengine.Catalog
+	seq     int
+	cache   map[string]*ffi.UDF // wrapper source hash -> registered UDF
+	wrapKey map[string]string   // wrapper name -> source hash (breaker key)
 
 	// lastReport is the most recent Process measurement (guarded by mu;
 	// read through LastReport).
@@ -85,7 +102,9 @@ type QFusor struct {
 // New creates a QFusor instance over a registry.
 func New(reg *Registry) *QFusor {
 	return &QFusor{Reg: reg, CM: DefaultCostModel(), Opts: DefaultOptions(),
-		cache: make(map[string]*ffi.UDF)}
+		Breaker: resilience.NewBreaker(3, 30*time.Second),
+		cache:   make(map[string]*ffi.UDF),
+		wrapKey: make(map[string]string)}
 }
 
 func (qf *QFusor) nextName() string {
@@ -133,9 +152,16 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 	normalized := replaceName(src, name, "__qf_wrapper")
 	h := sha256.Sum256([]byte(normalized))
 	key := hex.EncodeToString(h[:16])
+	if qf.Breaker != nil && !qf.Breaker.Allow("wrapper:"+key) {
+		// This wrapper (by normalized source, so across queries) has been
+		// failing at execution time: stop emitting it so the plan stays
+		// native until the breaker's cooldown probe.
+		return nil, false, fmt.Errorf("core: fused wrapper suppressed (circuit open)")
+	}
 	if qf.Opts.Cache {
 		qf.mu.Lock()
 		if u, ok := qf.cache[key]; ok {
+			qf.wrapKey[u.Name] = key
 			qf.mu.Unlock()
 			mCacheHits.Inc()
 			return u, true, nil
@@ -151,6 +177,9 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 		return nil, false, err
 	}
 	mCacheMiss.Inc()
+	qf.mu.Lock()
+	qf.wrapKey[u.Name] = key
+	qf.mu.Unlock()
 	qf.Reg.RegisterFused(u)
 	if cat := qf.catalog(); cat != nil {
 		// CREATE FUNCTION: the rewritten SQL of path 1 calls the wrapper
@@ -408,6 +437,7 @@ func (qf *QFusor) realizeSections(seg *Segment, g *DFG, secs []*Section, rep *Re
 		byLo[res.SpanLo] = res
 		rep.Sections++
 		rep.Sources = append(rep.Sources, res.Sources...)
+		rep.Wrappers = append(rep.Wrappers, res.Wrapper)
 		mSections.Inc()
 	}
 	if len(byLo) == 0 {
@@ -486,11 +516,9 @@ func (qf *QFusor) RewriteSQL(eng *sqlengine.Engine, sql string) (out string, exe
 	return out, executable, nil
 }
 
-// Query runs the full pipeline and executes the rewritten query.
+// Query runs the full pipeline and executes the rewritten query
+// through the resilient path (circuit breaker + native-plan fallback).
 func (qf *QFusor) Query(eng *sqlengine.Engine, sql string) (*data.Table, error) {
-	q, _, err := qf.Process(eng, sql)
-	if err != nil {
-		return nil, err
-	}
-	return eng.Execute(q)
+	t, _, err := qf.QueryCtx(context.Background(), eng, sql)
+	return t, err
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+
+	"qfusor/internal/data"
+	"qfusor/internal/obs"
+	"qfusor/internal/pylite"
+	"qfusor/internal/resilience"
+	"qfusor/internal/sqlengine"
+)
+
+// Degradation metrics (obs.Default): how often the optimized path was
+// abandoned and why.
+var (
+	mFallbacks    = obs.Default.Counter("qfusor.fallbacks")
+	mBreakerTrips = obs.Default.Counter("qfusor.breaker_trips")
+	mBreakerSkips = obs.Default.Counter("qfusor.breaker_open_skips")
+	mCancelled    = obs.Default.Counter("qfusor.cancelled")
+)
+
+// queryKey is the circuit-breaker key for a query text.
+func queryKey(sql string) string {
+	h := sha256.Sum256([]byte(sql))
+	return "query:" + hex.EncodeToString(h[:16])
+}
+
+// QueryCtx is the resilient query path: it runs the full QFusor
+// pipeline under ctx and degrades gracefully when the optimized path
+// fails. The ladder is fused → native → typed error:
+//
+//  1. If the per-query circuit breaker is open (the fused path failed
+//     repeatedly for this SQL), the native plan runs directly.
+//  2. Otherwise the fused plan runs; any failure that is not a
+//     cancellation — wrapper error, injected fault, worker crash,
+//     recovered panic — trips the breaker and transparently re-executes
+//     the query on the unfused native plan.
+//  3. A cancellation (context done, deadline, PyLite step budget) is
+//     returned as a *resilience.QueryError with Stage "cancelled" and
+//     is never retried: the caller asked the query to stop.
+//  4. If the native plan also fails, both causes come back joined in a
+//     *resilience.QueryError with Stage "fallback".
+//
+// Fallbacks are recorded on the returned Report (Fallback /
+// FallbackReason) and the qfusor.fallbacks / qfusor.breaker_* metrics.
+func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql string) (*data.Table, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := queryKey(sql)
+	if qf.Breaker != nil && !qf.Breaker.Allow(key) {
+		mBreakerSkips.Inc()
+		rep := &Report{Fallback: true, FallbackReason: "circuit breaker open"}
+		t, err := qf.execNative(ctx, eng, sql)
+		if err != nil {
+			qf.setReport(*rep)
+			return nil, rep, qerr(sql, "native", err)
+		}
+		mFallbacks.Inc()
+		qf.setReport(*rep)
+		return t, rep, nil
+	}
+
+	t, rep, ferr := qf.queryFusedOnce(ctx, eng, sql)
+	if rep == nil {
+		rep = &Report{}
+	}
+	if ferr == nil {
+		if qf.Breaker != nil {
+			qf.Breaker.Success(key)
+			for _, k := range rep.wrapKeysUsed(qf) {
+				qf.Breaker.Success(k)
+			}
+		}
+		return t, rep, nil
+	}
+	if isCancellation(ctx, ferr) {
+		mCancelled.Inc()
+		return nil, rep, qerr(sql, "cancelled", ferr)
+	}
+
+	// The optimized path failed on a live query: record the failure
+	// against the query and every wrapper it used, then degrade to the
+	// engine's native plan.
+	if qf.Breaker != nil {
+		if qf.Breaker.Failure(key) {
+			mBreakerTrips.Inc()
+		}
+		for _, k := range rep.wrapKeysUsed(qf) {
+			if qf.Breaker.Failure(k) {
+				mBreakerTrips.Inc()
+			}
+		}
+	}
+	nt, nerr := qf.execNative(ctx, eng, sql)
+	if nerr != nil {
+		if isCancellation(ctx, nerr) {
+			mCancelled.Inc()
+			return nil, rep, qerr(sql, "cancelled", nerr)
+		}
+		// Both paths failed: surface both causes in one chain.
+		return nil, rep, qerr(sql, "fallback", errors.Join(ferr, nerr))
+	}
+	mFallbacks.Inc()
+	rep.Fallback = true
+	rep.FallbackReason = ferr.Error()
+	qf.setReport(*rep)
+	return nt, rep, nil
+}
+
+// queryFusedOnce runs one attempt of the optimized path (Process +
+// execute) with panic containment. The Report is returned even on
+// failure so the caller knows which wrappers were involved.
+func (qf *QFusor) queryFusedOnce(ctx context.Context, eng *sqlengine.Engine, sql string) (_ *data.Table, rep *Report, err error) {
+	defer resilience.Recover(&err)
+	q, rep, perr := qf.Process(eng, sql)
+	if perr != nil {
+		return nil, rep, perr
+	}
+	t, xerr := eng.ExecuteTracedCtx(ctx, q, nil)
+	return t, rep, xerr
+}
+
+// execNative plans and executes sql without any QFusor rewrite, with
+// panic containment (the degradation target must not be able to crash
+// the process either).
+func (qf *QFusor) execNative(ctx context.Context, eng *sqlengine.Engine, sql string) (_ *data.Table, err error) {
+	defer resilience.Recover(&err)
+	q, perr := eng.Plan(sql)
+	if perr != nil {
+		return nil, perr
+	}
+	return eng.ExecuteTracedCtx(ctx, q, nil)
+}
+
+// isCancellation reports whether err (or the context itself) represents
+// a caller-requested stop rather than a fault: context cancellation,
+// deadline expiry, or the PyLite interrupt/step budget. These are never
+// retried on the native plan — re-running a cancelled query would
+// violate the caller's request, and an exhausted step budget stays
+// exhausted.
+func isCancellation(ctx context.Context, err error) bool {
+	if ctx != nil && ctx.Err() != nil {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ie *pylite.InterruptError
+	return errors.As(err, &ie)
+}
+
+// qerr wraps err as a typed query error unless it already is one.
+func qerr(sql, stage string, err error) error {
+	var qe *resilience.QueryError
+	if errors.As(err, &qe) {
+		return err
+	}
+	return &resilience.QueryError{SQL: sql, Stage: stage, Err: err}
+}
+
+// wrapKeysUsed maps the wrappers this query's Process registered (or
+// reused) to their breaker keys.
+func (rep *Report) wrapKeysUsed(qf *QFusor) []string {
+	if len(rep.Wrappers) == 0 {
+		return nil
+	}
+	qf.mu.Lock()
+	defer qf.mu.Unlock()
+	keys := make([]string, 0, len(rep.Wrappers))
+	for _, w := range rep.Wrappers {
+		if k, ok := qf.wrapKey[w]; ok {
+			keys = append(keys, "wrapper:"+k)
+		}
+	}
+	return keys
+}

@@ -5,10 +5,12 @@
 package engines
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"qfusor/internal/core"
 	"qfusor/internal/data"
@@ -54,6 +56,12 @@ type Config struct {
 	JIT bool
 	// BatchRows overrides the out-of-process transport's batch size.
 	BatchRows int
+	// UDFCallTimeout bounds each out-of-process UDF round trip (profiles
+	// with a process transport only). 0 = no per-call deadline.
+	UDFCallTimeout time.Duration
+	// UDFStepBudget caps the PyLite statements a context-bound query may
+	// execute before it is interrupted (runaway-UDF guard). 0 = no cap.
+	UDFStepBudget int64
 }
 
 // Instance is a launched engine: the SQL engine, its UDF registry and a
@@ -64,6 +72,7 @@ type Instance struct {
 	Reg  *core.Registry
 	QF   *core.QFusor
 
+	cfg  Config
 	proc *ffi.ProcessInvoker
 }
 
@@ -116,13 +125,28 @@ func Launch(cfg Config) *Instance {
 	default:
 		mode, inv = sqlengine.ModeColumnar, ffi.VectorInvoker{}
 	}
+	if proc != nil && cfg.UDFCallTimeout > 0 {
+		proc.CallTimeout = cfg.UDFCallTimeout
+	}
 	eng := sqlengine.New(string(cfg.Profile), mode, inv)
 	// 0 keeps the engine's auto default (every core); 1 forces the
 	// legacy serial executor for A/B baselines.
 	eng.Parallelism = cfg.Parallelism
 	inst := &Instance{Name: string(cfg.Profile), Eng: eng, Reg: reg,
-		QF: core.New(reg), proc: proc}
+		QF: core.New(reg), cfg: cfg, proc: proc}
 	return inst
+}
+
+// bindQuery attaches ctx cancellation and the configured step budget to
+// the UDF runtime for the duration of one query; the returned release
+// detaches them. A background context with no step budget binds
+// nothing.
+func (in *Instance) bindQuery(ctx context.Context) func() {
+	if ctx == nil || (ctx.Done() == nil && in.cfg.UDFStepBudget <= 0) {
+		return func() {}
+	}
+	return in.Reg.RT.BindInterrupt(ctx.Done(), func() error { return context.Cause(ctx) },
+		in.cfg.UDFStepBudget)
 }
 
 // Define executes UDF module source and attaches the registrations.
@@ -151,15 +175,39 @@ func (in *Instance) Query(sql string) (*data.Table, error) {
 	return in.Eng.Query(sql)
 }
 
+// QueryCtx runs sql natively under ctx: cancellation reaches the
+// executors' morsel loops and the UDF runtime's statement checks.
+func (in *Instance) QueryCtx(ctx context.Context, sql string) (*data.Table, error) {
+	release := in.bindQuery(ctx)
+	defer release()
+	return in.Eng.QueryCtx(ctx, sql)
+}
+
 // QueryFused runs sql through the QFusor pipeline.
 func (in *Instance) QueryFused(sql string) (*data.Table, error) {
-	return in.QF.Query(in.Eng, sql)
+	return in.QueryFusedCtx(context.Background(), sql)
+}
+
+// QueryFusedCtx runs sql through the resilient QFusor pipeline under
+// ctx (fused → native fallback → typed error).
+func (in *Instance) QueryFusedCtx(ctx context.Context, sql string) (*data.Table, error) {
+	release := in.bindQuery(ctx)
+	defer release()
+	t, _, err := in.QF.QueryCtx(ctx, in.Eng, sql)
+	return t, err
 }
 
 // QueryAnalyze runs sql through the QFusor pipeline with tracing
 // enabled and returns the per-query EXPLAIN ANALYZE handle.
 func (in *Instance) QueryAnalyze(sql string) (*core.Analysis, error) {
-	return in.QF.QueryAnalyze(in.Eng, sql)
+	return in.QueryAnalyzeCtx(context.Background(), sql)
+}
+
+// QueryAnalyzeCtx is QueryAnalyze under a context.
+func (in *Instance) QueryAnalyzeCtx(ctx context.Context, sql string) (*core.Analysis, error) {
+	release := in.bindQuery(ctx)
+	defer release()
+	return in.QF.QueryAnalyzeCtx(ctx, in.Eng, sql)
 }
 
 // Close releases transport resources.

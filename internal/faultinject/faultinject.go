@@ -1,0 +1,297 @@
+// Package faultinject provides deterministic, seedable fault points for
+// the chaos test suite and the CLIs' -fault flags. A fault point is a
+// named hook compiled into an execution layer (the FFI boundary, the
+// PyLite eval loop, the morsel workers, the process transport); firing
+// one is a single atomic load when nothing is armed, so the hooks stay
+// in hot paths permanently.
+//
+// Faults are injected by name:
+//
+//	faultinject.Enable("ffi.scalar", faultinject.Spec{Kind: faultinject.Error, Times: 1})
+//	defer faultinject.Reset()
+//
+// Every injected failure's cause chain reaches ErrInjected, so tests can
+// assert the provenance of a degraded query with errors.Is.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed fault point does when it fires.
+type Kind int
+
+const (
+	// Error makes the point return an injected error.
+	Error Kind = iota
+	// Panic makes the point panic with an error value (recovered by the
+	// resilience layer's guards).
+	Panic
+	// Delay makes the point sleep for Spec.Delay (exercises timeouts and
+	// context cancellation).
+	Delay
+	// WorkerKill makes a supervised worker die mid-request without
+	// replying (only the process transport's worker-side point honours
+	// it; everywhere else it behaves like Error).
+	WorkerKill
+)
+
+// String names the kind for flags and test labels.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case WorkerKill:
+		return "kill"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind parses a Kind name (the CLIs' -fault flag syntax).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "error":
+		return Error, nil
+	case "panic":
+		return Panic, nil
+	case "delay":
+		return Delay, nil
+	case "kill":
+		return WorkerKill, nil
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault kind %q (error|panic|delay|kill)", s)
+}
+
+// ErrInjected is the sentinel every injected fault wraps: after a fault
+// propagates through the query pipeline, errors.Is(err, ErrInjected)
+// identifies it.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// InjectedPanic is the value an armed Panic fault panics with. It is an
+// error wrapping ErrInjected so recovered panics keep the cause chain.
+type InjectedPanic struct{ Point string }
+
+// Error implements error.
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", p.Point)
+}
+
+// Unwrap chains to ErrInjected.
+func (p *InjectedPanic) Unwrap() error { return ErrInjected }
+
+// errWorkerKill is the internal sentinel Fire returns for WorkerKill.
+type errWorkerKill struct{ Point string }
+
+func (e *errWorkerKill) Error() string {
+	return fmt.Sprintf("faultinject: injected worker kill at %s", e.Point)
+}
+func (e *errWorkerKill) Unwrap() error { return ErrInjected }
+
+// IsWorkerKill reports whether err is an injected worker-kill order (the
+// process transport's worker checks this to die without replying).
+func IsWorkerKill(err error) bool {
+	var k *errWorkerKill
+	return errors.As(err, &k)
+}
+
+// Spec configures an armed fault.
+type Spec struct {
+	Kind Kind
+	// Delay is the sleep duration for Kind Delay.
+	Delay time.Duration
+	// After skips the first After hits of the point before firing
+	// (deterministically position the fault mid-query).
+	After int
+	// Times bounds how often the fault fires; 0 = every hit forever.
+	Times int
+	// Prob fires the fault on each eligible hit with this probability,
+	// drawn from a rand seeded with Seed (deterministic across runs).
+	// 0 or >= 1 means always fire.
+	Prob float64
+	// Seed seeds the Prob draw sequence.
+	Seed int64
+}
+
+// point is one armed instance of a registered fault point.
+type point struct {
+	mu    sync.Mutex
+	spec  Spec
+	hits  int // eligible hits seen so far
+	fired int // times actually fired
+	rng   *rand.Rand
+}
+
+var (
+	// armed is the global fast-path gate: hooks pay one atomic load when
+	// no fault is armed anywhere in the process.
+	armed atomic.Bool
+
+	mu       sync.Mutex
+	names    = map[string]bool{}   // every registered point name
+	active   = map[string]*point{} // armed points
+	fireHook func(name string) // test observation hook (guarded by mu)
+)
+
+// Register declares a fault point name at package init of the layer that
+// hosts it, so sweeps (and -fault validation) can enumerate every hook.
+// Returns the name for use as a package-level constant.
+func Register(name string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	names[name] = true
+	return name
+}
+
+// Names lists every registered fault point, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	return namesLocked()
+}
+
+// Enable arms a registered fault point. Unknown names are an error so a
+// typo in a chaos sweep or -fault flag cannot silently test nothing.
+func Enable(name string, s Spec) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if !names[name] {
+		return fmt.Errorf("faultinject: unknown fault point %q (known: %v)", name, namesLocked())
+	}
+	p := &point{spec: s}
+	if s.Prob > 0 && s.Prob < 1 {
+		p.rng = rand.New(rand.NewSource(s.Seed))
+	}
+	active[name] = p
+	armed.Store(true)
+	return nil
+}
+
+// namesLocked lists registered names; callers must hold mu.
+func namesLocked() []string {
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Disable disarms one point.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(active, name)
+	if len(active) == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset disarms every point (tests defer this).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	active = map[string]*point{}
+	armed.Store(false)
+	fireHook = nil
+}
+
+// SetFireHook installs a test observation callback invoked (under the
+// package lock) every time any armed point fires. Reset clears it.
+func SetFireHook(fn func(name string)) {
+	mu.Lock()
+	defer mu.Unlock()
+	fireHook = fn
+}
+
+// Armed reports whether any fault point is armed — the cheap guard hot
+// loops use before calling Fire.
+func Armed() bool { return armed.Load() }
+
+// Fire checks the named point. When the point is unarmed (the common
+// case) it returns nil after one atomic load. An armed point may sleep
+// (Delay), panic (Panic), or return an injected error (Error,
+// WorkerKill) whose chain reaches ErrInjected.
+func Fire(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := active[name]
+	hook := fireHook
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	s := p.spec
+	p.hits++
+	if p.hits <= s.After {
+		p.mu.Unlock()
+		return nil
+	}
+	if s.Times > 0 && p.fired >= s.Times {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.rng != nil && p.rng.Float64() >= s.Prob {
+		p.mu.Unlock()
+		return nil
+	}
+	p.fired++
+	p.mu.Unlock()
+	if hook != nil {
+		hook(name)
+	}
+	switch s.Kind {
+	case Delay:
+		time.Sleep(s.Delay)
+		return nil
+	case Panic:
+		panic(&InjectedPanic{Point: name})
+	case WorkerKill:
+		return &errWorkerKill{Point: name}
+	default:
+		return fmt.Errorf("faultinject: injected error at %s: %w", name, ErrInjected)
+	}
+}
+
+// EnableFlag arms a fault point from a CLI flag value. Syntax:
+//
+//	name             inject an error at the point
+//	name=kind        kind is error | panic | delay | kill
+//	name=delay:50ms  delay faults take the sleep duration after a colon
+//
+// Unknown point names and kinds report the valid choices.
+func EnableFlag(v string) error {
+	name, rest, hasKind := strings.Cut(v, "=")
+	spec := Spec{Kind: Error}
+	if hasKind {
+		kindStr, durStr, hasDur := strings.Cut(rest, ":")
+		k, err := ParseKind(kindStr)
+		if err != nil {
+			return err
+		}
+		spec.Kind = k
+		if hasDur {
+			d, err := time.ParseDuration(durStr)
+			if err != nil {
+				return fmt.Errorf("faultinject: bad delay in %q: %w", v, err)
+			}
+			spec.Delay = d
+		} else if k == Delay {
+			spec.Delay = 100 * time.Millisecond
+		}
+	}
+	return Enable(name, spec)
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedFireIsNil(t *testing.T) {
+	defer Reset()
+	name := Register("test.unarmed")
+	if Armed() {
+		t.Fatal("armed with nothing enabled")
+	}
+	if err := Fire(name); err != nil {
+		t.Fatalf("unarmed fire: %v", err)
+	}
+}
+
+func TestEnableUnknownName(t *testing.T) {
+	defer Reset()
+	if err := Enable("test.not-registered", Spec{}); err == nil {
+		t.Fatal("expected error for unknown point")
+	}
+}
+
+func TestErrorFaultChainsToSentinel(t *testing.T) {
+	defer Reset()
+	name := Register("test.err")
+	if err := Enable(name, Spec{Kind: Error}); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire(name)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected chain, got %v", err)
+	}
+	Disable(name)
+	if Armed() {
+		t.Fatal("still armed after Disable")
+	}
+	if err := Fire(name); err != nil {
+		t.Fatalf("fire after disable: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Reset()
+	name := Register("test.panic")
+	if err := Enable(name, Spec{Kind: Panic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not chain to ErrInjected", r)
+		}
+	}()
+	Fire(name)
+}
+
+func TestWorkerKillFault(t *testing.T) {
+	defer Reset()
+	name := Register("test.kill")
+	if err := Enable(name, Spec{Kind: WorkerKill}); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire(name)
+	if !IsWorkerKill(err) {
+		t.Fatalf("want worker-kill order, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("kill order misses ErrInjected chain: %v", err)
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	defer Reset()
+	name := Register("test.delay")
+	if err := Enable(name, Spec{Kind: Delay, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Fire(name); err != nil {
+		t.Fatalf("delay fire: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	defer Reset()
+	name := Register("test.window")
+	if err := Enable(name, Spec{Kind: Error, After: 2, Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Fire(name) != nil {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired during After window at hit %d", i)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	defer Reset()
+	name := Register("test.prob")
+	run := func() []bool {
+		if err := Enable(name, Spec{Kind: Error, Prob: 0.5, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Fire(name) != nil
+		}
+		Disable(name)
+		return out
+	}
+	a, b := run(), run()
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("prob=0.5 fired %d/%d times", hits, len(a))
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Error, Panic, Delay, WorkerKill} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFireHook(t *testing.T) {
+	defer Reset()
+	name := Register("test.hook")
+	var seen []string
+	SetFireHook(func(n string) { seen = append(seen, n) })
+	if err := Enable(name, Spec{Kind: Error}); err != nil {
+		t.Fatal(err)
+	}
+	Fire(name)
+	if len(seen) != 1 || seen[0] != name {
+		t.Fatalf("hook saw %v", seen)
+	}
+}

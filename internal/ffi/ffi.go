@@ -17,6 +17,7 @@ import (
 	"qfusor/internal/data"
 	"qfusor/internal/obs"
 	"qfusor/internal/pylite"
+	"qfusor/internal/resilience"
 )
 
 // Engine-wide wrapper-layer metrics (obs.Default). Resolved once so the
@@ -345,8 +346,11 @@ type pyAggState struct {
 }
 
 // Invoke calls the UDF's scalar implementation: the native ("C") path
-// when present, the PyLite runtime otherwise.
-func (u *UDF) Invoke(args []data.Value) (data.Value, error) {
+// when present, the PyLite runtime otherwise. A panic in either becomes
+// a *resilience.PanicError — one poisoned row must fail its query, not
+// the process.
+func (u *UDF) Invoke(args []data.Value) (v data.Value, err error) {
+	defer resilience.Recover(&err)
 	if u.GoFn != nil {
 		return u.GoFn(args)
 	}

@@ -5,8 +5,15 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/faultinject"
 	"qfusor/internal/pylite"
+	"qfusor/internal/resilience"
 )
+
+// FaultFused is the chaos hook at the fused-wrapper entry: it fails (or
+// delays, or panics) the optimized path specifically, which is what the
+// circuit breaker and native-plan fallback must absorb.
+var FaultFused = faultinject.Register("ffi.fused")
 
 // Fused wrapper calling convention (§5.3): the JIT-generated wrapper
 // receives each input column as one boxed list plus the row count, runs
@@ -30,7 +37,13 @@ import (
 
 // CallFusedVector invokes a fused wrapper over n rows of input columns,
 // returning its output columns with the given names/kinds.
-func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
+	defer resilience.Recover(&err)
+	if faultinject.Armed() {
+		if err := faultinject.Fire(FaultFused); err != nil {
+			return nil, err
+		}
+	}
 	if u.Trace != nil {
 		return RunTraceVector(u, u.Trace, args, n, outNames, outKinds)
 	}
@@ -62,7 +75,13 @@ func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outK
 
 // CallFusedAggVector invokes an aggregating fused wrapper: inputs,
 // engine-computed group ids, group count.
-func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
+	defer resilience.Recover(&err)
+	if faultinject.Armed() {
+		if err := faultinject.Fire(FaultFused); err != nil {
+			return nil, err
+		}
+	}
 	start := time.Now()
 	var wrap time.Duration
 	ws := time.Now()

@@ -2,11 +2,47 @@ package ffi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/faultinject"
+	"qfusor/internal/obs"
+	"qfusor/internal/resilience"
+)
+
+// Chaos hooks on the two sides of the process boundary: the host-side
+// transport (fires in roundTrip before dispatch) and the UDF-side
+// worker (fires while serving a request; honours worker-kill).
+var (
+	FaultProcTransport = faultinject.Register("proc.transport")
+	FaultProcWorker    = faultinject.Register("proc.worker")
+)
+
+// Supervision errors. All are typed sentinels so callers can decide
+// retry/fallback with errors.Is.
+var (
+	// ErrInvokerClosed reports a call on a Close()d ProcessInvoker.
+	ErrInvokerClosed = errors.New("ffi: process invoker is closed")
+	// ErrWorkerCrashed reports that the UDF worker died mid-request (the
+	// host saw the pipe close); the supervisor respawns a replacement.
+	ErrWorkerCrashed = errors.New("ffi: process worker crashed")
+	// ErrCallTimeout reports that one round trip exceeded CallTimeout.
+	ErrCallTimeout = errors.New("ffi: process call timed out")
+)
+
+var (
+	mProcRespawns = obs.Default.Counter("ffi.proc_worker_respawns")
+	mProcRetries  = obs.Default.Counter("ffi.proc_call_retries")
+)
+
+// Retry-backoff bounds for idempotent scalar batches.
+const (
+	procRetryBase = 500 * time.Microsecond
+	procRetryMax  = 20 * time.Millisecond
 )
 
 // ProcessInvoker models PostgreSQL's out-of-process UDF execution: every
@@ -15,9 +51,16 @@ import (
 // the results make the same trip back. The serialization is real work
 // (the binary chunk codec), so the inter-process overhead the paper
 // measures shows up as genuine CPU time here.
+//
+// The worker pool is supervised: a worker that panics or is killed
+// mid-request fails that request with ErrWorkerCrashed (the host
+// noticing the dead pipe) and is respawned; idempotent scalar batches
+// are re-dispatched with bounded backoff. CallTimeout bounds each round
+// trip, and calls after Close fail fast with ErrInvokerClosed.
 type ProcessInvoker struct {
 	mu     sync.Mutex
 	req    chan procRequest
+	done   chan struct{} // closed by Close; unblocks dispatch and idle workers
 	closed bool
 	// BatchRows bounds how many rows travel per message (Postgres sends
 	// row-by-row; a batch of 1 reproduces that, larger batches model
@@ -27,6 +70,14 @@ type ProcessInvoker struct {
 	// single backend; a pool models Spark's executor fan-out, so the
 	// engine's morsel workers don't serialize behind one process.
 	Workers int
+	// CallTimeout bounds a single round trip (dispatch + execution +
+	// reply); 0 means no bound.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a scalar batch is re-dispatched after
+	// a worker crash or timeout. Negative disables retry.
+	MaxRetries int
+
+	respawns atomic.Int64
 }
 
 type procRequest struct {
@@ -49,10 +100,10 @@ func NewProcessInvoker(batchRows int) *ProcessInvoker {
 	return NewProcessInvokerN(batchRows, 1)
 }
 
-// NewProcessInvokerN starts a pool of workers draining the shared
-// request channel. Each request is self-contained (its own response
-// channel), so concurrent engine-side callers round-trip in parallel up
-// to the pool size.
+// NewProcessInvokerN starts a pool of supervised workers draining the
+// shared request channel. Each request is self-contained (its own
+// response channel), so concurrent engine-side callers round-trip in
+// parallel up to the pool size.
 func NewProcessInvokerN(batchRows, workers int) *ProcessInvoker {
 	if batchRows <= 0 {
 		batchRows = 1024
@@ -60,104 +111,192 @@ func NewProcessInvokerN(batchRows, workers int) *ProcessInvoker {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &ProcessInvoker{req: make(chan procRequest), BatchRows: batchRows, Workers: workers}
+	p := &ProcessInvoker{
+		req:        make(chan procRequest),
+		done:       make(chan struct{}),
+		BatchRows:  batchRows,
+		Workers:    workers,
+		MaxRetries: 2,
+	}
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.supervise()
 	}
 	return p
 }
 
-// Close shuts the worker down.
+// Close shuts the pool down. Idempotent; calls made after Close (or
+// blocked in dispatch when it lands) fail with ErrInvokerClosed instead
+// of hanging on a drained pool.
 func (p *ProcessInvoker) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.closed {
 		p.closed = true
-		close(p.req)
+		close(p.done)
 	}
 }
+
+// Respawns reports how many crashed workers the supervisor replaced.
+func (p *ProcessInvoker) Respawns() int64 { return p.respawns.Load() }
 
 // Name implements Invoker.
 func (*ProcessInvoker) Name() string { return "process" }
 
-// worker is the UDF-side of the "process boundary".
-func (p *ProcessInvoker) worker() {
-	var inner VectorInvoker
-	for r := range p.req {
-		ch, err := data.DecodeChunk(bytes.NewReader(r.payload))
-		if err != nil {
-			r.resp <- procResponse{err: fmt.Errorf("ffi: worker decode: %w", err)}
-			continue
-		}
-		var out *data.Chunk
-		switch r.kind {
-		case Scalar:
-			col, cerr := inner.CallScalar(r.udf, ch.Cols, ch.NumRows())
-			if cerr != nil {
-				r.resp <- procResponse{err: cerr}
-				continue
-			}
-			out = data.NewChunk(col)
-		case Aggregate:
-			vals, cerr := inner.CallAggregate(r.udf, ch.Cols, ch.NumRows(), r.groupIDs, r.groups)
-			if cerr != nil {
-				r.resp <- procResponse{err: cerr}
-				continue
-			}
-			out = data.NewChunk(UnboxValues(r.udf.Name, r.udf.OutKind(), vals))
-		case Table:
-			var cerr error
-			out, cerr = inner.CallTable(r.udf, ch, r.extra)
-			if cerr != nil {
-				r.resp <- procResponse{err: cerr}
-				continue
-			}
-		case Expand:
-			perRow, cerr := inner.CallExpand(r.udf, ch.Cols, ch.NumRows())
-			if cerr != nil {
-				r.resp <- procResponse{err: cerr}
-				continue
-			}
-			cols := make([]*data.Column, len(r.udf.OutKinds))
-			for i, k := range r.udf.OutKinds {
-				name := fmt.Sprintf("c%d", i)
-				if i < len(r.udf.OutNames) {
-					name = r.udf.OutNames[i]
-				}
-				cols[i] = data.NewColumn(name, k)
-			}
-			for _, rows := range perRow {
-				for _, row := range rows {
-					for i, c := range cols {
-						if i < len(row) {
-							c.AppendValue(row[i])
-						} else {
-							c.AppendNull()
-						}
-					}
-				}
-			}
-			out = data.NewChunk(cols...)
-		}
-		var buf bytes.Buffer
-		if err := data.EncodeChunk(&buf, out); err != nil {
-			r.resp <- procResponse{err: fmt.Errorf("ffi: worker encode: %w", err)}
-			continue
-		}
-		r.resp <- procResponse{payload: buf.Bytes()}
+// supervise keeps one worker slot alive: each time the worker dies
+// mid-request (panic or injected kill), a replacement is spawned, until
+// Close.
+func (p *ProcessInvoker) supervise() {
+	for p.runWorker() {
+		p.respawns.Add(1)
+		mProcRespawns.Inc()
 	}
 }
 
-// roundTrip serializes a chunk to the worker and decodes its reply.
+// runWorker is the UDF-side of the "process boundary". It reports true
+// when the worker died and should be respawned, false on clean
+// shutdown. A panic anywhere in UDF execution is the process crashing:
+// the deferred recover answers the in-flight request with
+// ErrWorkerCrashed — the host's view of the pipe closing — so no caller
+// is left hanging.
+func (p *ProcessInvoker) runWorker() (died bool) {
+	var cur *procRequest
+	defer func() {
+		if r := recover(); r != nil {
+			died = true
+			if cur != nil {
+				cur.resp <- procResponse{err: crashError(r)}
+			}
+		}
+	}()
+	var inner VectorInvoker
+	for {
+		select {
+		case <-p.done:
+			return false
+		case r := <-p.req:
+			cur = &r
+			if faultinject.Armed() {
+				if err := faultinject.Fire(FaultProcWorker); err != nil {
+					if faultinject.IsWorkerKill(err) {
+						r.resp <- procResponse{err: crashError(err)}
+						return true
+					}
+					r.resp <- procResponse{err: err}
+					cur = nil
+					continue
+				}
+			}
+			r.resp <- p.serve(&inner, r)
+			cur = nil
+		}
+	}
+}
+
+// crashError wraps a worker's dying gasp so the chain keeps both the
+// ErrWorkerCrashed sentinel and the underlying cause.
+func crashError(v any) error {
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("%w: %w", ErrWorkerCrashed, err)
+	}
+	return fmt.Errorf("%w: panic: %v", ErrWorkerCrashed, v)
+}
+
+// serve decodes, executes and re-encodes one request.
+func (p *ProcessInvoker) serve(inner *VectorInvoker, r procRequest) procResponse {
+	ch, err := data.DecodeChunk(bytes.NewReader(r.payload))
+	if err != nil {
+		return procResponse{err: fmt.Errorf("ffi: worker decode: %w", err)}
+	}
+	var out *data.Chunk
+	switch r.kind {
+	case Scalar:
+		col, cerr := inner.CallScalar(r.udf, ch.Cols, ch.NumRows())
+		if cerr != nil {
+			return procResponse{err: cerr}
+		}
+		out = data.NewChunk(col)
+	case Aggregate:
+		vals, cerr := inner.CallAggregate(r.udf, ch.Cols, ch.NumRows(), r.groupIDs, r.groups)
+		if cerr != nil {
+			return procResponse{err: cerr}
+		}
+		out = data.NewChunk(UnboxValues(r.udf.Name, r.udf.OutKind(), vals))
+	case Table:
+		var cerr error
+		out, cerr = inner.CallTable(r.udf, ch, r.extra)
+		if cerr != nil {
+			return procResponse{err: cerr}
+		}
+	case Expand:
+		perRow, cerr := inner.CallExpand(r.udf, ch.Cols, ch.NumRows())
+		if cerr != nil {
+			return procResponse{err: cerr}
+		}
+		cols := make([]*data.Column, len(r.udf.OutKinds))
+		for i, k := range r.udf.OutKinds {
+			name := fmt.Sprintf("c%d", i)
+			if i < len(r.udf.OutNames) {
+				name = r.udf.OutNames[i]
+			}
+			cols[i] = data.NewColumn(name, k)
+		}
+		for _, rows := range perRow {
+			for _, row := range rows {
+				for i, c := range cols {
+					if i < len(row) {
+						c.AppendValue(row[i])
+					} else {
+						c.AppendNull()
+					}
+				}
+			}
+		}
+		out = data.NewChunk(cols...)
+	}
+	var buf bytes.Buffer
+	if err := data.EncodeChunk(&buf, out); err != nil {
+		return procResponse{err: fmt.Errorf("ffi: worker encode: %w", err)}
+	}
+	return procResponse{payload: buf.Bytes()}
+}
+
+// roundTrip serializes a chunk to the worker pool and decodes the
+// reply, honouring Close and CallTimeout on both the dispatch and the
+// wait.
 func (p *ProcessInvoker) roundTrip(r procRequest, in *data.Chunk) (*data.Chunk, error) {
+	if faultinject.Armed() {
+		if err := faultinject.Fire(FaultProcTransport); err != nil {
+			return nil, err
+		}
+	}
 	var buf bytes.Buffer
 	if err := data.EncodeChunk(&buf, in); err != nil {
 		return nil, fmt.Errorf("ffi: encode request: %w", err)
 	}
 	r.payload = buf.Bytes()
 	r.resp = make(chan procResponse, 1)
-	p.req <- r
-	resp := <-r.resp
+
+	var timeout <-chan time.Time
+	if p.CallTimeout > 0 {
+		t := time.NewTimer(p.CallTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case p.req <- r:
+	case <-p.done:
+		return nil, ErrInvokerClosed
+	case <-timeout:
+		return nil, fmt.Errorf("%w (dispatch after %v)", ErrCallTimeout, p.CallTimeout)
+	}
+	// The request is in a worker's hands now: even if Close lands, that
+	// worker finishes and replies, so only the timeout abandons the wait.
+	var resp procResponse
+	select {
+	case resp = <-r.resp:
+	case <-timeout:
+		return nil, fmt.Errorf("%w (after %v)", ErrCallTimeout, p.CallTimeout)
+	}
 	mIPCTrips.Inc()
 	mIPCBytes.Add(int64(len(r.payload) + len(resp.payload)))
 	if resp.err != nil {
@@ -168,6 +307,26 @@ func (p *ProcessInvoker) roundTrip(r procRequest, in *data.Chunk) (*data.Chunk, 
 		return nil, fmt.Errorf("ffi: decode response: %w", err)
 	}
 	return out, nil
+}
+
+// retryable reports whether a failed round trip may be re-dispatched:
+// only transient supervision failures (crash, timeout) qualify; UDF
+// errors are deterministic and must not be retried.
+func retryable(err error) bool {
+	return errors.Is(err, ErrWorkerCrashed) || errors.Is(err, ErrCallTimeout)
+}
+
+// scalarTrip runs one scalar batch with bounded retry-with-backoff:
+// scalar UDFs are pure, so a batch lost to a worker crash or timeout is
+// safely re-dispatched to the respawned worker.
+func (p *ProcessInvoker) scalarTrip(u *UDF, batch []*data.Column) (*data.Chunk, error) {
+	res, err := p.roundTrip(procRequest{kind: Scalar, udf: u}, data.NewChunk(batch...))
+	for attempt := 0; err != nil && retryable(err) && attempt < p.MaxRetries; attempt++ {
+		time.Sleep(resilience.Backoff(attempt, procRetryBase, procRetryMax))
+		mProcRetries.Inc()
+		res, err = p.roundTrip(procRequest{kind: Scalar, udf: u}, data.NewChunk(batch...))
+	}
+	return res, err
 }
 
 // CallScalar implements Invoker. Batches of BatchRows rows cross the
@@ -185,7 +344,7 @@ func (p *ProcessInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.C
 		for i, c := range args {
 			batch[i] = c.Slice(lo, hi)
 		}
-		res, err := p.roundTrip(procRequest{kind: Scalar, udf: u}, data.NewChunk(batch...))
+		res, err := p.scalarTrip(u, batch)
 		if err != nil {
 			return nil, err
 		}

@@ -5,8 +5,37 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/faultinject"
 	"qfusor/internal/pylite"
 )
+
+// Chaos hooks at the in-process FFI boundary, one per call kind. Both
+// in-process transports fire them at call entry (the process transport
+// reuses VectorInvoker worker-side, so they cover that path too).
+var (
+	FaultScalar    = faultinject.Register("ffi.scalar")
+	FaultAggregate = faultinject.Register("ffi.aggregate")
+	FaultExpand    = faultinject.Register("ffi.expand")
+	FaultTable     = faultinject.Register("ffi.table")
+)
+
+// fireBoundary fires the chaos hook for one call kind; nil (one atomic
+// load) unless a chaos test or -fault flag armed it.
+func fireBoundary(k UDFKind) error {
+	if !faultinject.Armed() {
+		return nil
+	}
+	switch k {
+	case Scalar:
+		return faultinject.Fire(FaultScalar)
+	case Aggregate:
+		return faultinject.Fire(FaultAggregate)
+	case Expand:
+		return faultinject.Fire(FaultExpand)
+	default:
+		return faultinject.Fire(FaultTable)
+	}
+}
 
 // Invoker is a UDF transport: how the engine crosses into the UDF
 // execution environment. Each engine profile picks one (§6.4.3):
@@ -45,6 +74,9 @@ func (VectorInvoker) Name() string { return "vector" }
 
 // CallScalar implements Invoker.
 func (VectorInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Column, error) {
+	if err := fireBoundary(Scalar); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	var wrap time.Duration
 	ws := time.Now()
@@ -76,6 +108,9 @@ func (VectorInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Colum
 
 // CallAggregate implements Invoker.
 func (VectorInvoker) CallAggregate(u *UDF, args []*data.Column, n int, groupIDs []int, g int) ([]data.Value, error) {
+	if err := fireBoundary(Aggregate); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	var wrap time.Duration
 	ws := time.Now()
@@ -120,6 +155,9 @@ func (VectorInvoker) CallAggregate(u *UDF, args []*data.Column, n int, groupIDs 
 
 // CallExpand implements Invoker.
 func (VectorInvoker) CallExpand(u *UDF, args []*data.Column, n int) ([][][]data.Value, error) {
+	if err := fireBoundary(Expand); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	var wrap time.Duration
 	ws := time.Now()
@@ -195,6 +233,9 @@ func drainRows(u *UDF, args []data.Value) ([][]data.Value, error) {
 // callTableCommon feeds the chunk's rows through a table UDF via a lazy
 // input generator (the paper's inp_datagen) and materializes the output.
 func callTableCommon(u *UDF, input *data.Chunk, extra []data.Value) (*data.Chunk, error) {
+	if err := fireBoundary(Table); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	n := input.NumRows()
 	inGen := pylite.GoGenerator(func(yield func(data.Value) error) error {
@@ -288,6 +329,9 @@ func (TupleInvoker) Name() string { return "tuple" }
 
 // CallScalar implements Invoker.
 func (TupleInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Column, error) {
+	if err := fireBoundary(Scalar); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	var wrap time.Duration
 	out := data.NewColumnCap(u.Name, u.OutKind(), n)
@@ -312,6 +356,9 @@ func (TupleInvoker) CallScalar(u *UDF, args []*data.Column, n int) (*data.Column
 
 // CallAggregate implements Invoker.
 func (TupleInvoker) CallAggregate(u *UDF, args []*data.Column, n int, groupIDs []int, g int) ([]data.Value, error) {
+	if err := fireBoundary(Aggregate); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	states := make([]AggState, g)
 	for i := range states {
@@ -348,6 +395,9 @@ func (TupleInvoker) CallAggregate(u *UDF, args []*data.Column, n int, groupIDs [
 
 // CallExpand implements Invoker.
 func (TupleInvoker) CallExpand(u *UDF, args []*data.Column, n int) ([][][]data.Value, error) {
+	if err := fireBoundary(Expand); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	out := make([][][]data.Value, n)
 	total := 0

@@ -70,6 +70,11 @@ func Compile(fn *FuncValue) (*CompiledFunc, error) {
 
 // Call invokes the compiled function.
 func (cf *CompiledFunc) Call(it *Interp, args []data.Value, kwargs map[string]data.Value) (data.Value, error) {
+	// Compiled bodies only poll at loop back-edges; the entry check keeps
+	// straight-line compiled UDFs cancellable once per row.
+	if err := it.checkIntr(); err != nil {
+		return data.Null, err
+	}
 	f := &cframe{
 		it:      it,
 		slots:   make([]data.Value, len(cf.names)),
@@ -445,6 +450,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 		}
 		return func(f *cframe) (flow, error) {
 			for {
+				if err := f.it.checkIntr(); err != nil {
+					return flowZero, err
+				}
 				cv, err := cond(f)
 				if err != nil {
 					return flowZero, err
@@ -486,6 +494,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 			// the compiled "hot loop" the tracing JIT produces.
 			if iterable.Kind == data.KindList {
 				for _, v := range iterable.List().Items {
+					if err := f.it.checkIntr(); err != nil {
+						return flowZero, err
+					}
 					if err := store(f, v); err != nil {
 						return flowZero, err
 					}
@@ -505,6 +516,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 			if iterable.Kind == data.KindObject {
 				if r, ok := iterable.P.(*RangeObj); ok {
 					for i := r.Start; (r.Step > 0 && i < r.Stop) || (r.Step < 0 && i > r.Stop); i += r.Step {
+						if err := f.it.checkIntr(); err != nil {
+							return flowZero, err
+						}
 						if err := store(f, data.Int(i)); err != nil {
 							return flowZero, err
 						}
@@ -528,6 +542,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 			}
 			defer it2.Close()
 			for {
+				if err := f.it.checkIntr(); err != nil {
+					return flowZero, err
+				}
 				v, ok, err := it2.Next()
 				if err != nil {
 					return flowZero, err

@@ -65,6 +65,11 @@ type Interp struct {
 	// function is JIT-compiled. 0 disables the JIT.
 	HotThreshold int
 
+	// intr is the bound cancellation source (see BindInterrupt), shared
+	// with every Worker view so one query's deadline reaches all its
+	// workers.
+	intr *atomic.Pointer[interrupt]
+
 	Stats Stats
 }
 
@@ -73,6 +78,7 @@ func NewInterp() *Interp {
 	it := &Interp{
 		Globals:  NewEnv(nil),
 		builtins: Builtins(),
+		intr:     &atomic.Pointer[interrupt]{},
 	}
 	it.ctx = &Ctx{Call: func(fn data.Value, args []data.Value) (data.Value, error) {
 		return it.Call(fn, args)
@@ -94,6 +100,7 @@ func (it *Interp) Worker() *Interp {
 		Globals:      it.Globals,
 		builtins:     it.builtins,
 		HotThreshold: it.HotThreshold,
+		intr:         it.intr,
 	}
 	w.ctx = &Ctx{Call: func(fn data.Value, args []data.Value) (data.Value, error) {
 		return w.Call(fn, args)
@@ -318,6 +325,9 @@ func (it *Interp) execBlock(fr *frame, body []Stmt) (flow, error) {
 }
 
 func (it *Interp) execStmt(fr *frame, st Stmt) (flow, error) {
+	if err := it.checkIntr(); err != nil {
+		return flowZero, err
+	}
 	switch s := st.(type) {
 	case *ExprStmt:
 		_, err := it.eval(fr, s.Value)

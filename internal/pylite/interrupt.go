@@ -1,0 +1,96 @@
+package pylite
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"qfusor/internal/faultinject"
+)
+
+// FaultStep is the chaos hook in the interpreter's statement loop (and
+// the compiled tier's back-edges).
+var FaultStep = faultinject.Register("pylite.step")
+
+// ErrStepBudget reports that a query's UDF step budget ran out — the
+// bound on runaway UDF loops.
+var ErrStepBudget = errors.New("pylite: step budget exhausted")
+
+// InterruptError is how cancellation surfaces out of UDF code. It is
+// deliberately NOT a PyError: a UDF's bare `except:` must not be able
+// to swallow a query deadline, so try/except handlers let it propagate.
+type InterruptError struct {
+	// Cause is the interrupt reason (a context error, ErrStepBudget).
+	Cause error
+}
+
+// Error implements error.
+func (e *InterruptError) Error() string {
+	return fmt.Sprintf("pylite: interrupted: %v", e.Cause)
+}
+
+// Unwrap exposes the interrupt reason.
+func (e *InterruptError) Unwrap() error { return e.Cause }
+
+// interrupt is one bound cancellation source, shared (via the runtime's
+// atomic pointer) by every Worker view executing the same query.
+type interrupt struct {
+	done   <-chan struct{}
+	cause  func() error
+	budget *atomic.Int64 // remaining statement steps; nil = unlimited
+}
+
+// BindInterrupt arms cancellation on this runtime and all its Worker
+// views: while bound, every interpreted statement and compiled loop
+// back-edge polls done and (when budget > 0) a shared step budget.
+// cause explains a done-closure (typically ctx.Err); it may be nil.
+//
+// The binding is connection-scoped like sqlite3_interrupt: one binding
+// at a time per runtime, so concurrent queries over one shared runtime
+// share the most recent binding. The returned release only clears its
+// own binding (compare-and-swap), so a stale release cannot clobber a
+// newer query's.
+func (it *Interp) BindInterrupt(done <-chan struct{}, cause func() error, budget int64) (release func()) {
+	in := &interrupt{done: done, cause: cause}
+	if budget > 0 {
+		in.budget = &atomic.Int64{}
+		in.budget.Store(budget)
+	}
+	it.intr.Store(in)
+	return func() { it.intr.CompareAndSwap(in, nil) }
+}
+
+// checkIntr is the statement-level gate: fault hook, step budget, and
+// cancellation poll. When nothing is bound and no fault is armed it
+// costs two atomic loads.
+func (it *Interp) checkIntr() error {
+	if faultinject.Armed() {
+		if err := faultinject.Fire(FaultStep); err != nil {
+			return err
+		}
+	}
+	if it.intr == nil {
+		return nil
+	}
+	in := it.intr.Load()
+	if in == nil {
+		return nil
+	}
+	if in.budget != nil && in.budget.Add(-1) < 0 {
+		return &InterruptError{Cause: ErrStepBudget}
+	}
+	if in.done != nil {
+		select {
+		case <-in.done:
+			cause := errors.New("pylite: interrupt requested")
+			if in.cause != nil {
+				if c := in.cause(); c != nil {
+					cause = c
+				}
+			}
+			return &InterruptError{Cause: cause}
+		default:
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package pylite
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qfusor/internal/data"
+)
+
+// loopSrc is an unbounded loop a deadline or budget must be able to
+// stop, wrapped in a bare except that must NOT be able to catch the
+// interrupt.
+const loopSrc = `
+def spin(n):
+    i = 0
+    try:
+        while i < n:
+            i = i + 1
+    except:
+        return -1
+    return i
+`
+
+func runSpin(t *testing.T, hot int, bind func(*Interp) func()) (data.Value, error) {
+	t.Helper()
+	it := NewInterp()
+	it.HotThreshold = hot
+	if err := it.Exec(loopSrc); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := it.Global("spin")
+	if hot > 0 {
+		// Heat the function so the measured call runs in the compiled tier.
+		for i := 0; i <= hot; i++ {
+			if _, err := it.Call(fn, []data.Value{data.Int(1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	release := bind(it)
+	defer release()
+	return it.Call(fn, []data.Value{data.Int(1 << 40)})
+}
+
+func TestStepBudgetStopsRunawayLoop(t *testing.T) {
+	for _, hot := range []int{0, 2} { // interpreter and compiled tiers
+		_, err := runSpin(t, hot, func(it *Interp) func() {
+			return it.BindInterrupt(nil, nil, 10_000)
+		})
+		var ie *InterruptError
+		if !errors.As(err, &ie) || !errors.Is(err, ErrStepBudget) {
+			t.Fatalf("hot=%d: want InterruptError{ErrStepBudget}, got %v", hot, err)
+		}
+		if _, isPy := IsPyError(err); isPy {
+			t.Fatalf("hot=%d: interrupt is catchable as a PyError", hot)
+		}
+	}
+}
+
+func TestCancellationStopsRunawayLoop(t *testing.T) {
+	for _, hot := range []int{0, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		var res data.Value
+		var err error
+		go func() {
+			defer close(done)
+			res, err = runSpin(t, hot, func(it *Interp) func() {
+				return it.BindInterrupt(ctx.Done(), ctx.Err, 0)
+			})
+		}()
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("hot=%d: loop did not stop after cancel", hot)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hot=%d: want context.Canceled in chain, got res=%v err=%v", hot, res, err)
+		}
+	}
+}
+
+func TestExceptCannotSwallowInterrupt(t *testing.T) {
+	// The bare except in loopSrc returns -1 when it catches anything; a
+	// budget interrupt must propagate as an error instead.
+	res, err := runSpin(t, 0, func(it *Interp) func() {
+		return it.BindInterrupt(nil, nil, 500)
+	})
+	if err == nil {
+		t.Fatalf("except swallowed the interrupt: res=%v", res)
+	}
+}
+
+func TestReleaseIsCASScoped(t *testing.T) {
+	it := NewInterp()
+	rel1 := it.BindInterrupt(nil, nil, 1)
+	rel2 := it.BindInterrupt(nil, nil, 0) // newer query rebinds
+	rel1()                                // stale release must not clobber rel2's binding
+	if it.intr.Load() == nil {
+		t.Fatal("stale release cleared the newer binding")
+	}
+	rel2()
+	if it.intr.Load() != nil {
+		t.Fatal("release did not clear its own binding")
+	}
+}
+
+func TestWorkerSharesInterrupt(t *testing.T) {
+	it := NewInterp()
+	if err := it.Exec(loopSrc); err != nil {
+		t.Fatal(err)
+	}
+	release := it.BindInterrupt(nil, nil, 100)
+	defer release()
+	w := it.Worker()
+	fn, _ := w.Global("spin")
+	_, err := w.Call(fn, []data.Value{data.Int(1 << 40)})
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("worker view ignored the budget: %v", err)
+	}
+}

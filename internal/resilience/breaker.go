@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a keyed circuit breaker. Each key (a fused wrapper, a
+// query shape) tracks consecutive failures; once they reach Threshold
+// the key's circuit opens and Allow reports false until Cooldown has
+// elapsed, after which one probe is allowed through (half-open). A
+// probe's Success closes the circuit; its Failure re-opens it for
+// another full Cooldown.
+//
+// The zero value is unusable; use NewBreaker. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens a circuit.
+	Threshold int
+	// Cooldown is how long an open circuit rejects before half-opening.
+	Cooldown time.Duration
+
+	mu    sync.Mutex
+	keys  map[string]*circuit
+	now   func() time.Time // test hook
+	trips uint64           // total open transitions
+}
+
+// circuit is one key's state.
+type circuit struct {
+	fails    int       // consecutive failures
+	openedAt time.Time // zero when closed
+	probing  bool      // half-open probe in flight
+}
+
+// NewBreaker builds a breaker. threshold <= 0 disables it (Allow always
+// true); cooldown <= 0 defaults to 30s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		keys:      map[string]*circuit{},
+		now:       time.Now,
+	}
+}
+
+// Allow reports whether the key's circuit admits an attempt. An open
+// circuit past its cooldown admits exactly one half-open probe;
+// concurrent callers during the probe are rejected until the probe
+// resolves via Success or Failure.
+func (b *Breaker) Allow(key string) bool {
+	if b == nil || b.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.keys[key]
+	if c == nil || c.openedAt.IsZero() {
+		return true
+	}
+	if c.probing {
+		return false
+	}
+	if b.now().Sub(c.openedAt) >= b.Cooldown {
+		c.probing = true
+		return true
+	}
+	return false
+}
+
+// Failure records a failed attempt for the key, opening the circuit at
+// Threshold consecutive failures (or immediately re-opening after a
+// failed half-open probe). It reports whether the circuit is now open.
+func (b *Breaker) Failure(key string) bool {
+	if b == nil || b.Threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.keys[key]
+	if c == nil {
+		c = &circuit{}
+		b.keys[key] = c
+	}
+	c.fails++
+	if c.probing || c.fails >= b.Threshold {
+		c.probing = false
+		c.openedAt = b.now()
+		b.trips++
+		return true
+	}
+	return false
+}
+
+// Success records a successful attempt, closing the key's circuit and
+// resetting its failure count.
+func (b *Breaker) Success(key string) {
+	if b == nil || b.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.keys[key]; c != nil {
+		c.fails = 0
+		c.probing = false
+		c.openedAt = time.Time{}
+	}
+}
+
+// Open reports whether the key's circuit is currently open (ignoring
+// the half-open window).
+func (b *Breaker) Open(key string) bool {
+	if b == nil || b.Threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.keys[key]
+	return c != nil && !c.openedAt.IsZero()
+}
+
+// Trips returns the total number of open transitions (for metrics).
+func (b *Breaker) Trips() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

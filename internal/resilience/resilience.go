@@ -1,0 +1,96 @@
+// Package resilience holds the error types and guards the query
+// pipeline uses to survive UDF misbehaviour: typed query errors with
+// cause chains, panic capture for morsel workers and UDF invocations,
+// and a per-key circuit breaker that drives graceful degradation from
+// fused wrappers back to the engine's native plan.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// QueryError is the typed terminal error a query returns when neither
+// the fused nor the native plan could produce a result. Err carries the
+// full cause chain (errors.Join of the fused and native failures when
+// both paths ran), so errors.Is/As reach every underlying cause.
+type QueryError struct {
+	// SQL is the query text.
+	SQL string
+	// Stage names where the query died: "plan", "fused", "native",
+	// "fallback", "cancelled".
+	Stage string
+	// Err is the underlying cause (chain).
+	Err error
+}
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("qfusor: query failed at %s stage: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause chain.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// PanicError is a recovered panic converted to an error. When the panic
+// value was itself an error (e.g. an injected fault), Unwrap exposes it
+// so the cause chain survives the recovery.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Val)
+}
+
+// Unwrap exposes the panic value when it is an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Val.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recover converts an in-flight panic to a *PanicError stored in *err.
+// Use as `defer resilience.Recover(&err)` at the top of any function
+// whose panics must become errors (morsel worker bodies, UDF
+// invocations, fused-pipeline entry points). A nil *err is only
+// overwritten; an existing error is preserved.
+func Recover(err *error) {
+	if r := recover(); r != nil {
+		pe := &PanicError{Val: r, Stack: stack()}
+		if *err == nil {
+			*err = pe
+		} else {
+			*err = errors.Join(*err, pe)
+		}
+	}
+}
+
+// stack captures the current goroutine's stack (bounded).
+func stack() []byte {
+	buf := make([]byte, 8<<10)
+	n := runtime.Stack(buf, false)
+	return buf[:n]
+}
+
+// Backoff returns the bounded exponential backoff delay for retry
+// attempt n (0-based): base<<n capped at max. Used by the process
+// transport when re-dispatching idempotent scalar batches after a
+// worker crash or timeout.
+func Backoff(n int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << uint(n)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}

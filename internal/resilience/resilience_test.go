@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryErrorChain(t *testing.T) {
+	cause := errors.New("boom")
+	qe := &QueryError{SQL: "SELECT 1", Stage: "fused", Err: fmt.Errorf("wrap: %w", cause)}
+	if !errors.Is(qe, cause) {
+		t.Fatal("cause not reachable through QueryError")
+	}
+	var got *QueryError
+	if !errors.As(error(qe), &got) || got.Stage != "fused" {
+		t.Fatalf("errors.As failed: %v", got)
+	}
+	if !strings.Contains(qe.Error(), "fused") {
+		t.Fatalf("message misses stage: %s", qe.Error())
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	cause := errors.New("injected")
+	fn := func() (err error) {
+		defer Recover(&err)
+		panic(fmt.Errorf("bad row: %w", cause))
+	}
+	err := fn()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("panic cause lost in recovery")
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+func TestRecoverNonErrorPanic(t *testing.T) {
+	fn := func() (err error) {
+		defer Recover(&err)
+		panic("plain string")
+	}
+	err := fn()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Unwrap() != nil {
+		t.Fatalf("want *PanicError with nil unwrap, got %v", err)
+	}
+}
+
+func TestRecoverPreservesExistingError(t *testing.T) {
+	prior := errors.New("prior")
+	fn := func() (err error) {
+		defer Recover(&err)
+		err = prior
+		panic("late")
+	}
+	err := fn()
+	if !errors.Is(err, prior) {
+		t.Fatalf("prior error lost: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic lost: %v", err)
+	}
+}
+
+func TestRecoverNoPanic(t *testing.T) {
+	fn := func() (err error) {
+		defer Recover(&err)
+		return nil
+	}
+	if err := fn(); err != nil {
+		t.Fatalf("spurious error: %v", err)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	base, max := 2*time.Millisecond, 50*time.Millisecond
+	if d := Backoff(0, base, max); d != base {
+		t.Fatalf("attempt 0: %v", d)
+	}
+	if d := Backoff(2, base, max); d != 8*time.Millisecond {
+		t.Fatalf("attempt 2: %v", d)
+	}
+	if d := Backoff(40, base, max); d != max {
+		t.Fatalf("overflow attempt not capped: %v", d)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, time.Minute)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	const key = "wrapper:abc"
+	for i := 0; i < 2; i++ {
+		if b.Failure(key) {
+			t.Fatalf("opened after %d failures", i+1)
+		}
+		if !b.Allow(key) {
+			t.Fatal("closed circuit rejected")
+		}
+	}
+	if !b.Failure(key) {
+		t.Fatal("did not open at threshold")
+	}
+	if b.Allow(key) {
+		t.Fatal("open circuit admitted before cooldown")
+	}
+	if !b.Open(key) || b.Trips() != 1 {
+		t.Fatalf("state: open=%v trips=%d", b.Open(key), b.Trips())
+	}
+
+	// Half-open: one probe after cooldown, concurrent callers rejected.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow(key) {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	if b.Allow(key) {
+		t.Fatal("second probe admitted while first in flight")
+	}
+	// Failed probe re-opens for a full cooldown.
+	if !b.Failure(key) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Allow(key) {
+		t.Fatal("admitted right after failed probe")
+	}
+	now = now.Add(2 * time.Minute)
+	if !b.Allow(key) {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success(key)
+	if !b.Allow(key) || b.Open(key) {
+		t.Fatal("success did not close circuit")
+	}
+	// Other keys are independent.
+	if !b.Allow("other") {
+		t.Fatal("unrelated key affected")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Minute)
+	for i := 0; i < 10; i++ {
+		b.Failure("k")
+	}
+	if !b.Allow("k") {
+		t.Fatal("disabled breaker rejected")
+	}
+	var nilB *Breaker
+	if !nilB.Allow("k") || nilB.Failure("k") || nilB.Trips() != 0 {
+		t.Fatal("nil breaker not inert")
+	}
+	nilB.Success("k")
+}

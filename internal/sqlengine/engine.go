@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -90,6 +91,14 @@ func New(name string, mode ExecMode, inv ffi.Invoker) *Engine {
 // Query parses, plans, optimizes and executes a SELECT, returning the
 // result as a table.
 func (e *Engine) Query(sql string) (*data.Table, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx is Query under a context: cancellation or deadline expiry
+// stops execution between plan operators, between morsels, and (for
+// UDF-bearing queries whose runtime is interrupt-bound) between PyLite
+// statements, returning ctx.Err in the chain.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*data.Table, error) {
 	st, err := ParseSQL(sql)
 	if err != nil {
 		return nil, err
@@ -100,7 +109,7 @@ func (e *Engine) Query(sql string) (*data.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.Execute(q)
+		return e.ExecuteCtx(ctx, q)
 	case *ExplainStmt:
 		sel, ok := s.Stmt.(*SelectStmt)
 		if !ok {
@@ -170,12 +179,28 @@ func (e *Engine) Execute(q *Query) (*data.Table, error) {
 	return e.ExecuteTraced(q, nil)
 }
 
+// ExecuteCtx runs an optimized query under a context (see QueryCtx).
+func (e *Engine) ExecuteCtx(ctx context.Context, q *Query) (*data.Table, error) {
+	return e.ExecuteTracedCtx(ctx, q, nil)
+}
+
 // ExecuteTraced runs an optimized query, hanging one span per plan
 // operator (rows in/out, wall time) off root when a tracer is attached.
 // A nil root is the zero-overhead fast path Execute takes.
 func (e *Engine) ExecuteTraced(q *Query, root *obs.Span) (*data.Table, error) {
+	return e.ExecuteTracedCtx(context.Background(), q, root)
+}
+
+// ExecuteTracedCtx is ExecuteTraced under a context: the context is
+// checked at every plan-operator entry, every morsel claim, and (for
+// the row executor) every few hundred rows, so cancellation lands
+// within one morsel/step budget rather than at query end.
+func (e *Engine) ExecuteTracedCtx(ctx context.Context, q *Query, root *obs.Span) (*data.Table, error) {
 	start := time.Now()
 	ectx := newExecCtx(e)
+	if ctx != nil {
+		ectx.ctx = ctx
+	}
 	ectx.span = root
 	for _, cte := range q.CTEs {
 		sp := root.Child("cte:" + cte.Name)
@@ -216,6 +241,9 @@ func (e *Engine) ExecuteTraced(q *Query, root *obs.Span) (*data.Table, error) {
 // traced. Child executions recurse through here, so the span tree
 // mirrors the plan tree. With no tracer the hook is one nil check.
 func (e *Engine) execPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
+	if err := ectx.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ectx.span == nil {
 		return e.execPlanNode(p, ectx)
 	}
@@ -269,6 +297,9 @@ func (e *Engine) execPlanNode(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 type execCtx struct {
 	eng  *Engine
 	ctes map[string]*data.Chunk
+	// ctx is the query's cancellation context; never nil (Background for
+	// the non-context entry points).
+	ctx context.Context
 	// span is the current parent span when the query is traced (nil
 	// otherwise). Child plan nodes execute sequentially, so execPlan may
 	// swap it in place while descending.
@@ -276,7 +307,7 @@ type execCtx struct {
 }
 
 func newExecCtx(e *Engine) *execCtx {
-	return &execCtx{eng: e, ctes: make(map[string]*data.Chunk)}
+	return &execCtx{eng: e, ctes: make(map[string]*data.Chunk), ctx: context.Background()}
 }
 
 // callScalarUDFRow invokes a scalar UDF for a single row through the

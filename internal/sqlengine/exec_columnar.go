@@ -7,7 +7,6 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
-	"qfusor/internal/obs"
 )
 
 // execColumnar is the vectorized operator-at-a-time executor: every
@@ -41,19 +40,19 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			if len(p.Exprs) == 0 {
 				return oneRowChunk(), nil
 			}
-			return e.projectChunk(p, oneRowChunk(), ectx.span)
+			return e.projectChunk(p, oneRowChunk(), ectx)
 		}
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.projectChunk(p, in, ectx.span)
+		return e.projectChunk(p, in, ectx)
 	case OpFilter:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.filterChunk(p.Exprs[0], in, ectx.span)
+		return e.filterChunk(p.Exprs[0], in, ectx)
 	case OpJoin:
 		return e.joinChunk(p, ectx)
 	case OpAggregate:
@@ -61,19 +60,19 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.aggregateChunk(p, in, ectx.span)
+		return e.aggregateChunk(p, in, ectx)
 	case OpSort:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.sortChunk(p, in, ectx.span)
+		return e.sortChunk(p, in, ectx)
 	case OpDistinct:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
 			return nil, err
 		}
-		return e.distinctChunk(in, ectx.span), nil
+		return e.distinctChunk(in, ectx), nil
 	case OpLimit:
 		in, err := e.execPlan(p.Children[0], ectx)
 		if err != nil {
@@ -104,7 +103,7 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			c.AppendColumn(r.Cols[i])
 		}
 		if !p.UnionAll {
-			return e.distinctChunk(out, ectx.span), nil
+			return e.distinctChunk(out, ectx), nil
 		}
 		return out, nil
 	case OpTableFunc:
@@ -115,7 +114,7 @@ func (e *Engine) execColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		if p.UDF.Fused {
 			// A fused wrapper re-submitted as a table function (rewrite
 			// path 1) uses the vector calling convention.
-			return e.runFusedAsTable(p, in, ectx.span)
+			return e.runFusedAsTable(p, in, ectx)
 		}
 		extra := make([]data.Value, len(p.TFArgs))
 		for i, a := range p.TFArgs {
@@ -166,7 +165,7 @@ func oneRowChunk() *data.Chunk {
 // projectChunk evaluates the projection expressions over the chunk,
 // split into morsels (ModeChunked batches double as morsels) and driven
 // by the worker pool.
-func (e *Engine) projectChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) projectChunk(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, error) {
 	n := in.NumRows()
 	eval := func(part *data.Chunk) (*data.Chunk, error) {
 		cols := make([]*data.Column, len(p.Exprs))
@@ -188,13 +187,13 @@ func (e *Engine) projectChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chun
 		}
 		return data.NewChunk(cols...), nil
 	}
-	return e.runPartitioned(in, n, sp, eval)
+	return e.runPartitioned(ectx, in, n, eval)
 }
 
 // filterChunk keeps rows where the predicate holds.
-func (e *Engine) filterChunk(pred SQLExpr, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) filterChunk(pred SQLExpr, in *data.Chunk, ectx *execCtx) (*data.Chunk, error) {
 	n := in.NumRows()
-	return e.runPartitioned(in, n, sp, func(part *data.Chunk) (*data.Chunk, error) {
+	return e.runPartitioned(ectx, in, n, func(part *data.Chunk) (*data.Chunk, error) {
 		keep, err := e.evalBoolVec(pred, part)
 		if err != nil {
 			return nil, err
@@ -257,7 +256,7 @@ func (e *Engine) joinChunk(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	nl := len(p.Children[0].Schema)
 	leftKeys, rightKeys, residual := splitEquiJoin(p.JoinOn, nl)
 	if len(leftKeys) > 0 {
-		return e.hashJoin(p, l, r, leftKeys, rightKeys, residual, nl, ectx.span)
+		return e.hashJoin(p, l, r, leftKeys, rightKeys, residual, nl, ectx)
 	}
 	// Nested-loop (cross product with optional predicate).
 	out := data.EmptyChunk(p.Schema)
@@ -334,7 +333,8 @@ func splitEquiJoin(on SQLExpr, nl int) (leftKeys, rightKeys []int, residual []SQ
 // pool starts and only read afterwards, so probing needs no locks;
 // per-morsel match lists concatenate in input order so the output is
 // byte-identical to the serial join.
-func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, residual []SQLExpr, nl int, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, residual []SQLExpr, nl int, ectx *execCtx) (*data.Chunk, error) {
+	sp := ectx.span
 	// Build phase (serial: the build side is the smaller input and the
 	// map write path would need sharding to parallelize safely).
 	build := make(map[string][]int)
@@ -351,7 +351,7 @@ func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, 
 	probeSpans := e.morselsFor(nL)
 	type matches struct{ li, ri []int }
 	probes := make([]matches, len(probeSpans))
-	_, err := e.runMorsels(nL, sp, func(_, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, nL, func(_, m, lo, hi int) error {
 		var pm matches
 		var kb []byte
 		for i := lo; i < hi; i++ {
@@ -388,7 +388,7 @@ func (e *Engine) hashJoin(p *Plan, l, r *data.Chunk, leftKeys, rightKeys []int, 
 	// on its own rows), then the parts concatenate in order.
 	outSpans := e.morselsFor(total)
 	outs := make([]*data.Chunk, len(outSpans))
-	_, err = e.runMorsels(total, sp, func(_, m, lo, hi int) error {
+	_, err = e.runMorsels(ectx, total, func(_, m, lo, hi int) error {
 		part := data.EmptyChunk(p.Schema)
 		row := make([]data.Value, len(p.Schema))
 		for x := lo; x < hi; x++ {
@@ -642,7 +642,8 @@ func newGlobalPartial(spec AggSpec, g int) *aggPartial {
 // invoker call over the merged global group vector: the generic path
 // cannot assume the aggregate is decomposable (decomposable traced
 // aggregates take the partial path in exec_fused.go instead).
-func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, error) {
+	sp := ectx.span
 	n := in.NumRows()
 	spans := e.morselsFor(n)
 
@@ -655,7 +656,7 @@ func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Ch
 	}
 	morsels := make([]*morselGroups, len(spans))
 
-	_, err := e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, n, func(_, m, lo, hi int) error {
 		part := in.Slice(lo, hi)
 		mg := &morselGroups{localGID: make([]int, hi-lo)}
 		if len(p.GroupBy) > 0 {
@@ -808,13 +809,14 @@ func (e *Engine) aggregateChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Ch
 // stable-sorts a contiguous run, and the runs fold together with a
 // pairwise stable merge — ties always prefer the earlier run, so the
 // result is identical to a full stable sort.
-func (e *Engine) sortChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) sortChunk(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, error) {
+	sp := ectx.span
 	n := in.NumRows()
 	keyVecs := make([][]data.Value, len(p.SortItems))
 	for i := range keyVecs {
 		keyVecs[i] = make([]data.Value, n)
 	}
-	_, err := e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, n, func(_, m, lo, hi int) error {
 		part := in.Slice(lo, hi)
 		for k, s := range p.SortItems {
 			v, err := e.evalVec(s.Expr, part)
@@ -891,7 +893,7 @@ func (e *Engine) sortChunk(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, 
 		runs = next
 	}
 	endMerge()
-	return e.takeParallel(in, idx, sp), nil
+	return e.takeParallel(ectx, in, idx), nil
 }
 
 // mergeRuns stable-merges two adjacent sorted runs of src into the same
@@ -924,7 +926,8 @@ func mergeRuns(src, dst []int, a, b morselSpan, less func(x, y int) bool) {
 // distinctChunk removes duplicate rows: morsel-local dedup tables keep
 // each worker's first sightings, and the barrier merges them in morsel
 // order so the kept row set (and order) matches the serial scan.
-func (e *Engine) distinctChunk(in *data.Chunk, sp *obs.Span) *data.Chunk {
+func (e *Engine) distinctChunk(in *data.Chunk, ectx *execCtx) *data.Chunk {
+	sp := ectx.span
 	n := in.NumRows()
 	spans := e.morselsFor(n)
 	type dedup struct {
@@ -932,7 +935,7 @@ func (e *Engine) distinctChunk(in *data.Chunk, sp *obs.Span) *data.Chunk {
 		rows []int
 	}
 	parts := make([]dedup, len(spans))
-	_, _ = e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+	_, _ = e.runMorsels(ectx, n, func(_, m, lo, hi int) error {
 		seen := make(map[string]bool)
 		var d dedup
 		var kb []byte
@@ -963,5 +966,5 @@ func (e *Engine) distinctChunk(in *data.Chunk, sp *obs.Span) *data.Chunk {
 		}
 	}
 	endMerge()
-	return e.takeParallel(in, idx, sp)
+	return e.takeParallel(ectx, in, idx)
 }

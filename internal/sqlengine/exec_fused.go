@@ -5,7 +5,6 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
-	"qfusor/internal/obs"
 )
 
 // The two plan operators QFusor's rewriter injects (§5.4, path 2: the
@@ -35,23 +34,23 @@ func (e *Engine) execFusedColumnar(p *Plan, ectx *execCtx) (*data.Chunk, error) 
 	if err != nil {
 		return nil, err
 	}
-	return e.runFused(p, in, ectx.span)
+	return e.runFused(p, in, ectx)
 }
 
 // runFusedAsTable executes a fused wrapper invoked through table-
 // function syntax (the SQL produced by rewrite path 1): every child
 // column feeds the wrapper in order.
-func (e *Engine) runFusedAsTable(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) runFusedAsTable(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, error) {
 	proxy := &Plan{Op: OpFused, UDF: p.UDF, Schema: p.Schema, Quals: p.Quals,
 		NoPartition: p.NoPartition, EstRows: p.EstRows}
 	for i := range in.Cols {
 		proxy.TFArgs = append(proxy.TFArgs, &ColRef{Name: in.Cols[i].Name, Index: i})
 	}
-	return e.runFused(proxy, in, sp)
+	return e.runFused(proxy, in, ectx)
 }
 
 // runFused applies the fused wrapper over a materialized input chunk.
-func (e *Engine) runFused(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, error) {
 	n := in.NumRows()
 	args := make([]*data.Column, len(p.TFArgs))
 	for i, a := range p.TFArgs {
@@ -81,7 +80,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, e
 		// ranges (like the engine's own vectorized operators): each
 		// worker runs a UDF clone on its own interpreter view, so pylite
 		// execution never serializes on shared runtime state.
-		return e.runFusedMorsels(p.UDF, data.NewChunk(args...), n, names, kinds, sp)
+		return e.runFusedMorsels(p.UDF, data.NewChunk(args...), n, names, kinds, ectx)
 	}
 	// OpFusedAgg with a compiled trace: grouping happens inside the
 	// trace (after fused filters) via the native group-by export.
@@ -90,7 +89,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, e
 		// a merge hook) run as per-worker partial states over morsels,
 		// merged at the barrier.
 		if e.Workers() > 1 && !p.NoPartition && tr.PartialMergeable() && n >= minParallelRows {
-			return e.runTraceAggMorsels(p.UDF, tr, args, n, names, kinds, sp)
+			return e.runTraceAggMorsels(p.UDF, tr, args, n, names, kinds, ectx)
 		}
 		cols, err := ffi.RunTraceAgg(p.UDF, tr, args, n, names, kinds)
 		if err != nil {
@@ -164,7 +163,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, sp *obs.Span) (*data.Chunk, e
 // interpreter view, own Stats); after the barrier every clone's learned
 // statistics fold back into the parent so the cost model sees the
 // query's full activity, not the last worker's.
-func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names []string, kinds []data.Kind, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names []string, kinds []data.Kind, ectx *execCtx) (*data.Chunk, error) {
 	spans := e.morselsFor(n)
 	if len(spans) == 1 && e.Workers() <= 1 {
 		cols, err := ffi.CallFusedVector(u, argChunk.Cols, n, names, kinds)
@@ -175,7 +174,7 @@ func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names 
 	}
 	clones := make([]*ffi.UDF, e.Workers())
 	outs := make([]*data.Chunk, len(spans))
-	_, err := e.runMorsels(n, sp, func(w, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, n, func(w, m, lo, hi int) error {
 		cu := clones[w]
 		if cu == nil {
 			cu = u.WorkerClone()
@@ -198,7 +197,7 @@ func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names 
 	if len(outs) == 1 {
 		return outs[0], nil
 	}
-	defer e.mergeTimer(sp)()
+	defer e.mergeTimer(ectx.span)()
 	merged := data.EmptyChunk(outs[0].Schema())
 	for _, o := range outs {
 		for i, c := range merged.Cols {
@@ -211,12 +210,12 @@ func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names 
 // runTraceAggMorsels executes an aggregating trace as per-worker
 // partial group tables over morsels, merging the live states at the
 // barrier (partial aggregation + merge, §5.3.2 applied in parallel).
-func (e *Engine) runTraceAggMorsels(u *ffi.UDF, tr *ffi.Trace, args []*data.Column, n int, names []string, kinds []data.Kind, sp *obs.Span) (*data.Chunk, error) {
+func (e *Engine) runTraceAggMorsels(u *ffi.UDF, tr *ffi.Trace, args []*data.Column, n int, names []string, kinds []data.Kind, ectx *execCtx) (*data.Chunk, error) {
 	argChunk := data.NewChunk(args...)
 	spans := e.morselsFor(n)
 	clones := make([]*ffi.UDF, e.Workers())
 	parts := make([]*ffi.TraceAggPartial, len(spans))
-	_, err := e.runMorsels(n, sp, func(w, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, n, func(w, m, lo, hi int) error {
 		cu := clones[w]
 		if cu == nil {
 			cu = u.WorkerClone()
@@ -236,7 +235,7 @@ func (e *Engine) runTraceAggMorsels(u *ffi.UDF, tr *ffi.Trace, args []*data.Colu
 	if err != nil {
 		return nil, err
 	}
-	defer e.mergeTimer(sp)()
+	defer e.mergeTimer(ectx.span)()
 	cols, err := ffi.FinalizeTraceAggPartials(u, tr, parts, names, kinds)
 	if err != nil {
 		return nil, err

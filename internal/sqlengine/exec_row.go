@@ -16,7 +16,15 @@ func (e *Engine) execRowPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	}
 	defer it.Close()
 	out := data.EmptyChunk(p.Schema)
-	for {
+	for n := 0; ; n++ {
+		// The tuple loop is the row engine's only long-running drain:
+		// poll the query context every morsel's worth of rows so
+		// cancellation latency matches the columnar executor.
+		if n%defaultMorselSize == 0 {
+			if err := ectx.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row, ok, err := it.Next()
 		if err != nil {
 			return nil, err
@@ -102,7 +110,7 @@ func (e *Engine) buildRowIter(p *Plan, ectx *execCtx) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		ch, err := e.runFused(p, in, ectx.span)
+		ch, err := e.runFused(p, in, ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -123,19 +131,19 @@ func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.aggregateChunk(p, in, ectx.span)
+		return e.aggregateChunk(p, in, ectx)
 	case OpSort:
 		in, err := drain(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return e.sortChunk(p, in, ectx.span)
+		return e.sortChunk(p, in, ectx)
 	case OpDistinct:
 		in, err := drain(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return e.distinctChunk(in, ectx.span), nil
+		return e.distinctChunk(in, ectx), nil
 	case OpUnion:
 		l, err := drain(p.Children[0])
 		if err != nil {
@@ -151,7 +159,7 @@ func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			c.AppendColumn(r.Cols[i])
 		}
 		if !p.UnionAll {
-			return e.distinctChunk(out, ectx.span), nil
+			return e.distinctChunk(out, ectx), nil
 		}
 		return out, nil
 	case OpTableFunc:
@@ -160,7 +168,7 @@ func (e *Engine) execBlockingRow(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 			return nil, err
 		}
 		if p.UDF.Fused {
-			return e.runFusedAsTable(p, in, ectx.span)
+			return e.runFusedAsTable(p, in, ectx)
 		}
 		extra := make([]data.Value, len(p.TFArgs))
 		for i, a := range p.TFArgs {

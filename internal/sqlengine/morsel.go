@@ -7,8 +7,14 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/faultinject"
 	"qfusor/internal/obs"
+	"qfusor/internal/resilience"
 )
+
+// FaultMorsel is the chaos hook inside every morsel worker, fired once
+// per claimed morsel.
+var FaultMorsel = faultinject.Register("morsel.worker")
 
 // Morsel-driven parallel execution: every partitionable operator splits
 // its input into fixed-size morsels and a per-query worker pool pulls
@@ -92,9 +98,27 @@ func morselPlan(n, size int) []morselSpan {
 // the input is drained. fn receives (worker, morsel index, lo, hi) and
 // must only touch worker- or morsel-local state. The returned worker
 // count is 1 when the input ran serially (small input or Parallelism 1).
-// Per-morsel counts and worker utilization are recorded on sp (nil-safe)
-// and the engine-wide metrics.
-func (e *Engine) runMorsels(n int, sp *obs.Span, fn func(worker, m, lo, hi int) error) (int, error) {
+// Per-morsel counts and worker utilization are recorded on the query
+// span (nil-safe) and the engine-wide metrics.
+//
+// Every worker checks the query context before claiming a morsel, so a
+// cancelled query stops within one morsel; and every fn call runs under
+// panic recovery, so one poisoned morsel fails its query instead of
+// killing the pool (or the process).
+func (e *Engine) runMorsels(ectx *execCtx, n int, fn func(worker, m, lo, hi int) error) (int, error) {
+	sp := ectx.span
+	ctx := ectx.ctx
+	// runFn is the guarded worker body: chaos hook, then fn, with any
+	// panic converted to this morsel's error.
+	runFn := func(w, m, lo, hi int) (err error) {
+		defer resilience.Recover(&err)
+		if faultinject.Armed() {
+			if ferr := faultinject.Fire(FaultMorsel); ferr != nil {
+				return ferr
+			}
+		}
+		return fn(w, m, lo, hi)
+	}
 	spans := e.morselsFor(n)
 	workers := e.Workers()
 	if workers > len(spans) {
@@ -102,8 +126,11 @@ func (e *Engine) runMorsels(n int, sp *obs.Span, fn func(worker, m, lo, hi int) 
 	}
 	if workers <= 1 || n < minParallelRows {
 		for m, s := range spans {
+			if err := ctx.Err(); err != nil {
+				return 1, err
+			}
 			start := time.Now()
-			if err := fn(0, m, s.lo, s.hi); err != nil {
+			if err := runFn(0, m, s.lo, s.hi); err != nil {
 				return 1, err
 			}
 			mMorselNanos.Observe(float64(time.Since(start).Nanoseconds()))
@@ -111,7 +138,9 @@ func (e *Engine) runMorsels(n int, sp *obs.Span, fn func(worker, m, lo, hi int) 
 		mMorsels.Add(int64(len(spans)))
 		mMorselRows.Add(int64(n))
 		sp.AddInt("morsels", int64(len(spans)))
-		return 1, nil
+		// A deadline that expired while the last morsel ran still counts:
+		// context semantics win over an answer the caller gave up on.
+		return 1, ctx.Err()
 	}
 
 	var (
@@ -121,6 +150,13 @@ func (e *Engine) runMorsels(n int, sp *obs.Span, fn func(worker, m, lo, hi int) 
 		first error
 		busy  = make([]int64, workers)
 	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
 	wall := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -137,23 +173,27 @@ func (e *Engine) runMorsels(n int, sp *obs.Span, fn func(worker, m, lo, hi int) 
 				if failed {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				start := time.Now()
-				err := fn(w, m, spans[m].lo, spans[m].hi)
+				err := runFn(w, m, spans[m].lo, spans[m].hi)
 				d := time.Since(start).Nanoseconds()
 				busy[w] += d
 				mMorselNanos.Observe(float64(d))
 				if err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = err
-					}
-					errMu.Unlock()
+					fail(err)
 					return
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if first == nil {
+		// See the serial path: report a deadline that expired mid-drain.
+		first = ctx.Err()
+	}
 	elapsed := time.Since(wall).Nanoseconds()
 	mParallelOps.Inc()
 	mMorsels.Add(int64(len(spans)))
@@ -186,14 +226,15 @@ func (e *Engine) mergeTimer(sp *obs.Span) func() {
 // the worker pool — and concatenates the partial outputs in input
 // order. The contract matches the serial path exactly: fn sees
 // contiguous slices of in and outputs one chunk per slice.
-func (e *Engine) runPartitioned(in *data.Chunk, n int, sp *obs.Span, fn func(*data.Chunk) (*data.Chunk, error)) (*data.Chunk, error) {
+func (e *Engine) runPartitioned(ectx *execCtx, in *data.Chunk, n int, fn func(*data.Chunk) (*data.Chunk, error)) (*data.Chunk, error) {
+	sp := ectx.span
 	spans := e.morselsFor(n)
 	if len(spans) == 1 && e.Workers() <= 1 {
 		// Serial single-batch fast path: no slicing, no concat.
 		return fn(in)
 	}
 	outs := make([]*data.Chunk, len(spans))
-	_, err := e.runMorsels(n, sp, func(_, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, n, func(_, m, lo, hi int) error {
 		out, err := fn(in.Slice(lo, hi))
 		if err != nil {
 			return err
@@ -220,16 +261,23 @@ func (e *Engine) runPartitioned(in *data.Chunk, n int, sp *obs.Span, fn func(*da
 // takeParallel materializes in.Take(idx) across the worker pool: each
 // worker gathers a contiguous range of idx into its own chunk and the
 // results concatenate in order (identical output to the serial Take).
-func (e *Engine) takeParallel(in *data.Chunk, idx []int, sp *obs.Span) *data.Chunk {
+func (e *Engine) takeParallel(ectx *execCtx, in *data.Chunk, idx []int) *data.Chunk {
+	sp := ectx.span
 	if len(idx) < minParallelRows || e.Workers() <= 1 {
 		return in.Take(idx)
 	}
 	spans := morselPlan(len(idx), e.morselSize())
 	outs := make([]*data.Chunk, len(spans))
-	_, _ = e.runMorsels(len(idx), sp, func(_, m, lo, hi int) error {
+	_, err := e.runMorsels(ectx, len(idx), func(_, m, lo, hi int) error {
 		outs[m] = in.Take(idx[lo:hi])
 		return nil
 	})
+	if err != nil {
+		// An aborted drain leaves holes in outs; the serial gather is
+		// always correct, and a cancelled query stops at the caller's
+		// next context check anyway.
+		return in.Take(idx)
+	}
 	defer e.mergeTimer(sp)()
 	merged := data.EmptyChunk(in.Schema())
 	for _, o := range outs {

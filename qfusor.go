@@ -23,15 +23,18 @@
 package qfusor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"qfusor/internal/core"
 	"qfusor/internal/data"
 	"qfusor/internal/engines"
 	"qfusor/internal/ffi"
 	"qfusor/internal/obs"
+	"qfusor/internal/resilience"
 	"qfusor/internal/workload"
 )
 
@@ -135,6 +138,28 @@ func WithParallelism(n int) Option {
 	return func(c *engines.Config) { c.Parallelism = n }
 }
 
+// WithUDFTimeout bounds each out-of-process UDF round trip (profiles
+// with a process transport: PostgreSQL, PySpark). A call that exceeds
+// the deadline fails with a timeout error; idempotent scalar batches
+// are retried on a respawned worker, anything else degrades to the
+// native plan.
+func WithUDFTimeout(d time.Duration) Option {
+	return func(c *engines.Config) { c.UDFCallTimeout = d }
+}
+
+// WithStepBudget caps the number of PyLite statements a context-bound
+// query (QueryContext and friends) may execute before it is
+// interrupted — the runaway-UDF guard. 0 = unlimited.
+func WithStepBudget(n int64) Option {
+	return func(c *engines.Config) { c.UDFStepBudget = n }
+}
+
+// QueryError is the typed failure every resilient query path returns:
+// Stage says where the ladder stopped ("plan", "fused", "native",
+// "fallback" or "cancelled") and the cause chain is reachable with
+// errors.Is / errors.As.
+type QueryError = resilience.QueryError
+
 // DB is an opened engine instance with QFusor attached.
 type DB struct {
 	in *engines.Instance
@@ -166,12 +191,27 @@ func (db *DB) PutTable(t *Table) { db.in.Put(t) }
 // DELETE). UPDATE and DELETE predicates may call UDFs.
 func (db *DB) Exec(sql string) error { return db.in.Eng.Exec(sql) }
 
-// Query runs a SELECT through the QFusor pipeline (fusion + JIT).
+// Query runs a SELECT through the QFusor pipeline (fusion + JIT) with
+// graceful degradation: a fused-path failure transparently re-executes
+// the query on the engine's native plan.
 func (db *DB) Query(sql string) (*Table, error) { return db.in.QueryFused(sql) }
+
+// QueryContext is Query under a context: cancelling ctx (or hitting
+// its deadline) stops the query inside the executors' morsel loops and
+// the UDF runtime's statement checks, returning a *QueryError with
+// Stage "cancelled" whose chain carries ctx's cause.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Table, error) {
+	return db.in.QueryFusedCtx(ctx, sql)
+}
 
 // QueryNative runs a SELECT with engine-native UDF execution (no
 // fusion) for comparison.
 func (db *DB) QueryNative(sql string) (*Table, error) { return db.in.Query(sql) }
+
+// QueryNativeContext is QueryNative under a context.
+func (db *DB) QueryNativeContext(ctx context.Context, sql string) (*Table, error) {
+	return db.in.QueryCtx(ctx, sql)
+}
 
 // Explain returns the engine's plan for sql after QFusor's rewrite,
 // plus the generated fused-wrapper sources.
@@ -217,6 +257,12 @@ func (db *DB) ExplainNative(sql string) (string, error) {
 // time, and the engine-wide metrics delta for the query.
 func (db *DB) QueryAnalyze(sql string) (*Analysis, error) {
 	return db.in.QueryAnalyze(sql)
+}
+
+// QueryAnalyzeContext is QueryAnalyze under a context; a fused-path
+// failure degrades to the native plan under a phase:fallback span.
+func (db *DB) QueryAnalyzeContext(ctx context.Context, sql string) (*Analysis, error) {
+	return db.in.QueryAnalyzeCtx(ctx, sql)
 }
 
 // LastReport returns measurements of the most recent Query's fusion

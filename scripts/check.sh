@@ -9,3 +9,6 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 GOMAXPROCS=8 go test -race ./...
+# Chaos sweep: fire every registered fault point and require graceful
+# degradation (native-identical result or typed QueryError, no crash).
+GOMAXPROCS=8 go test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|Interrupt|ProcessInvoker' ./...
