@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-smoke
+.PHONY: check build vet test race chaos bench bench-smoke obs-smoke
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -25,6 +25,12 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|Interrupt|ProcessInvoker' ./...
 
 
+
+## obs-smoke: end-to-end diagnostics-plane check — starts the embedded
+## HTTP server against a live engine and validates /metrics exposition,
+## the flight recorder, a Chrome-trace round trip and the UDF profiler.
+obs-smoke:
+	$(GO) run ./cmd/qfusor-bench -obs-smoke
 
 ## bench: run the paper experiments quickly, with a metrics snapshot.
 bench:

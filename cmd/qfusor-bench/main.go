@@ -17,21 +17,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"qfusor/internal/bench"
 	"qfusor/internal/faultinject"
 	"qfusor/internal/obs"
+	"qfusor/internal/obshttp"
 	"qfusor/internal/workload"
 )
 
+// hostInfo records the hardware/runtime context a benchmark ran under,
+// so BENCH_obs.json numbers are comparable across machines.
+type hostInfo struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+}
+
+func hostOf(parallelism int) hostInfo {
+	return hostInfo{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: parallelism,
+	}
+}
+
 // obsReport is the machine-readable run record -obs writes: the figures
 // alongside the engine-wide metrics delta accumulated while producing
-// them (FFI crossings, JIT compiles, cache hits, executor row counts).
+// them (FFI crossings, JIT compiles, cache hits, executor row counts)
+// and the host context.
 type obsReport struct {
 	Size    string          `json:"size"`
 	Quick   bool            `json:"quick"`
+	Host    hostInfo        `json:"host"`
 	Results []*bench.Result `json:"results"`
 	Metrics obs.Snapshot    `json:"metrics"`
 }
@@ -44,9 +70,30 @@ func main() {
 	obsOut := flag.String("obs", "", "write results + metrics snapshot as JSON to this file (e.g. BENCH_obs.json)")
 	parallelism := flag.Int("parallelism", 0, "executor workers for experiments that don't pin their own: 0 = auto (one per core), 1 = serial")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); an expired query fails its experiment instead of wedging the run")
+	httpAddr := flag.String("http", "", "serve diagnostics while the run is live (/metrics, /debug/queries, /debug/trace/<id>); empty = off")
+	smoke := flag.Bool("obs-smoke", false, "run the diagnostics-plane smoke test (endpoints, exposition validity, trace round-trip) and exit")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; exercises the resilience layer)")
 	flag.Parse()
+
+	if *smoke {
+		if err := obsSmoke(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("obs-smoke: OK")
+		return
+	}
+	if *httpAddr != "" {
+		srv := &obshttp.Server{}
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diagnostics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("diagnostics: http://%s/metrics\n", addr)
+	}
 
 	r := bench.NewRunner(workload.Size(*size), os.Stdout)
 	r.Quick = *quick
@@ -79,7 +126,7 @@ func main() {
 			os.Exit(1)
 		}
 		r.Print(res)
-		writeObs(*obsOut, *size, *quick, []*bench.Result{res}, base)
+		writeObs(*obsOut, *size, *quick, *parallelism, []*bench.Result{res}, base)
 		return
 	}
 
@@ -88,17 +135,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments failed: %v\n", err)
 		os.Exit(1)
 	}
-	writeObs(*obsOut, *size, *quick, results, base)
+	writeObs(*obsOut, *size, *quick, *parallelism, results, base)
 }
 
 // writeObs emits the -obs JSON record (a no-op without -obs).
-func writeObs(path, size string, quick bool, results []*bench.Result, base obs.Snapshot) {
+func writeObs(path, size string, quick bool, parallelism int, results []*bench.Result, base obs.Snapshot) {
 	if path == "" {
 		return
 	}
 	rec := obsReport{
 		Size:    size,
 		Quick:   quick,
+		Host:    hostOf(parallelism),
 		Results: results,
 		Metrics: obs.Default.Snapshot().Diff(base),
 	}

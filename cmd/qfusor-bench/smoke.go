@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/obs"
+)
+
+// obsSmoke is the end-to-end check behind `make obs-smoke` and
+// scripts/check.sh: it opens a real engine, runs fused queries with the
+// diagnostics server and the UDF profiler live, then validates every
+// endpoint over actual HTTP — the exposition parses and carries the
+// required series, the flight recorder shows the queries, a recorded
+// trace round-trips as structurally valid Chrome trace_event JSON, and
+// the profiler reports hot lines.
+func obsSmoke(w io.Writer) error {
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.Define("@scalarudf\ndef smokeup(s: str) -> str:\n    t = s\n    for i in range(3):\n        t = t.upper()\n    return t\n"); err != nil {
+		return err
+	}
+	if err := db.Exec("CREATE TABLE smoketbl (name string, n int)"); err != nil {
+		return err
+	}
+	if err := db.Exec("INSERT INTO smoketbl VALUES ('ada', 1), ('grace', 2), ('edsger', 3)"); err != nil {
+		return err
+	}
+
+	addr, err := db.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	fmt.Fprintf(w, "obs-smoke: diagnostics server at %s\n", base)
+	db.StartUDFProfiler(2)
+	db.SetSlowQueryThreshold(0) // every query lands in the slow log
+
+	// Repeated runs: the second and later executions exercise the wrapper
+	// cache and feed the drift calibration with measured section costs.
+	const runs = 4
+	for i := 0; i < runs; i++ {
+		if _, err := db.Query("SELECT smokeup(name), n FROM smoketbl WHERE n >= 1"); err != nil {
+			return fmt.Errorf("query run %d: %w", i, err)
+		}
+	}
+
+	// /metrics: valid Prometheus 0.0.4 exposition with the series the
+	// diagnostics plane promises.
+	body, err := httpGet(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParseExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+	required := []string{
+		"qfusor_fallbacks",
+		`qfusor_fallbacks{reason="breaker_open"}`,
+		`qfusor_fallbacks{reason="panic"}`,
+		`qfusor_fallbacks{reason="exec_error"}`,
+		"qfusor_breaker_open",
+		"qfusor_breaker_half_open",
+		"qfusor_breaker_tracked",
+		"qfusor_breaker_trips",
+		"engine_morsels",
+		"engine_morsel_rows",
+		"ffi_proc_live_workers",
+		"qfusor_drift_observations",
+		"obs_flight_recorded",
+		"pylite_profile_samples",
+	}
+	for _, name := range required {
+		if _, ok := samples[name]; !ok {
+			return fmt.Errorf("/metrics missing required series %s", name)
+		}
+	}
+	if samples["qfusor_drift_observations"] < 1 {
+		return fmt.Errorf("drift loop never observed a section cost")
+	}
+	driftSeries := 0
+	for k := range samples {
+		if strings.HasPrefix(k, "qfusor_drift_calibration_milli{section=") {
+			driftSeries++
+		}
+	}
+	if driftSeries == 0 {
+		return fmt.Errorf("/metrics has no per-section drift calibration gauge")
+	}
+	fmt.Fprintf(w, "obs-smoke: /metrics ok (%d samples, %d drift sections)\n", len(samples), driftSeries)
+
+	// /debug/queries: the flight recorder saw every run, and at least one
+	// record carries a trace.
+	body, err = httpGet(base + "/debug/queries?n=16")
+	if err != nil {
+		return err
+	}
+	var queries struct {
+		SlowThresholdNanos int64                 `json:"slow_threshold_ns"`
+		Count              int                   `json:"count"`
+		Queries            []*qfusor.QueryRecord `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &queries); err != nil {
+		return fmt.Errorf("/debug/queries: %w", err)
+	}
+	if queries.Count < runs {
+		return fmt.Errorf("/debug/queries count = %d, want >= %d", queries.Count, runs)
+	}
+	var traceID int64 = -1
+	for _, q := range queries.Queries {
+		if q.HasTrace {
+			traceID = q.ID
+			break
+		}
+	}
+	if traceID < 0 {
+		return fmt.Errorf("no recorded query carries a trace (trace-all should be on while the server runs)")
+	}
+	// The slow log (threshold 0) caught them too.
+	body, err = httpGet(base + "/debug/queries?slow=1")
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, &queries); err != nil {
+		return fmt.Errorf("/debug/queries?slow=1: %w", err)
+	}
+	if queries.Count < runs {
+		return fmt.Errorf("slow log count = %d, want >= %d (threshold 0)", queries.Count, runs)
+	}
+	fmt.Fprintf(w, "obs-smoke: /debug/queries ok (%d records, trace id %d)\n", queries.Count, traceID)
+
+	// /debug/trace/<id>: structurally valid Chrome trace_event JSON.
+	body, err = httpGet(fmt.Sprintf("%s/debug/trace/%d", base, traceID))
+	if err != nil {
+		return err
+	}
+	tf, err := obs.ParseChromeTrace(body)
+	if err != nil {
+		return fmt.Errorf("/debug/trace/%d: %w", traceID, err)
+	}
+	if len(tf.TraceEvents) < 2 {
+		return fmt.Errorf("trace %d has %d events, want a span tree", traceID, len(tf.TraceEvents))
+	}
+	fmt.Fprintf(w, "obs-smoke: /debug/trace/%d ok (%d events)\n", traceID, len(tf.TraceEvents))
+
+	// /debug/profile: the sampling profiler attributed samples to the UDF.
+	body, err = httpGet(base + "/debug/profile")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "smokeup") {
+		return fmt.Errorf("/debug/profile does not mention the hot UDF:\n%s", body)
+	}
+	fmt.Fprintln(w, "obs-smoke: /debug/profile ok")
+	return nil
+}
+
+// httpGet fetches a URL with a short deadline and returns its body,
+// failing on any non-200 status.
+func httpGet(url string) ([]byte, error) {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}

@@ -37,6 +37,8 @@ func main() {
 	size := flag.String("size", "tiny", "workload size: tiny | small | medium | large")
 	parallelism := flag.Int("parallelism", 0, "executor workers: 0 = auto (one per core), 1 = serial")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a cancelled QueryError")
+	httpAddr := flag.String("http", "", "serve diagnostics on this address (/metrics, /debug/queries, /debug/trace/<id>, /debug/profile); empty = off")
+	profInterval := flag.Int("profile", 0, "enable the UDF sampling profiler with this statement interval (0 = off; rounded up to a power of two)")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; see faultinject)")
 	flag.Parse()
@@ -48,6 +50,17 @@ func main() {
 		os.Exit(1)
 	}
 	defer db.Close()
+	if *profInterval > 0 {
+		db.StartUDFProfiler(*profInterval)
+	}
+	if *httpAddr != "" {
+		addr, err := db.ServeDebug(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagnostics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("diagnostics: http://%s/metrics  /debug/queries  /debug/trace/<id>  /debug/profile\n", addr)
+	}
 
 	for _, w := range strings.Split(*load, ",") {
 		if w == "" {

@@ -11,6 +11,7 @@ import (
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
 	"qfusor/internal/obs"
+	"qfusor/internal/pylite"
 	"qfusor/internal/resilience"
 	"qfusor/internal/sqlengine"
 )
@@ -40,6 +41,10 @@ type Analysis struct {
 	// Metrics is the obs.Default delta over this query (counters and
 	// histograms subtract; gauges read current).
 	Metrics obs.Snapshot
+	// HotLines is the PyLite sampling-profiler window for this query:
+	// per-statement sample counts attributed to UDF source lines, hottest
+	// first. Empty unless a profiler is active (StartUDFProfiler).
+	HotLines *pylite.ProfileSnapshot
 }
 
 // UDFUsage is one UDF's contribution to a query. Wrapper is time spent
@@ -71,6 +76,7 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
 	root := obs.NewTracer().Start("query")
 
 	// Per-UDF stats baseline: wrappers registered during Process simply
@@ -80,14 +86,22 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 		base[u.Name] = u.Stats.Snapshot()
 	}
 	m0 := obs.Default.Snapshot()
+	var prof0 pylite.ProfileSnapshot
+	if p := pylite.ActiveProfiler(); p != nil {
+		prof0 = p.Snapshot()
+	}
 
 	q, rep, err := qf.ProcessTraced(eng, sql, root)
 	if err != nil {
 		return nil, err
 	}
+	secBase := qf.sectionBaselines(rep)
 	ex := root.Child("phase:execute")
 	res, err := execTracedRecovered(ctx, eng, q, ex)
 	ex.End()
+	if err == nil {
+		qf.observeSectionCosts(rep, secBase)
+	}
 	if err != nil && !isCancellation(ctx, err) {
 		// Degrade exactly like QueryCtx, but keep the span tree: the
 		// analysis shows the failed fused execute and the native rerun.
@@ -113,8 +127,9 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 	if err != nil {
 		if isCancellation(ctx, err) {
 			mCancelled.Inc()
-			return nil, qerr(sql, "cancelled", err)
+			err = qerr(sql, "cancelled", err)
 		}
+		qf.recordFlight("analyze", sql, start, nil, rep, err, root)
 		return nil, err
 	}
 
@@ -126,6 +141,11 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 		Plan:    q.Explain(),
 		Metrics: obs.Default.Snapshot().Diff(m0),
 	}
+	if p := pylite.ActiveProfiler(); p != nil {
+		win := p.Snapshot().Diff(prof0)
+		a.HotLines = &win
+	}
+	qf.recordFlight("analyze", sql, start, res, rep, nil, root)
 	for _, u := range eng.Catalog.UDFs() {
 		d := u.Stats.Snapshot().Sub(base[u.Name])
 		if d.IsZero() {
@@ -164,6 +184,14 @@ func (a *Analysis) Render() string {
 				u.Name, u.Calls, u.RowsIn, u.RowsOut,
 				fmtAnalyzeDur(u.Wall), fmtAnalyzeDur(u.Wrapper), fmtAnalyzeDur(u.Body), tag)
 		}
+	}
+	if len(a.Report.SectionCosts) > 0 {
+		b.WriteString("\nCost-model drift (predicted vs measured per fused section):\n")
+		renderDrift(&b, a.Report.SectionCosts)
+	}
+	if a.HotLines != nil && len(a.HotLines.Samples) > 0 {
+		b.WriteString("\n")
+		b.WriteString(a.HotLines.ReportText(10))
 	}
 	fmt.Fprintf(&b, "\nsections=%d cache_hits=%d fus_optim=%s code_gen=%s\n",
 		a.Report.Sections, a.Report.CacheHits,

@@ -342,6 +342,13 @@ func (g *DFG) sectionCost(cm *CostModel, sec []int) float64 {
 			sel *= n.Sel
 		}
 	}
+	// Note: the drift calibration (cm.Drift) is deliberately NOT applied
+	// here. Selection compares F(S) against per-node singles that have no
+	// measured counterpart, so scaling only the fused side would let one
+	// noisy run flip fusion decisions — and a flipped plan generates a
+	// different wrapper source, defeating the compile cache. Calibration
+	// refines the *prediction* recorded for each realized section (see
+	// realizeSections), which is what converges toward measured cost.
 	return cm.Fused(nodes, len(extIn), maxInt(1, len(extOut)), entryRows) * selAdjust(sel)
 }
 

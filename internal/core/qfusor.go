@@ -68,6 +68,10 @@ type Report struct {
 	Wrappers []string
 	// CacheHits counts wrappers reused from the compile cache.
 	CacheHits int
+	// SectionCosts carries each fused section's predicted vs measured
+	// cost and the calibration factor in effect — the §5.2 drift loop's
+	// per-query record. Actual stays 0 until the query executed fused.
+	SectionCosts []SectionDrift
 	// Fallback reports that the optimized path was abandoned and the
 	// result came from the engine's native plan; FallbackReason says
 	// why (the fused-path error, or "circuit breaker open").
@@ -438,6 +442,19 @@ func (qf *QFusor) realizeSections(seg *Segment, g *DFG, secs []*Section, rep *Re
 		rep.Sections++
 		rep.Sources = append(rep.Sources, res.Sources...)
 		rep.Wrappers = append(rep.Wrappers, res.Wrapper)
+		if key := sectionKeyOf(g, s.Nodes); key != "" {
+			// The calibrated prediction: the raw F(S) estimate scaled by
+			// the section's learned factor. Repeated queries converge
+			// because each execution's measured cost feeds the factor
+			// (observeSectionCosts) while the plan itself stays stable.
+			f := qf.CM.Drift.Factor(key)
+			rep.SectionCosts = append(rep.SectionCosts, SectionDrift{
+				Wrapper:     res.Wrapper,
+				Key:         key,
+				Predicted:   s.Cost * f,
+				Calibration: f,
+			})
+		}
 		mSections.Inc()
 	}
 	if len(byLo) == 0 {

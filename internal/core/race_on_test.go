@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation makes wall-clock measurements too
+// noisy for timing-convergence assertions.
+const raceEnabled = true

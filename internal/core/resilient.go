@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
+	"time"
 
 	"qfusor/internal/data"
 	"qfusor/internal/obs"
@@ -14,13 +15,50 @@ import (
 )
 
 // Degradation metrics (obs.Default): how often the optimized path was
-// abandoned and why.
+// abandoned and why. qfusor.fallbacks stays the reason-agnostic total
+// (dashboards from PR 3 keep working); the labeled series break it down
+// by cause for /metrics.
 var (
 	mFallbacks    = obs.Default.Counter("qfusor.fallbacks")
 	mBreakerTrips = obs.Default.Counter("qfusor.breaker_trips")
 	mBreakerSkips = obs.Default.Counter("qfusor.breaker_open_skips")
 	mCancelled    = obs.Default.Counter("qfusor.cancelled")
+
+	mFallbackBreaker = obs.Default.Counter(obs.LabeledName("qfusor.fallbacks", "reason", "breaker_open"))
+	mFallbackPanic   = obs.Default.Counter(obs.LabeledName("qfusor.fallbacks", "reason", "panic"))
+	mFallbackError   = obs.Default.Counter(obs.LabeledName("qfusor.fallbacks", "reason", "exec_error"))
+
+	// Breaker census gauges, refreshed after every resilient query.
+	gBreakerOpen     = obs.Default.Gauge("qfusor.breaker.open")
+	gBreakerHalfOpen = obs.Default.Gauge("qfusor.breaker.half_open")
+	gBreakerTracked  = obs.Default.Gauge("qfusor.breaker.tracked")
 )
+
+// updateBreakerGauges publishes the breaker's circuit census (strictly
+// open, half-open, tracked keys) to /metrics. Nil-breaker safe.
+func (qf *QFusor) updateBreakerGauges() {
+	st := qf.Breaker.Snapshot()
+	gBreakerOpen.Set(int64(st.Open))
+	gBreakerHalfOpen.Set(int64(st.HalfOpen))
+	gBreakerTracked.Set(int64(st.Tracked))
+}
+
+// fallbackReason increments the labeled breakdown for one fallback.
+func fallbackReason(breakerOpen bool, cause error) {
+	switch {
+	case breakerOpen:
+		mFallbackBreaker.Inc()
+	case isPanic(cause):
+		mFallbackPanic.Inc()
+	default:
+		mFallbackError.Inc()
+	}
+}
+
+func isPanic(err error) bool {
+	var pe *resilience.PanicError
+	return errors.As(err, &pe)
+}
 
 // queryKey is the circuit-breaker key for a query text.
 func queryKey(sql string) string {
@@ -50,21 +88,71 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Flight recorder: the diagnostics server's trace-all switch makes
+	// every query build a span tree; otherwise root stays nil and every
+	// span hook is a pointer compare (the nil-tracer guarantee).
+	start := time.Now()
+	var root *obs.Span
+	if obs.DefaultFlight.TraceAll() {
+		root = obs.NewSpan("query")
+	}
+	t, rep, err := qf.queryResilient(ctx, eng, sql, root)
+	root.End()
+	qf.updateBreakerGauges()
+	qf.recordFlight("fused", sql, start, t, rep, err, root)
+	return t, rep, err
+}
+
+// recordFlight stores one completed query in the process flight
+// recorder (nil-safe span snapshot; no-op cost is one mutex-guarded
+// ring write).
+func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table, rep *Report, err error, root *obs.Span) {
+	rec := &obs.QueryRecord{
+		SQL:      sql,
+		Path:     path,
+		Start:    start,
+		Duration: time.Since(start),
+		Trace:    root.Snapshot(),
+	}
+	if t != nil {
+		rec.Rows = t.NumRows()
+	}
+	if rep != nil {
+		rec.Sections = rep.Sections
+		rec.Wrappers = rep.Wrappers
+		rec.CacheHits = rep.CacheHits
+		rec.Fallback = rep.Fallback
+		rec.FallbackReason = rep.FallbackReason
+		rec.BreakerOpen = rep.FallbackReason == breakerOpenReason
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	obs.DefaultFlight.Record(rec)
+}
+
+// breakerOpenReason is the FallbackReason for breaker-routed queries.
+const breakerOpenReason = "circuit breaker open"
+
+// queryResilient is QueryCtx's ladder body (split out so the flight
+// recorder wraps exactly one attempt).
+func (qf *QFusor) queryResilient(ctx context.Context, eng *sqlengine.Engine, sql string, root *obs.Span) (*data.Table, *Report, error) {
 	key := queryKey(sql)
 	if qf.Breaker != nil && !qf.Breaker.Allow(key) {
 		mBreakerSkips.Inc()
-		rep := &Report{Fallback: true, FallbackReason: "circuit breaker open"}
-		t, err := qf.execNative(ctx, eng, sql)
+		rep := &Report{Fallback: true, FallbackReason: breakerOpenReason}
+		t, err := qf.execNative(ctx, eng, sql, root)
 		if err != nil {
 			qf.setReport(*rep)
 			return nil, rep, qerr(sql, "native", err)
 		}
 		mFallbacks.Inc()
+		fallbackReason(true, nil)
 		qf.setReport(*rep)
 		return t, rep, nil
 	}
 
-	t, rep, ferr := qf.queryFusedOnce(ctx, eng, sql)
+	t, rep, ferr := qf.queryFusedOnce(ctx, eng, sql, root)
 	if rep == nil {
 		rep = &Report{}
 	}
@@ -95,7 +183,10 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 			}
 		}
 	}
-	nt, nerr := qf.execNative(ctx, eng, sql)
+	fb := root.Child("phase:fallback")
+	fb.SetAttr("cause", ferr.Error())
+	nt, nerr := qf.execNative(ctx, eng, sql, fb)
+	fb.End()
 	if nerr != nil {
 		if isCancellation(ctx, nerr) {
 			mCancelled.Inc()
@@ -105,6 +196,7 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 		return nil, rep, qerr(sql, "fallback", errors.Join(ferr, nerr))
 	}
 	mFallbacks.Inc()
+	fallbackReason(false, ferr)
 	rep.Fallback = true
 	rep.FallbackReason = ferr.Error()
 	qf.setReport(*rep)
@@ -112,28 +204,37 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 }
 
 // queryFusedOnce runs one attempt of the optimized path (Process +
-// execute) with panic containment. The Report is returned even on
-// failure so the caller knows which wrappers were involved.
-func (qf *QFusor) queryFusedOnce(ctx context.Context, eng *sqlengine.Engine, sql string) (_ *data.Table, rep *Report, err error) {
+// execute) with panic containment, and — on success — closes the §5.2
+// drift loop by recording each fused section's measured cost against
+// its prediction. The Report is returned even on failure so the caller
+// knows which wrappers were involved.
+func (qf *QFusor) queryFusedOnce(ctx context.Context, eng *sqlengine.Engine, sql string, root *obs.Span) (_ *data.Table, rep *Report, err error) {
 	defer resilience.Recover(&err)
-	q, rep, perr := qf.Process(eng, sql)
+	q, rep, perr := qf.ProcessTraced(eng, sql, root)
 	if perr != nil {
 		return nil, rep, perr
 	}
-	t, xerr := eng.ExecuteTracedCtx(ctx, q, nil)
+	base := qf.sectionBaselines(rep)
+	sp := root.Child("phase:execute")
+	t, xerr := eng.ExecuteTracedCtx(ctx, q, sp)
+	sp.End()
+	if xerr == nil {
+		qf.observeSectionCosts(rep, base)
+	}
 	return t, rep, xerr
 }
 
 // execNative plans and executes sql without any QFusor rewrite, with
 // panic containment (the degradation target must not be able to crash
-// the process either).
-func (qf *QFusor) execNative(ctx context.Context, eng *sqlengine.Engine, sql string) (_ *data.Table, err error) {
+// the process either). span, when non-nil, receives the native plan's
+// operator spans.
+func (qf *QFusor) execNative(ctx context.Context, eng *sqlengine.Engine, sql string, span *obs.Span) (_ *data.Table, err error) {
 	defer resilience.Recover(&err)
 	q, perr := eng.Plan(sql)
 	if perr != nil {
 		return nil, perr
 	}
-	return eng.ExecuteTracedCtx(ctx, q, nil)
+	return eng.ExecuteTracedCtx(ctx, q, span)
 }
 
 // isCancellation reports whether err (or the context itself) represents

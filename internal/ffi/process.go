@@ -37,6 +37,10 @@ var (
 var (
 	mProcRespawns = obs.Default.Counter("ffi.proc_worker_respawns")
 	mProcRetries  = obs.Default.Counter("ffi.proc_call_retries")
+	// gProcWorkers counts live UDF worker goroutines process-wide; it
+	// drops when a worker dies and recovers when the supervisor respawns
+	// it, so /metrics shows supervision in action.
+	gProcWorkers = obs.Default.Gauge("ffi.proc_live_workers")
 )
 
 // Retry-backoff bounds for idempotent scalar batches.
@@ -146,10 +150,14 @@ func (*ProcessInvoker) Name() string { return "process" }
 // mid-request (panic or injected kill), a replacement is spawned, until
 // Close.
 func (p *ProcessInvoker) supervise() {
+	gProcWorkers.Add(1)
 	for p.runWorker() {
+		gProcWorkers.Add(-1)
 		p.respawns.Add(1)
 		mProcRespawns.Inc()
+		gProcWorkers.Add(1)
 	}
+	gProcWorkers.Add(-1)
 }
 
 // runWorker is the UDF-side of the "process boundary". It reports true

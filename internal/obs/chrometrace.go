@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Chrome trace_event export: span-tree snapshots render as "X"
+// (complete) events with microsecond timestamps relative to the root
+// span, loadable in chrome://tracing and Perfetto. All spans share one
+// pid/tid — the viewer nests complete events by ts/dur containment,
+// which matches the tree structure exactly because children always run
+// within their parent's window.
+
+// TraceEvent is one entry in a Chrome trace_event stream.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds from trace start
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON-object form of a Chrome trace (the array form
+// is also legal, but the object form carries displayTimeUnit).
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// ChromeTrace converts a span snapshot into a Chrome trace. Returns an
+// empty (still valid) trace for a nil root.
+func ChromeTrace(root *SpanSnapshot) *TraceFile {
+	tf := &TraceFile{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	if root == nil {
+		return tf
+	}
+	tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]string{"name": "qfusor"},
+	})
+	root.Walk(func(sp *SpanSnapshot, _ int) {
+		ev := TraceEvent{
+			Name: sp.Name,
+			Cat:  "query",
+			Ph:   "X",
+			Ts:   float64(sp.Start.Sub(root.Start)) / float64(time.Microsecond),
+			Dur:  float64(sp.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+		}
+		if ev.Ts < 0 {
+			ev.Ts = 0
+		}
+		if ev.Dur <= 0 {
+			ev.Dur = 0.001 // sub-µs spans still need nonzero width to render
+		}
+		if len(sp.Attrs) > 0 || len(sp.Counters) > 0 {
+			ev.Args = make(map[string]string, len(sp.Attrs)+len(sp.Counters))
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+			for _, c := range sp.Counters {
+				ev.Args[c.Key] = strconv.FormatInt(c.Val, 10)
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	})
+	return tf
+}
+
+// JSON marshals the trace.
+func (t *TraceFile) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", " ")
+}
+
+// ParseChromeTrace round-trips trace JSON back into a TraceFile,
+// validating the structural invariants the viewers rely on: every event
+// has a name and a phase, "X" events have non-negative ts and positive
+// dur. Used by tests and the obs-smoke gate.
+func ParseChromeTrace(data []byte) (*TraceFile, error) {
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, err
+	}
+	for i := range tf.TraceEvents {
+		ev := &tf.TraceEvents[i]
+		if ev.Name == "" {
+			return nil, fmt.Errorf("chrometrace: event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts < 0 {
+				return nil, fmt.Errorf("chrometrace: event %d (%s): negative ts", i, ev.Name)
+			}
+			if ev.Dur <= 0 {
+				return nil, fmt.Errorf("chrometrace: event %d (%s): non-positive dur", i, ev.Name)
+			}
+		case "M", "B", "E", "I":
+		default:
+			return nil, fmt.Errorf("chrometrace: event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return &tf, nil
+}

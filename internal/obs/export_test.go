@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabeledNameRoundTrip(t *testing.T) {
+	name := LabeledName("qfusor.fallbacks", "reason", "breaker_open")
+	if name != "qfusor.fallbacks{reason=breaker_open}" {
+		t.Fatalf("LabeledName = %q", name)
+	}
+	base, labels := splitLabeledName(name)
+	if base != "qfusor.fallbacks" || len(labels) != 1 || labels[0].key != "reason" || labels[0].val != "breaker_open" {
+		t.Fatalf("split = %q %+v", base, labels)
+	}
+	if LabeledName("x") != "x" {
+		t.Fatal("no-label LabeledName must be identity")
+	}
+	if b, l := splitLabeledName("plain.name"); b != "plain.name" || l != nil {
+		t.Fatalf("plain split = %q %+v", b, l)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qfusor.queries").Add(7)
+	r.Counter(LabeledName("qfusor.fallbacks", "reason", "breaker_open")).Add(2)
+	r.Counter(LabeledName("qfusor.fallbacks", "reason", "exec_error")).Add(1)
+	r.Gauge("qfusor.breaker.open").Set(1)
+	r.Histogram("engine.exec_nanos").Observe(1e6)
+	r.Histogram("engine.exec_nanos").Observe(1e6)
+	r.Histogram("engine.exec_nanos").Observe(1e3)
+
+	text := r.Snapshot().Prometheus()
+	samples, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("our own exposition does not parse: %v\n%s", err, text)
+	}
+	if samples["qfusor_queries"] != 7 {
+		t.Fatalf("qfusor_queries = %v\n%s", samples["qfusor_queries"], text)
+	}
+	if samples[`qfusor_fallbacks{reason="breaker_open"}`] != 2 ||
+		samples[`qfusor_fallbacks{reason="exec_error"}`] != 1 {
+		t.Fatalf("labeled fallback series wrong:\n%s", text)
+	}
+	if samples["qfusor_breaker_open"] != 1 {
+		t.Fatalf("breaker gauge missing:\n%s", text)
+	}
+	if samples["engine_exec_nanos_count"] != 3 || samples["engine_exec_nanos_sum"] != 2001000 {
+		t.Fatalf("histogram sum/count wrong:\n%s", text)
+	}
+	if samples[`engine_exec_nanos_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket wrong:\n%s", text)
+	}
+	// Cumulative le buckets: the low bucket's count must be included in
+	// every higher bucket.
+	var lows, highs int
+	for k, v := range samples {
+		if strings.HasPrefix(k, "engine_exec_nanos_bucket") && !strings.Contains(k, "+Inf") {
+			if v == 1 {
+				lows++
+			}
+			if v == 3 {
+				highs++
+			}
+		}
+	}
+	if lows != 1 || highs != 1 {
+		t.Fatalf("buckets not cumulative (lows=%d highs=%d):\n%s", lows, highs, text)
+	}
+	// One TYPE line per family, not per sample.
+	if got := strings.Count(text, "# TYPE qfusor_fallbacks "); got != 1 {
+		t.Fatalf("TYPE lines for qfusor_fallbacks = %d\n%s", got, text)
+	}
+	// Deterministic output.
+	if again := r.Snapshot().Prometheus(); again != text {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"9bad_name 1",                       // name starts with a digit
+		"metric 1 2 3",                      // trailing junk
+		"metric notanumber",                 // bad value
+		`metric{l="v} 1`,                    // unterminated quote
+		`metric{9l="v"} 1`,                  // bad label name
+		`metric{l=v} 1`,                     // unquoted value
+		"# TYPE m bogus\nm 1",               // unknown type
+		"# TYPE m counter\n# TYPE m gauge",  // duplicate TYPE
+		"m{a=\"x\"} 1\nm{a=\"x\"} 2",        // duplicate sample
+		`metric{l="a\q"} 1`,                 // bad escape
+	}
+	for _, in := range bad {
+		if _, err := ParseExposition(in); err == nil {
+			t.Fatalf("accepted malformed exposition: %q", in)
+		}
+	}
+	good := "# HELP m help text\n# TYPE m counter\nm{a=\"x\",b=\"y \\\"z\\\"\"} 4 1700000000\n\nn 2.5\n"
+	samples, err := ParseExposition(good)
+	if err != nil {
+		t.Fatalf("rejected valid exposition: %v", err)
+	}
+	if samples[`m{a="x",b="y \"z\""}`] != 4 || samples["n"] != 2.5 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	root := NewSpan("query")
+	probe := root.Child("phase:plan_probe")
+	time.Sleep(time.Millisecond)
+	probe.End()
+	exec := root.Child("phase:execute")
+	op := exec.Child("op:Project")
+	op.SetInt("rows_out", 42)
+	op.SetAttr("udf", "upname")
+	time.Sleep(time.Millisecond)
+	op.End()
+	exec.End()
+	root.End()
+
+	tf := ChromeTrace(root.Snapshot())
+	data, err := tf.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseChromeTrace(data)
+	if err != nil {
+		t.Fatalf("trace does not round-trip: %v\n%s", err, data)
+	}
+	// Metadata event + 4 spans.
+	if len(back.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5\n%s", len(back.TraceEvents), data)
+	}
+	byName := map[string]TraceEvent{}
+	for _, ev := range back.TraceEvents {
+		byName[ev.Name] = ev
+	}
+	q, ok := byName["query"]
+	if !ok || q.Ph != "X" || q.Ts != 0 {
+		t.Fatalf("root event = %+v", q)
+	}
+	opEv := byName["op:Project"]
+	if opEv.Args["rows_out"] != "42" || opEv.Args["udf"] != "upname" {
+		t.Fatalf("op args = %+v", opEv.Args)
+	}
+	// Child events start at or after the root and fit inside it.
+	for _, name := range []string{"phase:plan_probe", "phase:execute", "op:Project"} {
+		ev := byName[name]
+		if ev.Ts < 0 || ev.Ts+ev.Dur > q.Ts+q.Dur+1000 /* 1ms slack for snapshot timing */ {
+			t.Fatalf("%s outside root window: %+v vs %+v", name, ev, q)
+		}
+	}
+	// The viewers require valid JSON with a traceEvents array; assert the
+	// structural shape generically too.
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := generic["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents not an array:\n%s", data)
+	}
+}
+
+func TestChromeTraceNilAndEmpty(t *testing.T) {
+	tf := ChromeTrace(nil)
+	data, err := tf.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseChromeTrace(data); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Fatalf("empty trace lacks traceEvents: %s", data)
+	}
+}
+
+func TestParseChromeTraceRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		`{"traceEvents":[{"name":"a","ph":"X","ts":-5,"dur":1,"pid":1,"tid":1}]}`,
+		`{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":1}]}`,
+		`{"traceEvents":[{"name":"a","ph":"?","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := ParseChromeTrace([]byte(in)); err == nil {
+			t.Fatalf("accepted malformed trace: %s", in)
+		}
+	}
+}
+
+func TestDiffClampsNegativeDeltasAfterReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(10)
+	r.Histogram("h").Observe(100)
+	r.Histogram("h").Observe(100)
+	base := r.Snapshot()
+	// Simulate a mid-window reset: the end snapshot is smaller than the
+	// base (this is what ffi.Stats.Reset racing QueryAnalyze produces).
+	end := Snapshot{
+		Counters:   map[string]int64{"c": 3},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 1, Sum: 100, Buckets: map[int]int64{4: 1}}},
+	}
+	d := end.Diff(base)
+	if _, ok := d.Counters["c"]; ok {
+		t.Fatalf("negative counter delta leaked: %+v", d.Counters)
+	}
+	if h, ok := d.Histograms["h"]; ok {
+		t.Fatalf("negative histogram delta leaked: %+v", h)
+	}
+}

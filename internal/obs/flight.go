@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight-recorder metrics (obs.Default). Package-level so the series
+// exist in every /metrics exposition even before the first query.
+var (
+	mFlightRecorded = Default.Counter("obs.flight.recorded")
+	mFlightSlow     = Default.Counter("obs.flight.slow")
+)
+
+// QueryRecord is one completed query execution as captured by the
+// flight recorder. Records are immutable once handed to Record — the
+// recorder shares pointers with concurrent readers.
+type QueryRecord struct {
+	// ID is the recorder-assigned sequence number (the /debug/trace key).
+	ID int64 `json:"id"`
+	// SQL is the query text.
+	SQL string `json:"sql"`
+	// Path says which execution path produced the result: "fused",
+	// "analyze", or "native".
+	Path string `json:"path"`
+	// Start/Duration bracket the query's wall time.
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Rows is the result cardinality (0 on error).
+	Rows int `json:"rows"`
+	// Sections / Wrappers / CacheHits mirror the optimizer Report.
+	Sections  int      `json:"sections,omitempty"`
+	Wrappers  []string `json:"wrappers,omitempty"`
+	CacheHits int      `json:"cache_hits,omitempty"`
+	// Fallback reports graceful degradation to the native plan.
+	Fallback       bool   `json:"fallback,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// BreakerOpen marks queries routed straight to the native plan
+	// because their circuit was open.
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+	// Err is the query's error text ("" on success).
+	Err string `json:"error,omitempty"`
+	// Slow marks records over the recorder's slow-query threshold.
+	Slow bool `json:"slow,omitempty"`
+	// Trace is the query's span-tree snapshot (nil when the query ran
+	// untraced). Excluded from JSON listings — it is served separately
+	// as a Chrome trace by /debug/trace/<id>.
+	Trace *SpanSnapshot `json:"-"`
+	// HasTrace mirrors Trace != nil for JSON listings.
+	HasTrace bool `json:"has_trace"`
+}
+
+// FlightRecorder is a fixed-size ring buffer over the last N query
+// executions plus a secondary ring of slow queries (those over a
+// configurable latency threshold). It is the always-on black box the
+// diagnostics plane reads: Record is one short critical section per
+// query, readers get stable copies of the ring.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	seq  int64
+	ring []*QueryRecord // capacity-bounded, next is the write cursor
+	next int
+	full bool
+	slow []*QueryRecord
+	sNxt int
+	sFul bool
+
+	slowNanos atomic.Int64
+	traceAll  atomic.Bool
+}
+
+// DefaultSlowThreshold is the initial slow-query latency threshold.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// NewFlightRecorder builds a recorder keeping the last n queries (and
+// up to n slow queries). n < 1 is clamped to 1.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	r := &FlightRecorder{
+		ring: make([]*QueryRecord, n),
+		slow: make([]*QueryRecord, n),
+	}
+	r.slowNanos.Store(int64(DefaultSlowThreshold))
+	return r
+}
+
+// DefaultFlight is the process-wide recorder every query path reports
+// to (the engine-wide analogue of the Default metrics registry).
+var DefaultFlight = NewFlightRecorder(256)
+
+// Record stores a completed query, assigning and returning its ID. The
+// record must not be mutated afterwards.
+func (r *FlightRecorder) Record(rec *QueryRecord) int64 {
+	if r == nil || rec == nil {
+		return 0
+	}
+	rec.HasTrace = rec.Trace != nil
+	rec.Slow = rec.Duration >= time.Duration(r.slowNanos.Load())
+	mFlightRecorded.Inc()
+	r.mu.Lock()
+	r.seq++
+	rec.ID = r.seq
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.next == 0 {
+		r.full = true
+	}
+	if rec.Slow {
+		r.slow[r.sNxt] = rec
+		r.sNxt = (r.sNxt + 1) % len(r.slow)
+		if r.sNxt == 0 {
+			r.sFul = true
+		}
+	}
+	r.mu.Unlock()
+	if rec.Slow {
+		mFlightSlow.Inc()
+	}
+	return rec.ID
+}
+
+// Recent returns up to k records, most recent first (all retained
+// records when k <= 0).
+func (r *FlightRecorder) Recent(k int) []*QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return collectRing(r.ring, r.next, r.full, k)
+}
+
+// Slow returns up to k slow-query records, most recent first.
+func (r *FlightRecorder) Slow(k int) []*QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return collectRing(r.slow, r.sNxt, r.sFul, k)
+}
+
+// collectRing walks a ring backwards from the write cursor.
+func collectRing(ring []*QueryRecord, next int, full bool, k int) []*QueryRecord {
+	n := next
+	if full {
+		n = len(ring)
+	}
+	if k <= 0 || k > n {
+		k = n
+	}
+	out := make([]*QueryRecord, 0, k)
+	for i := 1; i <= k; i++ {
+		out = append(out, ring[((next-i)%len(ring)+len(ring))%len(ring)])
+	}
+	return out
+}
+
+// Get returns the record with the given ID, or nil if it has been
+// overwritten (or never existed).
+func (r *FlightRecorder) Get(id int64) *QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range r.ring {
+		if rec != nil && rec.ID == id {
+			return rec
+		}
+	}
+	for _, rec := range r.slow {
+		if rec != nil && rec.ID == id {
+			return rec
+		}
+	}
+	return nil
+}
+
+// SetSlowThreshold adjusts the slow-query latency threshold.
+func (r *FlightRecorder) SetSlowThreshold(d time.Duration) {
+	if r != nil {
+		r.slowNanos.Store(int64(d))
+	}
+}
+
+// SlowThreshold returns the current slow-query latency threshold.
+func (r *FlightRecorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.slowNanos.Load())
+}
+
+// SetTraceAll toggles span capture for every query routed past this
+// recorder (the diagnostics server turns it on so /debug/trace has a
+// tree for recent queries, not just EXPLAIN ANALYZE runs).
+func (r *FlightRecorder) SetTraceAll(on bool) {
+	if r != nil {
+		r.traceAll.Store(on)
+	}
+}
+
+// TraceAll reports whether every query should run traced. Nil-safe; one
+// atomic load on the query hot path.
+func (r *FlightRecorder) TraceAll() bool {
+	return r != nil && r.traceAll.Load()
+}

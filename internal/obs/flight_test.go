@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(sql string, d time.Duration) *QueryRecord {
+	return &QueryRecord{SQL: sql, Path: "fused", Start: time.Now(), Duration: d, Rows: 1}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record(rec(fmt.Sprintf("q%d", i), time.Millisecond))
+	}
+	got := fr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("recent = %d records, want 4", len(got))
+	}
+	// Most recent first, oldest evicted.
+	for i, want := range []string{"q9", "q8", "q7", "q6"} {
+		if got[i].SQL != want {
+			t.Fatalf("recent[%d] = %q, want %q", i, got[i].SQL, want)
+		}
+	}
+	if got[0].ID != 10 {
+		t.Fatalf("latest ID = %d, want 10", got[0].ID)
+	}
+	if fr.Get(3) != nil {
+		t.Fatal("evicted record still retrievable")
+	}
+	if r := fr.Get(9); r == nil || r.SQL != "q8" {
+		t.Fatalf("Get(9) = %+v", r)
+	}
+}
+
+func TestFlightRecorderRecentK(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 3; i++ {
+		fr.Record(rec(fmt.Sprintf("q%d", i), 0))
+	}
+	if got := fr.Recent(2); len(got) != 2 || got[0].SQL != "q2" {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	if got := fr.Recent(100); len(got) != 3 {
+		t.Fatalf("Recent(100) = %d records, want 3", len(got))
+	}
+}
+
+func TestFlightRecorderSlowLog(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.SetSlowThreshold(10 * time.Millisecond)
+	fr.Record(rec("fast", time.Millisecond))
+	fr.Record(rec("slow1", 20*time.Millisecond))
+	fr.Record(rec("slow2", 10*time.Millisecond)) // threshold is inclusive
+	slow := fr.Slow(0)
+	if len(slow) != 2 || slow[0].SQL != "slow2" || slow[1].SQL != "slow1" {
+		t.Fatalf("slow log = %+v", slow)
+	}
+	for _, r := range slow {
+		if !r.Slow {
+			t.Fatalf("record %q not marked slow", r.SQL)
+		}
+	}
+	if fr.SlowThreshold() != 10*time.Millisecond {
+		t.Fatalf("threshold = %v", fr.SlowThreshold())
+	}
+	// Slow records outlive the main-ring eviction.
+	for i := 0; i < 20; i++ {
+		fr.Record(rec("filler", 0))
+	}
+	if got := fr.Slow(0); len(got) != 2 {
+		t.Fatalf("slow log after eviction = %d records", len(got))
+	}
+	if fr.Get(2) == nil {
+		t.Fatal("slow record evicted from main ring must stay retrievable by ID")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if fr.Record(rec("q", 0)) != 0 {
+		t.Fatal("nil recorder assigned an ID")
+	}
+	if fr.Recent(1) != nil || fr.Slow(1) != nil || fr.Get(1) != nil {
+		t.Fatal("nil recorder returned records")
+	}
+	fr.SetSlowThreshold(time.Second)
+	fr.SetTraceAll(true)
+	if fr.TraceAll() || fr.SlowThreshold() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestFlightRecorderTraceAllToggle(t *testing.T) {
+	fr := NewFlightRecorder(2)
+	if fr.TraceAll() {
+		t.Fatal("trace-all must default off")
+	}
+	fr.SetTraceAll(true)
+	if !fr.TraceAll() {
+		t.Fatal("trace-all did not latch")
+	}
+}
+
+func TestQueryRecordJSONOmitsTrace(t *testing.T) {
+	sp := NewSpan("query")
+	sp.Child("phase:execute").End()
+	sp.End()
+	r := rec("select 1", time.Millisecond)
+	r.Trace = sp.Snapshot()
+	fr := NewFlightRecorder(2)
+	fr.Record(r)
+	b, err := json.Marshal(fr.Recent(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := back[0]["Trace"]; leaked {
+		t.Fatal("span tree serialized into the listing")
+	}
+	if ht, _ := back[0]["has_trace"].(bool); !ht {
+		t.Fatalf("has_trace missing: %s", b)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := NewSpan("query")
+				c := sp.Child("op")
+				c.AddInt("rows", int64(i))
+				c.End()
+				sp.End()
+				fr.Record(&QueryRecord{SQL: "q", Duration: time.Duration(i), Trace: sp.Snapshot()})
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				for _, rec := range fr.Recent(0) {
+					rec.Trace.Walk(func(sp *SpanSnapshot, _ int) { _ = sp.Dur })
+				}
+				_ = fr.Slow(4)
+				_ = fr.Get(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	recent := fr.Recent(0)
+	if len(recent) != 16 {
+		t.Fatalf("ring size = %d", len(recent))
+	}
+	// IDs are unique and strictly decreasing most-recent-first.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].ID >= recent[i-1].ID {
+			t.Fatalf("ring order torn: %d then %d", recent[i-1].ID, recent[i].ID)
+		}
+	}
+}
+
+func TestSnapshotWhileSpanStillRunning(t *testing.T) {
+	root := NewSpan("query")
+	child := root.Child("phase:execute")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			child.AddInt("rows", 1)
+			child.SetAttr("k", "v")
+			gc := child.Child("op")
+			gc.End()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := root.Snapshot()
+		if snap.Name != "query" || snap.Dur < 0 {
+			t.Fatalf("bad snapshot: %+v", snap)
+		}
+	}
+	wg.Wait()
+	child.End()
+	root.End()
+	snap := root.Snapshot()
+	if got := snap.Find("phase:execute"); got == nil {
+		t.Fatal("snapshot lost child")
+	} else if len(got.Children) != 1000 {
+		t.Fatalf("snapshot children = %d", len(got.Children))
+	}
+}

@@ -212,7 +212,11 @@ type Snapshot struct {
 
 // Diff returns this snapshot minus base: counter and histogram values
 // subtract (zero-delta entries are dropped); gauges keep their current
-// value (an instantaneous reading has no meaningful delta).
+// value (an instantaneous reading has no meaningful delta). Negative
+// deltas clamp to zero: a mid-window Reset (e.g. ffi.Stats.Reset racing
+// a QueryAnalyze window) makes the end snapshot smaller than the base,
+// and reporting "-3 calls" to the user is strictly worse than dropping
+// the torn window.
 func (s Snapshot) Diff(base Snapshot) Snapshot {
 	out := Snapshot{
 		Counters:   make(map[string]int64),
@@ -220,7 +224,7 @@ func (s Snapshot) Diff(base Snapshot) Snapshot {
 		Histograms: make(map[string]HistogramSnapshot),
 	}
 	for name, v := range s.Counters {
-		if d := v - base.Counters[name]; d != 0 {
+		if d := v - base.Counters[name]; d > 0 {
 			out.Counters[name] = d
 		}
 	}
@@ -229,9 +233,9 @@ func (s Snapshot) Diff(base Snapshot) Snapshot {
 	}
 	for name, h := range s.Histograms {
 		bh := base.Histograms[name]
-		d := HistogramSnapshot{Count: h.Count - bh.Count, Sum: h.Sum - bh.Sum}
+		d := HistogramSnapshot{Count: max64(h.Count-bh.Count, 0), Sum: max64(h.Sum-bh.Sum, 0)}
 		for b, n := range h.Buckets {
-			if dn := n - bh.Buckets[b]; dn != 0 {
+			if dn := n - bh.Buckets[b]; dn > 0 {
 				if d.Buckets == nil {
 					d.Buckets = make(map[int]int64)
 				}
@@ -243,6 +247,13 @@ func (s Snapshot) Diff(base Snapshot) Snapshot {
 		}
 	}
 	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // JSON renders the snapshot as indented JSON.

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the metrics registry.
+//
+// The registry is a flat name → value store, so label sets are embedded
+// in metric names with the convention `base{key=value,key2=value2}`
+// (see LabeledName). The renderer splits those back out, groups samples
+// into families, and emits one `# TYPE` block per family. Histograms
+// render in the native Prometheus shape: cumulative `_bucket{le="ub"}`
+// series derived from the half-decade log buckets, plus `_sum` and
+// `_count`.
+
+// LabeledName builds a registry metric name carrying a label set:
+// LabeledName("qfusor.fallbacks", "reason", "breaker_open") →
+// "qfusor.fallbacks{reason=breaker_open}". Keys/values are used as
+// given; callers must keep values free of '{', '}', ',' and '='.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabel is one parsed key=value pair from an embedded label set.
+type promLabel struct{ key, val string }
+
+// splitLabeledName splits "base{k=v,...}" into base and labels. Names
+// without an embedded label set come back unchanged with nil labels.
+func splitLabeledName(name string) (string, []promLabel) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base := name[:open]
+	body := name[open+1 : len(name)-1]
+	if body == "" {
+		return base, nil
+	}
+	var labels []promLabel
+	for _, part := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			// Malformed embedded labels: treat the whole thing as a name.
+			return name, nil
+		}
+		labels = append(labels, promLabel{key: promName(k, false), val: v})
+	}
+	return base, labels
+}
+
+// promName sanitizes a registry name into a valid Prometheus metric (or
+// label) name: dots and other invalid runes become underscores.
+func promName(s string, metric bool) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9') || (metric && r == ':')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// fmtLabels renders a sorted label list as {k="v",...} ("" when empty).
+// extra le pairs are appended by the histogram renderer.
+func fmtLabels(labels []promLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.key, promEscape(l.val))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promSample is one exposition line before rendering.
+type promSample struct {
+	labels string // pre-rendered {..} or ""
+	value  string
+}
+
+// promFamily groups samples under one # TYPE declaration.
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+// Prometheus renders the snapshot in Prometheus text exposition format.
+// Output is deterministic: families sorted by name, samples by label.
+func (s Snapshot) Prometheus() string {
+	fams := make(map[string]*promFamily)
+	add := func(name, typ string, mk func(base string, labels []promLabel, f *promFamily)) {
+		base, labels := splitLabeledName(name)
+		fam := promName(base, true)
+		f := fams[fam]
+		if f == nil {
+			f = &promFamily{name: fam, typ: typ}
+			fams[fam] = f
+		}
+		mk(fam, labels, f)
+	}
+
+	for name, v := range s.Counters {
+		v := v
+		add(name, "counter", func(_ string, labels []promLabel, f *promFamily) {
+			f.samples = append(f.samples, promSample{fmtLabels(labels), strconv.FormatInt(v, 10)})
+		})
+	}
+	for name, v := range s.Gauges {
+		v := v
+		add(name, "gauge", func(_ string, labels []promLabel, f *promFamily) {
+			f.samples = append(f.samples, promSample{fmtLabels(labels), strconv.FormatInt(v, 10)})
+		})
+	}
+	for name, h := range s.Histograms {
+		h := h
+		add(name, "histogram", func(fam string, labels []promLabel, f *promFamily) {
+			// Cumulative le-buckets from the half-decade log buckets.
+			// Bucket b holds values quantized to round(2·log10 v), so its
+			// upper edge is 10^((b+0.5)/2).
+			idxs := make([]int, 0, len(h.Buckets))
+			for b := range h.Buckets {
+				idxs = append(idxs, b)
+			}
+			sort.Ints(idxs)
+			var cum int64
+			for _, b := range idxs {
+				cum += h.Buckets[b]
+				ub := math.Pow(10, (float64(b)+0.5)/2)
+				f.samples = append(f.samples, promSample{
+					bucketLabels(labels, strconv.FormatFloat(ub, 'g', 6, 64)),
+					strconv.FormatInt(cum, 10),
+				})
+			}
+			f.samples = append(f.samples,
+				promSample{bucketLabels(labels, "+Inf"), strconv.FormatInt(h.Count, 10)},
+				promSample{"\x00sum" + fmtLabels(labels), strconv.FormatInt(h.Sum, 10)},
+				promSample{"\x00count" + fmtLabels(labels), strconv.FormatInt(h.Count, 10)},
+			)
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		sort.SliceStable(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, sm := range f.samples {
+			switch {
+			case strings.HasPrefix(sm.labels, "\x00sum"):
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, sm.labels[len("\x00sum"):], sm.value)
+			case strings.HasPrefix(sm.labels, "\x00count"):
+				fmt.Fprintf(&b, "%s_count%s %s\n", f.name, sm.labels[len("\x00count"):], sm.value)
+			case f.typ == "histogram":
+				fmt.Fprintf(&b, "%s_bucket%s %s\n", f.name, sm.labels, sm.value)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sm.labels, sm.value)
+			}
+		}
+	}
+	return b.String()
+}
+
+// bucketLabels appends le="ub" to a label set for _bucket series.
+func bucketLabels(labels []promLabel, ub string) string {
+	all := append(append([]promLabel(nil), labels...), promLabel{key: "le", val: ub})
+	return fmtLabels(all)
+}
+
+// ParseExposition is a strict-enough parser for the Prometheus text
+// format used to validate our own /metrics output in tests and the
+// obs-smoke gate. It returns samples keyed by canonical
+// `name{k="v",...}` (labels sorted) → value, and errors on malformed
+// metric names, label syntax, non-numeric values, duplicate samples, or
+// duplicate # TYPE declarations.
+func ParseExposition(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	typed := make(map[string]string)
+	for lineNo, line := range strings.Split(text, "\n") {
+		ln := lineNo + 1
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE: %q", ln, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name, true) {
+					return nil, fmt.Errorf("prom: line %d: invalid metric name %q", ln, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown type %q", ln, typ)
+				}
+				if _, dup := typed[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %q", ln, name)
+				}
+				typed[name] = typ
+			}
+			continue // HELP and free comments pass through
+		}
+		key, val, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", ln, err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("prom: line %d: duplicate sample %q", ln, key)
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// parsePromSample parses one `name{labels} value [timestamp]` line into
+// a canonical key and value.
+func parsePromSample(line string) (string, float64, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name := line[:i]
+	if !validPromName(name, true) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []promLabel
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		j := 1
+		for {
+			// End of label set?
+			for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t') {
+				j++
+			}
+			if j < len(rest) && rest[j] == '}' {
+				j++
+				break
+			}
+			// label name
+			k := j
+			for j < len(rest) && rest[j] != '=' {
+				j++
+			}
+			if j >= len(rest) {
+				return "", 0, fmt.Errorf("unterminated label set")
+			}
+			lname := strings.TrimSpace(rest[k:j])
+			if !validPromName(lname, false) {
+				return "", 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			j++ // '='
+			if j >= len(rest) || rest[j] != '"' {
+				return "", 0, fmt.Errorf("label value for %q not quoted", lname)
+			}
+			j++
+			var val strings.Builder
+			for {
+				if j >= len(rest) {
+					return "", 0, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", 0, fmt.Errorf("dangling escape in label value for %q", lname)
+					}
+					switch rest[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", 0, fmt.Errorf("bad escape \\%c in label value for %q", rest[j+1], lname)
+					}
+					j += 2
+					continue
+				}
+				if c == '"' {
+					j++
+					break
+				}
+				val.WriteByte(c)
+				j++
+			}
+			labels = append(labels, promLabel{key: lname, val: val.String()})
+			if j < len(rest) && rest[j] == ',' {
+				j++
+			}
+		}
+		rest = rest[j:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("expected value [timestamp], got %q", strings.TrimSpace(rest))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		// The format also allows +Inf/-Inf/NaN, which ParseFloat accepts.
+		return "", 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	sort.SliceStable(labels, func(a, b int) bool { return labels[a].key < labels[b].key })
+	return name + fmtLabels(labels), v, nil
+}
+
+// validPromName checks a metric (or label) name against the format's
+// grammar.
+func validPromName(s string, metric bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9') || (metric && r == ':')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

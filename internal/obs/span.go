@@ -278,6 +278,85 @@ func fmtDur(d time.Duration) string {
 	}
 }
 
+// CounterKV is one per-span counter in insertion order (the snapshot
+// form of the counters map — a slice keeps rendering stable).
+type CounterKV struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// SpanSnapshot is an immutable point-in-time copy of a span subtree.
+// The flight recorder stores these (not live *Spans) so diagnostics
+// reads never race with a query still mutating its tree, and exporters
+// (Chrome trace, JSON) can walk it without locking.
+type SpanSnapshot struct {
+	Name     string          `json:"name"`
+	Start    time.Time       `json:"start"`
+	Dur      time.Duration   `json:"dur_ns"`
+	Attrs    []Attr          `json:"attrs,omitempty"`
+	Counters []CounterKV     `json:"counters,omitempty"`
+	Children []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot deep-copies the span subtree. Safe to call while other
+// goroutines still mutate the tree (each span's lock is taken for the
+// duration of its own copy, never its children's); a still-open span
+// snapshots with its running duration. Nil-safe.
+func (s *Span) Snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	snap := &SpanSnapshot{Name: s.Name, Start: s.start}
+	if s.ended {
+		snap.Dur = s.dur
+	} else {
+		snap.Dur = time.Since(s.start)
+	}
+	snap.Attrs = append([]Attr(nil), s.attrs...)
+	for _, k := range s.order {
+		snap.Counters = append(snap.Counters, CounterKV{Key: k, Val: s.counters[k]})
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// Walk visits the snapshot subtree pre-order with each node's depth.
+func (s *SpanSnapshot) Walk(fn func(sp *SpanSnapshot, depth int)) {
+	s.walkSnap(fn, 0)
+}
+
+func (s *SpanSnapshot) walkSnap(fn func(*SpanSnapshot, int), depth int) {
+	if s == nil {
+		return
+	}
+	fn(s, depth)
+	for _, c := range s.Children {
+		c.walkSnap(fn, depth+1)
+	}
+}
+
+// Find returns the first snapshot named name in a pre-order walk of the
+// subtree (including s itself), or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
 // SortChildrenBy reorders children for deterministic rendering (used by
 // tests; execution order is already deterministic in practice).
 func (s *Span) SortChildrenBy(less func(a, b *Span) bool) {

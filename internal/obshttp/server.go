@@ -1,0 +1,200 @@
+// Package obshttp is the embedded HTTP diagnostics plane: a small
+// stdlib-only server exporting the obs metrics registry as Prometheus
+// text exposition, the flight recorder as JSON, per-query span trees as
+// Chrome trace_event JSON, and (when a profiler is installed) PyLite
+// hot-line reports. It is strictly opt-in — nothing listens unless a
+// CLI passes -http or the embedder calls DB.ServeDebug — and read-only:
+// no handler mutates engine state beyond flipping trace-all capture on.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qfusor/internal/obs"
+)
+
+// Server wires diagnostics endpoints over a registry + flight recorder.
+// Zero-value fields fall back to the process-wide defaults, so
+// `new(Server)` (or the DB.ServeDebug path) exports everything the
+// engine records.
+type Server struct {
+	// Registry is the metrics source for /metrics (obs.Default if nil).
+	Registry *obs.Registry
+	// Flight is the query history for /debug/queries and /debug/trace
+	// (obs.DefaultFlight if nil).
+	Flight *obs.FlightRecorder
+	// ProfileText, when set, serves /debug/profile (the PyLite sampling
+	// profiler's hot-line report). Nil → 404 with a hint.
+	ProfileText func() string
+
+	mu sync.Mutex
+	ln net.Listener
+	sv *http.Server
+}
+
+func (s *Server) registry() *obs.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return obs.Default
+}
+
+func (s *Server) flight() *obs.FlightRecorder {
+	if s.Flight != nil {
+		return s.Flight
+	}
+	return obs.DefaultFlight
+}
+
+// Handler returns the diagnostics mux (also usable for embedding into
+// an existing server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleQueries)
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
+	mux.HandleFunc("/debug/profile", s.handleProfile)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port), serves in the
+// background, turns on trace-all capture so /debug/trace has span trees
+// for subsequent queries, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return "", fmt.Errorf("obshttp: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.sv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.flight().SetTraceAll(true)
+	go s.sv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close is expected
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and turns trace-all capture back off.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	sv := s.sv
+	s.ln, s.sv = nil, nil
+	s.mu.Unlock()
+	if sv == nil {
+		return nil
+	}
+	s.flight().SetTraceAll(false)
+	return sv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `qfusor diagnostics
+  /metrics              Prometheus text exposition of the engine registry
+  /debug/queries        recent queries (JSON); ?n=K limits, ?slow=1 slow log only
+  /debug/trace/<id>     Chrome trace_event JSON for one query (chrome://tracing, Perfetto)
+  /debug/profile        PyLite UDF hot-line report (when profiling is enabled)
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.registry().Snapshot().Prometheus())
+}
+
+// queriesPayload is the /debug/queries response envelope.
+type queriesPayload struct {
+	SlowThresholdNanos int64              `json:"slow_threshold_ns"`
+	Count              int                `json:"count"`
+	Queries            []*obs.QueryRecord `json:"queries"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	fr := s.flight()
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "obshttp: bad n parameter", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var recs []*obs.QueryRecord
+	if r.URL.Query().Get("slow") == "1" {
+		recs = fr.Slow(n)
+	} else {
+		recs = fr.Recent(n)
+	}
+	if recs == nil {
+		recs = []*obs.QueryRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(queriesPayload{ //nolint:errcheck // best-effort write to client
+		SlowThresholdNanos: int64(fr.SlowThreshold()),
+		Count:              len(recs),
+		Queries:            recs,
+	})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		http.Error(w, "obshttp: /debug/trace/<id> needs a numeric query id (see /debug/queries)", http.StatusBadRequest)
+		return
+	}
+	rec := s.flight().Get(id)
+	if rec == nil {
+		http.Error(w, fmt.Sprintf("obshttp: query %d not in flight recorder (evicted or never recorded)", id), http.StatusNotFound)
+		return
+	}
+	if rec.Trace == nil {
+		http.Error(w, fmt.Sprintf("obshttp: query %d ran untraced (trace-all capture starts with the server; re-run the query)", id), http.StatusNotFound)
+		return
+	}
+	data, err := obs.ChromeTrace(rec.Trace).JSON()
+	if err != nil {
+		http.Error(w, "obshttp: trace export: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="qfusor-trace-%d.json"`, id))
+	w.Write(data) //nolint:errcheck // best-effort write to client
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	if s.ProfileText == nil {
+		http.Error(w, "obshttp: no UDF profiler installed (start one with -profile or DB.StartUDFProfiler)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.ProfileText())
+}

@@ -1,0 +1,207 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qfusor/internal/obs"
+)
+
+func testServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("qfusor.queries").Add(3)
+	reg.Counter(obs.LabeledName("qfusor.fallbacks", "reason", "exec_error")).Inc()
+	reg.Gauge("qfusor.breaker.open").Set(1)
+	reg.Histogram("engine.exec_nanos").Observe(1e6)
+
+	fr := obs.NewFlightRecorder(8)
+	sp := obs.NewSpan("query")
+	sp.Child("phase:execute").End()
+	sp.End()
+	fr.Record(&obs.QueryRecord{
+		SQL: "SELECT upname(name) FROM people", Path: "fused",
+		Start: time.Now(), Duration: 3 * time.Millisecond, Rows: 5,
+		Trace: sp.Snapshot(),
+	})
+	fr.SetSlowThreshold(time.Millisecond)
+	fr.Record(&obs.QueryRecord{SQL: "SELECT 1", Path: "native", Start: time.Now(), Duration: 2 * time.Millisecond, Rows: 1})
+
+	s := &Server{Registry: reg, Flight: fr, ProfileText: func() string { return "udf upname: line 2 ×10\n" }}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpointServesValidExposition(t *testing.T) {
+	_, addr := testServer(t)
+	code, body := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	samples, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("/metrics not valid exposition: %v\n%s", err, body)
+	}
+	if samples["qfusor_queries"] != 3 || samples["qfusor_breaker_open"] != 1 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if samples[`qfusor_fallbacks{reason="exec_error"}`] != 1 {
+		t.Fatalf("labeled fallback series missing:\n%s", body)
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	_, addr := testServer(t)
+	code, body := get(t, "http://"+addr+"/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var payload struct {
+		SlowThresholdNanos int64 `json:"slow_threshold_ns"`
+		Count              int
+		Queries            []map[string]any
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if payload.Count != 2 || len(payload.Queries) != 2 {
+		t.Fatalf("count = %d/%d", payload.Count, len(payload.Queries))
+	}
+	if payload.Queries[0]["sql"] != "SELECT 1" {
+		t.Fatalf("most recent first, got %v", payload.Queries[0]["sql"])
+	}
+	if payload.SlowThresholdNanos != int64(time.Millisecond) {
+		t.Fatalf("slow threshold = %d", payload.SlowThresholdNanos)
+	}
+
+	// ?n=1 limits, ?slow=1 filters.
+	_, body = get(t, "http://"+addr+"/debug/queries?n=1")
+	if !strings.Contains(body, `"count": 1`) {
+		t.Fatalf("n=1: %s", body)
+	}
+	_, body = get(t, "http://"+addr+"/debug/queries?slow=1")
+	if !strings.Contains(body, "SELECT 1") || strings.Contains(body, "upname") {
+		t.Fatalf("slow filter: %s", body)
+	}
+	code, _ = get(t, "http://"+addr+"/debug/queries?n=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad n accepted: %d", code)
+	}
+}
+
+func TestTraceEndpointRoundTrips(t *testing.T) {
+	_, addr := testServer(t)
+	code, body := get(t, "http://"+addr+"/debug/trace/1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	tf, err := obs.ParseChromeTrace([]byte(body))
+	if err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, body)
+	}
+	found := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "phase:execute" && ev.Ph == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("span missing from trace:\n%s", body)
+	}
+
+	// Untraced record → 404 with a hint; unknown/garbage ids → 404/400.
+	if code, _ := get(t, "http://"+addr+"/debug/trace/2"); code != http.StatusNotFound {
+		t.Fatalf("untraced record: %d", code)
+	}
+	if code, _ := get(t, "http://"+addr+"/debug/trace/999"); code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", code)
+	}
+	if code, _ := get(t, "http://"+addr+"/debug/trace/abc"); code != http.StatusBadRequest {
+		t.Fatalf("garbage id: %d", code)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, addr := testServer(t)
+	code, body := get(t, "http://"+addr+"/debug/profile")
+	if code != http.StatusOK || !strings.Contains(body, "upname") {
+		t.Fatalf("profile = %d %q", code, body)
+	}
+	// Without a profiler installed → 404.
+	s2 := &Server{Registry: obs.NewRegistry(), Flight: obs.NewFlightRecorder(1)}
+	addr2, err := s2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if code, _ := get(t, "http://"+addr2+"/debug/profile"); code != http.StatusNotFound {
+		t.Fatalf("no-profiler status = %d", code)
+	}
+}
+
+func TestIndexAndLifecycle(t *testing.T) {
+	s, addr := testServer(t)
+	code, body := get(t, "http://"+addr+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/debug/trace/") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, "http://"+addr+"/nonexistent"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d", code)
+	}
+	if s.Addr() != addr {
+		t.Fatalf("Addr = %q want %q", s.Addr(), addr)
+	}
+	// Starting twice must fail; Close is idempotent.
+	if _, err := s.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if s.Addr() != "" {
+		t.Fatal("Addr after Close")
+	}
+}
+
+func TestStartEnablesTraceAll(t *testing.T) {
+	fr := obs.NewFlightRecorder(4)
+	s := &Server{Registry: obs.NewRegistry(), Flight: fr}
+	if fr.TraceAll() {
+		t.Fatal("trace-all on before Start")
+	}
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.TraceAll() {
+		t.Fatal("Start did not enable trace-all")
+	}
+	s.Close()
+	if fr.TraceAll() {
+		t.Fatal("Close did not disable trace-all")
+	}
+}

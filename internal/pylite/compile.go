@@ -21,6 +21,7 @@ type CompiledFunc struct {
 	body       cStmt
 	expr       cExpr // lambda body
 	isGen      bool
+	entryLine  int // first body line, for profiler entry samples
 }
 
 type cframe struct {
@@ -39,6 +40,7 @@ func Compile(fn *FuncValue) (*CompiledFunc, error) {
 	c := &compiler{
 		slotOf:  make(map[string]int),
 		globals: make(map[string]bool),
+		fnName:  fn.Name,
 	}
 	// Parameters get the first slots.
 	cf := &CompiledFunc{src: fn, varargSlot: -1, isGen: fn.IsGen}
@@ -54,6 +56,7 @@ func Compile(fn *FuncValue) (*CompiledFunc, error) {
 			return nil, err
 		}
 		cf.expr = e
+		cf.entryLine = fn.Expr.nodeLine()
 	} else {
 		collectGlobals(fn.Body, c.globals)
 		collectLocals(fn.Body, c)
@@ -62,6 +65,9 @@ func Compile(fn *FuncValue) (*CompiledFunc, error) {
 			return nil, err
 		}
 		cf.body = body
+		if len(fn.Body) > 0 {
+			cf.entryLine = fn.Body[0].nodeLine()
+		}
 	}
 	cf.slotOf = c.slotOf
 	cf.names = c.names
@@ -74,6 +80,12 @@ func (cf *CompiledFunc) Call(it *Interp, args []data.Value, kwargs map[string]da
 	// straight-line compiled UDFs cancellable once per row.
 	if err := it.checkIntr(); err != nil {
 		return data.Null, err
+	}
+	// Profiler hook: compiled statements carry no per-statement events,
+	// so sample at entry (and at back-edges below) — the points where
+	// the compiled tier already pays for a cancellation poll.
+	if p := profActive.Load(); p != nil {
+		p.maybeSample(cf.src.Name, cf.entryLine)
 	}
 	f := &cframe{
 		it:      it,
@@ -141,6 +153,7 @@ type compiler struct {
 	names   []string
 	slotOf  map[string]int
 	globals map[string]bool
+	fnName  string // compiled function, for profiler back-edge samples
 }
 
 func (c *compiler) slot(name string) int {
@@ -448,10 +461,14 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 		if err != nil {
 			return nil, err
 		}
+		fname, line := c.fnName, s.nodeLine()
 		return func(f *cframe) (flow, error) {
 			for {
 				if err := f.it.checkIntr(); err != nil {
 					return flowZero, err
+				}
+				if p := profActive.Load(); p != nil {
+					p.maybeSample(fname, line)
 				}
 				cv, err := cond(f)
 				if err != nil {
@@ -485,6 +502,7 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 		if err != nil {
 			return nil, err
 		}
+		fname, line := c.fnName, s.nodeLine()
 		return func(f *cframe) (flow, error) {
 			iterable, err := iter(f)
 			if err != nil {
@@ -496,6 +514,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 				for _, v := range iterable.List().Items {
 					if err := f.it.checkIntr(); err != nil {
 						return flowZero, err
+					}
+					if p := profActive.Load(); p != nil {
+						p.maybeSample(fname, line)
 					}
 					if err := store(f, v); err != nil {
 						return flowZero, err
@@ -518,6 +539,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 					for i := r.Start; (r.Step > 0 && i < r.Stop) || (r.Step < 0 && i > r.Stop); i += r.Step {
 						if err := f.it.checkIntr(); err != nil {
 							return flowZero, err
+						}
+						if p := profActive.Load(); p != nil {
+							p.maybeSample(fname, line)
 						}
 						if err := store(f, data.Int(i)); err != nil {
 							return flowZero, err
@@ -544,6 +568,9 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 			for {
 				if err := f.it.checkIntr(); err != nil {
 					return flowZero, err
+				}
+				if p := profActive.Load(); p != nil {
+					p.maybeSample(fname, line)
 				}
 				v, ok, err := it2.Next()
 				if err != nil {

@@ -150,6 +150,7 @@ type frame struct {
 	env         *Env
 	gs          *genSink
 	globalNames map[string]bool
+	fnName      string // enclosing function, for the sampling profiler
 }
 
 type flowKind uint8
@@ -240,13 +241,13 @@ func (it *Interp) callFunc(fn *FuncValue, args []data.Value, kwargs map[string]d
 	if fn.IsGen {
 		g := newGenerator()
 		g.start(func(sink *genSink) error {
-			fr := &frame{it: it, env: env, gs: sink}
+			fr := &frame{it: it, env: env, gs: sink, fnName: fn.Name}
 			_, err := it.execBlock(fr, fn.Body)
 			return err
 		})
 		return data.Object(g), nil
 	}
-	fr := &frame{it: it, env: env}
+	fr := &frame{it: it, env: env, fnName: fn.Name}
 	fl, err := it.execBlock(fr, fn.Body)
 	if err != nil {
 		return data.Null, err
@@ -327,6 +328,11 @@ func (it *Interp) execBlock(fr *frame, body []Stmt) (flow, error) {
 func (it *Interp) execStmt(fr *frame, st Stmt) (flow, error) {
 	if err := it.checkIntr(); err != nil {
 		return flowZero, err
+	}
+	// Profiler hook: one atomic pointer load when profiling is off (the
+	// same zero-overhead discipline as checkIntr's intr load).
+	if p := profActive.Load(); p != nil {
+		p.maybeSample(fr.fnName, st.nodeLine())
 	}
 	switch s := st.(type) {
 	case *ExprStmt:

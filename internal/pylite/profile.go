@@ -1,0 +1,225 @@
+package pylite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"qfusor/internal/obs"
+)
+
+// Sampling profiler for UDF code: every statement executed by the
+// interpreter tier (and every compiled-function entry and loop
+// back-edge — the points where the compiled tier already polls
+// checkIntr) is a "statement event"; the profiler counts every Nth
+// event against its (function, line) pair. Hot lines accumulate samples
+// in proportion to how often they execute, which is exactly the
+// per-statement visibility "Opening the Black Boxes" argues UDFs need.
+//
+// Cost discipline mirrors the interrupt binding: when no profiler is
+// installed, every hook is a single atomic pointer load (profActive);
+// when one is installed, the per-event cost is one atomic add, and the
+// map update happens only on the 1-in-N sampled events.
+
+// profActive is the process-wide installed profiler (nil = off). Global
+// rather than per-Interp so one profiler sees every runtime — including
+// the per-worker Interp views the morsel executor clones.
+var profActive atomic.Pointer[Profiler]
+
+// mProfSamples counts recorded samples engine-wide.
+var mProfSamples = obs.Default.Counter("pylite.profile.samples")
+
+// DefaultProfileInterval samples one statement event in 64.
+const DefaultProfileInterval = 64
+
+// lineKey identifies one source line of one UDF.
+type lineKey struct {
+	fn   string
+	line int
+}
+
+// Profiler accumulates per-line sample counts. One profiler is active
+// at a time (StartProfiler replaces any previous one).
+type Profiler struct {
+	interval int64
+	mask     int64        // interval-1; interval is a power of two
+	events   atomic.Int64 // all statement events while installed
+
+	mu      sync.Mutex
+	samples map[lineKey]int64
+}
+
+// NewProfiler builds an uninstalled profiler sampling every Nth
+// statement event (interval < 1 → DefaultProfileInterval; interval 1
+// counts every event, useful in tests). The interval rounds up to a
+// power of two so the per-event check is an add and a mask, cheap
+// enough to inline into the statement loop.
+func NewProfiler(interval int) *Profiler {
+	if interval < 1 {
+		interval = DefaultProfileInterval
+	}
+	pow := 1
+	for pow < interval {
+		pow <<= 1
+	}
+	return &Profiler{interval: int64(pow), mask: int64(pow - 1), samples: make(map[lineKey]int64)}
+}
+
+// StartProfiler installs a new profiler process-wide and returns it.
+func StartProfiler(interval int) *Profiler {
+	p := NewProfiler(interval)
+	profActive.Store(p)
+	return p
+}
+
+// Stop uninstalls this profiler. Compare-and-swap so a stale Stop never
+// clobbers a newer profiler. Accumulated samples stay readable.
+func (p *Profiler) Stop() {
+	if p != nil {
+		profActive.CompareAndSwap(p, nil)
+	}
+}
+
+// ActiveProfiler returns the installed profiler (nil when off).
+func ActiveProfiler() *Profiler { return profActive.Load() }
+
+// maybeSample is the hot-path hook: one atomic add and a mask per
+// statement event. Kept small enough to inline; the map update is
+// outlined into record and runs only on the 1-in-interval sampled
+// events.
+func (p *Profiler) maybeSample(fn string, line int) {
+	if p.events.Add(1)&p.mask != 0 {
+		return
+	}
+	p.record(fn, line)
+}
+
+func (p *Profiler) record(fn string, line int) {
+	if fn == "" {
+		fn = "<module>"
+	}
+	mProfSamples.Inc()
+	p.mu.Lock()
+	p.samples[lineKey{fn, line}]++
+	p.mu.Unlock()
+}
+
+// LineSample is one (UDF, line) pair's sample count.
+type LineSample struct {
+	Func    string `json:"func"`
+	Line    int    `json:"line"`
+	Samples int64  `json:"samples"`
+}
+
+// ProfileSnapshot is a point-in-time copy of a profiler's counts.
+type ProfileSnapshot struct {
+	// Interval is the sampling interval (each sample stands for ~Interval
+	// statement events).
+	Interval int64 `json:"interval"`
+	// Events is the total number of statement events observed.
+	Events int64 `json:"events"`
+	// Samples is sorted hottest-first, ties broken by func then line.
+	Samples []LineSample `json:"samples,omitempty"`
+}
+
+// Snapshot copies the current counts. Nil-safe (a nil profiler
+// snapshots empty).
+func (p *Profiler) Snapshot() ProfileSnapshot {
+	if p == nil {
+		return ProfileSnapshot{}
+	}
+	s := ProfileSnapshot{Interval: p.interval, Events: p.events.Load()}
+	p.mu.Lock()
+	for k, n := range p.samples {
+		s.Samples = append(s.Samples, LineSample{Func: k.fn, Line: k.line, Samples: n})
+	}
+	p.mu.Unlock()
+	sortSamples(s.Samples)
+	return s
+}
+
+// Diff returns this snapshot minus base (per line, clamped at zero) —
+// the per-query window EXPLAIN ANALYZE reports.
+func (s ProfileSnapshot) Diff(base ProfileSnapshot) ProfileSnapshot {
+	prev := make(map[lineKey]int64, len(base.Samples))
+	for _, ls := range base.Samples {
+		prev[lineKey{ls.Func, ls.Line}] = ls.Samples
+	}
+	out := ProfileSnapshot{Interval: s.Interval, Events: s.Events - base.Events}
+	if out.Events < 0 {
+		out.Events = 0
+	}
+	for _, ls := range s.Samples {
+		if d := ls.Samples - prev[lineKey{ls.Func, ls.Line}]; d > 0 {
+			out.Samples = append(out.Samples, LineSample{Func: ls.Func, Line: ls.Line, Samples: d})
+		}
+	}
+	sortSamples(out.Samples)
+	return out
+}
+
+func sortSamples(ss []LineSample) {
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].Samples != ss[j].Samples {
+			return ss[i].Samples > ss[j].Samples
+		}
+		if ss[i].Func != ss[j].Func {
+			return ss[i].Func < ss[j].Func
+		}
+		return ss[i].Line < ss[j].Line
+	})
+}
+
+// ReportText renders a hot-line report grouped by UDF, hottest function
+// first, up to topN lines per function (0 = all).
+func (s ProfileSnapshot) ReportText(topN int) string {
+	if len(s.Samples) == 0 {
+		return fmt.Sprintf("udf profile: no samples (interval=%d, events=%d)\n", s.Interval, s.Events)
+	}
+	type fnAgg struct {
+		name  string
+		total int64
+		lines []LineSample
+	}
+	byFn := map[string]*fnAgg{}
+	var order []*fnAgg
+	for _, ls := range s.Samples {
+		a := byFn[ls.Func]
+		if a == nil {
+			a = &fnAgg{name: ls.Func}
+			byFn[ls.Func] = a
+			order = append(order, a)
+		}
+		a.total += ls.Samples
+		a.lines = append(a.lines, ls)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].total > order[j].total })
+	var grand int64
+	for _, a := range order {
+		grand += a.total
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "udf profile: %d samples, interval %d (≈%d statement events)\n", grand, s.Interval, s.Events)
+	for _, a := range order {
+		fmt.Fprintf(&b, "  %s  %d samples (%.1f%%)\n", a.name, a.total, 100*float64(a.total)/float64(grand))
+		lines := a.lines
+		if topN > 0 && len(lines) > topN {
+			lines = lines[:topN]
+		}
+		for _, ls := range lines {
+			fmt.Fprintf(&b, "    line %-4d %6d samples (%.1f%%)\n", ls.Line, ls.Samples, 100*float64(ls.Samples)/float64(a.total))
+		}
+	}
+	return b.String()
+}
+
+// ReportText is the /debug/profile payload: the full cumulative report,
+// top 10 lines per UDF. Nil-safe.
+func (p *Profiler) ReportText() string {
+	if p == nil {
+		return "udf profile: no profiler installed\n"
+	}
+	return p.Snapshot().ReportText(10)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pylite
+
+const raceEnabled = false

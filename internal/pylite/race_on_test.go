@@ -1,0 +1,7 @@
+//go:build race
+
+package pylite
+
+// raceEnabled lets timing-sensitive guards skip under the race
+// detector, whose atomic instrumentation invalidates overhead ratios.
+const raceEnabled = true

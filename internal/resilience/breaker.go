@@ -122,6 +122,38 @@ func (b *Breaker) Open(key string) bool {
 	return c != nil && !c.openedAt.IsZero()
 }
 
+// BreakerState is a point-in-time census of a breaker's circuits, for
+// the diagnostics gauges: Tracked keys total, circuits strictly Open
+// (rejecting), and circuits HalfOpen (cooldown elapsed or probe in
+// flight — the next Allow admits/admitted one attempt).
+type BreakerState struct {
+	Tracked  int
+	Open     int
+	HalfOpen int
+}
+
+// Snapshot returns the current circuit census. Nil-safe.
+func (b *Breaker) Snapshot() BreakerState {
+	if b == nil || b.Threshold <= 0 {
+		return BreakerState{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerState{Tracked: len(b.keys)}
+	now := b.now()
+	for _, c := range b.keys {
+		if c.openedAt.IsZero() {
+			continue
+		}
+		if c.probing || now.Sub(c.openedAt) >= b.Cooldown {
+			st.HalfOpen++
+		} else {
+			st.Open++
+		}
+	}
+	return st
+}
+
 // Trips returns the total number of open transitions (for metrics).
 func (b *Breaker) Trips() uint64 {
 	if b == nil {

@@ -1,0 +1,139 @@
+package qfusor_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qfusor"
+)
+
+// openDiagDB builds a small engine with one UDF for the diagnostics
+// tests.
+func openDiagDB(t *testing.T) *qfusor.DB {
+	t.Helper()
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := db.Define("@scalarudf\ndef diagup(s: str) -> str:\n    return s.upper()\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE TABLE diag (name string, n int)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := db.Exec(fmt.Sprintf("INSERT INTO diag VALUES ('row%d', %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestConcurrentAnalyzeAndFlightReads hammers QueryAnalyze from several
+// goroutines while others continuously read the flight recorder and
+// walk recorded span trees. Run under -race (scripts/check.sh does),
+// this is the proof that recorder snapshots are immutable: a data race
+// between a query still finishing its spans and a reader walking the
+// recorded trace fails the build.
+func TestConcurrentAnalyzeAndFlightReads(t *testing.T) {
+	db := openDiagDB(t)
+	db.SetSlowQueryThreshold(0) // exercise the slow ring too
+	defer db.SetSlowQueryThreshold(100 * time.Millisecond)
+	db.StartUDFProfiler(4)
+	defer db.StopUDFProfiler()
+
+	const writers, readers, runs = 4, 3, 15
+	var wgW, wgR sync.WaitGroup
+	errs := make(chan error, writers*runs)
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func() {
+			defer wgW.Done()
+			for i := 0; i < runs; i++ {
+				a, err := db.QueryAnalyze("SELECT diagup(name), n FROM diag WHERE n >= 0")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if a.Result.NumRows() != 8 {
+					errs <- fmt.Errorf("got %d rows, want 8", a.Result.NumRows())
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wgR.Add(1)
+		go func() {
+			defer wgR.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spans := 0
+				for _, rec := range db.RecentQueries(64) {
+					_ = rec.SQL
+					if rec.Trace != nil {
+						rec.Trace.Walk(func(sp *qfusor.SpanSnapshot, depth int) { spans++ })
+					}
+				}
+				_ = db.SlowQueries(16)
+				_ = db.UDFProfile().ReportText(5)
+			}
+		}()
+	}
+	wgW.Wait()
+	close(stop)
+	wgR.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	recs := db.RecentQueries(0)
+	if len(recs) < writers*runs {
+		t.Fatalf("flight recorder has %d records, want >= %d", len(recs), writers*runs)
+	}
+	for _, rec := range recs[:5] {
+		if rec.Path != "analyze" {
+			t.Fatalf("record path = %q, want analyze", rec.Path)
+		}
+		if !rec.Slow {
+			t.Fatalf("threshold 0 should mark every query slow")
+		}
+	}
+}
+
+// TestServeDebugPublicAPI drives DB.ServeDebug end to end once (the
+// heavier endpoint matrix lives in internal/obshttp; this pins the
+// public wiring — trace-all toggling and profile text pass-through).
+func TestServeDebugPublicAPI(t *testing.T) {
+	db := openDiagDB(t)
+	db.StartUDFProfiler(2)
+	defer db.StopUDFProfiler()
+	addr, err := db.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT diagup(name) FROM diag"); err != nil {
+		t.Fatal(err)
+	}
+	recs := db.RecentQueries(1)
+	if len(recs) != 1 || !recs[0].HasTrace {
+		t.Fatalf("query under ServeDebug not trace-recorded: %+v", recs)
+	}
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("bad bound address %q", addr)
+	}
+	prof := db.UDFProfile()
+	if prof.Events == 0 {
+		t.Fatal("profiler observed no statement events")
+	}
+}

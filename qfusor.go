@@ -34,6 +34,8 @@ import (
 	"qfusor/internal/engines"
 	"qfusor/internal/ffi"
 	"qfusor/internal/obs"
+	"qfusor/internal/obshttp"
+	"qfusor/internal/pylite"
 	"qfusor/internal/resilience"
 	"qfusor/internal/workload"
 )
@@ -115,6 +117,10 @@ type UDFUsage = core.UDFUsage
 // tree of them).
 type Span = obs.Span
 
+// SpanSnapshot is an immutable copy of a span tree, as stored in
+// flight-recorder QueryRecords.
+type SpanSnapshot = obs.SpanSnapshot
+
 // MetricsSnapshot is a point-in-time copy (or diff) of the engine-wide
 // metrics registry.
 type MetricsSnapshot = obs.Snapshot
@@ -160,9 +166,18 @@ func WithStepBudget(n int64) Option {
 // errors.Is / errors.As.
 type QueryError = resilience.QueryError
 
+// QueryRecord is one flight-recorder entry: what a finished query was,
+// which path it took, how long it ran, and whether it degraded.
+type QueryRecord = obs.QueryRecord
+
+// UDFProfile is a window of the UDF sampling profiler: per-source-line
+// sample counts, hottest first (see StartUDFProfiler).
+type UDFProfile = pylite.ProfileSnapshot
+
 // DB is an opened engine instance with QFusor attached.
 type DB struct {
-	in *engines.Instance
+	in  *engines.Instance
+	dbg *obshttp.Server
 }
 
 // Open launches an engine with the given profile.
@@ -174,8 +189,76 @@ func Open(profile Profile, opts ...Option) (*DB, error) {
 	return &DB{in: engines.Launch(cfg)}, nil
 }
 
-// Close releases the engine's resources.
-func (db *DB) Close() { db.in.Close() }
+// Close releases the engine's resources (and stops the diagnostics
+// server, if ServeDebug started one).
+func (db *DB) Close() {
+	if db.dbg != nil {
+		db.dbg.Close()
+		db.dbg = nil
+	}
+	db.in.Close()
+}
+
+// ServeDebug starts the embedded diagnostics HTTP server on addr (e.g.
+// "localhost:6060"; ":0" picks a free port) and returns the bound
+// address. It is read-only and opt-in, serving:
+//
+//	/metrics          Prometheus text exposition of the engine registry
+//	/debug/queries    recent queries from the flight recorder (JSON;
+//	                  ?n=K limits, ?slow=1 filters to the slow-query log)
+//	/debug/trace/<id> Chrome trace_event JSON for one recorded query
+//	                  (load in chrome://tracing or Perfetto)
+//	/debug/profile    UDF sampling-profiler hot lines (text)
+//
+// While the server runs, every query records a span trace into the
+// flight recorder (trace-all); Close (or DB.Close) turns that off.
+func (db *DB) ServeDebug(addr string) (string, error) {
+	if db.dbg == nil {
+		db.dbg = &obshttp.Server{ProfileText: func() string {
+			p := pylite.ActiveProfiler()
+			if p == nil {
+				return ""
+			}
+			return p.ReportText()
+		}}
+	}
+	return db.dbg.Start(addr)
+}
+
+// RecentQueries returns the last n completed queries (most recent
+// first) from the process flight recorder.
+func (db *DB) RecentQueries(n int) []*QueryRecord { return obs.DefaultFlight.Recent(n) }
+
+// SlowQueries returns the last n queries that exceeded the slow-query
+// threshold (most recent first).
+func (db *DB) SlowQueries(n int) []*QueryRecord { return obs.DefaultFlight.Slow(n) }
+
+// SetSlowQueryThreshold sets the latency above which a query lands in
+// the slow-query log (default 100ms).
+func (db *DB) SetSlowQueryThreshold(d time.Duration) { obs.DefaultFlight.SetSlowThreshold(d) }
+
+// StartUDFProfiler turns on the PyLite sampling profiler: every
+// sampleInterval-th executed UDF statement attributes one sample to its
+// source line (sampleInterval <= 0 uses the default, 64; it is rounded
+// up to a power of two). The profiler is process-wide; when it is off,
+// UDF execution pays a single atomic load per statement. Hot-line
+// windows appear on QueryAnalyze results and /debug/profile.
+func (db *DB) StartUDFProfiler(sampleInterval int) { pylite.StartProfiler(sampleInterval) }
+
+// StopUDFProfiler turns the sampling profiler off and returns its final
+// snapshot (nil-safe: returns an empty profile when none was running).
+func (db *DB) StopUDFProfiler() UDFProfile {
+	p := pylite.ActiveProfiler()
+	snap := p.Snapshot()
+	if p != nil {
+		p.Stop()
+	}
+	return snap
+}
+
+// UDFProfile returns the running profiler's cumulative snapshot (empty
+// when no profiler is active).
+func (db *DB) UDFProfile() UDFProfile { return pylite.ActiveProfiler().Snapshot() }
 
 // Define executes UDF module source (PyLite — the Python subset of the
 // UDF design specifications) and registers every decorated definition.

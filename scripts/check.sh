@@ -12,3 +12,8 @@ GOMAXPROCS=8 go test -race ./...
 # Chaos sweep: fire every registered fault point and require graceful
 # degradation (native-identical result or typed QueryError, no crash).
 GOMAXPROCS=8 go test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|Interrupt|ProcessInvoker' ./...
+# Diagnostics-plane smoke: real HTTP against the embedded server —
+# /metrics must parse as Prometheus 0.0.4 with the required series,
+# /debug/queries must show the flight recorder, and a recorded trace
+# must round-trip as valid Chrome trace_event JSON.
+go run ./cmd/qfusor-bench -obs-smoke
