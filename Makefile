@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-smoke obs-smoke
+.PHONY: check build vet test race chaos bench bench-smoke obs-smoke fuzz-smoke
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -25,6 +25,12 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|Interrupt|ProcessInvoker' ./...
 
 
+
+## fuzz-smoke: a bounded run of the differential fuzzer — native vs
+## fused-cold vs fused-warm (plan-cache hit) must stay bit-identical on
+## every generated query. 30s is enough for tens of thousands of execs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDiff -fuzztime 30s ./internal/core
 
 ## obs-smoke: end-to-end diagnostics-plane check — starts the embedded
 ## HTTP server against a live engine and validates /metrics exposition,

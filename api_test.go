@@ -8,9 +8,9 @@ import (
 	"qfusor"
 )
 
-func openTestDB(t *testing.T, profile qfusor.Profile) *qfusor.DB {
+func openTestDB(t *testing.T, profile qfusor.Profile, opts ...qfusor.Option) *qfusor.DB {
 	t.Helper()
-	db, err := qfusor.Open(profile)
+	db, err := qfusor.Open(profile, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,9 +317,12 @@ func TestQueryAnalyze(t *testing.T) {
 }
 
 // TestQueryAnalyzeCacheHit: re-analyzing the same query must report a
-// wrapper cache hit on the second run.
+// wrapper cache hit on the second run. The plan-decision cache is off
+// here so the second run re-enters codegen and exercises the wrapper
+// compile cache (with it on, the whole front-end is skipped — covered
+// by the plancache tests).
 func TestQueryAnalyzeCacheHit(t *testing.T) {
-	db := openTestDB(t, qfusor.MonetDB)
+	db := openTestDB(t, qfusor.MonetDB, qfusor.WithPlanCache(false))
 	sql := "SELECT longest(p) AS l FROM (SELECT pieces(slug(title)) AS p FROM notes) AS x"
 	if _, err := db.QueryAnalyze(sql); err != nil {
 		t.Fatal(err)

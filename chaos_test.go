@@ -122,6 +122,84 @@ func TestChaosFallbackIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosFaultOnCachedPlan arms a fused-path fault *after* a plan is
+// cached: the cached plan's execution fails, the query must degrade to
+// the exact native answer, and the failing entry must be evicted so the
+// cache can never serve the doomed plan again.
+func TestChaosFaultOnCachedPlan(t *testing.T) {
+	const sql = "SELECT id, slug(slug(title)) AS s FROM notes ORDER BY id"
+	want := chaosBaseline(t, qfusor.MonetDB, sql)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	db := openTestDB(t, qfusor.MonetDB)
+	// Prime: second run is served from the plan cache.
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	st := db.PlanCacheStats()
+	if st.Hits < 1 || st.Size != 1 {
+		t.Fatalf("premise broken: cache not primed: %+v", st)
+	}
+	if err := faultinject.Enable("ffi.fused", faultinject.Spec{Kind: faultinject.Error}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("cached-plan fault must degrade, got error: %v", err)
+	}
+	if got := renderRows(t, res); got != want {
+		t.Fatalf("degraded result differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	after := db.PlanCacheStats()
+	if after.Size != 0 {
+		t.Fatalf("failing cached plan was not evicted: %+v", after)
+	}
+	if after.Invalidations <= st.Invalidations {
+		t.Fatalf("eviction not counted as invalidation: %+v -> %+v", st, after)
+	}
+}
+
+// TestChaosBreakerBlocksPlanCache drives the breaker open on a fusing
+// query (threshold 3) and checks the interplay with the plan cache:
+// while failures accumulate, every attempt degrades to the exact native
+// answer and no failing plan is ever re-served from the cache; once the
+// circuit opens, queries route straight to the native plan without
+// touching the optimizer front-end — so the cache must not repopulate.
+func TestChaosBreakerBlocksPlanCache(t *testing.T) {
+	const sql = "SELECT id, slug(slug(title)) AS s FROM notes ORDER BY id"
+	want := chaosBaseline(t, qfusor.MonetDB, sql)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	db := openTestDB(t, qfusor.MonetDB)
+	if _, err := db.Query(sql); err != nil { // cache the healthy plan
+		t.Fatal(err)
+	}
+	if err := faultinject.Enable("ffi.fused", faultinject.Spec{Kind: faultinject.Error}); err != nil {
+		t.Fatal(err)
+	}
+	// Breaker threshold is 3: drive it open, then two more through the
+	// open circuit. Every single attempt must return the native answer.
+	for i := 0; i < 5; i++ {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("attempt %d: must degrade, got error: %v", i, err)
+		}
+		if got := renderRows(t, res); got != want {
+			t.Fatalf("attempt %d: wrong result\ngot:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+	rep := db.LastReport()
+	if !rep.Fallback {
+		t.Fatalf("breaker-open query not flagged as fallback: %+v", rep)
+	}
+	if st := db.PlanCacheStats(); st.Size != 0 {
+		t.Fatalf("plan cache repopulated while the fused path was failing: %+v", st)
+	}
+}
+
 // TestChaosCancellationLatency: cancelling a QueryContext mid-flight
 // must return promptly (within morsel/statement granularity, bounded
 // here at two seconds) with a typed cancelled error carrying the

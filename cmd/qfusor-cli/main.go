@@ -10,6 +10,7 @@
 //	\rewrite <sql>  show the fused query as SQL (rewrite path 1)
 //	\trace on|off   trace every following query (prints the span tree)
 //	\metrics        dump the engine-wide metrics registry (expvar-style)
+//	\plancache      show plan-decision cache counters (size, hits, misses)
 //	\def            enter UDF definition mode (end with a line: \end)
 //	\tables         list tables
 //	\udfs           list registered UDFs
@@ -39,12 +40,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a cancelled QueryError")
 	httpAddr := flag.String("http", "", "serve diagnostics on this address (/metrics, /debug/queries, /debug/trace/<id>, /debug/profile); empty = off")
 	profInterval := flag.Int("profile", 0, "enable the UDF sampling profiler with this statement interval (0 = off; rounded up to a power of two)")
+	plancache := flag.Bool("plancache", true, "enable the plan-decision cache (repeated queries skip the optimizer front-end)")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; see faultinject)")
 	flag.Parse()
 	queryTimeout = *timeout
 
-	db, err := qfusor.Open(qfusor.Profile(*profile), qfusor.WithParallelism(*parallelism))
+	db, err := qfusor.Open(qfusor.Profile(*profile), qfusor.WithParallelism(*parallelism),
+		qfusor.WithPlanCache(*plancache))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -91,6 +94,12 @@ func main() {
 			return
 		case trimmed == "\\metrics":
 			fmt.Print(qfusor.Metrics().Text())
+			prompt()
+			continue
+		case trimmed == "\\plancache":
+			st := db.PlanCacheStats()
+			fmt.Printf("plan cache: size=%d/%d hits=%d misses=%d evictions=%d invalidations=%d\n",
+				st.Size, st.Cap, st.Hits, st.Misses, st.Evictions, st.Invalidations)
 			prompt()
 			continue
 		case trimmed == "\\trace on" || trimmed == "\\trace off":

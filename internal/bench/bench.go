@@ -48,6 +48,10 @@ type Runner struct {
 	// exceeds it fails its experiment with a cancelled QueryError
 	// instead of wedging the whole run.
 	QueryTimeout time.Duration
+	// PlanCacheOff disables the plan-decision cache on every launched
+	// instance whose experiment does not pin its own setting (-plancache=
+	// false; the plancache experiment itself manages both arms).
+	PlanCacheOff bool
 }
 
 // launch builds an instance, applying the runner's default parallelism
@@ -55,6 +59,9 @@ type Runner struct {
 func (r *Runner) launch(cfg engines.Config) *engines.Instance {
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = r.Parallelism
+	}
+	if r.PlanCacheOff && cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = -1
 	}
 	return engines.Launch(cfg)
 }

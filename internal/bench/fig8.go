@@ -91,6 +91,7 @@ func (r *Runner) All() ([]*Result, error) {
 		{"fig7-resources", r.Fig7Resources},
 		{"fig8-pluggability", r.Fig8Pluggability},
 		{"morsel-speedup", r.MorselSpeedup},
+		{"plancache", r.PlanCacheBench},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -122,5 +123,6 @@ func (r *Runner) Experiments() map[string]func() (*Result, error) {
 		"fig7-resources":     r.Fig7Resources,
 		"fig8-pluggability":  r.Fig8Pluggability,
 		"morsel-speedup":     r.MorselSpeedup,
+		"plancache":          r.PlanCacheBench,
 	}
 }

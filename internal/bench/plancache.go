@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qfusor/internal/engines"
+	"qfusor/internal/workload"
+)
+
+// PlanCacheBench is E17: the plan-decision cache experiment. Part one
+// measures the optimizer front-end latency (FusOptim + CodeGen from the
+// fusion report) for the same query cold (cache purged before every
+// run) versus warm (served from the cache), which is the tentpole's
+// acceptance number: a hit must cut optimize latency by ≥5x. Part two
+// sweeps the working-set size of distinct queries cycled round-robin
+// through a fixed-capacity cache and reports the observed hit rate —
+// the expected cliff: near-perfect reuse while the working set fits,
+// collapsing to zero once it exceeds the LRU capacity (round-robin is
+// LRU's adversarial access pattern).
+func (r *Runner) PlanCacheBench() (*Result, error) {
+	res := &Result{ID: "E17", Title: "Plan-decision cache: optimize latency cold vs warm + hit-rate sweep (Zillow Q12)"}
+	reps := 30
+	if r.Quick {
+		reps = 10
+	}
+
+	in, err := r.launchWorkload(engines.Config{Profile: engines.Monet, JIT: true}, "zillow")
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+
+	measure := func(purge bool, wantState string) (time.Duration, time.Duration, error) {
+		opts := make([]time.Duration, 0, reps)
+		totals := make([]time.Duration, 0, reps)
+		for i := 0; i < reps; i++ {
+			if purge {
+				in.QF.PlanCache.Purge()
+			}
+			d, _, err := r.runSQL(in, workload.Q12, runFused)
+			if err != nil {
+				return 0, 0, err
+			}
+			rep := in.QF.LastReport()
+			if rep.PlanCache != wantState {
+				return 0, 0, fmt.Errorf("plancache: run %d reported %q, want %q", i, rep.PlanCache, wantState)
+			}
+			opts = append(opts, rep.FusOptim+rep.CodeGen)
+			totals = append(totals, d)
+		}
+		return medianDur(opts), medianDur(totals), nil
+	}
+
+	coldOpt, coldTotal, err := measure(true, "miss")
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := r.runSQL(in, workload.Q12, runFused); err != nil { // prime
+		return nil, err
+	}
+	warmOpt, warmTotal, err := measure(false, "hit")
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows,
+		Row{Label: "optimize/cold", Order: []string{"opt_us", "total_ms"},
+			Metrics: map[string]float64{"opt_us": us(coldOpt), "total_ms": ms(coldTotal)}},
+		Row{Label: "optimize/warm-hit", Order: []string{"opt_us", "total_ms"},
+			Metrics: map[string]float64{"opt_us": us(warmOpt), "total_ms": ms(warmTotal)},
+			Note:    fmt.Sprintf("%.1fx lower optimize latency", float64(coldOpt)/float64(warmOpt))},
+	)
+
+	// Hit-rate sweep: cap 8, working sets straddling it, round-robin.
+	const cap = 8
+	passes := 6
+	if r.Quick {
+		passes = 4
+	}
+	for _, ws := range []int{4, 8, 16, 32} {
+		in2, err := r.launchWorkload(engines.Config{Profile: engines.Monet, JIT: true, PlanCacheSize: cap}, "zillow")
+		if err != nil {
+			return nil, err
+		}
+		queries := make([]string, ws)
+		for i := range queries {
+			// Distinct texts (distinct cache keys), identical fusing
+			// shape: the predicate is always true (urldepth ≥ 0).
+			queries[i] = fmt.Sprintf("%s WHERE urldepth(url) >= -%d", workload.Q12, i+1)
+		}
+		for p := 0; p < passes; p++ {
+			for _, q := range queries {
+				if _, _, err := r.runSQL(in2, q, runFused); err != nil {
+					in2.Close()
+					return nil, err
+				}
+			}
+		}
+		st := in2.QF.PlanCache.Stats()
+		in2.Close()
+		total := st.Hits + st.Misses
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("hitrate/cap=%d/ws=%d", cap, ws),
+			Order: []string{"hit_pct", "evictions"},
+			Metrics: map[string]float64{
+				"hit_pct":   100 * float64(st.Hits) / float64(total),
+				"evictions": float64(st.Evictions),
+			},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"acceptance: warm-hit optimize latency must be ≥5x below cold (plan cache skips probe/DFG/discover/codegen/rewrite)",
+		"hit rate holds while the working set fits the cap, collapses past it (round-robin is LRU-adversarial)")
+	return res, nil
+}
+
+// us converts a duration to microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// medianDur returns the median of ds (ds is sorted in place).
+func medianDur(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	n := len(ds)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return ds[n/2]
+	}
+	return (ds[n/2-1] + ds[n/2]) / 2
+}

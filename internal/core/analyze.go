@@ -193,10 +193,22 @@ func (a *Analysis) Render() string {
 		b.WriteString("\n")
 		b.WriteString(a.HotLines.ReportText(10))
 	}
-	fmt.Fprintf(&b, "\nsections=%d cache_hits=%d fus_optim=%s code_gen=%s\n",
-		a.Report.Sections, a.Report.CacheHits,
+	// wrapper_cache_hits counts wrapper-compile-cache reuse (the name
+	// "cache_hits" was misleading once a plan-decision cache existed);
+	// plancache reports this query's plan-decision cache outcome.
+	fmt.Fprintf(&b, "\nsections=%d wrapper_cache_hits=%d plancache=%s fus_optim=%s code_gen=%s\n",
+		a.Report.Sections, a.Report.CacheHits, planCacheLabel(a.Report.PlanCache),
 		fmtAnalyzeDur(a.Report.FusOptim), fmtAnalyzeDur(a.Report.CodeGen))
 	return b.String()
+}
+
+// planCacheLabel stabilizes the Render/flight label for queries that
+// never entered the fusion front-end.
+func planCacheLabel(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
 }
 
 // fmtAnalyzeDur matches the span renderer's compact duration format.

@@ -1,0 +1,255 @@
+package core_test
+
+// Differential fuzz harness for the plan-decision cache: every
+// generated UDF-bearing query is executed three ways — engine-native
+// (no fusion), fused with a cold plan cache (full front-end), and fused
+// warm (served from the plan cache) — and all three results must be
+// bit-identical. The generator is a tiny grammar over the test UDFs
+// (scalar slug, expand pieces, aggregate longest) so any byte string
+// maps to a valid deterministic query; go test runs the seed corpus,
+// `go test -fuzz FuzzDiff` explores beyond it.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"qfusor/internal/data"
+	"qfusor/internal/engines"
+)
+
+// diffFixture is the process-wide instance the harness queries. Shared
+// across fuzz iterations (launching an engine per input would dominate
+// runtime); diffMu serializes iterations so purge/lookup accounting
+// stays coherent. Never closed — Monet is in-process.
+var (
+	diffOnce sync.Once
+	diffInst *engines.Instance
+	diffErr  error
+	diffMu   sync.Mutex
+)
+
+const diffUDFs = `
+@scalarudf
+def slug(s: str) -> str:
+    return s.strip().lower().replace(" ", "-")
+
+@expandudf
+def pieces(s: str) -> str:
+    for p in s.split("-"):
+        yield p
+
+@aggregateudf
+class longest:
+    def init(self):
+        self.best = ""
+    def step(self, s):
+        if s is not None and len(s) > len(self.best):
+            self.best = s
+    def final(self):
+        return self.best
+`
+
+func diffDB(t *testing.T) *engines.Instance {
+	t.Helper()
+	diffOnce.Do(func() {
+		in := engines.Launch(engines.Config{Profile: engines.Monet, JIT: true})
+		if err := in.Define(diffUDFs); err != nil {
+			diffErr = err
+			return
+		}
+		if err := in.Eng.Exec("CREATE TABLE notes (id int, title string)"); err != nil {
+			diffErr = err
+			return
+		}
+		if err := in.Eng.Exec(`INSERT INTO notes VALUES
+			(1, '  Hello World  '), (2, 'Go Databases'), (3, 'Query Fusion Rocks'),
+			(4, 'a'), (5, 'UDF queries in SQL engines'), (6, 'Plan Cache Hit')`); err != nil {
+			diffErr = err
+		}
+		diffInst = in
+	})
+	if diffErr != nil {
+		t.Fatalf("diff fixture: %v", diffErr)
+	}
+	return diffInst
+}
+
+// Grammar dimensions. Every combination is a valid query, so arbitrary
+// fuzz bytes always decode to something executable.
+var (
+	diffScalars = []string{
+		"slug(title)",
+		"slug(slug(title))",
+		"slug(slug(slug(title)))",
+	}
+	diffPreds = []string{
+		"",
+		" WHERE id > 1",
+		" WHERE id < 5",
+		" WHERE slug(title) = 'go-databases'",
+	}
+)
+
+const (
+	diffNumShapes = 5
+	// DiffSeedSpace is the exhaustive seed count TestDiffSeeds covers.
+	diffSeedSpace = diffNumShapes * 3 * 4
+)
+
+// buildDiffQuery maps fuzz bytes to a deterministic UDF query. Missing
+// bytes read as zero, so short inputs are valid too.
+func buildDiffQuery(dat []byte) string {
+	pick := func(i, n int) int {
+		if i < len(dat) {
+			return int(dat[i]) % n
+		}
+		return 0
+	}
+	scalar := diffScalars[pick(1, len(diffScalars))]
+	pred := diffPreds[pick(2, len(diffPreds))]
+	switch pick(0, diffNumShapes) {
+	case 0:
+		return fmt.Sprintf("SELECT id, %s AS s FROM notes%s ORDER BY id", scalar, pred)
+	case 1:
+		return fmt.Sprintf("SELECT longest(%s) AS l FROM notes%s", scalar, pred)
+	case 2:
+		return fmt.Sprintf("SELECT p FROM (SELECT pieces(%s) AS p FROM notes%s) AS x ORDER BY p", scalar, pred)
+	case 3:
+		return fmt.Sprintf("SELECT longest(p) AS l FROM (SELECT pieces(%s) AS p FROM notes%s) AS x", scalar, pred)
+	default:
+		return fmt.Sprintf("SELECT id, %s AS a, slug(title) AS b FROM notes%s ORDER BY id", scalar, pred)
+	}
+}
+
+// renderTable flattens a result to a comparable string: schema header
+// then every cell via the value formatter (bit-identical comparison).
+func renderTable(t *data.Table) string {
+	var b strings.Builder
+	for i, f := range t.Schema {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s:%s", f.Name, f.Kind)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < t.NumRows(); r++ {
+		for i, c := range t.Cols {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			if c.IsNull(r) {
+				b.WriteString("<null>")
+			} else {
+				b.WriteString(c.Get(r).String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// runDiff executes one differential check: native vs fused-cold vs
+// fused-warm (plan-cache hit) must agree exactly.
+func runDiff(t *testing.T, dat []byte) {
+	in := diffDB(t)
+	sql := buildDiffQuery(dat)
+	diffMu.Lock()
+	defer diffMu.Unlock()
+
+	nat, nerr := in.Query(sql)
+	in.QF.PlanCache.Purge()
+	s0 := in.QF.PlanCache.Stats()
+	cold, cerr := in.QueryFused(sql)
+	warm, werr := in.QueryFused(sql)
+	if nerr != nil || cerr != nil || werr != nil {
+		if nerr != nil && cerr != nil && werr != nil {
+			return // all three paths agree the query fails
+		}
+		t.Fatalf("error disagreement for %q:\n native: %v\n cold:   %v\n warm:   %v",
+			sql, nerr, cerr, werr)
+	}
+	want := renderTable(nat)
+	if got := renderTable(cold); got != want {
+		t.Fatalf("fused-cold mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
+	if got := renderTable(warm); got != want {
+		t.Fatalf("fused-warm mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
+	s1 := in.QF.PlanCache.Stats()
+	if s1.Hits <= s0.Hits {
+		t.Fatalf("warm run of %q was not served from the plan cache (stats %+v -> %+v)",
+			sql, s0, s1)
+	}
+}
+
+// FuzzDiff is the fuzz entry point. The seed corpus spans every shape
+// and most predicate/scalar combinations; fuzzing mutates beyond it.
+func FuzzDiff(f *testing.F) {
+	for _, seed := range [][]byte{
+		{0, 0, 0}, {0, 2, 3}, {1, 1, 0}, {1, 2, 1}, {2, 0, 2},
+		{2, 1, 3}, {3, 2, 0}, {3, 0, 1}, {4, 1, 2}, {4, 2, 3},
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, dat []byte) {
+		runDiff(t, dat)
+	})
+}
+
+// TestDiffSeeds exhaustively covers the generator's whole space (every
+// shape x scalar x predicate), so plain `go test` already checks all
+// 60 distinct queries without the fuzz engine.
+func TestDiffSeeds(t *testing.T) {
+	n := 0
+	for shape := 0; shape < diffNumShapes; shape++ {
+		for sc := range diffScalars {
+			for pr := range diffPreds {
+				runDiff(t, []byte{byte(shape), byte(sc), byte(pr)})
+				n++
+			}
+		}
+	}
+	if n != diffSeedSpace {
+		t.Fatalf("covered %d seeds, want %d", n, diffSeedSpace)
+	}
+}
+
+// TestDiffWarmConcurrent hammers one cached plan from many goroutines
+// (meaningful under -race): concurrent executions share the cached
+// *sqlengine.Query, so any plan-tree mutation by an executor — or any
+// unsynchronized cache bookkeeping — trips the detector.
+func TestDiffWarmConcurrent(t *testing.T) {
+	in := diffDB(t)
+	const sql = "SELECT id, slug(slug(title)) AS s FROM notes ORDER BY id"
+	diffMu.Lock()
+	defer diffMu.Unlock()
+	nat, err := in.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTable(nat)
+	if _, err := in.QueryFused(sql); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				res, err := in.QueryFused(sql)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := renderTable(res); got != want {
+					t.Errorf("concurrent warm mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

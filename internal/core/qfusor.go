@@ -45,11 +45,17 @@ type Options struct {
 	// Cache reuses previously compiled fused wrappers across queries
 	// (the QFusor-cache variant of §6.4.5).
 	Cache bool
+	// PlanCache memoizes whole plan decisions — a repeated query skips
+	// EXPLAIN probing, DFG construction, section discovery and the
+	// rewrite, going straight to execution (epoch- and breaker-
+	// invalidated; see plancache.go).
+	PlanCache bool
 }
 
 // DefaultOptions enables the full QFusor pipeline.
 func DefaultOptions() Options {
-	return Options{Fusion: true, Offload: true, Reorder: true, AggFusion: true, Cache: true}
+	return Options{Fusion: true, Offload: true, Reorder: true, AggFusion: true,
+		Cache: true, PlanCache: true}
 }
 
 // Report carries the per-query optimizer measurements (Fig. 4 bottom).
@@ -66,8 +72,14 @@ type Report struct {
 	// Wrappers names the fused wrappers this query used (fresh or
 	// cached) — the units the circuit breaker tracks.
 	Wrappers []string
-	// CacheHits counts wrappers reused from the compile cache.
+	// CacheHits counts wrappers reused from the compile cache (the
+	// wrapper-level cache; the plan-level outcome is PlanCache).
 	CacheHits int
+	// PlanCache reports the plan-decision cache outcome: "hit" (the
+	// whole front-end was skipped), "miss" (planned fresh, now cached),
+	// "off" (disabled by Options.PlanCache), or "" when the query never
+	// entered the fusion front-end (no UDFs, or Fusion off).
+	PlanCache string
 	// SectionCosts carries each fused section's predicted vs measured
 	// cost and the calibration factor in effect — the §5.2 drift loop's
 	// per-query record. Actual stays 0 until the query executed fused.
@@ -92,11 +104,20 @@ type QFusor struct {
 	// Nil disables degradation tracking (failures still fall back).
 	Breaker *resilience.Breaker
 
+	// PlanCache memoizes whole optimization outcomes per (engine,
+	// options, SQL) — see plancache.go. Nil (or Opts.PlanCache=false)
+	// disables plan-decision caching; the wrapper compile cache is
+	// independent.
+	PlanCache *PlanCache
+
 	mu      sync.Mutex
 	cat     *sqlengine.Catalog
 	seq     int
 	cache   map[string]*ffi.UDF // wrapper source hash -> registered UDF
 	wrapKey map[string]string   // wrapper name -> source hash (breaker key)
+	// udfEpoch is the catalog UDF generation the wrapper compile cache
+	// was built against (see syncUDFEpoch).
+	udfEpoch int64
 
 	// lastReport is the most recent Process measurement (guarded by mu;
 	// read through LastReport).
@@ -106,9 +127,10 @@ type QFusor struct {
 // New creates a QFusor instance over a registry.
 func New(reg *Registry) *QFusor {
 	return &QFusor{Reg: reg, CM: DefaultCostModel(), Opts: DefaultOptions(),
-		Breaker: resilience.NewBreaker(3, 30*time.Second),
-		cache:   make(map[string]*ffi.UDF),
-		wrapKey: make(map[string]string)}
+		Breaker:   resilience.NewBreaker(3, 30*time.Second),
+		PlanCache: NewPlanCache(0),
+		cache:     make(map[string]*ffi.UDF),
+		wrapKey:   make(map[string]string)}
 }
 
 func (qf *QFusor) nextName() string {
@@ -234,8 +256,34 @@ func (qf *QFusor) Process(eng *sqlengine.Engine, sql string) (*sqlengine.Query, 
 // per hook.
 func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Span) (*sqlengine.Query, *Report, error) {
 	qf.setCatalog(eng.Catalog)
+	qf.syncUDFEpoch(eng.Catalog)
 	qf.CM.SetWorkers(eng.Workers())
 	mProcessed.Inc()
+
+	// --- plan-decision cache lookup (before any front-end work) ---
+	// A hit returns the memoized rewritten plan directly: no EXPLAIN
+	// probe, no DFG, no discovery, no codegen, no rewrite. The admit
+	// hook keeps breaker-suppressed wrappers out (see entryAdmitted).
+	var (
+		cacheKey   string
+		cacheEpoch int64
+	)
+	if qf.planCacheOn() {
+		t0 := time.Now()
+		cacheKey = planCacheKey(eng, qf.Opts, sql)
+		cacheEpoch = eng.Catalog.Epoch()
+		if ent, ok := qf.PlanCache.Lookup(cacheKey, cacheEpoch, qf.entryAdmitted); ok {
+			rep := qf.reportFromEntry(ent)
+			rep.FusOptim = time.Since(t0)
+			sp := root.Child("phase:plancache")
+			sp.SetAttr("plancache", "hit")
+			sp.SetInt("sections", int64(ent.Sections))
+			sp.End()
+			mFusNanos.Observe(float64(rep.FusOptim.Nanoseconds()))
+			qf.setReport(*rep)
+			return ent.Query, rep, nil
+		}
+	}
 
 	sp := root.Child("phase:plan_probe")
 	q, err := eng.Plan(sql)
@@ -248,6 +296,11 @@ func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Spa
 		sp.SetAttr("fusion", "skipped")
 		qf.setReport(*rep)
 		return q, rep, nil
+	}
+	if cacheKey != "" {
+		rep.PlanCache = "miss"
+	} else {
+		rep.PlanCache = "off"
 	}
 
 	// --- discover fusible operators + fusion optimization ---
@@ -328,7 +381,7 @@ func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Spa
 		done = append(done, realizedJob{seg: j.seg, byLo: byLo})
 	}
 	sp.SetInt("wrappers", int64(len(rep.Sources)))
-	sp.SetInt("cache_hits", int64(rep.CacheHits))
+	sp.SetInt("wrapper_cache_hits", int64(rep.CacheHits))
 	sp.End()
 
 	// --- plan rewrite ---
@@ -353,8 +406,107 @@ func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Spa
 	sp.End()
 	rep.CodeGen = time.Since(t1)
 	mGenNanos.Observe(float64(rep.CodeGen.Nanoseconds()))
+	if cacheKey != "" {
+		// Memoize the full outcome under the epoch observed before
+		// planning: if the catalog moved while we planned, the entry is
+		// born stale and the next lookup evicts it (sound, just wasted).
+		qf.PlanCache.Insert(qf.newPlanEntry(cacheKey, cacheEpoch, sql, q, rep))
+	}
 	qf.setReport(*rep)
 	return q, rep, nil
+}
+
+// syncUDFEpoch flushes the wrapper compile cache when any source UDF
+// was (re-)defined or dropped since the last Process. A compiled fused
+// wrapper bakes the bodies of the UDFs it fuses, and its cache key is
+// the generated wrapper source — which names the UDFs but does not
+// change with their bodies — so a redefinition would otherwise keep
+// serving code compiled against the old definition. (Plan-cache entries
+// retire separately through the general catalog epoch.) wrapKey stays:
+// stale name→hash mappings only feed breaker bookkeeping for wrappers
+// that are no longer emitted.
+func (qf *QFusor) syncUDFEpoch(cat *sqlengine.Catalog) {
+	e := cat.UDFEpoch()
+	qf.mu.Lock()
+	if e != qf.udfEpoch {
+		qf.udfEpoch = e
+		qf.cache = make(map[string]*ffi.UDF)
+	}
+	qf.mu.Unlock()
+}
+
+// planCacheOn reports whether plan-decision caching is active.
+func (qf *QFusor) planCacheOn() bool {
+	return qf.Opts.PlanCache && qf.PlanCache != nil
+}
+
+// entryAdmitted rejects cached entries that call a wrapper whose
+// circuit is open (strictly open or cooling down): the resilient path
+// decided that plan shape is failing, so the query must re-plan — and
+// the re-plan's registerWrapper consults Breaker.Allow, which suppresses
+// the wrapper (or admits the half-open probe) with fresh state.
+func (qf *QFusor) entryAdmitted(ent *PlanEntry) bool {
+	if qf.Breaker == nil {
+		return true
+	}
+	for _, k := range ent.WrapperKeys {
+		if qf.Breaker.Open(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// reportFromEntry reconstructs a per-query Report from a cache hit. The
+// section cost predictions are re-derived from the live drift
+// calibration (deliberately outside the cache key), so the §5.2
+// feedback loop keeps converging across cached executions.
+func (qf *QFusor) reportFromEntry(ent *PlanEntry) *Report {
+	rep := &Report{
+		Sections:  ent.Sections,
+		Sources:   ent.Sources,
+		Wrappers:  ent.Wrappers,
+		CacheHits: len(ent.Wrappers),
+		PlanCache: "hit",
+	}
+	for _, s := range ent.Seeds {
+		f := qf.CM.Drift.Factor(s.Key)
+		rep.SectionCosts = append(rep.SectionCosts, SectionDrift{
+			Wrapper:     s.Wrapper,
+			Key:         s.Key,
+			Predicted:   s.RawCost * f,
+			Calibration: f,
+		})
+	}
+	return rep
+}
+
+// newPlanEntry packages a fresh optimization outcome for the cache.
+func (qf *QFusor) newPlanEntry(key string, epoch int64, sql string, q *sqlengine.Query, rep *Report) *PlanEntry {
+	ent := &PlanEntry{
+		SQL:      normalizeSQL(sql),
+		Key:      key,
+		Epoch:    epoch,
+		Query:    q,
+		Sections: rep.Sections,
+		Sources:  rep.Sources,
+		Wrappers: rep.Wrappers,
+	}
+	qf.mu.Lock()
+	for _, w := range rep.Wrappers {
+		if k, ok := qf.wrapKey[w]; ok {
+			ent.WrapperKeys = append(ent.WrapperKeys, "wrapper:"+k)
+		}
+	}
+	qf.mu.Unlock()
+	for _, sd := range rep.SectionCosts {
+		raw := sd.Predicted
+		if sd.Calibration > 0 {
+			raw = sd.Predicted / sd.Calibration
+		}
+		ent.Seeds = append(ent.Seeds, SectionSeed{Wrapper: sd.Wrapper, Key: sd.Key, RawCost: raw})
+	}
+	return ent
 }
 
 // filterSections applies the option gates to discovered sections.

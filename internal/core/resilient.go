@@ -121,6 +121,7 @@ func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table,
 		rec.Sections = rep.Sections
 		rec.Wrappers = rep.Wrappers
 		rec.CacheHits = rep.CacheHits
+		rec.PlanCache = rep.PlanCache
 		rec.Fallback = rep.Fallback
 		rec.FallbackReason = rep.FallbackReason
 		rec.BreakerOpen = rep.FallbackReason == breakerOpenReason
@@ -183,6 +184,12 @@ func (qf *QFusor) queryResilient(ctx context.Context, eng *sqlengine.Engine, sql
 			}
 		}
 	}
+	// A failing plan must not be served from the plan-decision cache
+	// again: evict this query's entry and every entry calling any of the
+	// wrappers involved (a wrapper whose breaker is accumulating
+	// failures — or has just opened — may be cached under other queries
+	// too).
+	qf.planCacheEvictFailure(eng, sql, rep)
 	fb := root.Child("phase:fallback")
 	fb.SetAttr("cause", ferr.Error())
 	nt, nerr := qf.execNative(ctx, eng, sql, fb)
@@ -261,6 +268,19 @@ func qerr(sql, stage string, err error) error {
 		return err
 	}
 	return &resilience.QueryError{SQL: sql, Stage: stage, Err: err}
+}
+
+// planCacheEvictFailure drops the plan-cache entries implicated in a
+// fused-path failure: the query's own entry plus any entry whose plan
+// calls one of the wrappers this query used. Nil-safe / off-safe.
+func (qf *QFusor) planCacheEvictFailure(eng *sqlengine.Engine, sql string, rep *Report) {
+	if !qf.planCacheOn() {
+		return
+	}
+	qf.PlanCache.Invalidate(planCacheKey(eng, qf.Opts, sql))
+	for _, k := range rep.wrapKeysUsed(qf) {
+		qf.PlanCache.InvalidateWrapper(k)
+	}
 }
 
 // wrapKeysUsed maps the wrappers this query's Process registered (or

@@ -62,6 +62,10 @@ type Config struct {
 	// UDFStepBudget caps the PyLite statements a context-bound query may
 	// execute before it is interrupted (runaway-UDF guard). 0 = no cap.
 	UDFStepBudget int64
+	// PlanCacheSize sizes the plan-decision cache: 0 keeps the default
+	// capacity (core.DefaultPlanCacheCap), > 0 sets an explicit entry
+	// cap, < 0 disables plan-decision caching entirely.
+	PlanCacheSize int
 }
 
 // Instance is a launched engine: the SQL engine, its UDF registry and a
@@ -134,6 +138,12 @@ func Launch(cfg Config) *Instance {
 	eng.Parallelism = cfg.Parallelism
 	inst := &Instance{Name: string(cfg.Profile), Eng: eng, Reg: reg,
 		QF: core.New(reg), cfg: cfg, proc: proc}
+	switch {
+	case cfg.PlanCacheSize < 0:
+		inst.QF.Opts.PlanCache = false
+	case cfg.PlanCacheSize > 0:
+		inst.QF.PlanCache.SetCap(cfg.PlanCacheSize)
+	}
 	return inst
 }
 

@@ -29,10 +29,14 @@ type QueryRecord struct {
 	Duration time.Duration `json:"duration_ns"`
 	// Rows is the result cardinality (0 on error).
 	Rows int `json:"rows"`
-	// Sections / Wrappers / CacheHits mirror the optimizer Report.
+	// Sections / Wrappers / CacheHits mirror the optimizer Report
+	// (CacheHits counts wrapper-compile-cache reuse).
 	Sections  int      `json:"sections,omitempty"`
 	Wrappers  []string `json:"wrappers,omitempty"`
-	CacheHits int      `json:"cache_hits,omitempty"`
+	CacheHits int      `json:"wrapper_cache_hits,omitempty"`
+	// PlanCache is the plan-decision cache outcome: "hit", "miss",
+	// "off", or "" when the query never entered the fusion front-end.
+	PlanCache string `json:"plancache,omitempty"`
 	// Fallback reports graceful degradation to the native plan.
 	Fallback       bool   `json:"fallback,omitempty"`
 	FallbackReason string `json:"fallback_reason,omitempty"`

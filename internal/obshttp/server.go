@@ -33,6 +33,10 @@ type Server struct {
 	// ProfileText, when set, serves /debug/profile (the PyLite sampling
 	// profiler's hot-line report). Nil → 404 with a hint.
 	ProfileText func() string
+	// PlanCache, when set, serves /debug/plancache: the JSON-marshalable
+	// snapshot of the plan-decision cache (counters + live entries).
+	// Nil → 404 with a hint.
+	PlanCache func() any
 
 	mu sync.Mutex
 	ln net.Listener
@@ -62,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/queries", s.handleQueries)
 	mux.HandleFunc("/debug/trace/", s.handleTrace)
 	mux.HandleFunc("/debug/profile", s.handleProfile)
+	mux.HandleFunc("/debug/plancache", s.handlePlanCache)
 	return mux
 }
 
@@ -119,6 +124,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /debug/queries        recent queries (JSON); ?n=K limits, ?slow=1 slow log only
   /debug/trace/<id>     Chrome trace_event JSON for one query (chrome://tracing, Perfetto)
   /debug/profile        PyLite UDF hot-line report (when profiling is enabled)
+  /debug/plancache      plan-decision cache snapshot (JSON: counters + entries)
 `)
 }
 
@@ -188,6 +194,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="qfusor-trace-%d.json"`, id))
 	w.Write(data) //nolint:errcheck // best-effort write to client
+}
+
+func (s *Server) handlePlanCache(w http.ResponseWriter, _ *http.Request) {
+	if s.PlanCache == nil {
+		http.Error(w, "obshttp: no plan cache wired (the embedder did not set Server.PlanCache)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s.PlanCache()); err != nil {
+		http.Error(w, "obshttp: plancache snapshot: "+err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
@@ -11,10 +12,24 @@ import (
 
 // Catalog holds tables and registered UDFs. It is safe for concurrent
 // readers; DDL takes the write lock.
+//
+// The catalog also carries a monotonically increasing epoch: any change
+// that can alter a query's correct answer or its optimization decisions
+// — DDL, DML, UDF (re-)registration or removal — bumps it. Plan-level
+// caches (core.PlanCache) key their entries on the epoch observed at
+// plan time, so a stale cached decision can never be served after the
+// catalog moved underneath it.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*data.Table
 	udfs   map[string]*ffi.UDF
+
+	// epoch counts catalog generations (see Epoch/BumpEpoch).
+	epoch atomic.Int64
+	// udfEpoch counts only UDF definition changes (see UDFEpoch): the
+	// wrapper compile cache bakes UDF bodies into generated code, so it
+	// must flush on redefinition but not on data-only changes.
+	udfEpoch atomic.Int64
 }
 
 // NewCatalog creates an empty catalog.
@@ -25,11 +40,29 @@ func NewCatalog() *Catalog {
 	}
 }
 
+// Epoch returns the current catalog generation. Two reads returning the
+// same value bracket a window with no table/UDF changes, which is the
+// soundness condition plan-decision caching relies on.
+func (c *Catalog) Epoch() int64 { return c.epoch.Load() }
+
+// BumpEpoch advances the catalog generation, invalidating any plan
+// decisions keyed on earlier epochs. Called by every table/UDF mutation
+// here plus the in-place DML paths (INSERT/UPDATE append into existing
+// column storage without re-registering the table).
+func (c *Catalog) BumpEpoch() int64 { return c.epoch.Add(1) }
+
+// UDFEpoch returns the generation counter of UDF definitions only. It
+// moves when a non-fused UDF is (re-)registered or dropped — exactly
+// the events that make previously compiled fused wrappers (which inline
+// the source UDFs' bodies) stale.
+func (c *Catalog) UDFEpoch() int64 { return c.udfEpoch.Load() }
+
 // PutTable registers (or replaces) a table.
 func (c *Catalog) PutTable(t *data.Table) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.tables[strings.ToLower(t.Name)] = t
+	c.mu.Unlock()
+	c.epoch.Add(1)
 }
 
 // Table looks up a table by name.
@@ -43,8 +76,9 @@ func (c *Catalog) Table(name string) (*data.Table, bool) {
 // DropTable removes a table.
 func (c *Catalog) DropTable(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.tables, strings.ToLower(name))
+	c.mu.Unlock()
+	c.epoch.Add(1)
 }
 
 // Tables returns the table names.
@@ -59,11 +93,19 @@ func (c *Catalog) Tables() []string {
 }
 
 // PutUDF registers a UDF (the CREATE FUNCTION step of the registration
-// mechanism).
+// mechanism). Registering or re-registering a user UDF bumps the
+// catalog epoch — cached plans may embed the old definition. Fused
+// wrappers are exempt: they are *products* of planning, registered
+// mid-pipeline, and bumping for them would invalidate the very plan
+// entry being built (the cache could then never hit).
 func (c *Catalog) PutUDF(u *ffi.UDF) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.udfs[strings.ToLower(u.Name)] = u
+	c.mu.Unlock()
+	if !u.Fused {
+		c.epoch.Add(1)
+		c.udfEpoch.Add(1)
+	}
 }
 
 // UDF looks up a UDF by name.
@@ -77,8 +119,10 @@ func (c *Catalog) UDF(name string) (*ffi.UDF, bool) {
 // DropUDF removes a UDF registration.
 func (c *Catalog) DropUDF(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.udfs, strings.ToLower(name))
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	c.udfEpoch.Add(1)
 }
 
 // UDFs returns all registered UDFs.

@@ -40,6 +40,10 @@ func (e *Engine) execInsert(s *InsertStmt) error {
 	if !ok {
 		return errNoSuchTable(s.Table)
 	}
+	// INSERT appends into the table's column storage in place — the
+	// catalog never sees a PutTable — so the epoch bump that invalidates
+	// cached plan decisions (row estimates, fusion choices) is explicit.
+	defer e.Catalog.BumpEpoch()
 	if s.Select != nil {
 		q, err := e.PlanQuery(s.Select)
 		if err != nil {
@@ -86,6 +90,9 @@ func (e *Engine) ExecUpdate(s *UpdateStmt) error {
 	if !ok {
 		return errNoSuchTable(s.Table)
 	}
+	// UPDATE rewrites column cells in place (no PutTable): bump the
+	// epoch explicitly so cached plan decisions over this table retire.
+	defer e.Catalog.BumpEpoch()
 	scan := &Plan{Op: OpScan, Table: t.Name, Schema: t.Schema,
 		Quals: qualsFor(t.Name, len(t.Schema)), EstRows: float64(t.NumRows())}
 	pl := &planner{cat: e.Catalog, ctes: map[string]*Plan{}}

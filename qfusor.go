@@ -160,6 +160,37 @@ func WithStepBudget(n int64) Option {
 	return func(c *engines.Config) { c.UDFStepBudget = n }
 }
 
+// WithPlanCache toggles the plan-decision cache (default on): repeated
+// queries skip plan probing, DFG construction, section discovery and
+// the rewrite, going straight to execution. Entries are invalidated by
+// catalog changes (DDL, DML, UDF re-registration) and by circuit-
+// breaker activity on the wrappers they call.
+func WithPlanCache(on bool) Option {
+	return func(c *engines.Config) {
+		if on {
+			if c.PlanCacheSize < 0 {
+				c.PlanCacheSize = 0
+			}
+		} else {
+			c.PlanCacheSize = -1
+		}
+	}
+}
+
+// WithPlanCacheSize caps the plan-decision cache at n entries (n <= 0
+// keeps the default capacity, 256).
+func WithPlanCacheSize(n int) Option {
+	return func(c *engines.Config) {
+		if n > 0 {
+			c.PlanCacheSize = n
+		}
+	}
+}
+
+// PlanCacheStats summarizes the plan-decision cache: live size,
+// capacity, and cumulative hit/miss/eviction/invalidation counters.
+type PlanCacheStats = core.PlanCacheStats
+
 // QueryError is the typed failure every resilient query path returns:
 // Stage says where the ladder stopped ("plan", "fused", "native",
 // "fallback" or "cancelled") and the cause chain is reachable with
@@ -209,18 +240,22 @@ func (db *DB) Close() {
 //	/debug/trace/<id> Chrome trace_event JSON for one recorded query
 //	                  (load in chrome://tracing or Perfetto)
 //	/debug/profile    UDF sampling-profiler hot lines (text)
+//	/debug/plancache  plan-decision cache snapshot (JSON)
 //
 // While the server runs, every query records a span trace into the
 // flight recorder (trace-all); Close (or DB.Close) turns that off.
 func (db *DB) ServeDebug(addr string) (string, error) {
 	if db.dbg == nil {
-		db.dbg = &obshttp.Server{ProfileText: func() string {
-			p := pylite.ActiveProfiler()
-			if p == nil {
-				return ""
-			}
-			return p.ReportText()
-		}}
+		db.dbg = &obshttp.Server{
+			ProfileText: func() string {
+				p := pylite.ActiveProfiler()
+				if p == nil {
+					return ""
+				}
+				return p.ReportText()
+			},
+			PlanCache: func() any { return db.in.QF.PlanCache.Snapshot() },
+		}
 	}
 	return db.dbg.Start(addr)
 }
@@ -357,6 +392,18 @@ func (db *DB) LastReport() Report { return db.in.QF.LastReport() }
 
 // SetOptions adjusts the QFusor technique switches.
 func (db *DB) SetOptions(o Options) { db.in.QF.Opts = o }
+
+// PlanCacheStats returns the plan-decision cache's counters (zero when
+// the cache is disabled).
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.in.QF.PlanCache.Stats() }
+
+// PurgePlanCache empties the plan-decision cache (counted as
+// invalidations). Useful before cold-path measurements.
+func (db *DB) PurgePlanCache() {
+	if db.in.QF.PlanCache != nil {
+		db.in.QF.PlanCache.Purge()
+	}
+}
 
 // DefaultOptions returns the full pipeline's switches.
 func DefaultOptions() Options { return core.DefaultOptions() }

@@ -17,3 +17,8 @@ GOMAXPROCS=8 go test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|In
 # /debug/queries must show the flight recorder, and a recorded trace
 # must round-trip as valid Chrome trace_event JSON.
 go run ./cmd/qfusor-bench -obs-smoke
+# Differential fuzz smoke: a bounded run of the native vs fused-cold vs
+# fused-warm (plan-cache hit) equivalence fuzzer; any mismatch is a
+# plan-cache or fusion correctness bug. FUZZTIME can be shortened for
+# fast local iteration.
+go test -run '^$' -fuzz FuzzDiff -fuzztime "${FUZZTIME:-30s}" ./internal/core
