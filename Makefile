@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-smoke obs-smoke fuzz-smoke
+.PHONY: check build vet test race chaos bench bench-smoke obs-smoke fuzz-smoke lint
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -11,6 +11,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+## lint: static gates — go vet plus a gofmt diff check (fails listing
+## any file that is not gofmt-clean).
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

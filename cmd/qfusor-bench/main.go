@@ -31,22 +31,31 @@ import (
 // hostInfo records the hardware/runtime context a benchmark ran under,
 // so BENCH_obs.json numbers are comparable across machines.
 type hostInfo struct {
-	GoVersion   string `json:"go_version"`
-	GOOS        string `json:"goos"`
-	GOARCH      string `json:"goarch"`
-	NumCPU      int    `json:"num_cpu"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Parallelism int    `json:"parallelism"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Parallelism is the -parallelism flag as given (0 = auto);
+	// ParallelismResolved is the worker count "auto" resolved to, so a
+	// recorded run is interpretable without knowing the host's cores.
+	Parallelism         int `json:"parallelism"`
+	ParallelismResolved int `json:"parallelism_resolved"`
 }
 
 func hostOf(parallelism int) hostInfo {
+	resolved := parallelism
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
 	return hostInfo{
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallelism: parallelism,
+		GoVersion:           runtime.Version(),
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		NumCPU:              runtime.NumCPU(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		Parallelism:         parallelism,
+		ParallelismResolved: resolved,
 	}
 }
 
@@ -73,9 +82,20 @@ func main() {
 	httpAddr := flag.String("http", "", "serve diagnostics while the run is live (/metrics, /debug/queries, /debug/trace/<id>); empty = off")
 	plancache := flag.Bool("plancache", true, "enable the plan-decision cache on launched instances (the plancache experiment manages its own arms)")
 	smoke := flag.Bool("obs-smoke", false, "run the diagnostics-plane smoke test (endpoints, exposition validity, trace round-trip) and exit")
+	querylog := flag.String("querylog", "", "append the structured query log (one JSON line per query) to this file; empty = off")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; exercises the resilience layer)")
 	flag.Parse()
+
+	if *querylog != "" {
+		f, err := os.OpenFile(*querylog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "querylog: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		obs.DefaultQueryLog.SetWriter(f)
+	}
 
 	if *smoke {
 		if err := obsSmoke(os.Stdout); err != nil {

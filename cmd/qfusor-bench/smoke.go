@@ -78,6 +78,10 @@ func obsSmoke(w io.Writer) error {
 		"qfusor_drift_observations",
 		"obs_flight_recorded",
 		"pylite_profile_samples",
+		`qfusor_regressions{kind="latency"}`,
+		`qfusor_regressions{kind="rows"}`,
+		`qfusor_regressions{kind="allocs"}`,
+		`qfusor_regressions{kind="ffi"}`,
 	}
 	for _, name := range required {
 		if _, ok := samples[name]; !ok {
@@ -151,6 +155,78 @@ func obsSmoke(w io.Writer) error {
 		return fmt.Errorf("trace %d has %d events, want a span tree", traceID, len(tf.TraceEvents))
 	}
 	fmt.Fprintf(w, "obs-smoke: /debug/trace/%d ok (%d events)\n", traceID, len(tf.TraceEvents))
+
+	// /debug/resources: every recorded query carries a ledger whose
+	// row count matches what the engine actually produced.
+	body, err = httpGet(base + "/debug/resources?n=16")
+	if err != nil {
+		return err
+	}
+	var resources struct {
+		AccountingEnabled bool `json:"accounting_enabled"`
+		Count             int  `json:"count"`
+		Queries           []struct {
+			QID       string                 `json:"qid"`
+			SQL       string                 `json:"sql"`
+			Resources *qfusor.LedgerSnapshot `json:"resources"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &resources); err != nil {
+		return fmt.Errorf("/debug/resources: %w", err)
+	}
+	if !resources.AccountingEnabled {
+		return fmt.Errorf("/debug/resources reports accounting disabled (the default is on)")
+	}
+	if resources.Count < runs {
+		return fmt.Errorf("/debug/resources count = %d, want >= %d", resources.Count, runs)
+	}
+	for _, q := range resources.Queries {
+		if q.QID == "" {
+			return fmt.Errorf("/debug/resources: query %q has no correlation id", q.SQL)
+		}
+		if q.Resources == nil || q.Resources.RowsOut != 3 {
+			return fmt.Errorf("/debug/resources: query %q ledger rows_out != 3: %+v", q.SQL, q.Resources)
+		}
+		if q.Resources.FFICalls < 1 {
+			return fmt.Errorf("/debug/resources: query %q ledger saw no FFI calls", q.SQL)
+		}
+	}
+	fmt.Fprintf(w, "obs-smoke: /debug/resources ok (%d ledgers)\n", resources.Count)
+
+	// /debug/regressions: the detector state is well-formed JSON with the
+	// configured thresholds and a baseline for the repeated query.
+	body, err = httpGet(base + "/debug/regressions")
+	if err != nil {
+		return err
+	}
+	var regress struct {
+		Config struct {
+			MinSamples int     `json:"min_samples"`
+			Sigma      float64 `json:"sigma"`
+			MinPct     float64 `json:"min_pct"`
+		} `json:"config"`
+		Baselines []struct {
+			Key     string `json:"key"`
+			Samples int64  `json:"samples"`
+		} `json:"baselines"`
+	}
+	if err := json.Unmarshal(body, &regress); err != nil {
+		return fmt.Errorf("/debug/regressions: %w", err)
+	}
+	if regress.Config.MinSamples < 1 || regress.Config.Sigma <= 0 {
+		return fmt.Errorf("/debug/regressions config not populated: %+v", regress.Config)
+	}
+	foundBaseline := false
+	for _, b := range regress.Baselines {
+		if strings.Contains(b.Key, "smokeup") && b.Samples >= int64(runs) {
+			foundBaseline = true
+			break
+		}
+	}
+	if !foundBaseline {
+		return fmt.Errorf("/debug/regressions has no baseline for the repeated smoke query")
+	}
+	fmt.Fprintf(w, "obs-smoke: /debug/regressions ok (%d baselines)\n", len(regress.Baselines))
 
 	// /debug/profile: the sampling profiler attributed samples to the UDF.
 	body, err = httpGet(base + "/debug/profile")

@@ -11,6 +11,7 @@
 //	\trace on|off   trace every following query (prints the span tree)
 //	\metrics        dump the engine-wide metrics registry (expvar-style)
 //	\plancache      show plan-decision cache counters (size, hits, misses)
+//	\resources      show the last query's resource ledger + recent regressions
 //	\def            enter UDF definition mode (end with a line: \end)
 //	\tables         list tables
 //	\udfs           list registered UDFs
@@ -41,10 +42,21 @@ func main() {
 	httpAddr := flag.String("http", "", "serve diagnostics on this address (/metrics, /debug/queries, /debug/trace/<id>, /debug/profile); empty = off")
 	profInterval := flag.Int("profile", 0, "enable the UDF sampling profiler with this statement interval (0 = off; rounded up to a power of two)")
 	plancache := flag.Bool("plancache", true, "enable the plan-decision cache (repeated queries skip the optimizer front-end)")
+	querylog := flag.String("querylog", "", "append the structured query log (one JSON line per query) to this file; empty = off")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; see faultinject)")
 	flag.Parse()
 	queryTimeout = *timeout
+
+	if *querylog != "" {
+		f, err := os.OpenFile(*querylog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "querylog:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		qfusor.SetQueryLogWriter(f)
+	}
 
 	db, err := qfusor.Open(qfusor.Profile(*profile), qfusor.WithParallelism(*parallelism),
 		qfusor.WithPlanCache(*plancache))
@@ -100,6 +112,10 @@ func main() {
 			st := db.PlanCacheStats()
 			fmt.Printf("plan cache: size=%d/%d hits=%d misses=%d evictions=%d invalidations=%d\n",
 				st.Size, st.Cap, st.Hits, st.Misses, st.Evictions, st.Invalidations)
+			prompt()
+			continue
+		case trimmed == "\\resources":
+			showResources(db)
 			prompt()
 			continue
 		case trimmed == "\\trace on" || trimmed == "\\trace off":
@@ -241,6 +257,45 @@ func analyze(db *qfusor.DB, sql string) {
 	fmt.Print(qfusor.Format(a.Result, 25))
 	fmt.Printf("(%d rows)\n\n", a.Result.NumRows())
 	fmt.Print(a.Render())
+}
+
+// showResources prints the most recent query's resource ledger and the
+// tail of the process-wide regression log (\resources).
+func showResources(db *qfusor.DB) {
+	recs := db.RecentQueries(1)
+	if len(recs) == 0 {
+		fmt.Println("no queries recorded yet")
+	} else if r := recs[0].Resources; r == nil {
+		fmt.Println("last query carried no resource ledger (accounting off?)")
+	} else {
+		fmt.Printf("last query: qid=%s sql=%s\n", r.QID, recs[0].SQL)
+		fmt.Printf("  rows_out=%d morsels=%d udf_steps=%d retries=%d fallbacks=%d\n",
+			r.RowsOut, r.Morsels, r.UDFSteps, r.Retries, r.Fallbacks)
+		fmt.Printf("  ffi: calls=%d rows_in=%d rows_out=%d wall=%v wrapper=%v\n",
+			r.FFICalls, r.FFIRowsIn, r.FFIRowsOut,
+			time.Duration(r.FFIWallNanos), time.Duration(r.FFIWrapNanos))
+		fmt.Printf("  alloc: bytes=%d objects=%d\n", r.AllocBytes, r.AllocObjects)
+		for _, ph := range r.Phases {
+			fmt.Printf("    phase %-10s alloc_bytes=%d alloc_objects=%d\n", ph.Name, ph.AllocBytes, ph.AllocObjects)
+		}
+		for _, op := range r.Ops {
+			fmt.Printf("  op  %-26s calls=%d rows=%d time=%v\n", op.Name, op.Calls, op.Rows, time.Duration(op.Nanos))
+		}
+		for _, u := range r.UDFs {
+			fmt.Printf("  udf %-26s calls=%d rows_in=%d rows_out=%d wall=%v wrapper=%v\n",
+				u.Name, u.Calls, u.RowsIn, u.RowsOut, time.Duration(u.WallNanos), time.Duration(u.WrapNanos))
+		}
+	}
+	evs := qfusor.RecentRegressions(5)
+	if len(evs) == 0 {
+		fmt.Println("regressions: none")
+		return
+	}
+	fmt.Println("recent regressions:")
+	for _, ev := range evs {
+		fmt.Printf("  [%s] %s: %.0f vs baseline %.0f  (qid=%s) %s\n",
+			ev.When.Format("15:04:05"), ev.Kind, ev.Value, ev.Baseline, ev.QID, ev.SQL)
+	}
 }
 
 func runOne(run func(string) (*qfusor.Table, error), sql string) {

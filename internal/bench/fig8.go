@@ -92,6 +92,7 @@ func (r *Runner) All() ([]*Result, error) {
 		{"fig8-pluggability", r.Fig8Pluggability},
 		{"morsel-speedup", r.MorselSpeedup},
 		{"plancache", r.PlanCacheBench},
+		{"resource-overhead", r.ResourceOverheadBench},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -124,5 +125,6 @@ func (r *Runner) Experiments() map[string]func() (*Result, error) {
 		"fig8-pluggability":  r.Fig8Pluggability,
 		"morsel-speedup":     r.MorselSpeedup,
 		"plancache":          r.PlanCacheBench,
+		"resource-overhead":  r.ResourceOverheadBench,
 	}
 }

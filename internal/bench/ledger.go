@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qfusor/internal/engines"
+	"qfusor/internal/obs"
+	"qfusor/internal/workload"
+)
+
+// ResourceOverheadBench is E19: the resource-accounting overhead
+// experiment. For each UDFBench query (Q1–Q3) it measures steady-state
+// fused latency with per-query resource ledgers enabled versus disabled
+// and reports the delta. The acceptance bar is ≤5% overhead with
+// accounting on: ledgers ride atomics on hot paths and take exactly one
+// runtime/metrics read per phase boundary, so the cost must stay in the
+// noise for anything but trivially short queries.
+func (r *Runner) ResourceOverheadBench() (*Result, error) {
+	res := &Result{ID: "E19", Title: "Resource-accounting overhead: fused latency, ledger on vs off (UDFBench Q1–Q3)"}
+	reps := 15
+	if r.Quick {
+		reps = 9
+	}
+
+	in, err := r.launchWorkload(engines.Config{Profile: engines.Monet, JIT: true}, "udfbench")
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+
+	// Accounting is a process-wide switch; restore the default (on) no
+	// matter how the experiment exits.
+	defer obs.SetAccounting(true)
+
+	queries := []struct {
+		name string
+		sql  string
+	}{{"Q1", workload.Q1}, {"Q2", workload.Q2}, {"Q3", workload.Q3}}
+
+	// The arms interleave within each repetition (off, on, off, on, …)
+	// rather than running as sequential blocks: slow drift — GC pressure,
+	// background load, frequency scaling — then hits both arms equally
+	// and cancels out of the median instead of landing on whichever
+	// block ran second.
+	measure := func(sql string) (off, on time.Duration, err error) {
+		for _, acct := range []bool{false, true} {
+			obs.SetAccounting(acct)
+			// One warm-up run per arm: plan-cache priming and JIT warm-up
+			// are identical across arms, so the medians compare steady
+			// states.
+			if _, _, err := r.runSQL(in, sql, runFused); err != nil {
+				return 0, 0, err
+			}
+		}
+		offs := make([]time.Duration, 0, reps)
+		ons := make([]time.Duration, 0, reps)
+		for i := 0; i < reps; i++ {
+			obs.SetAccounting(false)
+			d, _, err := r.runSQL(in, sql, runFused)
+			if err != nil {
+				return 0, 0, err
+			}
+			offs = append(offs, d)
+			obs.SetAccounting(true)
+			d, _, err = r.runSQL(in, sql, runFused)
+			if err != nil {
+				return 0, 0, err
+			}
+			ons = append(ons, d)
+		}
+		return medianDur(offs), medianDur(ons), nil
+	}
+
+	for _, q := range queries {
+		off, on, err := measure(q.sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.name, err)
+		}
+		overhead := 100 * (float64(on)/float64(off) - 1)
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("ledger/%s", q.name),
+			Order: []string{"off_ms", "on_ms", "overhead_pct"},
+			Metrics: map[string]float64{
+				"off_ms":       ms(off),
+				"on_ms":        ms(on),
+				"overhead_pct": overhead,
+			},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"acceptance: overhead_pct ≤ 5 with accounting on (atomics on hot paths, one runtime/metrics read per phase boundary)",
+		"negative overhead = measurement noise; medians over steady-state repetitions, warm plan cache in both arms")
+	return res, nil
+}

@@ -45,6 +45,9 @@ type Analysis struct {
 	// per-statement sample counts attributed to UDF source lines, hottest
 	// first. Empty unless a profiler is active (StartUDFProfiler).
 	HotLines *pylite.ProfileSnapshot
+	// Resources is the query's resource-ledger snapshot (nil when
+	// accounting is off; see obs.SetAccounting).
+	Resources *obs.LedgerSnapshot
 }
 
 // UDFUsage is one UDF's contribution to a query. Wrapper is time spent
@@ -77,6 +80,11 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 		ctx = context.Background()
 	}
 	start := time.Now()
+	led := obs.LedgerFromContext(ctx)
+	if led == nil && obs.AccountingEnabled() {
+		led = obs.NewLedger()
+		ctx = obs.ContextWithLedger(ctx, led)
+	}
 	root := obs.NewTracer().Start("query")
 
 	// Per-UDF stats baseline: wrappers registered during Process simply
@@ -92,6 +100,7 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 	}
 
 	q, rep, err := qf.ProcessTraced(eng, sql, root)
+	led.MarkPhase("optimize")
 	if err != nil {
 		return nil, err
 	}
@@ -99,12 +108,14 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 	ex := root.Child("phase:execute")
 	res, err := execTracedRecovered(ctx, eng, q, ex)
 	ex.End()
+	led.MarkPhase("execute")
 	if err == nil {
 		qf.observeSectionCosts(rep, secBase)
 	}
 	if err != nil && !isCancellation(ctx, err) {
 		// Degrade exactly like QueryCtx, but keep the span tree: the
 		// analysis shows the failed fused execute and the native rerun.
+		led.AddRetry()
 		fb := root.Child("phase:fallback")
 		fb.SetAttr("cause", err.Error())
 		var nq *sqlengine.Query
@@ -113,6 +124,7 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 			res, perr = execTracedRecovered(ctx, eng, nq, fb)
 		}
 		fb.End()
+		led.MarkPhase("fallback")
 		if perr != nil {
 			root.End()
 			return nil, qerr(sql, "fallback", errors.Join(err, perr))
@@ -129,9 +141,11 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 			mCancelled.Inc()
 			err = qerr(sql, "cancelled", err)
 		}
-		qf.recordFlight("analyze", sql, start, nil, rep, err, root)
+		fillLedgerUDFs(led, eng, base)
+		qf.recordFlight("analyze", sql, start, nil, rep, err, root, led)
 		return nil, err
 	}
+	fillLedgerUDFs(led, eng, base)
 
 	a := &Analysis{
 		SQL:     sql,
@@ -145,7 +159,8 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 		win := p.Snapshot().Diff(prof0)
 		a.HotLines = &win
 	}
-	qf.recordFlight("analyze", sql, start, res, rep, nil, root)
+	qf.recordFlight("analyze", sql, start, res, rep, nil, root, led)
+	a.Resources = led.Snapshot()
 	for _, u := range eng.Catalog.UDFs() {
 		d := u.Stats.Snapshot().Sub(base[u.Name])
 		if d.IsZero() {

@@ -444,14 +444,14 @@ func (qf *QFusor) emitWrapper(seg *Segment, g *DFG, inSec map[int]bool, lo, hi i
 	if err != nil {
 		return nil, err
 	}
-	if u.Trace == nil {
+	if u.Trace() == nil {
 		// Compile the wrapper's hot loop to a native trace (the final
 		// JIT tier); unsupported shapes keep the PyLite wrapper.
 		tr, terr := qf.buildTrace(seg, g, inSec, lo, hi, w.inputs)
 		if terr == nil && tr != nil {
-			u.Trace = tr
+			u.SetTrace(tr)
 		}
-		if isAgg && u.Trace == nil {
+		if isAgg && u.Trace() == nil {
 			// Aggregating sections require the traced group-by (the
 			// legacy wrapper groups before fused filters).
 			if terr == nil {

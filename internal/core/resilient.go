@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/ffi"
 	"qfusor/internal/obs"
 	"qfusor/internal/pylite"
 	"qfusor/internal/resilience"
@@ -92,6 +93,17 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 	// every query build a span tree; otherwise root stays nil and every
 	// span hook is a pointer compare (the nil-tracer guarantee).
 	start := time.Now()
+	// Resource ledger: ride the one the embedder attached (engines
+	// attaches at its entry points), or open one here for direct callers.
+	led := obs.LedgerFromContext(ctx)
+	if led == nil && obs.AccountingEnabled() {
+		led = obs.NewLedger()
+		ctx = obs.ContextWithLedger(ctx, led)
+	}
+	var base map[string]ffi.StatsSnapshot
+	if led != nil {
+		base = udfBaselines(eng)
+	}
 	var root *obs.Span
 	if obs.DefaultFlight.TraceAll() {
 		root = obs.NewSpan("query")
@@ -99,15 +111,45 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 	t, rep, err := qf.queryResilient(ctx, eng, sql, root)
 	root.End()
 	qf.updateBreakerGauges()
-	qf.recordFlight("fused", sql, start, t, rep, err, root)
+	fillLedgerUDFs(led, eng, base)
+	qf.recordFlight("fused", sql, start, t, rep, err, root, led)
 	return t, rep, err
+}
+
+// udfBaselines snapshots every catalog UDF's stats at query start (the
+// EXPLAIN ANALYZE attribution pattern, reused by the resource ledger).
+func udfBaselines(eng *sqlengine.Engine) map[string]ffi.StatsSnapshot {
+	base := map[string]ffi.StatsSnapshot{}
+	for _, u := range eng.Catalog.UDFs() {
+		base[u.Name] = u.Stats.Snapshot()
+	}
+	return base
+}
+
+// fillLedgerUDFs attributes per-UDF usage the live FFI threading did
+// not catch (the per-row scalar invoker paths) from the catalog stats
+// delta. UDFFillMissing skips UDFs with threaded entries, so the two
+// sources never double count. Per-engine deltas make this approximate
+// when concurrent queries share one engine.
+func fillLedgerUDFs(led *obs.ResourceLedger, eng *sqlengine.Engine, base map[string]ffi.StatsSnapshot) {
+	if led == nil || base == nil {
+		return
+	}
+	for _, u := range eng.Catalog.UDFs() {
+		d := u.Stats.Snapshot().Sub(base[u.Name])
+		if d.IsZero() {
+			continue
+		}
+		led.UDFFillMissing(u.Name, d.Calls, d.InRows, d.OutRows, d.WallNanos, d.WrapNanos)
+	}
 }
 
 // recordFlight stores one completed query in the process flight
 // recorder (nil-safe span snapshot; no-op cost is one mutex-guarded
 // ring write).
-func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table, rep *Report, err error, root *obs.Span) {
+func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table, rep *Report, err error, root *obs.Span, led *obs.ResourceLedger) {
 	rec := &obs.QueryRecord{
+		QID:      led.QID(),
 		SQL:      sql,
 		Path:     path,
 		Start:    start,
@@ -125,11 +167,20 @@ func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table,
 		rec.Fallback = rep.Fallback
 		rec.FallbackReason = rep.FallbackReason
 		rec.BreakerOpen = rep.FallbackReason == breakerOpenReason
+		if rep.Fallback {
+			led.AddFallback()
+		}
 	}
 	if err != nil {
 		rec.Err = err.Error()
 	}
+	rec.Resources = led.Snapshot()
+	// Funnel order matters: the detector writes rec.Regressions, so it
+	// runs before Record hands the (then-immutable) record to readers;
+	// the query log runs after so its line carries the assigned ID.
+	obs.DefaultRegressions.Observe(rec)
 	obs.DefaultFlight.Record(rec)
+	obs.DefaultQueryLog.Emit(rec)
 }
 
 // breakerOpenReason is the FallbackReason for breaker-routed queries.
@@ -139,10 +190,12 @@ const breakerOpenReason = "circuit breaker open"
 // recorder wraps exactly one attempt).
 func (qf *QFusor) queryResilient(ctx context.Context, eng *sqlengine.Engine, sql string, root *obs.Span) (*data.Table, *Report, error) {
 	key := queryKey(sql)
+	led := obs.LedgerFromContext(ctx)
 	if qf.Breaker != nil && !qf.Breaker.Allow(key) {
 		mBreakerSkips.Inc()
 		rep := &Report{Fallback: true, FallbackReason: breakerOpenReason}
 		t, err := qf.execNative(ctx, eng, sql, root)
+		led.MarkPhase("execute")
 		if err != nil {
 			qf.setReport(*rep)
 			return nil, rep, qerr(sql, "native", err)
@@ -190,10 +243,12 @@ func (qf *QFusor) queryResilient(ctx context.Context, eng *sqlengine.Engine, sql
 	// failures — or has just opened — may be cached under other queries
 	// too).
 	qf.planCacheEvictFailure(eng, sql, rep)
+	led.AddRetry()
 	fb := root.Child("phase:fallback")
 	fb.SetAttr("cause", ferr.Error())
 	nt, nerr := qf.execNative(ctx, eng, sql, fb)
 	fb.End()
+	led.MarkPhase("fallback")
 	if nerr != nil {
 		if isCancellation(ctx, nerr) {
 			mCancelled.Inc()
@@ -217,7 +272,9 @@ func (qf *QFusor) queryResilient(ctx context.Context, eng *sqlengine.Engine, sql
 // knows which wrappers were involved.
 func (qf *QFusor) queryFusedOnce(ctx context.Context, eng *sqlengine.Engine, sql string, root *obs.Span) (_ *data.Table, rep *Report, err error) {
 	defer resilience.Recover(&err)
+	led := obs.LedgerFromContext(ctx)
 	q, rep, perr := qf.ProcessTraced(eng, sql, root)
+	led.MarkPhase("optimize")
 	if perr != nil {
 		return nil, rep, perr
 	}
@@ -225,6 +282,7 @@ func (qf *QFusor) queryFusedOnce(ctx context.Context, eng *sqlengine.Engine, sql
 	sp := root.Child("phase:execute")
 	t, xerr := eng.ExecuteTracedCtx(ctx, q, sp)
 	sp.End()
+	led.MarkPhase("execute")
 	if xerr == nil {
 		qf.observeSectionCosts(rep, base)
 	}

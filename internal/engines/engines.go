@@ -10,11 +10,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"qfusor/internal/core"
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 	"qfusor/internal/sqlengine"
 )
 
@@ -147,16 +149,32 @@ func Launch(cfg Config) *Instance {
 	return inst
 }
 
-// bindQuery attaches ctx cancellation and the configured step budget to
-// the UDF runtime for the duration of one query; the returned release
-// detaches them. A background context with no step budget binds
-// nothing.
+// withLedger attaches a fresh resource ledger to ctx when accounting is
+// on and none rides it yet (an embedder-supplied ledger wins).
+func withLedger(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if obs.AccountingEnabled() && obs.LedgerFromContext(ctx) == nil {
+		ctx = obs.ContextWithLedger(ctx, obs.NewLedger())
+	}
+	return ctx
+}
+
+// bindQuery attaches ctx cancellation, the configured step budget, and
+// the ledger's interpreter-step counter to the UDF runtime for the
+// duration of one query; the returned release detaches them. A
+// background context with no step budget and no ledger binds nothing.
 func (in *Instance) bindQuery(ctx context.Context) func() {
-	if ctx == nil || (ctx.Done() == nil && in.cfg.UDFStepBudget <= 0) {
+	var steps *atomic.Int64
+	if ctx != nil {
+		steps = obs.LedgerFromContext(ctx).StepCounter()
+	}
+	if ctx == nil || (ctx.Done() == nil && in.cfg.UDFStepBudget <= 0 && steps == nil) {
 		return func() {}
 	}
-	return in.Reg.RT.BindInterrupt(ctx.Done(), func() error { return context.Cause(ctx) },
-		in.cfg.UDFStepBudget)
+	return in.Reg.RT.BindInterruptSteps(ctx.Done(), func() error { return context.Cause(ctx) },
+		in.cfg.UDFStepBudget, steps)
 }
 
 // Define executes UDF module source and attaches the registrations.
@@ -201,6 +219,7 @@ func (in *Instance) QueryFused(sql string) (*data.Table, error) {
 // QueryFusedCtx runs sql through the resilient QFusor pipeline under
 // ctx (fused → native fallback → typed error).
 func (in *Instance) QueryFusedCtx(ctx context.Context, sql string) (*data.Table, error) {
+	ctx = withLedger(ctx)
 	release := in.bindQuery(ctx)
 	defer release()
 	t, _, err := in.QF.QueryCtx(ctx, in.Eng, sql)
@@ -215,6 +234,7 @@ func (in *Instance) QueryAnalyze(sql string) (*core.Analysis, error) {
 
 // QueryAnalyzeCtx is QueryAnalyze under a context.
 func (in *Instance) QueryAnalyzeCtx(ctx context.Context, sql string) (*core.Analysis, error) {
+	ctx = withLedger(ctx)
 	release := in.bindQuery(ctx)
 	defer release()
 	return in.QF.QueryAnalyzeCtx(ctx, in.Eng, sql)

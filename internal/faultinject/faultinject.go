@@ -140,7 +140,7 @@ var (
 	mu       sync.Mutex
 	names    = map[string]bool{}   // every registered point name
 	active   = map[string]*point{} // armed points
-	fireHook func(name string) // test observation hook (guarded by mu)
+	fireHook func(name string)     // test observation hook (guarded by mu)
 )
 
 // Register declares a fault point name at package init of the layer that

@@ -184,9 +184,12 @@ type UDF struct {
 
 	// Fused marks wrappers synthesized by the fusion optimizer.
 	Fused bool
-	// Trace is the wrapper's fully compiled form (native loop); when
+	// trace is the wrapper's fully compiled form (native loop); when
 	// set, the fused call paths execute it instead of the PyLite source.
-	Trace *Trace
+	// It is published lazily by the optimizer while queries that got the
+	// same wrapper from the compile cache may already be executing it,
+	// hence the atomic holder (use Trace/SetTrace).
+	trace atomic.Pointer[Trace]
 	// EstCost optionally carries developer-supplied cost metadata
 	// (CREATE FUNCTION ... COST n), in nanoseconds per row.
 	EstCost float64
@@ -206,13 +209,23 @@ func (u *UDF) WorkerClone() *UDF {
 		Name: u.Name, Kind: u.Kind, Params: u.Params,
 		InKinds: u.InKinds, OutKinds: u.OutKinds, OutNames: u.OutNames,
 		Source: u.Source, Fn: u.Fn, RT: u.RT, GoFn: u.GoFn, GoAgg: u.GoAgg,
-		Fused: u.Fused, Trace: u.Trace, EstCost: u.EstCost,
+		Fused: u.Fused, EstCost: u.EstCost,
 	}
+	c.trace.Store(u.trace.Load())
 	if u.RT != nil {
 		c.RT = u.RT.Worker()
 	}
 	return c
 }
+
+// Trace returns the wrapper's compiled native form (nil until the
+// optimizer publishes one with SetTrace).
+func (u *UDF) Trace() *Trace { return u.trace.Load() }
+
+// SetTrace publishes the compiled native form. Concurrent compiles of
+// the same cached wrapper are benign: both traces come from the same
+// normalized source, so last-write-wins hands every reader a valid one.
+func (u *UDF) SetTrace(t *Trace) { u.trace.Store(t) }
 
 // AbsorbWorker folds a worker clone's learned statistics (UDF stats and
 // interpreter counters) back into u.

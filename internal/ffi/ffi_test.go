@@ -280,7 +280,7 @@ func TestTraceVectorExecution(t *testing.T) {
 		},
 		OutRegs: []int{2},
 	}
-	u.Trace = tr
+	u.SetTrace(tr)
 	cols, err := RunTraceVector(u, tr, []*data.Column{intCol(1, 3, 5)}, 3,
 		[]string{"o"}, []data.Kind{data.KindInt})
 	if err != nil {

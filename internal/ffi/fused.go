@@ -6,6 +6,7 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/faultinject"
+	"qfusor/internal/obs"
 	"qfusor/internal/pylite"
 	"qfusor/internal/resilience"
 )
@@ -37,15 +38,27 @@ var FaultFused = faultinject.Register("ffi.fused")
 
 // CallFusedVector invokes a fused wrapper over n rows of input columns,
 // returning its output columns with the given names/kinds.
-func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
+func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	return CallFusedVectorTo(nil, u, args, n, outNames, outKinds)
+}
+
+// CallFusedVectorTo is CallFusedVector additionally attributing the
+// boundary crossing to a per-query resource ledger (nil led records
+// nothing; the engine-wide metrics and u.Stats update either way).
+func CallFusedVectorTo(led *obs.ResourceLedger, u *UDF, args []*data.Column, n int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
 	defer resilience.Recover(&err)
 	if faultinject.Armed() {
 		if err := faultinject.Fire(FaultFused); err != nil {
 			return nil, err
 		}
 	}
-	if u.Trace != nil {
-		return RunTraceVector(u, u.Trace, args, n, outNames, outKinds)
+	if tr := u.Trace(); tr != nil {
+		start := time.Now()
+		cols, err := RunTraceVector(u, tr, args, n, outNames, outKinds)
+		if err == nil {
+			led.FFIObserve(u.Name, n, colRows(cols), time.Since(start), 0)
+		}
+		return cols, err
 	}
 	start := time.Now()
 	var wrap time.Duration
@@ -70,12 +83,19 @@ func CallFusedVector(u *UDF, args []*data.Column, n int, outNames []string, outK
 	}
 	mInterpRows.Add(int64(n))
 	u.record(n, outRows, time.Since(start), wrap)
+	led.FFIObserve(u.Name, n, outRows, time.Since(start), wrap)
 	return cols, nil
 }
 
 // CallFusedAggVector invokes an aggregating fused wrapper: inputs,
 // engine-computed group ids, group count.
-func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
+func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	return CallFusedAggVectorTo(nil, u, args, n, groupIDs, g, outNames, outKinds)
+}
+
+// CallFusedAggVectorTo is CallFusedAggVector with per-query ledger
+// attribution (nil led records nothing).
+func CallFusedAggVectorTo(led *obs.ResourceLedger, u *UDF, args []*data.Column, n int, groupIDs []int, g int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
 	defer resilience.Recover(&err)
 	if faultinject.Armed() {
 		if err := faultinject.Fire(FaultFused); err != nil {
@@ -113,7 +133,16 @@ func CallFusedAggVector(u *UDF, args []*data.Column, n int, groupIDs []int, g in
 	}
 	mInterpRows.Add(int64(n))
 	u.record(n, outRows, time.Since(start), wrap)
+	led.FFIObserve(u.Name, n, outRows, time.Since(start), wrap)
 	return cols, nil
+}
+
+// colRows returns the row count of a column-set result (0 when empty).
+func colRows(cols []*data.Column) int {
+	if len(cols) == 0 || cols[0] == nil {
+		return 0
+	}
+	return cols[0].Len()
 }
 
 // unpackFusedResult converts the wrapper's list-of-lists result into

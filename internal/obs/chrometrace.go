@@ -36,14 +36,32 @@ type TraceFile struct {
 // ChromeTrace converts a span snapshot into a Chrome trace. Returns an
 // empty (still valid) trace for a nil root.
 func ChromeTrace(root *SpanSnapshot) *TraceFile {
+	return ChromeTraceQ(root, "")
+}
+
+// ChromeTraceQ is ChromeTrace carrying the query correlation ID: qid is
+// embedded in the process/thread metadata names so an exported trace
+// can be joined against the query log and the flight recorder on the
+// same key.
+func ChromeTraceQ(root *SpanSnapshot, qid string) *TraceFile {
 	tf := &TraceFile{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
 	if root == nil {
 		return tf
 	}
+	proc := "qfusor"
+	if qid != "" {
+		proc = "qfusor qid=" + qid
+	}
 	tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
 		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
-		Args: map[string]string{"name": "qfusor"},
+		Args: map[string]string{"name": proc},
 	})
+	if qid != "" {
+		tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]string{"name": "query qid=" + qid},
+		})
+	}
 	root.Walk(func(sp *SpanSnapshot, _ int) {
 		ev := TraceEvent{
 			Name: sp.Name,

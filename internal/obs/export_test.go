@@ -83,16 +83,16 @@ func TestPrometheusExposition(t *testing.T) {
 
 func TestParseExpositionRejectsMalformed(t *testing.T) {
 	bad := []string{
-		"9bad_name 1",                       // name starts with a digit
-		"metric 1 2 3",                      // trailing junk
-		"metric notanumber",                 // bad value
-		`metric{l="v} 1`,                    // unterminated quote
-		`metric{9l="v"} 1`,                  // bad label name
-		`metric{l=v} 1`,                     // unquoted value
-		"# TYPE m bogus\nm 1",               // unknown type
-		"# TYPE m counter\n# TYPE m gauge",  // duplicate TYPE
-		"m{a=\"x\"} 1\nm{a=\"x\"} 2",        // duplicate sample
-		`metric{l="a\q"} 1`,                 // bad escape
+		"9bad_name 1",                      // name starts with a digit
+		"metric 1 2 3",                     // trailing junk
+		"metric notanumber",                // bad value
+		`metric{l="v} 1`,                   // unterminated quote
+		`metric{9l="v"} 1`,                 // bad label name
+		`metric{l=v} 1`,                    // unquoted value
+		"# TYPE m bogus\nm 1",              // unknown type
+		"# TYPE m counter\n# TYPE m gauge", // duplicate TYPE
+		"m{a=\"x\"} 1\nm{a=\"x\"} 2",       // duplicate sample
+		`metric{l="a\q"} 1`,                // bad escape
 	}
 	for _, in := range bad {
 		if _, err := ParseExposition(in); err == nil {

@@ -19,6 +19,10 @@ var (
 type QueryRecord struct {
 	// ID is the recorder-assigned sequence number (the /debug/trace key).
 	ID int64 `json:"id"`
+	// QID is the query correlation ID (obs.NextQID): the stable key
+	// joining this record to query-log lines and Chrome trace exports.
+	// Empty when the query ran unaccounted.
+	QID string `json:"qid,omitempty"`
 	// SQL is the query text.
 	SQL string `json:"sql"`
 	// Path says which execution path produced the result: "fused",
@@ -45,6 +49,12 @@ type QueryRecord struct {
 	BreakerOpen bool `json:"breaker_open,omitempty"`
 	// Err is the query's error text ("" on success).
 	Err string `json:"error,omitempty"`
+	// Resources is the query's resource-ledger snapshot (nil when the
+	// query ran unaccounted; see obs.SetAccounting).
+	Resources *LedgerSnapshot `json:"resources,omitempty"`
+	// Regressions lists the kinds the baseline detector flagged this
+	// query for (latency, rows, allocs, ffi); nil for in-baseline runs.
+	Regressions []string `json:"regressions,omitempty"`
 	// Slow marks records over the recorder's slow-query threshold.
 	Slow bool `json:"slow,omitempty"`
 	// Trace is the query's span-tree snapshot (nil when the query ran

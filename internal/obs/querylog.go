@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Structured query log: one JSON line per completed query, carrying the
+// correlation ID (qid) that also appears in the flight recorder and in
+// Chrome trace exports, so log lines, /debug/queries entries and traces
+// join on one key. Disabled (zero cost beyond one atomic-ish check)
+// until a writer is installed — the CLIs' -querylog flag tees it to a
+// file.
+
+// queryLogLine is the wire form of one query-log entry.
+type queryLogLine struct {
+	TS             string          `json:"ts"`
+	QID            string          `json:"qid,omitempty"`
+	ID             int64           `json:"id,omitempty"`
+	SQL            string          `json:"sql"`
+	Path           string          `json:"path"`
+	DurationNanos  int64           `json:"duration_ns"`
+	Rows           int             `json:"rows"`
+	Sections       int             `json:"sections,omitempty"`
+	PlanCache      string          `json:"plancache,omitempty"`
+	Fallback       bool            `json:"fallback,omitempty"`
+	FallbackReason string          `json:"fallback_reason,omitempty"`
+	Err            string          `json:"error,omitempty"`
+	Slow           bool            `json:"slow,omitempty"`
+	Regressions    []string        `json:"regressions,omitempty"`
+	Resources      *LedgerSnapshot `json:"resources,omitempty"`
+}
+
+// QueryLogger serializes query records to an io.Writer as JSON lines.
+// The zero value is a disabled logger.
+type QueryLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// DefaultQueryLog is the process-wide query log every query path emits
+// to (disabled until SetWriter installs a destination).
+var DefaultQueryLog = &QueryLogger{}
+
+// SetWriter installs (or, with nil, removes) the log destination.
+func (l *QueryLogger) SetWriter(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.w = w
+	l.mu.Unlock()
+}
+
+// Enabled reports whether a destination is installed.
+func (l *QueryLogger) Enabled() bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w != nil
+}
+
+// Emit writes one completed query as a JSON line. Call after the flight
+// recorder assigned the record's ID so the line carries it. Best-effort:
+// a write error drops the line, never the query.
+func (l *QueryLogger) Emit(rec *QueryRecord) {
+	if l == nil || rec == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return
+	}
+	line := queryLogLine{
+		TS:             rec.Start.Add(rec.Duration).Format(time.RFC3339Nano),
+		QID:            rec.QID,
+		ID:             rec.ID,
+		SQL:            rec.SQL,
+		Path:           rec.Path,
+		DurationNanos:  rec.Duration.Nanoseconds(),
+		Rows:           rec.Rows,
+		Sections:       rec.Sections,
+		PlanCache:      rec.PlanCache,
+		Fallback:       rec.Fallback,
+		FallbackReason: rec.FallbackReason,
+		Err:            rec.Err,
+		Slow:           rec.Slow,
+		Regressions:    rec.Regressions,
+		Resources:      rec.Resources,
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.w.Write(b) //nolint:errcheck // best-effort log write
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Baseline-aware regression detection: the detector keeps a rolling
+// per-(normalized SQL, path) baseline — EWMA mean and variance — of
+// latency and ledger fields, and flags a query whose value exceeds both
+// the sigma threshold and the percent floor over its own baseline. A
+// flagged query carries the kinds in QueryRecord.Regressions, increments
+// the qfusor.regressions{kind=...} counter family, and lands in the
+// recent-events ring served by /debug/regressions and `\resources`.
+
+// Regression kinds, in the order tracked per baseline.
+const (
+	regLatency = iota
+	regRows
+	regAllocs
+	regFFI
+	regKinds
+)
+
+// regKindNames maps kind index to its public label.
+var regKindNames = [regKinds]string{"latency", "rows", "allocs", "ffi"}
+
+// Regression counter family (obs.Default). Package-level so every
+// series exists in /metrics before the first flagged query.
+var mRegressions = [regKinds]*Counter{
+	Default.Counter(LabeledName("qfusor.regressions", "kind", "latency")),
+	Default.Counter(LabeledName("qfusor.regressions", "kind", "rows")),
+	Default.Counter(LabeledName("qfusor.regressions", "kind", "allocs")),
+	Default.Counter(LabeledName("qfusor.regressions", "kind", "ffi")),
+}
+
+// RegressionConfig sets the detector's thresholds. A query is flagged
+// for a kind only when its baseline has at least MinSamples
+// observations AND the value exceeds mean + Sigma*stddev AND the value
+// exceeds mean*(1+MinPct/100) — the percent floor keeps microsecond
+// jitter on fast queries from tripping the sigma test.
+type RegressionConfig struct {
+	MinSamples int     `json:"min_samples"`
+	Sigma      float64 `json:"sigma"`
+	MinPct     float64 `json:"min_pct"`
+}
+
+// DefaultRegressionConfig is the detector's starting configuration.
+func DefaultRegressionConfig() RegressionConfig {
+	return RegressionConfig{MinSamples: 5, Sigma: 3, MinPct: 50}
+}
+
+// RegressionEvent is one flagged query, kept in the detector's recent
+// ring. QID joins it to the flight recorder, the query log and traces.
+type RegressionEvent struct {
+	When     time.Time `json:"when"`
+	QID      string    `json:"qid,omitempty"`
+	SQL      string    `json:"sql"`
+	Path     string    `json:"path"`
+	Kind     string    `json:"kind"`
+	Value    float64   `json:"value"`
+	Baseline float64   `json:"baseline"`
+}
+
+// rdEWMA is one kind's rolling mean/variance (EWMA, alpha 0.2).
+type rdEWMA struct {
+	mean, varn float64
+	seeded     bool
+}
+
+const rdAlpha = 0.2
+
+func (e *rdEWMA) update(v float64) {
+	if !e.seeded {
+		e.mean, e.seeded = v, true
+		return
+	}
+	d := v - e.mean
+	e.mean += rdAlpha * d
+	e.varn = (1 - rdAlpha) * (e.varn + rdAlpha*d*d)
+}
+
+// rdBaseline is one (normalized SQL, path) key's rolling state.
+type rdBaseline struct {
+	n     int64
+	kinds [regKinds]rdEWMA
+}
+
+// maxBaselines caps the baseline map so an unbounded stream of unique
+// SQL texts cannot grow it without limit; keys beyond the cap run
+// undetected (new keys have no baseline to regress against anyway).
+const maxBaselines = 1024
+
+// RegressionDetector holds the rolling baselines and the recent-events
+// ring. All methods are nil-receiver safe.
+type RegressionDetector struct {
+	mu     sync.Mutex
+	cfg    RegressionConfig
+	base   map[string]*rdBaseline
+	events []RegressionEvent
+	next   int
+	full   bool
+}
+
+// NewRegressionDetector builds a detector with the given thresholds
+// (zero-value fields fall back to defaults) and a 128-event ring.
+func NewRegressionDetector(cfg RegressionConfig) *RegressionDetector {
+	def := DefaultRegressionConfig()
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = def.MinSamples
+	}
+	if cfg.Sigma <= 0 {
+		cfg.Sigma = def.Sigma
+	}
+	if cfg.MinPct <= 0 {
+		cfg.MinPct = def.MinPct
+	}
+	return &RegressionDetector{
+		cfg:    cfg,
+		base:   make(map[string]*rdBaseline),
+		events: make([]RegressionEvent, 128),
+	}
+}
+
+// DefaultRegressions is the process-wide detector every query path
+// reports to (the flight recorder's sibling).
+var DefaultRegressions = NewRegressionDetector(RegressionConfig{})
+
+// normalizeQueryKey collapses whitespace and case so trivially
+// reformatted SQL shares one baseline (mirrors the plan cache's
+// normalization, which lives in core and is not importable from here).
+func normalizeQueryKey(sql string) string {
+	return strings.Join(strings.Fields(strings.ToLower(strings.TrimSuffix(strings.TrimSpace(sql), ";"))), " ")
+}
+
+// Observe checks rec against its baseline, fills rec.Regressions with
+// any flagged kinds, and folds the observation into the baseline. Call
+// BEFORE FlightRecorder.Record — records are immutable once recorded.
+// Errored queries are skipped entirely: a failure's latency and row
+// count measure the failure, not the query.
+func (d *RegressionDetector) Observe(rec *QueryRecord) {
+	if d == nil || rec == nil || rec.Err != "" {
+		return
+	}
+	key := normalizeQueryKey(rec.SQL) + "|" + rec.Path
+
+	var vals [regKinds]float64
+	var have [regKinds]bool
+	vals[regLatency], have[regLatency] = float64(rec.Duration.Nanoseconds()), true
+	vals[regRows], have[regRows] = float64(rec.Rows), true
+	if res := rec.Resources; res != nil {
+		vals[regAllocs], have[regAllocs] = float64(res.AllocBytes), true
+		vals[regFFI], have[regFFI] = float64(res.FFICalls), true
+	}
+
+	d.mu.Lock()
+	b := d.base[key]
+	if b == nil {
+		if len(d.base) >= maxBaselines {
+			d.mu.Unlock()
+			return
+		}
+		b = &rdBaseline{}
+		d.base[key] = b
+	}
+	var flagged []string
+	var flaggedEvents []RegressionEvent
+	for k := 0; k < regKinds; k++ {
+		if !have[k] {
+			continue
+		}
+		e := &b.kinds[k]
+		v := vals[k]
+		if b.n >= int64(d.cfg.MinSamples) &&
+			v > e.mean+d.cfg.Sigma*math.Sqrt(e.varn) &&
+			v > e.mean*(1+d.cfg.MinPct/100) {
+			flagged = append(flagged, regKindNames[k])
+			flaggedEvents = append(flaggedEvents, RegressionEvent{
+				When: rec.Start.Add(rec.Duration), QID: rec.QID,
+				SQL: rec.SQL, Path: rec.Path, Kind: regKindNames[k],
+				Value: v, Baseline: e.mean,
+			})
+		}
+		e.update(v)
+	}
+	b.n++
+	for _, ev := range flaggedEvents {
+		d.events[d.next] = ev
+		d.next = (d.next + 1) % len(d.events)
+		if d.next == 0 {
+			d.full = true
+		}
+	}
+	d.mu.Unlock()
+
+	if len(flagged) > 0 {
+		rec.Regressions = flagged
+		for k := 0; k < regKinds; k++ {
+			for _, name := range flagged {
+				if name == regKindNames[k] {
+					mRegressions[k].Inc()
+				}
+			}
+		}
+	}
+}
+
+// Recent returns up to k flagged events, most recent first (all when
+// k <= 0).
+func (d *RegressionDetector) Recent(k int) []RegressionEvent {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.next
+	if d.full {
+		n = len(d.events)
+	}
+	if k <= 0 || k > n {
+		k = n
+	}
+	out := make([]RegressionEvent, 0, k)
+	for i := 1; i <= k; i++ {
+		out = append(out, d.events[((d.next-i)%len(d.events)+len(d.events))%len(d.events)])
+	}
+	return out
+}
+
+// Config returns the active thresholds.
+func (d *RegressionDetector) Config() RegressionConfig {
+	if d == nil {
+		return RegressionConfig{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg
+}
+
+// SetConfig replaces the thresholds (zero-value fields fall back to
+// defaults). Baselines keep their state.
+func (d *RegressionDetector) SetConfig(cfg RegressionConfig) {
+	if d == nil {
+		return
+	}
+	n := NewRegressionDetector(cfg)
+	d.mu.Lock()
+	d.cfg = n.cfg
+	d.mu.Unlock()
+}
+
+// Reset drops every baseline and flagged event (tests and experiment
+// harnesses isolate runs with it).
+func (d *RegressionDetector) Reset() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.base = make(map[string]*rdBaseline)
+	d.events = make([]RegressionEvent, len(d.events))
+	d.next, d.full = 0, false
+	d.mu.Unlock()
+}
+
+// BaselineState is one key's rolling state in a detector snapshot.
+type BaselineState struct {
+	Key     string          `json:"key"`
+	Samples int64           `json:"samples"`
+	Kinds   []BaselineKinds `json:"kinds"`
+}
+
+// BaselineKinds is one kind's mean/stddev inside a BaselineState.
+type BaselineKinds struct {
+	Kind   string  `json:"kind"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+}
+
+// DetectorState is the /debug/regressions payload.
+type DetectorState struct {
+	Config    RegressionConfig  `json:"config"`
+	Baselines []BaselineState   `json:"baselines"`
+	Recent    []RegressionEvent `json:"recent"`
+}
+
+// State snapshots the detector for the diagnostics plane.
+func (d *RegressionDetector) State() DetectorState {
+	if d == nil {
+		return DetectorState{}
+	}
+	d.mu.Lock()
+	st := DetectorState{Config: d.cfg}
+	for key, b := range d.base {
+		bs := BaselineState{Key: key, Samples: b.n}
+		for k := 0; k < regKinds; k++ {
+			e := b.kinds[k]
+			if !e.seeded {
+				continue
+			}
+			bs.Kinds = append(bs.Kinds, BaselineKinds{
+				Kind: regKindNames[k], Mean: e.mean, Stddev: math.Sqrt(e.varn),
+			})
+		}
+		st.Baselines = append(st.Baselines, bs)
+	}
+	d.mu.Unlock()
+	st.Recent = d.Recent(32)
+	sortBaselines(st.Baselines)
+	return st
+}
+
+func sortBaselines(b []BaselineState) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j].Key < b[j-1].Key; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkRec builds a synthetic flight record for detector tests.
+func mkRec(sql, path string, dur time.Duration, res *LedgerSnapshot) *QueryRecord {
+	return &QueryRecord{
+		QID: "t-" + sql, SQL: sql, Path: path,
+		Start: time.Unix(0, 0), Duration: dur, Rows: 10,
+		Resources: res,
+	}
+}
+
+// TestDetectorFlagsExactlyTheSlowRecord is the deterministic threshold
+// proof: two query keys build identical baselines, one record comes in
+// 10x slower, and the detector must flag that record (kind latency) and
+// leave the other key untouched.
+func TestDetectorFlagsExactlyTheSlowRecord(t *testing.T) {
+	d := NewRegressionDetector(RegressionConfig{MinSamples: 3, Sigma: 3, MinPct: 50})
+	res := &LedgerSnapshot{AllocBytes: 1000, FFICalls: 4}
+	for i := 0; i < 6; i++ {
+		for _, sql := range []string{"SELECT a FROM t", "SELECT b FROM t"} {
+			rec := mkRec(sql, "fused", time.Millisecond, res)
+			d.Observe(rec)
+			if len(rec.Regressions) != 0 {
+				t.Fatalf("steady run %d of %q flagged: %v", i, sql, rec.Regressions)
+			}
+		}
+	}
+
+	slow := mkRec("SELECT a FROM t", "fused", 10*time.Millisecond, res)
+	d.Observe(slow)
+	if len(slow.Regressions) != 1 || slow.Regressions[0] != "latency" {
+		t.Fatalf("slow record regressions = %v, want [latency]", slow.Regressions)
+	}
+	evs := d.Recent(0)
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v, want exactly one", evs)
+	}
+	if evs[0].SQL != "SELECT a FROM t" || evs[0].Kind != "latency" {
+		t.Fatalf("event attributed wrong: %+v", evs[0])
+	}
+
+	// The untouched key stays clean, and the flagged key recovers: its
+	// next steady run is below the (EWMA-raised) baseline.
+	for _, sql := range []string{"SELECT a FROM t", "SELECT b FROM t"} {
+		rec := mkRec(sql, "fused", time.Millisecond, res)
+		d.Observe(rec)
+		if len(rec.Regressions) != 0 {
+			t.Fatalf("steady run of %q flagged after the spike: %v", sql, rec.Regressions)
+		}
+	}
+	if n := len(d.Recent(0)); n != 1 {
+		t.Fatalf("event count grew to %d after steady runs", n)
+	}
+}
+
+// TestDetectorKindsAndKeying pins the non-latency dimensions and the
+// (normalized SQL, path) baseline key.
+func TestDetectorKindsAndKeying(t *testing.T) {
+	d := NewRegressionDetector(RegressionConfig{MinSamples: 3, Sigma: 3, MinPct: 50})
+	for i := 0; i < 5; i++ {
+		d.Observe(mkRec("select X from T", "fused", time.Millisecond,
+			&LedgerSnapshot{AllocBytes: 1000, FFICalls: 4}))
+	}
+	// Whitespace/case variants of the same SQL share a baseline.
+	spiked := mkRec("  SELECT x\n FROM t ;", "fused", time.Millisecond,
+		&LedgerSnapshot{AllocBytes: 100000, FFICalls: 400})
+	d.Observe(spiked)
+	want := map[string]bool{"allocs": true, "ffi": true}
+	if len(spiked.Regressions) != len(want) {
+		t.Fatalf("regressions = %v, want allocs+ffi", spiked.Regressions)
+	}
+	for _, k := range spiked.Regressions {
+		if !want[k] {
+			t.Fatalf("unexpected kind %q in %v", k, spiked.Regressions)
+		}
+	}
+	// A different path is a different baseline: no samples yet, no flag.
+	other := mkRec("select X from T", "native", 100*time.Millisecond,
+		&LedgerSnapshot{AllocBytes: 100000, FFICalls: 400})
+	d.Observe(other)
+	if len(other.Regressions) != 0 {
+		t.Fatalf("fresh (sql,path) key flagged: %v", other.Regressions)
+	}
+
+	// Errored queries never feed baselines or flag.
+	bad := mkRec("select X from T", "fused", time.Second,
+		&LedgerSnapshot{AllocBytes: 1 << 30, FFICalls: 1 << 20})
+	bad.Err = "boom"
+	d.Observe(bad)
+	if len(bad.Regressions) != 0 {
+		t.Fatalf("errored query flagged: %v", bad.Regressions)
+	}
+
+	st := d.State()
+	if len(st.Baselines) != 2 {
+		t.Fatalf("baselines = %d, want 2 (fused + native keys)", len(st.Baselines))
+	}
+	for _, b := range st.Baselines {
+		if !strings.HasPrefix(b.Key, "select x from t|") {
+			t.Fatalf("baseline key not normalized: %q", b.Key)
+		}
+	}
+}
+
+// TestDetectorBelowMinSamplesNeverFlags pins the warm-up rule: however
+// extreme the value, a baseline younger than MinSamples stays silent.
+func TestDetectorBelowMinSamplesNeverFlags(t *testing.T) {
+	d := NewRegressionDetector(RegressionConfig{MinSamples: 5, Sigma: 3, MinPct: 50})
+	for i := 0; i < 5; i++ {
+		rec := mkRec("q", "fused", time.Duration(1+i*1000)*time.Millisecond, nil)
+		d.Observe(rec)
+		if len(rec.Regressions) != 0 {
+			t.Fatalf("flagged on sample %d, below MinSamples", i+1)
+		}
+	}
+}

@@ -37,6 +37,9 @@ type Server struct {
 	// snapshot of the plan-decision cache (counters + live entries).
 	// Nil → 404 with a hint.
 	PlanCache func() any
+	// Regress is the regression detector behind /debug/regressions
+	// (obs.DefaultRegressions if nil).
+	Regress *obs.RegressionDetector
 
 	mu sync.Mutex
 	ln net.Listener
@@ -57,6 +60,13 @@ func (s *Server) flight() *obs.FlightRecorder {
 	return obs.DefaultFlight
 }
 
+func (s *Server) regress() *obs.RegressionDetector {
+	if s.Regress != nil {
+		return s.Regress
+	}
+	return obs.DefaultRegressions
+}
+
 // Handler returns the diagnostics mux (also usable for embedding into
 // an existing server).
 func (s *Server) Handler() http.Handler {
@@ -67,6 +77,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/trace/", s.handleTrace)
 	mux.HandleFunc("/debug/profile", s.handleProfile)
 	mux.HandleFunc("/debug/plancache", s.handlePlanCache)
+	mux.HandleFunc("/debug/resources", s.handleResources)
+	mux.HandleFunc("/debug/regressions", s.handleRegressions)
 	return mux
 }
 
@@ -125,6 +137,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /debug/trace/<id>     Chrome trace_event JSON for one query (chrome://tracing, Perfetto)
   /debug/profile        PyLite UDF hot-line report (when profiling is enabled)
   /debug/plancache      plan-decision cache snapshot (JSON: counters + entries)
+  /debug/resources      per-query resource ledgers for recent queries (JSON); ?n=K limits
+  /debug/regressions    regression-detector baselines + recent regression events (JSON)
 `)
 }
 
@@ -186,7 +200,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("obshttp: query %d ran untraced (trace-all capture starts with the server; re-run the query)", id), http.StatusNotFound)
 		return
 	}
-	data, err := obs.ChromeTrace(rec.Trace).JSON()
+	data, err := obs.ChromeTraceQ(rec.Trace, rec.QID).JSON()
 	if err != nil {
 		http.Error(w, "obshttp: trace export: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -206,6 +220,64 @@ func (s *Server) handlePlanCache(w http.ResponseWriter, _ *http.Request) {
 	enc.SetIndent("", " ")
 	if err := enc.Encode(s.PlanCache()); err != nil {
 		http.Error(w, "obshttp: plancache snapshot: "+err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// resourceEntry is one query's slice of the /debug/resources response:
+// just enough of the flight record to identify the query, plus its
+// ledger snapshot.
+type resourceEntry struct {
+	ID          int64               `json:"id"`
+	QID         string              `json:"qid,omitempty"`
+	SQL         string              `json:"sql"`
+	Path        string              `json:"path"`
+	DurationNS  int64               `json:"duration_ns"`
+	Regressions []string            `json:"regressions,omitempty"`
+	Resources   *obs.LedgerSnapshot `json:"resources"`
+}
+
+func (s *Server) handleResources(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "obshttp: bad n parameter", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	recs := s.flight().Recent(n)
+	entries := make([]resourceEntry, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Resources == nil {
+			continue
+		}
+		entries = append(entries, resourceEntry{
+			ID:          rec.ID,
+			QID:         rec.QID,
+			SQL:         rec.SQL,
+			Path:        rec.Path,
+			DurationNS:  int64(rec.Duration),
+			Regressions: rec.Regressions,
+			Resources:   rec.Resources,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(struct { //nolint:errcheck // best-effort write to client
+		AccountingEnabled bool            `json:"accounting_enabled"`
+		Count             int             `json:"count"`
+		Queries           []resourceEntry `json:"queries"`
+	}{obs.AccountingEnabled(), len(entries), entries})
+}
+
+func (s *Server) handleRegressions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s.regress().State()); err != nil {
+		http.Error(w, "obshttp: regression state: "+err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -38,6 +38,7 @@ type interrupt struct {
 	done   <-chan struct{}
 	cause  func() error
 	budget *atomic.Int64 // remaining statement steps; nil = unlimited
+	steps  *atomic.Int64 // executed-statement counter (resource ledger); nil = uncounted
 }
 
 // BindInterrupt arms cancellation on this runtime and all its Worker
@@ -51,7 +52,15 @@ type interrupt struct {
 // own binding (compare-and-swap), so a stale release cannot clobber a
 // newer query's.
 func (it *Interp) BindInterrupt(done <-chan struct{}, cause func() error, budget int64) (release func()) {
-	in := &interrupt{done: done, cause: cause}
+	return it.BindInterruptSteps(done, cause, budget, nil)
+}
+
+// BindInterruptSteps is BindInterrupt additionally binding a per-query
+// statement counter: while bound, every interpreted statement and
+// compiled back-edge adds one to steps — the UDF-CPU attribution the
+// resource ledger surfaces. A nil steps counts nothing.
+func (it *Interp) BindInterruptSteps(done <-chan struct{}, cause func() error, budget int64, steps *atomic.Int64) (release func()) {
+	in := &interrupt{done: done, cause: cause, steps: steps}
 	if budget > 0 {
 		in.budget = &atomic.Int64{}
 		in.budget.Store(budget)
@@ -75,6 +84,9 @@ func (it *Interp) checkIntr() error {
 	in := it.intr.Load()
 	if in == nil {
 		return nil
+	}
+	if in.steps != nil {
+		in.steps.Add(1)
 	}
 	if in.budget != nil && in.budget.Add(-1) < 0 {
 		return &InterruptError{Cause: ErrStepBudget}

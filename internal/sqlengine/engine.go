@@ -200,6 +200,7 @@ func (e *Engine) ExecuteTracedCtx(ctx context.Context, q *Query, root *obs.Span)
 	ectx := newExecCtx(e)
 	if ctx != nil {
 		ectx.ctx = ctx
+		ectx.led = obs.LedgerFromContext(ctx)
 	}
 	ectx.span = root
 	for _, cte := range q.CTEs {
@@ -221,6 +222,7 @@ func (e *Engine) ExecuteTracedCtx(ctx context.Context, q *Query, root *obs.Span)
 	execTime := time.Since(start)
 	mQueries.Inc()
 	mRowsOut.Add(int64(ch.NumRows()))
+	ectx.led.AddRowsOut(ch.NumRows())
 	mExecNanos.Observe(float64(execTime.Nanoseconds()))
 	e.statsMu.Lock()
 	e.lastStats.ExecTime = execTime
@@ -244,20 +246,49 @@ func (e *Engine) execPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 	if err := ectx.ctx.Err(); err != nil {
 		return nil, err
 	}
-	if ectx.span == nil {
-		return e.execPlanNode(p, ectx)
+	var opStart time.Time
+	if ectx.led != nil {
+		opStart = time.Now()
 	}
-	parent := ectx.span
-	sp := parent.Child("op:" + p.Op.String())
-	annotateOpSpan(sp, p)
-	ectx.span = sp
-	ch, err := e.execPlanNode(p, ectx)
-	ectx.span = parent
-	sp.End()
-	if ch != nil {
-		sp.SetInt("rows_out", int64(ch.NumRows()))
+	var (
+		ch  *data.Chunk
+		err error
+	)
+	if ectx.span == nil {
+		ch, err = e.execPlanNode(p, ectx)
+	} else {
+		parent := ectx.span
+		sp := parent.Child("op:" + p.Op.String())
+		annotateOpSpan(sp, p)
+		ectx.span = sp
+		ch, err = e.execPlanNode(p, ectx)
+		ectx.span = parent
+		sp.End()
+		if ch != nil {
+			sp.SetInt("rows_out", int64(ch.NumRows()))
+		}
+	}
+	if ectx.led != nil {
+		rows := 0
+		if ch != nil {
+			rows = ch.NumRows()
+		}
+		ectx.led.OpObserve(opLedgerLabel(p), rows, time.Since(opStart).Nanoseconds())
 	}
 	return ch, err
+}
+
+// opLedgerLabel names a plan operator for the resource ledger: the
+// operator plus its scanned table or UDF, so `scan:listings` and
+// `fused:__qf_fused1` attribute separately.
+func opLedgerLabel(p *Plan) string {
+	if p.UDF != nil {
+		return p.Op.String() + ":" + p.UDF.Name
+	}
+	if p.Table != "" {
+		return p.Op.String() + ":" + p.Table
+	}
+	return p.Op.String()
 }
 
 // annotateOpSpan attaches the operator's identifying payload to its
@@ -271,7 +302,7 @@ func annotateOpSpan(sp *obs.Span, p *Plan) {
 			sp.SetAttr("udf", p.UDF.Name)
 			if p.UDF.Fused {
 				sp.SetAttr("section", "fused")
-				if p.UDF.Trace != nil {
+				if p.UDF.Trace() != nil {
 					sp.SetAttr("tier", "jit-trace")
 				} else {
 					sp.SetAttr("tier", "pylite")
@@ -304,6 +335,9 @@ type execCtx struct {
 	// otherwise). Child plan nodes execute sequentially, so execPlan may
 	// swap it in place while descending.
 	span *obs.Span
+	// led is the query's resource ledger (nil when the query runs
+	// unaccounted — every hook is nil-safe).
+	led *obs.ResourceLedger
 }
 
 func newExecCtx(e *Engine) *execCtx {

@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"fmt"
+	"time"
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
@@ -70,7 +71,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, 
 	}
 	if p.Op == OpFused {
 		if p.NoPartition {
-			cols, err := ffi.CallFusedVector(p.UDF, args, n, names, kinds)
+			cols, err := ffi.CallFusedVectorTo(ectx.led, p.UDF, args, n, names, kinds)
 			if err != nil {
 				return nil, err
 			}
@@ -84,17 +85,23 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, 
 	}
 	// OpFusedAgg with a compiled trace: grouping happens inside the
 	// trace (after fused filters) via the native group-by export.
-	if tr := p.UDF.Trace; tr != nil {
+	if tr := p.UDF.Trace(); tr != nil {
 		// Decomposable aggregates (including avg and UDF aggregates with
 		// a merge hook) run as per-worker partial states over morsels,
 		// merged at the barrier.
 		if e.Workers() > 1 && !p.NoPartition && tr.PartialMergeable() && n >= minParallelRows {
 			return e.runTraceAggMorsels(p.UDF, tr, args, n, names, kinds, ectx)
 		}
+		start := time.Now()
 		cols, err := ffi.RunTraceAgg(p.UDF, tr, args, n, names, kinds)
 		if err != nil {
 			return nil, err
 		}
+		out := 0
+		if len(cols) > 0 {
+			out = cols[0].Len()
+		}
+		ectx.led.FFIObserve(p.UDF.Name, n, out, time.Since(start), 0)
 		return data.NewChunk(cols...), nil
 	}
 	// Legacy path (PyLite aggregate wrapper): engine-side grouping,
@@ -130,7 +137,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, 
 			groupIDs[i] = gid
 		}
 		g := len(groupRows)
-		aggCols, err := ffi.CallFusedAggVector(p.UDF, args, n, groupIDs, g,
+		aggCols, err := ffi.CallFusedAggVectorTo(ectx.led, p.UDF, args, n, groupIDs, g,
 			names[nKeys:], kinds[nKeys:])
 		if err != nil {
 			return nil, err
@@ -151,7 +158,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, 
 	if g == 0 {
 		g = 1
 	}
-	aggCols, err := ffi.CallFusedAggVector(p.UDF, args, n, groupIDs, g, names, kinds)
+	aggCols, err := ffi.CallFusedAggVectorTo(ectx.led, p.UDF, args, n, groupIDs, g, names, kinds)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +173,7 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, 
 func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names []string, kinds []data.Kind, ectx *execCtx) (*data.Chunk, error) {
 	spans := e.morselsFor(n)
 	if len(spans) == 1 && e.Workers() <= 1 {
-		cols, err := ffi.CallFusedVector(u, argChunk.Cols, n, names, kinds)
+		cols, err := ffi.CallFusedVectorTo(ectx.led, u, argChunk.Cols, n, names, kinds)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +188,7 @@ func (e *Engine) runFusedMorsels(u *ffi.UDF, argChunk *data.Chunk, n int, names 
 			clones[w] = cu
 		}
 		part := argChunk.Slice(lo, hi)
-		cols, err := ffi.CallFusedVector(cu, part.Cols, hi-lo, names, kinds)
+		cols, err := ffi.CallFusedVectorTo(ectx.led, cu, part.Cols, hi-lo, names, kinds)
 		if err != nil {
 			return err
 		}
@@ -222,10 +229,12 @@ func (e *Engine) runTraceAggMorsels(u *ffi.UDF, tr *ffi.Trace, args []*data.Colu
 			clones[w] = cu
 		}
 		sub := argChunk.Slice(lo, hi)
+		pstart := time.Now()
 		pt, err := ffi.RunTraceAggPartial(cu, tr, sub.Cols, hi-lo)
 		if err != nil {
 			return err
 		}
+		ectx.led.FFIObserve(u.Name, hi-lo, 0, time.Since(pstart), 0)
 		parts[m] = pt
 		return nil
 	})

@@ -137,6 +137,7 @@ func (e *Engine) runMorsels(ectx *execCtx, n int, fn func(worker, m, lo, hi int)
 		}
 		mMorsels.Add(int64(len(spans)))
 		mMorselRows.Add(int64(n))
+		ectx.led.AddMorsels(len(spans))
 		sp.AddInt("morsels", int64(len(spans)))
 		// A deadline that expired while the last morsel ran still counts:
 		// context semantics win over an answer the caller gave up on.
@@ -198,6 +199,7 @@ func (e *Engine) runMorsels(ectx *execCtx, n int, fn func(worker, m, lo, hi int)
 	mParallelOps.Inc()
 	mMorsels.Add(int64(len(spans)))
 	mMorselRows.Add(int64(n))
+	ectx.led.AddMorsels(len(spans))
 	sp.AddInt("morsels", int64(len(spans)))
 	sp.SetInt("workers", int64(workers))
 	if elapsed > 0 {

@@ -25,6 +25,7 @@ package qfusor
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -201,6 +202,20 @@ type QueryError = resilience.QueryError
 // which path it took, how long it ran, and whether it degraded.
 type QueryRecord = obs.QueryRecord
 
+// LedgerSnapshot is one query's resource-accounting ledger: rows,
+// morsels, FFI traffic, UDF interpreter steps, allocation deltas per
+// phase, and per-operator / per-UDF breakdowns. Carried on
+// QueryRecord.Resources and Analysis.Resources.
+type LedgerSnapshot = obs.LedgerSnapshot
+
+// RegressionEvent is one detected regression: a query whose latency,
+// row count, allocations or FFI call count exceeded its rolling
+// baseline by the configured thresholds.
+type RegressionEvent = obs.RegressionEvent
+
+// RegressionConfig tunes the baseline-aware regression detector.
+type RegressionConfig = obs.RegressionConfig
+
 // UDFProfile is a window of the UDF sampling profiler: per-source-line
 // sample counts, hottest first (see StartUDFProfiler).
 type UDFProfile = pylite.ProfileSnapshot
@@ -241,6 +256,8 @@ func (db *DB) Close() {
 //	                  (load in chrome://tracing or Perfetto)
 //	/debug/profile    UDF sampling-profiler hot lines (text)
 //	/debug/plancache  plan-decision cache snapshot (JSON)
+//	/debug/resources  per-query resource ledgers for recent queries (JSON)
+//	/debug/regressions regression baselines + recent regression events (JSON)
 //
 // While the server runs, every query records a span trace into the
 // flight recorder (trace-all); Close (or DB.Close) turns that off.
@@ -271,6 +288,26 @@ func (db *DB) SlowQueries(n int) []*QueryRecord { return obs.DefaultFlight.Slow(
 // SetSlowQueryThreshold sets the latency above which a query lands in
 // the slow-query log (default 100ms).
 func (db *DB) SetSlowQueryThreshold(d time.Duration) { obs.DefaultFlight.SetSlowThreshold(d) }
+
+// SetResourceAccounting toggles per-query resource ledgers process-wide
+// (default on). With accounting off, queries skip ledger creation
+// entirely: QueryRecord.Resources and Analysis.Resources come back nil
+// and the alloc/FFI regression dimensions see no data.
+func SetResourceAccounting(on bool) { obs.SetAccounting(on) }
+
+// SetQueryLogWriter directs the structured query log at w: one JSON
+// line per completed query (timestamp, correlation id, SQL, path,
+// latency, resource ledger, regression flags). nil turns the log off.
+// The writer is shared process-wide and writes are serialized.
+func SetQueryLogWriter(w io.Writer) { obs.DefaultQueryLog.SetWriter(w) }
+
+// RecentRegressions returns the last k regression events (most recent
+// first) from the process-wide detector.
+func RecentRegressions(k int) []RegressionEvent { return obs.DefaultRegressions.Recent(k) }
+
+// SetRegressionConfig replaces the process-wide detector's thresholds
+// (zero fields fall back to the defaults: 5 samples, 3 sigma, 50%).
+func SetRegressionConfig(cfg RegressionConfig) { obs.DefaultRegressions.SetConfig(cfg) }
 
 // StartUDFProfiler turns on the PyLite sampling profiler: every
 // sampleInterval-th executed UDF statement attributes one sample to its

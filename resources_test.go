@@ -1,0 +1,295 @@
+package qfusor_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qfusor"
+	"qfusor/internal/faultinject"
+	"qfusor/internal/obs"
+)
+
+// TestResourceLedgerOnQuery pins the accounting plane's basic contract:
+// a fused query produces a ledger on its flight record and on the
+// Analysis handle, with matching correlation IDs and plausible numbers.
+func TestResourceLedgerOnQuery(t *testing.T) {
+	db := openDiagDB(t)
+	a, err := db.QueryAnalyze("SELECT diagup(name), n FROM diag WHERE n >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Resources
+	if r == nil {
+		t.Fatal("Analysis.Resources is nil with accounting on (the default)")
+	}
+	if r.QID == "" {
+		t.Fatal("ledger has no correlation id")
+	}
+	if r.RowsOut != 8 {
+		t.Fatalf("ledger rows_out = %d, want 8", r.RowsOut)
+	}
+	if r.FFICalls < 1 || r.FFIRowsIn < 8 {
+		t.Fatalf("ledger FFI traffic implausible: calls=%d rows_in=%d", r.FFICalls, r.FFIRowsIn)
+	}
+	if len(r.UDFs) == 0 || r.UDFs[0].Name == "" {
+		t.Fatalf("ledger has no per-UDF attribution: %+v", r.UDFs)
+	}
+	if len(r.Phases) == 0 {
+		t.Fatal("ledger recorded no phase boundaries")
+	}
+	if len(r.Ops) == 0 {
+		t.Fatal("ledger recorded no per-operator usage")
+	}
+	recs := db.RecentQueries(1)
+	if len(recs) != 1 || recs[0].Resources == nil {
+		t.Fatalf("flight record carries no ledger: %+v", recs)
+	}
+	if recs[0].QID != r.QID || recs[0].Resources.QID != r.QID {
+		t.Fatalf("correlation ids disagree: record=%q ledger=%q analysis=%q",
+			recs[0].QID, recs[0].Resources.QID, r.QID)
+	}
+}
+
+// TestQueryLogEmitsJSONLines points the structured query log at a
+// buffer and checks each completed query emits one parseable JSON line
+// carrying the correlation id and the ledger.
+func TestQueryLogEmitsJSONLines(t *testing.T) {
+	db := openDiagDB(t)
+	var mu sync.Mutex
+	var buf strings.Builder
+	qfusor.SetQueryLogWriter(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}))
+	defer qfusor.SetQueryLogWriter(nil)
+
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if _, err := db.Query("SELECT diagup(name) FROM diag"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qfusor.SetQueryLogWriter(nil)
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != runs {
+		t.Fatalf("query log has %d lines, want %d:\n%s", len(lines), runs, buf.String())
+	}
+	for _, ln := range lines {
+		var rec struct {
+			TS        string                 `json:"ts"`
+			QID       string                 `json:"qid"`
+			SQL       string                 `json:"sql"`
+			Path      string                 `json:"path"`
+			Duration  int64                  `json:"duration_ns"`
+			Rows      int                    `json:"rows"`
+			Resources *qfusor.LedgerSnapshot `json:"resources"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("query log line is not JSON: %v\n%s", err, ln)
+		}
+		if rec.QID == "" || rec.SQL == "" || rec.Duration <= 0 {
+			t.Fatalf("query log line missing fields: %s", ln)
+		}
+		if rec.Resources == nil || rec.Resources.QID != rec.QID {
+			t.Fatalf("query log line ledger/qid mismatch: %s", ln)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+var _ io.Writer = writerFunc(nil)
+
+// TestConcurrentQueriesAndResourceReads hammers fused queries from
+// several goroutines while readers hit /debug/resources and
+// /debug/regressions over real HTTP and poll the regression log. Run
+// under -race (scripts/check.sh does), this is the proof that ledger
+// snapshots and detector state are safely published.
+func TestConcurrentQueriesAndResourceReads(t *testing.T) {
+	db := openDiagDB(t)
+	addr, err := db.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	const writers, readers, runs = 4, 3, 12
+	var wgW, wgR sync.WaitGroup
+	errs := make(chan error, writers*runs)
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func() {
+			defer wgW.Done()
+			for i := 0; i < runs; i++ {
+				if _, err := db.Query("SELECT diagup(name), n FROM diag WHERE n >= 0"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	cl := &http.Client{Timeout: 5 * time.Second}
+	for r := 0; r < readers; r++ {
+		wgR.Add(1)
+		go func() {
+			defer wgR.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, url := range []string{base + "/debug/resources?n=8", base + "/debug/regressions"} {
+					resp, err := cl.Get(url)
+					if err != nil {
+						continue
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("GET %s: %s: %s", url, resp.Status, b)
+						return
+					}
+					if !json.Valid(b) {
+						errs <- fmt.Errorf("GET %s: invalid JSON", url)
+						return
+					}
+				}
+				_ = qfusor.RecentRegressions(8)
+			}
+		}()
+	}
+	wgW.Wait()
+	close(stop)
+	wgR.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every recorded query carries a ledger with the right row count.
+	for _, rec := range db.RecentQueries(writers * runs) {
+		if rec.Resources == nil {
+			t.Fatalf("record %d has no ledger", rec.ID)
+		}
+		if rec.Resources.RowsOut != 8 {
+			t.Fatalf("record %d ledger rows_out = %d, want 8", rec.ID, rec.Resources.RowsOut)
+		}
+	}
+}
+
+// TestRegressionDetectorFlagsDelayedQuery is the end-to-end
+// regression-detection proof: two queries build clean baselines, a
+// fault-injected delay slows exactly one of them, and the detector must
+// flag that query and nothing else. (The threshold math itself is
+// pinned deterministically in internal/obs's detector unit tests; this
+// test uses wide thresholds — 10x mean — because real latency and the
+// process-wide alloc counters jitter under -race.)
+func TestRegressionDetectorFlagsDelayedQuery(t *testing.T) {
+	db := openDiagDB(t)
+	// A table big enough that each query's latency and allocation
+	// footprint dwarf scheduler/GC noise.
+	big := qfusor.NewTable("diagbig", qfusor.Schema{
+		{Name: "name", Kind: qfusor.KindString},
+		{Name: "n", Kind: qfusor.KindInt},
+	})
+	for i := 0; i < 4000; i++ {
+		big.Cols[0].AppendValue(qfusor.Str(fmt.Sprintf("row%d", i)))
+		big.Cols[1].AppendValue(qfusor.Int(int64(i)))
+	}
+	db.PutTable(big)
+
+	const slow = "SELECT diagup(name) FROM diagbig WHERE n >= 0"
+	const clean = "SELECT diagup(name), n FROM diagbig"
+	// Warm up first — plan-cache fills, JIT tiers settle, allocation
+	// patterns stabilize — so the detector's baselines only ever see
+	// steady-state runs (cold-start runs would inflate the variance and
+	// produce noise flags).
+	for i := 0; i < 4; i++ {
+		for _, sql := range []string{slow, clean} {
+			if _, err := db.Query(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	obs.DefaultRegressions.Reset()
+	obs.DefaultRegressions.SetConfig(qfusor.RegressionConfig{MinSamples: 3, Sigma: 4, MinPct: 900})
+	defer func() {
+		obs.DefaultRegressions.Reset()
+		obs.DefaultRegressions.SetConfig(qfusor.RegressionConfig{})
+	}()
+
+	for i := 0; i < 6; i++ {
+		for _, sql := range []string{slow, clean} {
+			if _, err := db.Query(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if evs := qfusor.RecentRegressions(0); len(evs) != 0 {
+		t.Fatalf("baseline runs already flagged regressions: %+v", evs)
+	}
+
+	// Delay only the next fused FFI call — a slowdown far past the 10x
+	// threshold even when the whole suite runs under -race and the
+	// baseline itself is tens of milliseconds — then run the victim.
+	if err := faultinject.Enable("ffi.fused", faultinject.Spec{
+		Kind: faultinject.Delay, Delay: 2 * time.Second, Times: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	if _, err := db.Query(slow); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+
+	rec := db.RecentQueries(1)[0]
+	found := false
+	for _, k := range rec.Regressions {
+		if k == "latency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("delayed query not flagged: record %+v (regressions %v, took %v)",
+			rec.SQL, rec.Regressions, rec.Duration)
+	}
+	evs := qfusor.RecentRegressions(0)
+	if len(evs) == 0 {
+		t.Fatal("no regression events after the delayed run")
+	}
+	// Every event must point at the delayed query — never the clean one.
+	// (Kinds beyond latency can legitimately ride along: alloc deltas are
+	// process-wide, so the delay window may also attribute background
+	// allocation to the slowed query.)
+	for _, ev := range evs {
+		if !strings.Contains(ev.SQL, "WHERE n >= 0") {
+			t.Fatalf("regression attributed to the wrong query: %+v", ev)
+		}
+		if ev.QID != rec.QID {
+			t.Fatalf("regression qid %q != delayed query qid %q", ev.QID, rec.QID)
+		}
+	}
+
+	// The untouched query stays clean afterwards.
+	if _, err := db.Query(clean); err != nil {
+		t.Fatal(err)
+	}
+	if rec := db.RecentQueries(1)[0]; len(rec.Regressions) != 0 {
+		t.Fatalf("clean query flagged after the fault was disarmed: %+v", rec.Regressions)
+	}
+}

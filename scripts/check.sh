@@ -8,6 +8,12 @@ set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+# Formatting gate: gofmt must produce no diffs.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on: $unformatted" >&2
+    exit 1
+fi
 GOMAXPROCS=8 go test -race ./...
 # Chaos sweep: fire every registered fault point and require graceful
 # degradation (native-identical result or typed QueryError, no crash).
