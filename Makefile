@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-smoke obs-smoke fuzz-smoke lint
+.PHONY: check build vet test race chaos bench bench-smoke obs-smoke vm-smoke fuzz-smoke lint
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -46,6 +46,12 @@ fuzz-smoke:
 ## the flight recorder, a Chrome-trace round trip and the UDF profiler.
 obs-smoke:
 	$(GO) run ./cmd/qfusor-bench -obs-smoke
+
+## vm-smoke: a micro-run of E20 (vectorized VM tier) — the VM tier
+## must engage on the dispatch-bound sections, beat the closure tier,
+## and expose its qfusor.vm.* counters as valid Prometheus series.
+vm-smoke:
+	$(GO) run ./cmd/qfusor-bench -vm-smoke
 
 ## bench: run the paper experiments quickly, with a metrics snapshot.
 bench:

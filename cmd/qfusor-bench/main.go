@@ -78,10 +78,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	obsOut := flag.String("obs", "", "write results + metrics snapshot as JSON to this file (e.g. BENCH_obs.json)")
 	parallelism := flag.Int("parallelism", 0, "executor workers for experiments that don't pin their own: 0 = auto (one per core), 1 = serial")
+	morsel := flag.Int("morsel", 0, "morsel row count for experiments that don't pin their own (0 = engine default, 2048)")
+	tier := flag.String("tier", "", "fused-section execution tier for experiments that don't pin their own: vm | closure | auto/empty (cost model decides)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); an expired query fails its experiment instead of wedging the run")
 	httpAddr := flag.String("http", "", "serve diagnostics while the run is live (/metrics, /debug/queries, /debug/trace/<id>); empty = off")
 	plancache := flag.Bool("plancache", true, "enable the plan-decision cache on launched instances (the plancache experiment manages its own arms)")
 	smoke := flag.Bool("obs-smoke", false, "run the diagnostics-plane smoke test (endpoints, exposition validity, trace round-trip) and exit")
+	vmsmoke := flag.Bool("vm-smoke", false, "run the VM-tier smoke test (E20 micro-run + qfusor.vm.* metrics exposition) and exit")
 	querylog := flag.String("querylog", "", "append the structured query log (one JSON line per query) to this file; empty = off")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; exercises the resilience layer)")
@@ -105,6 +108,14 @@ func main() {
 		fmt.Println("obs-smoke: OK")
 		return
 	}
+	if *vmsmoke {
+		if err := vmSmoke(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "vm-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("vm-smoke: OK")
+		return
+	}
 	if *httpAddr != "" {
 		srv := &obshttp.Server{}
 		addr, err := srv.Start(*httpAddr)
@@ -121,6 +132,14 @@ func main() {
 	r.Parallelism = *parallelism
 	r.QueryTimeout = *timeout
 	r.PlanCacheOff = !*plancache
+	r.MorselSize = *morsel
+	switch *tier {
+	case "", "auto", "vm", "closure":
+		r.Tier = *tier
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -tier %q (want vm, closure or auto)\n", *tier)
+		os.Exit(2)
+	}
 
 	if *list {
 		var names []string

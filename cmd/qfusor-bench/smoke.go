@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"qfusor"
+	"qfusor/internal/bench"
 	"qfusor/internal/obs"
+	"qfusor/internal/workload"
 )
 
 // obsSmoke is the end-to-end check behind `make obs-smoke` and
@@ -237,6 +239,61 @@ func obsSmoke(w io.Writer) error {
 		return fmt.Errorf("/debug/profile does not mention the hot UDF:\n%s", body)
 	}
 	fmt.Fprintln(w, "obs-smoke: /debug/profile ok")
+	return nil
+}
+
+// vmSmoke is the check behind `make vm-smoke` and scripts/check.sh: a
+// micro-run of E20 (the vectorized VM tier experiment) at tiny size,
+// asserting that the VM tier actually engaged (vm_rows > 0 on the
+// dispatch-bound sections, nothing silently bailed) and that the
+// qfusor.vm.* counters it drives render as valid Prometheus
+// exposition with the promised series.
+func vmSmoke(w io.Writer) error {
+	r := bench.NewRunner(workload.Size("tiny"), io.Discard)
+	r.Quick = true
+	res, err := r.VMTierBench()
+	if err != nil {
+		return fmt.Errorf("E20 micro-run: %w", err)
+	}
+	sections := 0
+	for _, row := range res.Rows {
+		if !strings.HasPrefix(row.Label, "section/") {
+			continue
+		}
+		sections++
+		if row.Metrics["vm_rows"] <= 0 {
+			return fmt.Errorf("%s: VM tier never engaged (vm_rows = %v)", row.Label, row.Metrics["vm_rows"])
+		}
+		if row.Metrics["bail_rows"] > 0 {
+			return fmt.Errorf("%s: dispatch-bound section bailed %v rows to the closure tier", row.Label, row.Metrics["bail_rows"])
+		}
+		if row.Metrics["section_speedup"] <= 1 {
+			return fmt.Errorf("%s: VM tier slower than closure (section_speedup = %.2f)", row.Label, row.Metrics["section_speedup"])
+		}
+	}
+	if sections == 0 {
+		return fmt.Errorf("E20 produced no dispatch-bound section rows")
+	}
+	fmt.Fprintf(w, "vm-smoke: E20 micro-run ok (%d rows, %d dispatch-bound sections)\n", len(res.Rows), sections)
+
+	samples, err := obs.ParseExposition(obs.Default.Snapshot().Prometheus())
+	if err != nil {
+		return fmt.Errorf("metrics exposition invalid: %w", err)
+	}
+	for _, name := range []string{
+		"qfusor_vm_programs", "qfusor_vm_morsels", "qfusor_vm_rows", "qfusor_vm_bail_rows",
+	} {
+		if _, ok := samples[name]; !ok {
+			return fmt.Errorf("metrics exposition missing series %s", name)
+		}
+	}
+	if samples["qfusor_vm_programs"] < 1 || samples["qfusor_vm_rows"] < 1 {
+		return fmt.Errorf("qfusor.vm.* counters never moved: programs=%v rows=%v",
+			samples["qfusor_vm_programs"], samples["qfusor_vm_rows"])
+	}
+	fmt.Fprintf(w, "vm-smoke: qfusor.vm.* exposition ok (programs=%v morsels=%v rows=%v bail_rows=%v)\n",
+		samples["qfusor_vm_programs"], samples["qfusor_vm_morsels"],
+		samples["qfusor_vm_rows"], samples["qfusor_vm_bail_rows"])
 	return nil
 }
 

@@ -38,6 +38,8 @@ func main() {
 	load := flag.String("load", "", "preload a workload: udfbench | zillow | weld | udo (comma separated)")
 	size := flag.String("size", "tiny", "workload size: tiny | small | medium | large")
 	parallelism := flag.Int("parallelism", 0, "executor workers: 0 = auto (one per core), 1 = serial")
+	morsel := flag.Int("morsel", 0, "morsel row count for the parallel executor (0 = default, 2048)")
+	tier := flag.String("tier", "auto", "fused-section execution tier: vm | closure | auto (cost model decides)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a cancelled QueryError")
 	httpAddr := flag.String("http", "", "serve diagnostics on this address (/metrics, /debug/queries, /debug/trace/<id>, /debug/profile); empty = off")
 	profInterval := flag.Int("profile", 0, "enable the UDF sampling profiler with this statement interval (0 = off; rounded up to a power of two)")
@@ -58,8 +60,12 @@ func main() {
 		qfusor.SetQueryLogWriter(f)
 	}
 
+	if *tier != "auto" && *tier != "vm" && *tier != "closure" {
+		fmt.Fprintf(os.Stderr, "invalid -tier %q (want vm, closure or auto)\n", *tier)
+		os.Exit(2)
+	}
 	db, err := qfusor.Open(qfusor.Profile(*profile), qfusor.WithParallelism(*parallelism),
-		qfusor.WithPlanCache(*plancache))
+		qfusor.WithPlanCache(*plancache), qfusor.WithMorselSize(*morsel), qfusor.WithTier(*tier))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

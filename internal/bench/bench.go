@@ -52,6 +52,12 @@ type Runner struct {
 	// instance whose experiment does not pin its own setting (-plancache=
 	// false; the plancache experiment itself manages both arms).
 	PlanCacheOff bool
+	// MorselSize overrides the executor morsel row count on launched
+	// instances that don't pin their own (0 = engine default).
+	MorselSize int
+	// Tier pins the fused-section execution tier on launched instances
+	// that don't pin their own ("vm" | "closure" | ""/auto).
+	Tier string
 }
 
 // launch builds an instance, applying the runner's default parallelism
@@ -62,6 +68,12 @@ func (r *Runner) launch(cfg engines.Config) *engines.Instance {
 	}
 	if r.PlanCacheOff && cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = -1
+	}
+	if cfg.MorselSize == 0 {
+		cfg.MorselSize = r.MorselSize
+	}
+	if cfg.Tier == "" {
+		cfg.Tier = r.Tier
 	}
 	return engines.Launch(cfg)
 }

@@ -93,6 +93,7 @@ func (r *Runner) All() ([]*Result, error) {
 		{"morsel-speedup", r.MorselSpeedup},
 		{"plancache", r.PlanCacheBench},
 		{"resource-overhead", r.ResourceOverheadBench},
+		{"vm-dispatch", r.VMTierBench},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -126,5 +127,6 @@ func (r *Runner) Experiments() map[string]func() (*Result, error) {
 		"morsel-speedup":     r.MorselSpeedup,
 		"plancache":          r.PlanCacheBench,
 		"resource-overhead":  r.ResourceOverheadBench,
+		"vm-dispatch":        r.VMTierBench,
 	}
 }

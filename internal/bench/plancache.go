@@ -130,3 +130,16 @@ func medianDur(ds []time.Duration) time.Duration {
 	}
 	return (ds[n/2-1] + ds[n/2]) / 2
 }
+
+// minDur returns the smallest of ds (0 when empty). Interference —
+// scheduling, GC, frequency scaling — only ever adds time, so the
+// minimum is the faithful estimate for tight per-section costs.
+func minDur(ds []time.Duration) time.Duration {
+	best := time.Duration(0)
+	for i, d := range ds {
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

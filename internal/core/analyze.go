@@ -54,8 +54,11 @@ type Analysis struct {
 // at the FFI boundary (boxing columns in, unboxing results out); Body
 // is the remainder — time inside the UDF's own logic.
 type UDFUsage struct {
-	Name    string
-	Fused   bool
+	Name  string
+	Fused bool
+	// Tier is the execution tier a fused wrapper was planned onto
+	// ("vm" or "closure"; empty for source UDFs and PyLite wrappers).
+	Tier    string
 	Calls   int64
 	RowsIn  int64
 	RowsOut int64
@@ -161,6 +164,12 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 	}
 	qf.recordFlight("analyze", sql, start, res, rep, nil, root, led)
 	a.Resources = led.Snapshot()
+	tierOf := map[string]string{}
+	for i, w := range rep.Wrappers {
+		if i < len(rep.Tiers) {
+			tierOf[w] = rep.Tiers[i]
+		}
+	}
 	for _, u := range eng.Catalog.UDFs() {
 		d := u.Stats.Snapshot().Sub(base[u.Name])
 		if d.IsZero() {
@@ -169,7 +178,7 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 		wall := time.Duration(d.WallNanos)
 		wrap := time.Duration(d.WrapNanos)
 		a.UDFs = append(a.UDFs, UDFUsage{
-			Name: u.Name, Fused: u.Fused,
+			Name: u.Name, Fused: u.Fused, Tier: tierOf[u.Name],
 			Calls: d.Calls, RowsIn: d.InRows, RowsOut: d.OutRows,
 			Wall: wall, Wrapper: wrap, Body: wall - wrap,
 		})
@@ -194,6 +203,9 @@ func (a *Analysis) Render() string {
 			tag := ""
 			if u.Fused {
 				tag = " [fused]"
+				if u.Tier != "" {
+					tag = " [fused tier=" + u.Tier + "]"
+				}
 			}
 			fmt.Fprintf(&b, "  %-22s calls=%d rows_in=%d rows_out=%d wall=%s wrapper=%s body=%s%s\n",
 				u.Name, u.Calls, u.RowsIn, u.RowsOut,
@@ -203,6 +215,10 @@ func (a *Analysis) Render() string {
 	if len(a.Report.SectionCosts) > 0 {
 		b.WriteString("\nCost-model drift (predicted vs measured per fused section):\n")
 		renderDrift(&b, a.Report.SectionCosts)
+	}
+	if a.Resources != nil && a.Resources.VMRows > 0 {
+		fmt.Fprintf(&b, "\nVM tier: rows=%d bail_rows=%d\n",
+			a.Resources.VMRows, a.Resources.VMBailRows)
 	}
 	if a.HotLines != nil && len(a.HotLines.Samples) > 0 {
 		b.WriteString("\n")

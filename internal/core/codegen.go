@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"qfusor/internal/data"
+	"qfusor/internal/ffi"
 	"qfusor/internal/sqlengine"
 )
 
@@ -27,6 +28,9 @@ type fusedResult struct {
 	// was reused from the compile cache rather than freshly generated.
 	Wrapper string
 	Cached  bool
+	// Tier is the execution tier the wrapper was planned onto:
+	// "vm" (vectorized bytecode VM) or "closure" (compiled trace loop).
+	Tier string
 }
 
 // generateSection lowers a discovered section into fused wrapper(s)
@@ -460,6 +464,7 @@ func (qf *QFusor) emitWrapper(seg *Segment, g *DFG, inSec map[int]bool, lo, hi i
 			return nil, terr
 		}
 	}
+	tier := qf.applyTier(u, top.EstRows, len(w.inputs))
 
 	// Plan node.
 	node := &sqlengine.Plan{
@@ -495,7 +500,40 @@ func (qf *QFusor) emitWrapper(seg *Segment, g *DFG, inSec map[int]bool, lo, hi i
 		node.Op = sqlengine.OpFused
 	}
 	return &fusedResult{Nodes: []*sqlengine.Plan{node}, Sources: []string{src},
-		SpanLo: lo, SpanHi: hi, Wrapper: u.Name, Cached: cached}, nil
+		SpanLo: lo, SpanHi: hi, Wrapper: u.Name, Cached: cached, Tier: tier}, nil
+}
+
+// applyTier selects the execution tier for a traced wrapper and
+// publishes the decision on the UDF (epoch-fenced for free: a UDF
+// redefinition produces fresh FuncValues, whose bytecode caches start
+// empty, and flushes the wrapper compile cache via syncUDFEpoch).
+// Options.Tier "closure" pins the closure tier; "vm" forces the VM
+// whenever the trace lowers; ""/"auto" asks the cost model whether the
+// per-row boundary saving is positive (it is for any real section, so
+// auto takes the VM wherever eligible — ineligible shapes keep the
+// closure tier silently). Returns the tier chosen: "vm" or "closure".
+func (qf *QFusor) applyTier(u *ffi.UDF, rows float64, extIn int) string {
+	if qf.Opts.Tier == "closure" {
+		u.SetVMTierOff(true)
+		return "closure"
+	}
+	u.SetVMTierOff(false)
+	tr := u.Trace()
+	if tr == nil {
+		return "closure"
+	}
+	if vp := u.VMProg(); vp != nil {
+		return "vm" // cached wrapper, already lowered
+	}
+	vp := ffi.CompileTraceVM(tr)
+	if vp == nil {
+		return "closure"
+	}
+	if qf.Opts.Tier != "vm" && qf.CM.VMAdvantage(rows, extIn) <= 0 {
+		return "closure"
+	}
+	u.SetVMProg(vp)
+	return "vm"
 }
 
 // emitValueNodes emits assignments for the section's value-producing

@@ -230,6 +230,8 @@ func (qf *QFusor) emitScalarWrapper(e sqlengine.SQLExpr, childSchema data.Schema
 	rep.Sections++
 	rep.Sources = append(rep.Sources, src.String())
 	rep.Wrappers = append(rep.Wrappers, u.Name)
+	// Scalar-chain wrappers have no trace, so they always run closure-tier.
+	rep.Tiers = append(rep.Tiers, "closure")
 
 	args := make([]sqlengine.SQLExpr, len(cols))
 	for i, cr := range cols {

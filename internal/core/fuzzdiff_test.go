@@ -1,13 +1,15 @@
 package core_test
 
-// Differential fuzz harness for the plan-decision cache: every
-// generated UDF-bearing query is executed three ways — engine-native
-// (no fusion), fused with a cold plan cache (full front-end), and fused
-// warm (served from the plan cache) — and all three results must be
-// bit-identical. The generator is a tiny grammar over the test UDFs
-// (scalar slug, expand pieces, aggregate longest) so any byte string
-// maps to a valid deterministic query; go test runs the seed corpus,
-// `go test -fuzz FuzzDiff` explores beyond it.
+// Differential fuzz harness for the plan-decision cache and the
+// vectorized VM tier: every generated UDF-bearing query is executed
+// four ways — engine-native (no fusion), fused on the closure tier,
+// fused on the VM tier (cold, then warm from the plan cache), and
+// fused on the VM tier with every third UDF call force-bailed to the
+// closure tier — and all arms must be bit-identical. The generator is
+// a tiny grammar over the test UDFs (scalar slug, expand pieces,
+// aggregate longest) so any byte string maps to a valid deterministic
+// query; go test runs the seed corpus, `go test -fuzz FuzzDiff`
+// explores beyond it.
 
 import (
 	"fmt"
@@ -17,6 +19,7 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/engines"
+	"qfusor/internal/ffi"
 )
 
 // diffFixture is the process-wide instance the harness queries. Shared
@@ -93,7 +96,7 @@ var (
 )
 
 const (
-	diffNumShapes = 5
+	diffNumShapes = 6
 	// DiffSeedSpace is the exhaustive seed count TestDiffSeeds covers.
 	diffSeedSpace = diffNumShapes * 3 * 4
 )
@@ -118,6 +121,10 @@ func buildDiffQuery(dat []byte) string {
 		return fmt.Sprintf("SELECT p FROM (SELECT pieces(%s) AS p FROM notes%s) AS x ORDER BY p", scalar, pred)
 	case 3:
 		return fmt.Sprintf("SELECT longest(p) AS l FROM (SELECT pieces(%s) AS p FROM notes%s) AS x", scalar, pred)
+	case 4:
+		// Grouped aggregation over a UDF key: the trace carries KeyRegs
+		// and both a native and a UDF aggregate — the VM-tier agg path.
+		return fmt.Sprintf("SELECT s, COUNT(*) AS n, longest(s) AS l FROM (SELECT %s AS s FROM notes%s) AS x GROUP BY s ORDER BY s", scalar, pred)
 	default:
 		return fmt.Sprintf("SELECT id, %s AS a, slug(title) AS b FROM notes%s ORDER BY id", scalar, pred)
 	}
@@ -150,32 +157,60 @@ func renderTable(t *data.Table) string {
 	return b.String()
 }
 
-// runDiff executes one differential check: native vs fused-cold vs
-// fused-warm (plan-cache hit) must agree exactly.
+// runDiff executes one differential check, four ways: native, fused on
+// the closure tier, fused on the VM tier (cold then warm from the plan
+// cache), and fused on the VM tier with forced per-call bailouts. All
+// arms must agree exactly.
 func runDiff(t *testing.T, dat []byte) {
 	in := diffDB(t)
 	sql := buildDiffQuery(dat)
 	diffMu.Lock()
 	defer diffMu.Unlock()
+	defer func() {
+		in.QF.Opts.Tier = "auto"
+		ffi.SetVMBailEvery(0)
+	}()
 
 	nat, nerr := in.Query(sql)
+
+	// Arm 2: closure tier pinned.
+	in.QF.Opts.Tier = "closure"
+	in.QF.PlanCache.Purge()
+	clo, cloErr := in.QueryFused(sql)
+
+	// Arms 3+4: VM tier pinned, cold then warm (plan-cache hit).
+	in.QF.Opts.Tier = "vm"
 	in.QF.PlanCache.Purge()
 	s0 := in.QF.PlanCache.Stats()
 	cold, cerr := in.QueryFused(sql)
 	warm, werr := in.QueryFused(sql)
-	if nerr != nil || cerr != nil || werr != nil {
-		if nerr != nil && cerr != nil && werr != nil {
-			return // all three paths agree the query fails
+
+	// Arm 5: VM tier with every 3rd VM call force-bailed to the closure
+	// tier — exercises the bailout protocol on rows that would stay on
+	// the VM otherwise.
+	ffi.SetVMBailEvery(3)
+	bailed, berr := in.QueryFused(sql)
+	ffi.SetVMBailEvery(0)
+
+	if nerr != nil || cloErr != nil || cerr != nil || werr != nil || berr != nil {
+		if nerr != nil && cloErr != nil && cerr != nil && werr != nil && berr != nil {
+			return // all arms agree the query fails
 		}
-		t.Fatalf("error disagreement for %q:\n native: %v\n cold:   %v\n warm:   %v",
-			sql, nerr, cerr, werr)
+		t.Fatalf("error disagreement for %q:\n native:     %v\n closure:    %v\n vm-cold:    %v\n vm-warm:    %v\n vm-bailout: %v",
+			sql, nerr, cloErr, cerr, werr, berr)
 	}
 	want := renderTable(nat)
+	if got := renderTable(clo); got != want {
+		t.Fatalf("fused-closure mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
 	if got := renderTable(cold); got != want {
-		t.Fatalf("fused-cold mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+		t.Fatalf("fused-vm-cold mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
 	}
 	if got := renderTable(warm); got != want {
-		t.Fatalf("fused-warm mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+		t.Fatalf("fused-vm-warm mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
+	if got := renderTable(bailed); got != want {
+		t.Fatalf("fused-vm-bailout mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
 	}
 	s1 := in.QF.PlanCache.Stats()
 	if s1.Hits <= s0.Hits {
@@ -200,7 +235,7 @@ func FuzzDiff(f *testing.F) {
 
 // TestDiffSeeds exhaustively covers the generator's whole space (every
 // shape x scalar x predicate), so plain `go test` already checks all
-// 60 distinct queries without the fuzz engine.
+// 72 distinct queries without the fuzz engine.
 func TestDiffSeeds(t *testing.T) {
 	n := 0
 	for shape := 0; shape < diffNumShapes; shape++ {

@@ -84,6 +84,10 @@ type PlanEntry struct {
 	Sections int      `json:"sections"`
 	Sources  []string `json:"-"`
 	Wrappers []string `json:"wrappers,omitempty"`
+	// Tiers records, aligned with Wrappers, which execution tier each
+	// wrapper was planned onto ("vm" or "closure") — so a cache hit's
+	// \analyze output and ledger attribution match a fresh plan's.
+	Tiers []string `json:"tiers,omitempty"`
 	// WrapperKeys are the breaker keys ("wrapper:<hash>") of Wrappers;
 	// an open circuit on any of them disqualifies the entry.
 	WrapperKeys []string `json:"-"`
@@ -357,6 +361,11 @@ func optionsFingerprint(o Options) string {
 	flag(o.Reorder, 'R')
 	flag(o.AggFusion, 'A')
 	flag(o.Cache, 'C')
+	// Tier pinning changes which execution tier a cached plan's wrappers
+	// carry, so forced tiers get their own cache partitions ("auto"/""
+	// stays unmarked — the default decision).
+	flag(o.Tier == "vm", 'V')
+	flag(o.Tier == "closure", 'v')
 	return b.String()
 }
 

@@ -50,12 +50,18 @@ type Options struct {
 	// rewrite, going straight to execution (epoch- and breaker-
 	// invalidated; see plancache.go).
 	PlanCache bool
+	// Tier pins the execution tier of fused sections: "vm" forces the
+	// vectorized bytecode VM whenever a section is eligible, "closure"
+	// forces the closure-compiled trace loop, and ""/"auto" lets the
+	// cost model's VMAdvantage term decide (§5.2 extended). Ineligible
+	// sections always run the closure tier regardless.
+	Tier string
 }
 
 // DefaultOptions enables the full QFusor pipeline.
 func DefaultOptions() Options {
 	return Options{Fusion: true, Offload: true, Reorder: true, AggFusion: true,
-		Cache: true, PlanCache: true}
+		Cache: true, PlanCache: true, Tier: "auto"}
 }
 
 // Report carries the per-query optimizer measurements (Fig. 4 bottom).
@@ -72,6 +78,10 @@ type Report struct {
 	// Wrappers names the fused wrappers this query used (fresh or
 	// cached) — the units the circuit breaker tracks.
 	Wrappers []string
+	// Tiers is aligned with Wrappers: the execution tier each wrapper
+	// was planned onto ("vm" for the vectorized bytecode VM, "closure"
+	// for the compiled trace loop).
+	Tiers []string
 	// CacheHits counts wrappers reused from the compile cache (the
 	// wrapper-level cache; the plan-level outcome is PlanCache).
 	CacheHits int
@@ -466,6 +476,7 @@ func (qf *QFusor) reportFromEntry(ent *PlanEntry) *Report {
 		Sections:  ent.Sections,
 		Sources:   ent.Sources,
 		Wrappers:  ent.Wrappers,
+		Tiers:     ent.Tiers,
 		CacheHits: len(ent.Wrappers),
 		PlanCache: "hit",
 	}
@@ -491,6 +502,7 @@ func (qf *QFusor) newPlanEntry(key string, epoch int64, sql string, q *sqlengine
 		Sections: rep.Sections,
 		Sources:  rep.Sources,
 		Wrappers: rep.Wrappers,
+		Tiers:    rep.Tiers,
 	}
 	qf.mu.Lock()
 	for _, w := range rep.Wrappers {
@@ -594,6 +606,11 @@ func (qf *QFusor) realizeSections(seg *Segment, g *DFG, secs []*Section, rep *Re
 		rep.Sections++
 		rep.Sources = append(rep.Sources, res.Sources...)
 		rep.Wrappers = append(rep.Wrappers, res.Wrapper)
+		tier := res.Tier
+		if tier == "" {
+			tier = "closure"
+		}
+		rep.Tiers = append(rep.Tiers, tier)
 		if key := sectionKeyOf(g, s.Nodes); key != "" {
 			// The calibrated prediction: the raw F(S) estimate scaled by
 			// the section's learned factor. Repeated queries converge

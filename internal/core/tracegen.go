@@ -92,6 +92,7 @@ func (qf *QFusor) buildTrace(seg *Segment, g *DFG, inSec map[int]bool, lo, hi in
 			if nd.UDF.GoFn == nil {
 				if fv, ok := nd.UDF.Fn.P.(*pylite.FuncValue); ok {
 					op.Compiled = fv.Compiled()
+					op.Prog = fv.Bytecode()
 				}
 			}
 			t.Ops = append(t.Ops, op)

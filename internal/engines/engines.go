@@ -68,6 +68,12 @@ type Config struct {
 	// capacity (core.DefaultPlanCacheCap), > 0 sets an explicit entry
 	// cap, < 0 disables plan-decision caching entirely.
 	PlanCacheSize int
+	// MorselSize overrides the executor's morsel row count (0 keeps the
+	// engine default; ModeChunked profiles follow their ChunkSize).
+	MorselSize int
+	// Tier pins the fused-section execution tier: "vm", "closure", or
+	// ""/"auto" for the cost-model decision (core.Options.Tier).
+	Tier string
 }
 
 // Instance is a launched engine: the SQL engine, its UDF registry and a
@@ -138,6 +144,7 @@ func Launch(cfg Config) *Instance {
 	// 0 keeps the engine's auto default (every core); 1 forces the
 	// legacy serial executor for A/B baselines.
 	eng.Parallelism = cfg.Parallelism
+	eng.MorselSize = cfg.MorselSize
 	inst := &Instance{Name: string(cfg.Profile), Eng: eng, Reg: reg,
 		QF: core.New(reg), cfg: cfg, proc: proc}
 	switch {
@@ -145,6 +152,9 @@ func Launch(cfg Config) *Instance {
 		inst.QF.Opts.PlanCache = false
 	case cfg.PlanCacheSize > 0:
 		inst.QF.PlanCache.SetCap(cfg.PlanCacheSize)
+	}
+	if cfg.Tier != "" {
+		inst.QF.Opts.Tier = cfg.Tier
 	}
 	return inst
 }

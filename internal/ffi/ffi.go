@@ -190,6 +190,14 @@ type UDF struct {
 	// same wrapper from the compile cache may already be executing it,
 	// hence the atomic holder (use Trace/SetTrace).
 	trace atomic.Pointer[Trace]
+	// vmprog is the trace lowered onto the vectorized bytecode VM; when
+	// set, the fused vector path executes it instead of the closure-tier
+	// trace loop (use VMProg/SetVMProg). Published under the same
+	// concurrency rules as trace.
+	vmprog atomic.Pointer[VMProgram]
+	// vmTierOff, when set, pins the wrapper to the closure tier even if
+	// a VM program was compiled (Options.Tier == "closure").
+	vmTierOff atomic.Bool
 	// EstCost optionally carries developer-supplied cost metadata
 	// (CREATE FUNCTION ... COST n), in nanoseconds per row.
 	EstCost float64
@@ -212,6 +220,8 @@ func (u *UDF) WorkerClone() *UDF {
 		Fused: u.Fused, EstCost: u.EstCost,
 	}
 	c.trace.Store(u.trace.Load())
+	c.vmprog.Store(u.vmprog.Load())
+	c.vmTierOff.Store(u.vmTierOff.Load())
 	if u.RT != nil {
 		c.RT = u.RT.Worker()
 	}
@@ -226,6 +236,23 @@ func (u *UDF) Trace() *Trace { return u.trace.Load() }
 // the same cached wrapper are benign: both traces come from the same
 // normalized source, so last-write-wins hands every reader a valid one.
 func (u *UDF) SetTrace(t *Trace) { u.trace.Store(t) }
+
+// VMProg returns the wrapper's VM-tier program, or nil when the
+// wrapper runs on the closure tier (ineligible, not selected, or
+// pinned off).
+func (u *UDF) VMProg() *VMProgram {
+	if u.vmTierOff.Load() {
+		return nil
+	}
+	return u.vmprog.Load()
+}
+
+// SetVMProg publishes (or with nil, withdraws) the VM-tier program.
+func (u *UDF) SetVMProg(vp *VMProgram) { u.vmprog.Store(vp) }
+
+// SetVMTierOff pins the wrapper to the closure tier regardless of any
+// compiled VM program (the -tier=closure override).
+func (u *UDF) SetVMTierOff(off bool) { u.vmTierOff.Store(off) }
 
 // AbsorbWorker folds a worker clone's learned statistics (UDF stats and
 // interpreter counters) back into u.

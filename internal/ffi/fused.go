@@ -53,10 +53,22 @@ func CallFusedVectorTo(led *obs.ResourceLedger, u *UDF, args []*data.Column, n i
 		}
 	}
 	if tr := u.Trace(); tr != nil {
+		// Tier dispatch: the vectorized VM program when one is published
+		// (CallFusedVectorVM), the closure-tier trace loop otherwise.
+		// Aggregating traces never land here (they route through the
+		// RunTraceAgg runners, which have their own VM dispatch) — the
+		// guard keeps a misrouted one off the row-emitting VM loop.
+		if vp := u.VMProg(); vp != nil && len(tr.Aggs) == 0 {
+			return CallFusedVectorVM(led, u, vp, tr, args, n, outNames, outKinds)
+		}
 		start := time.Now()
 		cols, err := RunTraceVector(u, tr, args, n, outNames, outKinds)
 		if err == nil {
-			led.FFIObserve(u.Name, n, colRows(cols), time.Since(start), 0)
+			rows, rerr := colRows(u, cols)
+			if rerr != nil {
+				return nil, rerr
+			}
+			led.FFIObserve(u.Name, n, rows, time.Since(start), 0)
 		}
 		return cols, err
 	}
@@ -84,6 +96,26 @@ func CallFusedVectorTo(led *obs.ResourceLedger, u *UDF, args []*data.Column, n i
 	mInterpRows.Add(int64(n))
 	u.record(n, outRows, time.Since(start), wrap)
 	led.FFIObserve(u.Name, n, outRows, time.Since(start), wrap)
+	return cols, nil
+}
+
+// CallFusedVectorVM invokes a fused wrapper on the vectorized VM tier:
+// the whole morsel executes through register bytecode with unboxed
+// column loads, bailing per-row to the closure tier where needed. The
+// ledger gets both the boundary crossing and the VM/bail attribution.
+func CallFusedVectorVM(led *obs.ResourceLedger, u *UDF, vp *VMProgram, tr *Trace, args []*data.Column, n int, outNames []string, outKinds []data.Kind) (_ []*data.Column, err error) {
+	defer resilience.Recover(&err)
+	start := time.Now()
+	cols, bails, err := RunTraceVectorVM(u, vp, tr, args, n, outNames, outKinds)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := colRows(u, cols)
+	if err != nil {
+		return nil, err
+	}
+	led.FFIObserve(u.Name, n, rows, time.Since(start), 0)
+	led.VMObserve(n, bails)
 	return cols, nil
 }
 
@@ -138,15 +170,27 @@ func CallFusedAggVectorTo(led *obs.ResourceLedger, u *UDF, args []*data.Column, 
 }
 
 // colRows returns the row count of a column-set result (0 when empty).
-func colRows(cols []*data.Column) int {
+// A wrapper that yields ragged columns — some shorter than others —
+// used to slip through with the first column's length; downstream
+// operators would then silently truncate the longer columns. It now
+// surfaces as a typed *LengthMismatchError naming the wrapper.
+func colRows(u *UDF, cols []*data.Column) (int, error) {
 	if len(cols) == 0 || cols[0] == nil {
-		return 0
+		return 0, nil
 	}
-	return cols[0].Len()
+	rows := cols[0].Len()
+	for _, c := range cols[1:] {
+		if c != nil && c.Len() != rows {
+			return 0, &LengthMismatchError{UDF: u.Name, Expected: rows, Got: c.Len()}
+		}
+	}
+	return rows, nil
 }
 
 // unpackFusedResult converts the wrapper's list-of-lists result into
-// engine columns.
+// engine columns. Ragged output columns are a wrapper bug and return a
+// typed *LengthMismatchError instead of letting the short column
+// truncate the result downstream.
 func unpackFusedResult(u *UDF, res data.Value, outNames []string, outKinds []data.Kind) ([]*data.Column, int, error) {
 	outer := res.List()
 	if outer == nil {
@@ -168,9 +212,9 @@ func unpackFusedResult(u *UDF, res data.Value, outNames []string, outKinds []dat
 			rows = cols[i].Len()
 		}
 	}
-	for i, c := range cols {
+	for _, c := range cols {
 		if c.Len() != rows {
-			return nil, 0, fmt.Errorf("ffi: fused wrapper %s output %d has %d rows, others %d", u.Name, i, c.Len(), rows)
+			return nil, 0, &LengthMismatchError{UDF: u.Name, Expected: rows, Got: c.Len()}
 		}
 	}
 	return cols, rows, nil

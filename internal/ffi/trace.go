@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"qfusor/internal/data"
+	"qfusor/internal/obs"
 	"qfusor/internal/pylite"
 )
 
@@ -65,6 +66,10 @@ type TraceOp struct {
 	// Compiled, when set, is the UDF's compiled body invoked directly
 	// (the trace's inlined call — no dynamic dispatch).
 	Compiled *pylite.CompiledFunc
+	// Prog, when set, is the UDF's register-bytecode program: the
+	// vectorized VM driver (vm.go) executes it in a register window per
+	// row, falling back to Compiled/Invoke on bail.
+	Prog *pylite.Program
 	// Eval computes a relational expression over the register file
 	// (built by the fusion code generator with SQL NULL semantics).
 	Eval func(regs []data.Value) (data.Value, error)
@@ -473,6 +478,15 @@ func finalizeAggValue(st *aggState, spec *TraceAgg) (data.Value, error) {
 // from within the JIT (§5.3.2). Output columns are the group keys (in
 // first-seen order) followed by the aggregates.
 func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
+	return RunTraceAggTo(nil, u, t, args, n, outNames, outKinds)
+}
+
+// RunTraceAggTo is RunTraceAgg additionally attributing the boundary
+// crossing — and, when the wrapper carries a VM program, the VM row and
+// bail counts — to a per-query resource ledger (nil led records
+// nothing). The scalar prefix of each row runs on the VM tier when one
+// is published; grouping and accumulation are tier-independent.
+func RunTraceAggTo(led *obs.ResourceLedger, u *UDF, t *Trace, args []*data.Column, n int, outNames []string, outKinds []data.Kind) ([]*data.Column, error) {
 	start := time.Now()
 	nKeys := len(t.KeyRegs)
 	groupIdx := map[string]int{}
@@ -491,44 +505,61 @@ func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string
 		states = append(states, sts)
 		return len(states) - 1, nil
 	}
-	regs := make([]data.Value, t.NumRegs)
+	// Tier dispatch: the trace's register indices are a prefix of the
+	// VM program's register file, so the same emit step serves both.
+	vp := u.VMProg()
+	nRegs := t.NumRegs
+	if vp != nil {
+		nRegs = vp.NumRegs
+	}
+	regs := make([]data.Value, nRegs)
 	for i, r := range t.ConstRegs {
 		regs[r] = t.Consts[i]
 	}
 	var stepErr error
-	for i := 0; i < n; i++ {
-		for j, c := range args {
-			regs[j] = CrossIn(c, i)
+	bails := 0
+	emit := func(regs []data.Value) error {
+		var kb []byte
+		for _, r := range t.KeyRegs {
+			kb = append(kb, regs[r].Key()...)
+			kb = append(kb, 0)
 		}
-		err := runOps(u, t.Ops, regs, func(regs []data.Value) error {
-			var kb []byte
-			for _, r := range t.KeyRegs {
-				kb = append(kb, regs[r].Key()...)
-				kb = append(kb, 0)
+		gid, ok := groupIdx[string(kb)]
+		if !ok {
+			var err error
+			gid, err = newGroup(regs)
+			if err != nil {
+				stepErr = err
+				return err
 			}
-			gid, ok := groupIdx[string(kb)]
-			if !ok {
-				var err error
-				gid, err = newGroup(regs)
-				if err != nil {
-					stepErr = err
-					return err
-				}
-				groupIdx[string(kb)] = gid
+			groupIdx[string(kb)] = gid
+		}
+		for ai := range t.Aggs {
+			spec := &t.Aggs[ai]
+			var v data.Value
+			if spec.ArgReg >= 0 {
+				v = regs[spec.ArgReg]
 			}
-			for ai := range t.Aggs {
-				spec := &t.Aggs[ai]
-				var v data.Value
-				if spec.ArgReg >= 0 {
-					v = regs[spec.ArgReg]
-				}
-				if err := stepAggState(&states[gid][ai], spec, v); err != nil {
-					stepErr = err
-					return stepErr
-				}
+			if err := stepAggState(&states[gid][ai], spec, v); err != nil {
+				stepErr = err
+				return stepErr
 			}
-			return nil
-		})
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if vp != nil {
+			for j, c := range args {
+				regs[j] = vmColLoad(c, i)
+			}
+			err = runOpsVM(u, vp, t.Ops, regs, &bails, emit)
+		} else {
+			for j, c := range args {
+				regs[j] = CrossIn(c, i)
+			}
+			err = runOps(u, t.Ops, regs, emit)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -564,8 +595,15 @@ func RunTraceAgg(u *UDF, t *Trace, args []*data.Column, n int, outNames []string
 		}
 		outs[nKeys+ai] = col
 	}
+	if vp != nil {
+		mVMMorsels.Inc()
+		mVMRows.Add(int64(n))
+		mVMBailRows.Add(int64(bails))
+		led.VMObserve(n, bails)
+	}
 	mTraceRows.Add(int64(n))
 	u.record(n, g, time.Since(start), 0)
+	led.FFIObserve(u.Name, n, g, time.Since(start), 0)
 	return outs, nil
 }
 
@@ -608,54 +646,77 @@ type TraceAggPartial struct {
 // rows are recorded on u's stats here; the finalize step records the
 // output groups.
 func RunTraceAggPartial(u *UDF, t *Trace, args []*data.Column, n int) (*TraceAggPartial, error) {
+	return RunTraceAggPartialTo(nil, u, t, args, n)
+}
+
+// RunTraceAggPartialTo is RunTraceAggPartial with per-query ledger
+// attribution (nil led records nothing). As in RunTraceAggTo, the
+// scalar prefix of each row runs on the VM tier when the wrapper — here
+// typically a worker clone — carries a VM program.
+func RunTraceAggPartialTo(led *obs.ResourceLedger, u *UDF, t *Trace, args []*data.Column, n int) (*TraceAggPartial, error) {
 	start := time.Now()
 	pt := &TraceAggPartial{}
 	groupIdx := map[string]int{}
-	regs := make([]data.Value, t.NumRegs)
+	vp := u.VMProg()
+	nRegs := t.NumRegs
+	if vp != nil {
+		nRegs = vp.NumRegs
+	}
+	regs := make([]data.Value, nRegs)
 	for i, r := range t.ConstRegs {
 		regs[r] = t.Consts[i]
 	}
 	var stepErr error
-	for i := 0; i < n; i++ {
-		for j, c := range args {
-			regs[j] = CrossIn(c, i)
+	bails := 0
+	emit := func(regs []data.Value) error {
+		var kb []byte
+		for _, r := range t.KeyRegs {
+			kb = append(kb, regs[r].Key()...)
+			kb = append(kb, 0)
 		}
-		err := runOps(u, t.Ops, regs, func(regs []data.Value) error {
-			var kb []byte
-			for _, r := range t.KeyRegs {
-				kb = append(kb, regs[r].Key()...)
-				kb = append(kb, 0)
+		gid, ok := groupIdx[string(kb)]
+		if !ok {
+			keys := make([]data.Value, len(t.KeyRegs))
+			for ki, r := range t.KeyRegs {
+				keys[ki] = regs[r]
 			}
-			gid, ok := groupIdx[string(kb)]
-			if !ok {
-				keys := make([]data.Value, len(t.KeyRegs))
-				for ki, r := range t.KeyRegs {
-					keys[ki] = regs[r]
-				}
-				sts, err := newAggStates(t)
-				if err != nil {
-					stepErr = err
-					return err
-				}
-				gid = len(pt.states)
-				groupIdx[string(kb)] = gid
-				pt.keys = append(pt.keys, string(kb))
-				pt.keyRows = append(pt.keyRows, keys)
-				pt.states = append(pt.states, sts)
+			sts, err := newAggStates(t)
+			if err != nil {
+				stepErr = err
+				return err
 			}
-			for ai := range t.Aggs {
-				spec := &t.Aggs[ai]
-				var v data.Value
-				if spec.ArgReg >= 0 {
-					v = regs[spec.ArgReg]
-				}
-				if err := stepAggState(&pt.states[gid][ai], spec, v); err != nil {
-					stepErr = err
-					return stepErr
-				}
+			gid = len(pt.states)
+			groupIdx[string(kb)] = gid
+			pt.keys = append(pt.keys, string(kb))
+			pt.keyRows = append(pt.keyRows, keys)
+			pt.states = append(pt.states, sts)
+		}
+		for ai := range t.Aggs {
+			spec := &t.Aggs[ai]
+			var v data.Value
+			if spec.ArgReg >= 0 {
+				v = regs[spec.ArgReg]
 			}
-			return nil
-		})
+			if err := stepAggState(&pt.states[gid][ai], spec, v); err != nil {
+				stepErr = err
+				return stepErr
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if vp != nil {
+			for j, c := range args {
+				regs[j] = vmColLoad(c, i)
+			}
+			err = runOpsVM(u, vp, t.Ops, regs, &bails, emit)
+		} else {
+			for j, c := range args {
+				regs[j] = CrossIn(c, i)
+			}
+			err = runOps(u, t.Ops, regs, emit)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -663,8 +724,15 @@ func RunTraceAggPartial(u *UDF, t *Trace, args []*data.Column, n int) (*TraceAgg
 	if stepErr != nil {
 		return nil, stepErr
 	}
+	if vp != nil {
+		mVMMorsels.Inc()
+		mVMRows.Add(int64(n))
+		mVMBailRows.Add(int64(bails))
+		led.VMObserve(n, bails)
+	}
 	mTraceRows.Add(int64(n))
 	u.record(n, 0, time.Since(start), 0)
+	led.FFIObserve(u.Name, n, 0, time.Since(start), 0)
 	return pt, nil
 }
 

@@ -131,6 +131,8 @@ type LedgerSnapshot struct {
 	FFIWallNanos int64         `json:"ffi_wall_nanos"`
 	FFIWrapNanos int64         `json:"ffi_wrap_nanos"`
 	UDFSteps     int64         `json:"udf_steps"`
+	VMRows       int64         `json:"vm_rows,omitempty"`
+	VMBailRows   int64         `json:"vm_bail_rows,omitempty"`
 	AllocBytes   int64         `json:"alloc_bytes"`
 	AllocObjects int64         `json:"alloc_objects"`
 	Retries      int64         `json:"retries,omitempty"`
@@ -157,6 +159,8 @@ type ResourceLedger struct {
 	ffiWallNanos atomic.Int64
 	ffiWrapNanos atomic.Int64
 	udfSteps     atomic.Int64
+	vmRows       atomic.Int64
+	vmBailRows   atomic.Int64
 	retries      atomic.Int64
 	fallbacks    atomic.Int64
 
@@ -236,6 +240,17 @@ func (l *ResourceLedger) AddFallback() {
 	if l != nil {
 		l.fallbacks.Add(1)
 	}
+}
+
+// VMObserve attributes one vectorized-VM morsel execution: rows that
+// went through the bytecode tier, of which bailRows were re-routed to
+// the closure tier.
+func (l *ResourceLedger) VMObserve(rows, bailRows int) {
+	if l == nil {
+		return
+	}
+	l.vmRows.Add(int64(rows))
+	l.vmBailRows.Add(int64(bailRows))
 }
 
 // StepCounter exposes the interpreter-step counter for the UDF runtime
@@ -337,6 +352,8 @@ func (l *ResourceLedger) Snapshot() *LedgerSnapshot {
 		FFIWallNanos: l.ffiWallNanos.Load(),
 		FFIWrapNanos: l.ffiWrapNanos.Load(),
 		UDFSteps:     l.udfSteps.Load(),
+		VMRows:       l.vmRows.Load(),
+		VMBailRows:   l.vmBailRows.Load(),
 		Retries:      l.retries.Load(),
 		Fallbacks:    l.fallbacks.Load(),
 		AllocBytes:   int64(b - l.firstBytes),

@@ -70,6 +70,11 @@ type Interp struct {
 	// workers.
 	intr *atomic.Pointer[interrupt]
 
+	// vmScratch is the argument-staging buffer for bytecode-VM calls.
+	// Interps are per-worker and VM callees cannot re-enter the VM
+	// (callable arguments bail), so reuse is safe.
+	vmScratch []data.Value
+
 	Stats Stats
 }
 

@@ -1,0 +1,148 @@
+package pylite
+
+// Trace-program linking: when every UDF call of a fused trace runs on
+// the VM tier, the per-call programs can be spliced into one combined
+// program that executes the whole row in a single RunVM entry — one
+// cancellation check, one profiler poll, one clear pass, and zero
+// per-call window staging. The caller registers (trace inputs, call
+// destinations, constants) occupy the prefix of the shared file and
+// each body keeps the register window it was already assigned, so
+// splicing is a pure register/pc shift plus a move prologue per call.
+
+// LinkPart describes one UDF call of a fused trace: the per-call
+// program, the base of the register window it was assigned in the
+// shared file, the caller registers feeding its parameters, and the
+// caller register that receives its return value.
+type LinkPart struct {
+	Prog *Program
+	Base int
+	Args []int
+	Dst  int
+}
+
+// LinkPrograms splices the parts into one whole-row program. For each
+// part in order: a prologue moves the caller registers into the body's
+// parameter window (constants fill defaulted parameters the trace does
+// not pass), the body runs register-shifted in place, and every return
+// becomes an OpRetJump that stores the result in the caller's
+// destination register and continues at the next part. A bail anywhere
+// aborts the combined program, and the caller re-runs the entire row
+// on the closure tier — sound because bodies in the bytecode subset
+// are pure with respect to the caller registers (they write only their
+// own window and, on return, their destination).
+//
+// Returns nil when linking is unsound or pointless: no parts, a part
+// without a program, or parts whose defining environments differ (an
+// OpLoadGlobal would then resolve through the wrong env chain, since
+// the combined program carries a single source function).
+func LinkPrograms(parts []LinkPart, numRegs int) *Program {
+	if len(parts) == 0 {
+		return nil
+	}
+	for _, pt := range parts {
+		if pt.Prog == nil || pt.Prog.fn == nil {
+			return nil
+		}
+		if pt.Prog.fn.Env != parts[0].Prog.fn.Env {
+			return nil
+		}
+	}
+	linked := &Program{
+		NumRegs: numRegs,
+		Line:    parts[0].Prog.Line,
+		fn:      parts[0].Prog.fn,
+	}
+	for pi, pt := range parts {
+		p, base := pt.Prog, pt.Base
+		if pi > 0 {
+			linked.Name += "+"
+		}
+		linked.Name += p.Name
+		// Prologue: parameters from caller registers, then defaults.
+		for j, a := range pt.Args {
+			linked.Instrs = append(linked.Instrs, Instr{Op: OpMove, Dst: base + j, A: a, Line: p.Line})
+		}
+		for j := len(pt.Args); j < p.NumParams; j++ {
+			linked.Instrs = append(linked.Instrs, Instr{Op: OpConst, Dst: base + j, Val: p.Defaults[j], Line: p.Line})
+		}
+		off := len(linked.Instrs)
+		end := off + len(p.Instrs)
+		for _, in := range p.Instrs {
+			switch in.Op {
+			case OpConst, OpLoadGlobal:
+				in.Dst += base
+			case OpMove, OpUnaryOp, OpGetAttr:
+				in.Dst += base
+				in.A += base
+			case OpBinOp, OpCompare, OpIndex:
+				in.Dst += base
+				in.A += base
+				in.B += base
+			case OpJump:
+				in.A += off
+			case OpJumpIfFalse, OpJumpIfTrue:
+				in.A += base
+				in.B += off
+			case OpCall, OpCallMethod:
+				in.Dst += base
+				in.A += base
+				in.Xs = shiftRegs(in.Xs, base)
+			case OpSlice, OpMakeList, OpMakeDict, OpMakeSet:
+				in.Dst += base
+				in.Xs = shiftRegs(in.Xs, base)
+			case OpSetIndex:
+				in.A += base
+				in.B += base
+				in.C += base
+			case OpListAppend, OpSetAdd:
+				in.A += base
+				in.B += base
+			case OpUnpack:
+				in.A += base
+				in.Xs = shiftRegs(in.Xs, base)
+			case OpIterInit:
+				in.Dst += base
+				in.A += base
+				in.B += base
+			case OpIterNext:
+				in.Dst += base
+				in.A += base
+				in.B += base
+				in.C += off
+			case OpCheck, OpBail:
+				// no register or pc operands
+			case OpReturn:
+				in = Instr{Op: OpRetJump, Dst: pt.Dst, A: in.A + base, B: end, Line: in.Line}
+			default:
+				return nil // unknown opcode: refuse to link
+			}
+			linked.Instrs = append(linked.Instrs, in)
+		}
+		// The part's clear set was computed with its parameters written
+		// on entry; the move/const prologue establishes exactly that, so
+		// the shifted union stays precise.
+		for _, r := range p.ClearRegs {
+			linked.ClearRegs = append(linked.ClearRegs, r+base)
+		}
+		linked.BailCount += p.BailCount
+	}
+	// Terminal return, sitting exactly at the last part's end pc (every
+	// OpRetJump of the last body lands here). The trace reads its
+	// outputs from the caller registers, so the value itself is unused.
+	linked.Instrs = append(linked.Instrs, Instr{Op: OpReturn, A: parts[len(parts)-1].Dst})
+	linked.NeedsClear = len(linked.ClearRegs) > 0
+	return linked
+}
+
+// shiftRegs returns xs with base added to every element, sharing the
+// original slice when no shift is needed.
+func shiftRegs(xs []int, base int) []int {
+	if base == 0 || len(xs) == 0 {
+		return xs
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x + base
+	}
+	return out
+}

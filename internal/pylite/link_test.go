@@ -1,0 +1,148 @@
+package pylite
+
+import (
+	"testing"
+
+	"qfusor/internal/data"
+)
+
+// linkFixture compiles the named functions from src and links them as
+// a chain the way the FFI trace linker does: caller registers
+// [0, nCaller) form the prefix, part i reads the previous part's
+// destination and writes caller register i+1.
+func linkFixture(t *testing.T, src string, nCaller int, fns ...string) (*Interp, *Program) {
+	t.Helper()
+	it := NewInterp()
+	if err := it.Exec(src); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	parts := make([]LinkPart, len(fns))
+	base := nCaller
+	for i, fn := range fns {
+		v, ok := it.Global(fn)
+		if !ok {
+			t.Fatalf("function %s not defined", fn)
+		}
+		prog, err := BCCompile(v.P.(*FuncValue))
+		if err != nil {
+			t.Fatalf("BCCompile(%s): %v", fn, err)
+		}
+		parts[i] = LinkPart{Prog: prog, Base: base, Args: []int{i}, Dst: i + 1}
+		base += prog.NumRegs
+	}
+	linked := LinkPrograms(parts, base)
+	if linked == nil {
+		t.Fatal("LinkPrograms returned nil for linkable parts")
+	}
+	return it, linked
+}
+
+// TestLinkProgramsChain splices two bodies — the second with a
+// defaulted parameter the caller does not pass — and checks both
+// destination registers and the register/pc shifts.
+func TestLinkProgramsChain(t *testing.T) {
+	src := `
+def clean(s):
+    return s.strip().lower()
+
+def tag(s, suffix="!"):
+    return s + suffix
+`
+	it, linked := linkFixture(t, src, 3, "clean", "tag")
+	regs := make([]data.Value, linked.NumRegs)
+	regs[0] = data.Str("  Hello World ")
+	if _, err := linked.RunVM(it, regs); err != nil {
+		t.Fatalf("RunVM: %v", err)
+	}
+	if got := regs[1].String(); got != "hello world" {
+		t.Errorf("part 1 dst = %q, want %q", got, "hello world")
+	}
+	if got := regs[2].String(); got != "hello world!" {
+		t.Errorf("part 2 dst = %q, want %q", got, "hello world!")
+	}
+}
+
+// TestLinkProgramsControlFlow links bodies with branches and loops —
+// the pc-valued operands (OpJump, OpJumpIfFalse, OpIterNext, and the
+// OpRetJump splice points) must all survive the offset — then reuses
+// one register file across rows to prove the merged clear set keeps
+// conditionally-assigned locals from leaking between rows.
+func TestLinkProgramsControlFlow(t *testing.T) {
+	src := `
+def size(s):
+    n = 0
+    for c in s:
+        n = n + 1
+    if n > 5:
+        return "long"
+    return "short"
+
+def bang(s):
+    out = ""
+    for c in s:
+        out = out + c.upper()
+    return out
+`
+	it, linked := linkFixture(t, src, 3, "size", "bang")
+	regs := make([]data.Value, linked.NumRegs)
+	for _, row := range [][2]string{
+		{"abcdefgh", "LONG"},
+		{"ab", "SHORT"},
+		{"abcdefgh", "LONG"},
+	} {
+		regs[0] = data.Str(row[0])
+		if _, err := linked.RunVM(it, regs); err != nil {
+			t.Fatalf("RunVM(%q): %v", row[0], err)
+		}
+		if got := regs[2].String(); got != row[1] {
+			t.Errorf("row %q: dst = %q, want %q", row[0], got, row[1])
+		}
+	}
+}
+
+// TestLinkProgramsEnvMismatch refuses to link programs whose defining
+// environments differ: the combined program resolves OpLoadGlobal
+// through a single env chain, which would silently change lookups.
+func TestLinkProgramsEnvMismatch(t *testing.T) {
+	progFor := func(src, fn string) *Program {
+		it := NewInterp()
+		if err := it.Exec(src); err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+		v, _ := it.Global(fn)
+		p, err := BCCompile(v.P.(*FuncValue))
+		if err != nil {
+			t.Fatalf("BCCompile: %v", err)
+		}
+		return p
+	}
+	a := progFor("def f(s):\n    return s.lower()\n", "f")
+	b := progFor("def g(s):\n    return s.upper()\n", "g")
+	parts := []LinkPart{
+		{Prog: a, Base: 3, Args: []int{0}, Dst: 1},
+		{Prog: b, Base: 3 + a.NumRegs, Args: []int{1}, Dst: 2},
+	}
+	if LinkPrograms(parts, 3+a.NumRegs+b.NumRegs) != nil {
+		t.Fatal("LinkPrograms linked across defining environments")
+	}
+}
+
+// TestLinkProgramsBail checks that a bail inside a linked body
+// surfaces as a BailError from the combined program (the caller then
+// re-runs the whole row on the closure tier).
+func TestLinkProgramsBail(t *testing.T) {
+	src := `
+def clean(s):
+    return s.strip()
+
+def risky(s):
+    raise ValueError(s)
+`
+	it, linked := linkFixture(t, src, 3, "clean", "risky")
+	regs := make([]data.Value, linked.NumRegs)
+	regs[0] = data.Str(" x ")
+	_, err := linked.RunVM(it, regs)
+	if !IsVMBail(err) {
+		t.Fatalf("err = %v, want VM bail", err)
+	}
+}

@@ -34,7 +34,30 @@ type FuncValue struct {
 	compiled     atomic.Pointer[CompiledFunc]
 	hot          atomic.Int64
 	uncompilable atomic.Bool
+
+	// bc is the register-bytecode program for the vectorized VM tier;
+	// bcFailed marks a permanent BCCompile rejection so eligibility
+	// checks don't re-run the compiler per query. A redefined UDF is a
+	// new FuncValue, so both caches are naturally epoch-fenced.
+	bc       atomic.Pointer[Program]
+	bcFailed atomic.Bool
 }
+
+// Bytecode returns the cached VM program, if one was compiled.
+func (f *FuncValue) Bytecode() *Program { return f.bc.Load() }
+
+// SetBytecode installs a VM program (nil marks the function permanently
+// ineligible for the VM tier).
+func (f *FuncValue) SetBytecode(p *Program) {
+	if p == nil {
+		f.bcFailed.Store(true)
+		return
+	}
+	f.bc.Store(p)
+}
+
+// BytecodeFailed reports whether bytecode compilation previously failed.
+func (f *FuncValue) BytecodeFailed() bool { return f.bcFailed.Load() }
 
 // Compiled returns the JIT-compiled version, if one was installed.
 func (f *FuncValue) Compiled() *CompiledFunc { return f.compiled.Load() }

@@ -62,6 +62,10 @@ type Engine struct {
 	// and blocking operators (morsel-driven execution): 0 = auto (every
 	// core the runtime sees), 1 = legacy serial for A/B baselines.
 	Parallelism int
+	// MorselSize overrides the morsel row count (0 = defaultMorselSize).
+	// ModeChunked still follows ChunkSize so operator boundaries stay
+	// aligned with the pipeline's vector size.
+	MorselSize int
 
 	// statsMu guards lastStats: concurrent queries on one engine each
 	// write it, so access goes through LastStats().
@@ -302,7 +306,9 @@ func annotateOpSpan(sp *obs.Span, p *Plan) {
 			sp.SetAttr("udf", p.UDF.Name)
 			if p.UDF.Fused {
 				sp.SetAttr("section", "fused")
-				if p.UDF.Trace() != nil {
+				if p.UDF.VMProg() != nil {
+					sp.SetAttr("tier", "vm")
+				} else if p.UDF.Trace() != nil {
 					sp.SetAttr("tier", "jit-trace")
 				} else {
 					sp.SetAttr("tier", "pylite")

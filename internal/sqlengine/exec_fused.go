@@ -2,7 +2,6 @@ package sqlengine
 
 import (
 	"fmt"
-	"time"
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
@@ -92,16 +91,10 @@ func (e *Engine) runFused(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chunk, 
 		if e.Workers() > 1 && !p.NoPartition && tr.PartialMergeable() && n >= minParallelRows {
 			return e.runTraceAggMorsels(p.UDF, tr, args, n, names, kinds, ectx)
 		}
-		start := time.Now()
-		cols, err := ffi.RunTraceAgg(p.UDF, tr, args, n, names, kinds)
+		cols, err := ffi.RunTraceAggTo(ectx.led, p.UDF, tr, args, n, names, kinds)
 		if err != nil {
 			return nil, err
 		}
-		out := 0
-		if len(cols) > 0 {
-			out = cols[0].Len()
-		}
-		ectx.led.FFIObserve(p.UDF.Name, n, out, time.Since(start), 0)
 		return data.NewChunk(cols...), nil
 	}
 	// Legacy path (PyLite aggregate wrapper): engine-side grouping,
@@ -229,12 +222,10 @@ func (e *Engine) runTraceAggMorsels(u *ffi.UDF, tr *ffi.Trace, args []*data.Colu
 			clones[w] = cu
 		}
 		sub := argChunk.Slice(lo, hi)
-		pstart := time.Now()
-		pt, err := ffi.RunTraceAggPartial(cu, tr, sub.Cols, hi-lo)
+		pt, err := ffi.RunTraceAggPartialTo(ectx.led, cu, tr, sub.Cols, hi-lo)
 		if err != nil {
 			return err
 		}
-		ectx.led.FFIObserve(u.Name, hi-lo, 0, time.Since(pstart), 0)
 		parts[m] = pt
 		return nil
 	})

@@ -20,7 +20,7 @@ func (e *Engine) execRowPlan(p *Plan, ectx *execCtx) (*data.Chunk, error) {
 		// The tuple loop is the row engine's only long-running drain:
 		// poll the query context every morsel's worth of rows so
 		// cancellation latency matches the columnar executor.
-		if n%defaultMorselSize == 0 {
+		if n%e.morselSize() == 0 {
 			if err := ectx.ctx.Err(); err != nil {
 				return nil, err
 			}

@@ -50,10 +50,15 @@ func (e *Engine) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// morselSize returns the fixed morsel row count for this engine.
+// morselSize returns the fixed morsel row count for this engine:
+// ModeChunked follows ChunkSize, any explicit MorselSize wins next,
+// and defaultMorselSize covers the rest.
 func (e *Engine) morselSize() int {
 	if e.Mode == ModeChunked && e.ChunkSize > 0 {
 		return e.ChunkSize
+	}
+	if e.MorselSize > 0 {
+		return e.MorselSize
 	}
 	return defaultMorselSize
 }

@@ -188,6 +188,27 @@ func WithPlanCacheSize(n int) Option {
 	}
 }
 
+// WithMorselSize overrides the executor's morsel row count (n <= 0
+// keeps the engine default, 2048; chunked profiles keep their vector
+// size). Smaller morsels lower cancellation latency and scheduling
+// granularity, larger ones amortize per-morsel overhead.
+func WithMorselSize(n int) Option {
+	return func(c *engines.Config) {
+		if n > 0 {
+			c.MorselSize = n
+		}
+	}
+}
+
+// WithTier pins the execution tier of fused sections: "vm" forces the
+// vectorized bytecode VM wherever a section is eligible, "closure"
+// forces the closure-compiled trace loop, and "auto" (the default)
+// lets the cost model decide. Ineligible sections always run the
+// closure tier.
+func WithTier(tier string) Option {
+	return func(c *engines.Config) { c.Tier = tier }
+}
+
 // PlanCacheStats summarizes the plan-decision cache: live size,
 // capacity, and cumulative hit/miss/eviction/invalidation counters.
 type PlanCacheStats = core.PlanCacheStats

@@ -23,6 +23,10 @@ GOMAXPROCS=8 go test -race -count=1 -run 'Chaos|Fault|Breaker|Recover|Backoff|In
 # /debug/queries must show the flight recorder, and a recorded trace
 # must round-trip as valid Chrome trace_event JSON.
 go run ./cmd/qfusor-bench -obs-smoke
+# VM-tier smoke: an E20 micro-run — the bytecode VM must engage on the
+# dispatch-bound sections, beat the closure tier, keep bail_rows at
+# zero, and expose its qfusor.vm.* counters in valid Prometheus form.
+go run ./cmd/qfusor-bench -vm-smoke
 # Differential fuzz smoke: a bounded run of the native vs fused-cold vs
 # fused-warm (plan-cache hit) equivalence fuzzer; any mismatch is a
 # plan-cache or fusion correctness bug. FUZZTIME can be shortened for
