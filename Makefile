@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-smoke obs-smoke vm-smoke fuzz-smoke lint
+.PHONY: check build vet test race chaos bench bench-smoke obs-smoke vm-smoke serve-smoke fuzz-smoke lint
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -52,6 +52,13 @@ obs-smoke:
 ## and expose its qfusor.vm.* counters as valid Prometheus series.
 vm-smoke:
 	$(GO) run ./cmd/qfusor-bench -vm-smoke
+
+## serve-smoke: end-to-end query-server check over real HTTP — session
+## open/prepare/execute, an overload burst that must shed with typed
+## 429/503s, admission counters in /metrics and /debug/sessions, and a
+## drain-bounded shutdown.
+serve-smoke:
+	$(GO) run ./cmd/qfusor-bench -serve-smoke
 
 ## bench: run the paper experiments quickly, with a metrics snapshot.
 bench:

@@ -85,6 +85,7 @@ func main() {
 	plancache := flag.Bool("plancache", true, "enable the plan-decision cache on launched instances (the plancache experiment manages its own arms)")
 	smoke := flag.Bool("obs-smoke", false, "run the diagnostics-plane smoke test (endpoints, exposition validity, trace round-trip) and exit")
 	vmsmoke := flag.Bool("vm-smoke", false, "run the VM-tier smoke test (E20 micro-run + qfusor.vm.* metrics exposition) and exit")
+	servesmoke := flag.Bool("serve-smoke", false, "run the query-server smoke test (sessions + overload burst + admission metrics + drain over real HTTP) and exit")
 	querylog := flag.String("querylog", "", "append the structured query log (one JSON line per query) to this file; empty = off")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; exercises the resilience layer)")
@@ -114,6 +115,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("vm-smoke: OK")
+		return
+	}
+	if *servesmoke {
+		if err := serveSmoke(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve-smoke: OK")
 		return
 	}
 	if *httpAddr != "" {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"qfusor"
@@ -295,6 +296,195 @@ func vmSmoke(w io.Writer) error {
 		samples["qfusor_vm_programs"], samples["qfusor_vm_morsels"],
 		samples["qfusor_vm_rows"], samples["qfusor_vm_bail_rows"])
 	return nil
+}
+
+// serveSmoke is the end-to-end check behind `make serve-smoke` and
+// scripts/check.sh: it starts the multi-session query server with
+// deliberately tight admission limits, drives it over real HTTP —
+// sessions, prepared statements, concurrent queries, an overload burst
+// — then asserts the admission metrics moved (admitted, shed, queue
+// depth) and that shutdown drains within the grace period.
+func serveSmoke(w io.Writer) error {
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.Define("@scalarudf\ndef srvwork(n: int) -> int:\n    acc = 0\n    for i in range(60):\n        acc = acc + (n + i) % 97\n    return acc\n"); err != nil {
+		return err
+	}
+	if err := db.Exec("CREATE TABLE srvtbl (n int)"); err != nil {
+		return err
+	}
+	var vals strings.Builder
+	for i := 0; i < 3000; i++ {
+		if i > 0 {
+			vals.WriteString(", ")
+		}
+		fmt.Fprintf(&vals, "(%d)", i)
+	}
+	if err := db.Exec("INSERT INTO srvtbl VALUES " + vals.String()); err != nil {
+		return err
+	}
+
+	const grace = 3 * time.Second
+	addr, err := db.Serve("127.0.0.1:0", qfusor.ServerConfig{
+		MaxConcurrent: 2,
+		QueueDepth:    2,
+		QueueTimeout:  300 * time.Millisecond,
+		DrainGrace:    grace,
+	})
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	fmt.Fprintf(w, "serve-smoke: query server at %s\n", base)
+
+	// Session + prepared statement over real HTTP.
+	body, status, err := httpPostJSON(base+"/v1/session", map[string]any{"tenant": "smoke", "timeout_ms": 10000})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("open session: status %d err %v: %s", status, err, body)
+	}
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(body, &sess); err != nil || sess.Session == "" {
+		return fmt.Errorf("open session: bad body %s", body)
+	}
+	body, status, err = httpPostJSON(base+"/v1/prepare", map[string]any{
+		"session": sess.Session, "name": "hot", "sql": "SELECT srvwork(n) FROM srvtbl WHERE n < 500",
+	})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("prepare: status %d err %v: %s", status, err, body)
+	}
+	body, status, err = httpPostJSON(base+"/v1/query", map[string]any{"session": sess.Session, "stmt": "hot"})
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("prepared query: status %d err %v: %s", status, err, body)
+	}
+	var qr struct {
+		RowCount int `json:"row_count"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil || qr.RowCount != 500 {
+		return fmt.Errorf("prepared query: row_count != 500: %s", body)
+	}
+	fmt.Fprintf(w, "serve-smoke: session %s prepared+query ok (%d rows)\n", sess.Session, qr.RowCount)
+
+	// Overload burst: 16 concurrent queries against capacity 2 + queue 2.
+	// With a 300ms queue timeout some must be rejected, some admitted.
+	const burst = 16
+	var (
+		mu            sync.Mutex
+		okN, shedN    int
+		otherStatuses []int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, st, err := httpPostJSON(base+"/v1/query", map[string]any{
+				"tenant": "smoke", "sql": "SELECT srvwork(n) FROM srvtbl",
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && st == http.StatusOK:
+				okN++
+			case st == http.StatusServiceUnavailable || st == http.StatusTooManyRequests:
+				shedN++
+			default:
+				otherStatuses = append(otherStatuses, st)
+				fmt.Fprintf(w, "serve-smoke: unexpected burst response %d: %s\n", st, b)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(otherStatuses) > 0 {
+		return fmt.Errorf("burst: unexpected statuses %v", otherStatuses)
+	}
+	if okN == 0 || shedN == 0 {
+		return fmt.Errorf("burst of %d vs capacity 2: want both admitted and rejected, got ok=%d shed=%d", burst, okN, shedN)
+	}
+	fmt.Fprintf(w, "serve-smoke: overload burst ok (admitted=%d rejected=%d)\n", okN, shedN)
+
+	// /metrics: the admission series exist and moved.
+	body, err = httpGet(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParseExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+	for _, name := range []string{"server_admitted", "server_rejected", "server_queue_depth", "server_sessions"} {
+		if _, ok := samples[name]; !ok {
+			return fmt.Errorf("/metrics missing required series %s", name)
+		}
+	}
+	if samples["server_admitted"] < 1 {
+		return fmt.Errorf("server_admitted never moved")
+	}
+	shedTotal := 0.0
+	for k, v := range samples {
+		if strings.HasPrefix(k, "server_shed{reason=") {
+			shedTotal += v
+		}
+	}
+	if shedTotal < 1 {
+		return fmt.Errorf("no server_shed{reason=...} series moved during the burst")
+	}
+	fmt.Fprintf(w, "serve-smoke: /metrics ok (admitted=%v shed=%v)\n", samples["server_admitted"], shedTotal)
+
+	// /debug/sessions: the session is listed and the census agrees.
+	body, err = httpGet(base + "/debug/sessions")
+	if err != nil {
+		return err
+	}
+	var sessions struct {
+		Count     int `json:"count"`
+		Admission struct {
+			Admitted  uint64 `json:"admitted"`
+			ShedTotal uint64 `json:"shed_total"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal(body, &sessions); err != nil {
+		return fmt.Errorf("/debug/sessions: %w", err)
+	}
+	if sessions.Count < 1 || sessions.Admission.Admitted < 1 || sessions.Admission.ShedTotal < 1 {
+		return fmt.Errorf("/debug/sessions census wrong: %s", body)
+	}
+	fmt.Fprintln(w, "serve-smoke: /debug/sessions ok")
+
+	// Drain: Close must complete within the grace period (plus slack for
+	// the HTTP teardown) with no queries in flight.
+	closeStart := time.Now()
+	db.Close()
+	if d := time.Since(closeStart); d > grace+2*time.Second {
+		return fmt.Errorf("drain took %s, want <= grace %s + slack", d, grace)
+	}
+	fmt.Fprintf(w, "serve-smoke: drain ok (%s)\n", time.Since(closeStart).Round(time.Millisecond))
+	return nil
+}
+
+// httpPostJSON posts a JSON body and returns (body, status, transport
+// error). Non-2xx statuses are returned, not folded into err — the
+// smoke test asserts on rejection statuses.
+func httpPostJSON(url string, v any) ([]byte, int, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	cl := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cl.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
 }
 
 // httpGet fetches a URL with a short deadline and returns its body,

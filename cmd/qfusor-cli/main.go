@@ -24,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"qfusor"
@@ -42,6 +44,13 @@ func main() {
 	tier := flag.String("tier", "auto", "fused-section execution tier: vm | closure | auto (cost model decides)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a cancelled QueryError")
 	httpAddr := flag.String("http", "", "serve diagnostics on this address (/metrics, /debug/queries, /debug/trace/<id>, /debug/profile); empty = off")
+	serveAddr := flag.String("serve", "", "serve the multi-session HTTP/JSON query API on this address instead of the shell (/v1/query, /v1/session, /debug/sessions + diagnostics); empty = shell mode")
+	serveMax := flag.Int("serve-max", 0, "admission: max concurrent queries (0 = default, 8)")
+	serveTenantMax := flag.Int("serve-tenant-max", 0, "admission: max concurrent queries per tenant (0 = the global cap)")
+	serveQueue := flag.Int("serve-queue", 0, "admission: wait-queue depth (0 = default, 2x max)")
+	serveQueueTimeout := flag.Duration("serve-queue-timeout", 0, "admission: max time a query waits in the queue (0 = default, 1s)")
+	serveShed := flag.Duration("serve-shed", 0, "admission: shed queries whose estimated cost exceeds this while others wait (0 = no cost shedding)")
+	serveGrace := flag.Duration("serve-grace", 0, "shutdown: drain grace before in-flight queries are cancelled (0 = default, 5s)")
 	profInterval := flag.Int("profile", 0, "enable the UDF sampling profiler with this statement interval (0 = off; rounded up to a power of two)")
 	plancache := flag.Bool("plancache", true, "enable the plan-decision cache (repeated queries skip the optimizer front-end)")
 	querylog := flag.String("querylog", "", "append the structured query log (one JSON line per query) to this file; empty = off")
@@ -92,6 +101,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loaded workload %q at size %s\n", w, *size)
+	}
+
+	if *serveAddr != "" {
+		addr, err := db.Serve(*serveAddr, qfusor.ServerConfig{
+			MaxConcurrent:    *serveMax,
+			TenantConcurrent: *serveTenantMax,
+			QueueDepth:       *serveQueue,
+			QueueTimeout:     *serveQueueTimeout,
+			ShedCostNanos:    float64(serveShed.Nanoseconds()),
+			DrainGrace:       *serveGrace,
+			DefaultTimeout:   *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "query server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving: http://%s/v1/query  /v1/session  /debug/sessions  /metrics\n", addr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("draining...")
+		return // the deferred db.Close drains and stops the server
 	}
 
 	fmt.Printf("qfusor shell — engine=%s (\\quit to exit)\n", *profile)

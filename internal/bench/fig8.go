@@ -94,6 +94,7 @@ func (r *Runner) All() ([]*Result, error) {
 		{"plancache", r.PlanCacheBench},
 		{"resource-overhead", r.ResourceOverheadBench},
 		{"vm-dispatch", r.VMTierBench},
+		{"serve-overload", r.ServeOverload},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -128,5 +129,6 @@ func (r *Runner) Experiments() map[string]func() (*Result, error) {
 		"plancache":          r.PlanCacheBench,
 		"resource-overhead":  r.ResourceOverheadBench,
 		"vm-dispatch":        r.VMTierBench,
+		"serve-overload":     r.ServeOverload,
 	}
 }

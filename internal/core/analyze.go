@@ -48,6 +48,10 @@ type Analysis struct {
 	// Resources is the query's resource-ledger snapshot (nil when
 	// accounting is off; see obs.SetAccounting).
 	Resources *obs.LedgerSnapshot
+	// Admission is the serving plane's admission verdict (queue wait,
+	// queue depth, tenant); nil for queries that never went through the
+	// admission controller.
+	Admission *obs.AdmissionInfo
 }
 
 // UDFUsage is one UDF's contribution to a query. Wrapper is time spent
@@ -89,6 +93,7 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 		ctx = obs.ContextWithLedger(ctx, led)
 	}
 	root := obs.NewTracer().Start("query")
+	adm := admissionSpan(ctx, root)
 
 	// Per-UDF stats baseline: wrappers registered during Process simply
 	// have no baseline entry, which reads as zero.
@@ -145,24 +150,25 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 			err = qerr(sql, "cancelled", err)
 		}
 		fillLedgerUDFs(led, eng, base)
-		qf.recordFlight("analyze", sql, start, nil, rep, err, root, led)
+		qf.recordFlight("analyze", sql, start, nil, rep, err, root, led, adm)
 		return nil, err
 	}
 	fillLedgerUDFs(led, eng, base)
 
 	a := &Analysis{
-		SQL:     sql,
-		Result:  res,
-		Report:  *rep,
-		Root:    root,
-		Plan:    q.Explain(),
-		Metrics: obs.Default.Snapshot().Diff(m0),
+		SQL:       sql,
+		Result:    res,
+		Report:    *rep,
+		Root:      root,
+		Plan:      q.Explain(),
+		Metrics:   obs.Default.Snapshot().Diff(m0),
+		Admission: adm,
 	}
 	if p := pylite.ActiveProfiler(); p != nil {
 		win := p.Snapshot().Diff(prof0)
 		a.HotLines = &win
 	}
-	qf.recordFlight("analyze", sql, start, res, rep, nil, root, led)
+	qf.recordFlight("analyze", sql, start, res, rep, nil, root, led, adm)
 	a.Resources = led.Snapshot()
 	tierOf := map[string]string{}
 	for i, w := range rep.Wrappers {
@@ -197,6 +203,11 @@ func (qf *QFusor) QueryAnalyzeCtx(ctx context.Context, eng *sqlengine.Engine, sq
 func (a *Analysis) Render() string {
 	var b strings.Builder
 	b.WriteString(a.Root.Render())
+	if a.Admission != nil {
+		fmt.Fprintf(&b, "\nadmission: tenant=%s wait=%s queue_depth=%d\n",
+			admissionTenantLabel(a.Admission.Tenant),
+			fmtAnalyzeDur(a.Admission.Wait), a.Admission.QueueDepth)
+	}
 	if len(a.UDFs) > 0 {
 		b.WriteString("\nUDF time (wrapper = FFI boxing/unboxing, body = UDF logic):\n")
 		for _, u := range a.UDFs {
@@ -231,6 +242,15 @@ func (a *Analysis) Render() string {
 		a.Report.Sections, a.Report.CacheHits, planCacheLabel(a.Report.PlanCache),
 		fmtAnalyzeDur(a.Report.FusOptim), fmtAnalyzeDur(a.Report.CodeGen))
 	return b.String()
+}
+
+// admissionTenantLabel stabilizes the Render label for sessions that
+// never named a tenant.
+func admissionTenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
 }
 
 // planCacheLabel stabilizes the Render/flight label for queries that

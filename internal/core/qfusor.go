@@ -120,18 +120,103 @@ type QFusor struct {
 	// independent.
 	PlanCache *PlanCache
 
-	mu      sync.Mutex
-	cat     *sqlengine.Catalog
-	seq     int
-	cache   map[string]*ffi.UDF // wrapper source hash -> registered UDF
-	wrapKey map[string]string   // wrapper name -> source hash (breaker key)
-	// udfEpoch is the catalog UDF generation the wrapper compile cache
-	// was built against (see syncUDFEpoch).
-	udfEpoch int64
+	// wc is the wrapper compile cache — shared (by pointer) between this
+	// QFusor and every Variant derived from it, so concurrent sessions
+	// with different option sets reuse one pool of compiled wrappers.
+	wc *wrapperCache
+
+	mu  sync.Mutex
+	cat *sqlengine.Catalog
 
 	// lastReport is the most recent Process measurement (guarded by mu;
 	// read through LastReport).
 	lastReport Report
+}
+
+// wrapperCache is the fused-wrapper compile cache plus the wrapper
+// name sequence, extracted from QFusor so Variant clones share it by
+// pointer. Sharing matters for the serving plane: every session's
+// optimizer — whatever its tier pin or technique switches — must see
+// one pool of compiled wrappers (a wrapper's cache key is its
+// normalized source, identical across variants) and one name sequence
+// (two variants generating "__qf_fused7" for different sections would
+// collide in the shared registry/catalog). udfEpoch fencing lives here
+// too: a flush by any variant protects all of them.
+type wrapperCache struct {
+	mu      sync.Mutex
+	seq     int
+	cache   map[string]*ffi.UDF // wrapper source hash -> registered UDF
+	wrapKey map[string]string   // wrapper name -> source hash (breaker key)
+	// udfEpoch is the catalog UDF generation the compile cache was
+	// built against (see sync).
+	udfEpoch int64
+}
+
+func newWrapperCache() *wrapperCache {
+	return &wrapperCache{cache: make(map[string]*ffi.UDF), wrapKey: make(map[string]string)}
+}
+
+// nextName hands out the next unique wrapper name.
+func (wc *wrapperCache) nextName() string {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	wc.seq++
+	return fmt.Sprintf("__qf_fused%d", wc.seq)
+}
+
+// sync flushes the compile cache when any source UDF was (re-)defined
+// or dropped since the last call — see QFusor.syncUDFEpoch for why.
+func (wc *wrapperCache) sync(cat *sqlengine.Catalog) {
+	e := cat.UDFEpoch()
+	wc.mu.Lock()
+	if e != wc.udfEpoch {
+		wc.udfEpoch = e
+		wc.cache = make(map[string]*ffi.UDF)
+	}
+	wc.mu.Unlock()
+}
+
+// lookup returns the cached wrapper for a source hash, refreshing the
+// name→hash mapping on a hit.
+func (wc *wrapperCache) lookup(key string) (*ffi.UDF, bool) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	u, ok := wc.cache[key]
+	if ok {
+		wc.wrapKey[u.Name] = key
+	}
+	return u, ok
+}
+
+// setKey records a freshly compiled wrapper's name→hash mapping.
+func (wc *wrapperCache) setKey(name, key string) {
+	wc.mu.Lock()
+	wc.wrapKey[name] = key
+	wc.mu.Unlock()
+}
+
+// store caches a compiled wrapper under its source hash.
+func (wc *wrapperCache) store(key string, u *ffi.UDF) {
+	wc.mu.Lock()
+	wc.cache[key] = u
+	wc.mu.Unlock()
+}
+
+// breakerKeys maps wrapper names to their breaker keys
+// ("wrapper:<hash>"), skipping names with no recorded mapping.
+func (wc *wrapperCache) breakerKeys(wrappers []string) []string {
+	if len(wrappers) == 0 {
+		return nil
+	}
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	keys := make([]string, 0, len(wrappers))
+	for _, w := range wrappers {
+		if k, ok := wc.wrapKey[w]; ok {
+			keys = append(keys, "wrapper:"+k)
+		}
+	}
+	return keys
 }
 
 // New creates a QFusor instance over a registry.
@@ -139,16 +224,25 @@ func New(reg *Registry) *QFusor {
 	return &QFusor{Reg: reg, CM: DefaultCostModel(), Opts: DefaultOptions(),
 		Breaker:   resilience.NewBreaker(3, 30*time.Second),
 		PlanCache: NewPlanCache(0),
-		cache:     make(map[string]*ffi.UDF),
-		wrapKey:   make(map[string]string)}
+		wc:        newWrapperCache()}
 }
 
-func (qf *QFusor) nextName() string {
-	qf.mu.Lock()
-	defer qf.mu.Unlock()
-	qf.seq++
-	return fmt.Sprintf("__qf_fused%d", qf.seq)
+// Variant returns a QFusor that runs with its own Options but shares
+// every cross-session structure with qf: the UDF registry, the cost
+// model (and its drift calibration), the circuit breaker, the
+// plan-decision cache, and the wrapper compile cache (including the
+// wrapper name sequence). This is how the serving plane gives each
+// session a pinned tier or technique switches without forking any
+// cache: the plan cache already partitions entries by options
+// fingerprint, wrapper sources hash identically across variants, and
+// epoch fencing on the shared structures protects all variants at
+// once.
+func (qf *QFusor) Variant(opts Options) *QFusor {
+	return &QFusor{Reg: qf.Reg, CM: qf.CM, Opts: opts,
+		Breaker: qf.Breaker, PlanCache: qf.PlanCache, wc: qf.wc}
 }
+
+func (qf *QFusor) nextName() string { return qf.wc.nextName() }
 
 // LastReport returns the most recent Process measurement.
 //
@@ -195,14 +289,10 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 		return nil, false, fmt.Errorf("core: fused wrapper suppressed (circuit open)")
 	}
 	if qf.Opts.Cache {
-		qf.mu.Lock()
-		if u, ok := qf.cache[key]; ok {
-			qf.wrapKey[u.Name] = key
-			qf.mu.Unlock()
+		if u, ok := qf.wc.lookup(key); ok {
 			mCacheHits.Inc()
 			return u, true, nil
 		}
-		qf.mu.Unlock()
 	}
 	kind := ffi.Table
 	if isAgg {
@@ -213,9 +303,7 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 		return nil, false, err
 	}
 	mCacheMiss.Inc()
-	qf.mu.Lock()
-	qf.wrapKey[u.Name] = key
-	qf.mu.Unlock()
+	qf.wc.setKey(u.Name, key)
 	qf.Reg.RegisterFused(u)
 	if cat := qf.catalog(); cat != nil {
 		// CREATE FUNCTION: the rewritten SQL of path 1 calls the wrapper
@@ -223,9 +311,7 @@ func (qf *QFusor) registerWrapper(name, src string, outNames []string, outKinds 
 		cat.PutUDF(u)
 	}
 	if qf.Opts.Cache {
-		qf.mu.Lock()
-		qf.cache[key] = u
-		qf.mu.Unlock()
+		qf.wc.store(key, u)
 	}
 	return u, false, nil
 }
@@ -434,16 +520,9 @@ func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Spa
 // serving code compiled against the old definition. (Plan-cache entries
 // retire separately through the general catalog epoch.) wrapKey stays:
 // stale name→hash mappings only feed breaker bookkeeping for wrappers
-// that are no longer emitted.
-func (qf *QFusor) syncUDFEpoch(cat *sqlengine.Catalog) {
-	e := cat.UDFEpoch()
-	qf.mu.Lock()
-	if e != qf.udfEpoch {
-		qf.udfEpoch = e
-		qf.cache = make(map[string]*ffi.UDF)
-	}
-	qf.mu.Unlock()
-}
+// that are no longer emitted. The cache is shared across Variant
+// clones, so any variant's flush protects every session.
+func (qf *QFusor) syncUDFEpoch(cat *sqlengine.Catalog) { qf.wc.sync(cat) }
 
 // planCacheOn reports whether plan-decision caching is active.
 func (qf *QFusor) planCacheOn() bool {
@@ -504,13 +583,7 @@ func (qf *QFusor) newPlanEntry(key string, epoch int64, sql string, q *sqlengine
 		Wrappers: rep.Wrappers,
 		Tiers:    rep.Tiers,
 	}
-	qf.mu.Lock()
-	for _, w := range rep.Wrappers {
-		if k, ok := qf.wrapKey[w]; ok {
-			ent.WrapperKeys = append(ent.WrapperKeys, "wrapper:"+k)
-		}
-	}
-	qf.mu.Unlock()
+	ent.WrapperKeys = qf.wc.breakerKeys(rep.Wrappers)
 	for _, sd := range rep.SectionCosts {
 		raw := sd.Predicted
 		if sd.Calibration > 0 {

@@ -108,12 +108,36 @@ func (qf *QFusor) QueryCtx(ctx context.Context, eng *sqlengine.Engine, sql strin
 	if obs.DefaultFlight.TraceAll() {
 		root = obs.NewSpan("query")
 	}
+	adm := admissionSpan(ctx, root)
 	t, rep, err := qf.queryResilient(ctx, eng, sql, root)
 	root.End()
 	qf.updateBreakerGauges()
 	fillLedgerUDFs(led, eng, base)
-	qf.recordFlight("fused", sql, start, t, rep, err, root, led)
+	qf.recordFlight("fused", sql, start, t, rep, err, root, led, adm)
 	return t, rep, err
+}
+
+// admissionSpan copies serving-plane admission metadata (when ctx
+// carries it) onto the query's span tree as a phase:admission span and
+// returns it for the flight record. Queries that never crossed the
+// admission controller (direct API callers, the CLIs without -serve)
+// carry none and pay one context lookup.
+func admissionSpan(ctx context.Context, root *obs.Span) *obs.AdmissionInfo {
+	ai := obs.AdmissionFromContext(ctx)
+	if ai == nil {
+		return nil
+	}
+	sp := root.Child("phase:admission")
+	sp.SetInt("wait_ns", ai.Wait.Nanoseconds())
+	sp.SetInt("queue_depth", int64(ai.QueueDepth))
+	if ai.Tenant != "" {
+		sp.SetAttr("tenant", ai.Tenant)
+	}
+	if ai.Session != "" {
+		sp.SetAttr("session", ai.Session)
+	}
+	sp.End()
+	return ai
 }
 
 // udfBaselines snapshots every catalog UDF's stats at query start (the
@@ -147,14 +171,15 @@ func fillLedgerUDFs(led *obs.ResourceLedger, eng *sqlengine.Engine, base map[str
 // recordFlight stores one completed query in the process flight
 // recorder (nil-safe span snapshot; no-op cost is one mutex-guarded
 // ring write).
-func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table, rep *Report, err error, root *obs.Span, led *obs.ResourceLedger) {
+func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table, rep *Report, err error, root *obs.Span, led *obs.ResourceLedger, adm *obs.AdmissionInfo) {
 	rec := &obs.QueryRecord{
-		QID:      led.QID(),
-		SQL:      sql,
-		Path:     path,
-		Start:    start,
-		Duration: time.Since(start),
-		Trace:    root.Snapshot(),
+		QID:       led.QID(),
+		SQL:       sql,
+		Path:      path,
+		Start:     start,
+		Duration:  time.Since(start),
+		Trace:     root.Snapshot(),
+		Admission: adm,
 	}
 	if t != nil {
 		rec.Rows = t.NumRows()
@@ -344,16 +369,5 @@ func (qf *QFusor) planCacheEvictFailure(eng *sqlengine.Engine, sql string, rep *
 // wrapKeysUsed maps the wrappers this query's Process registered (or
 // reused) to their breaker keys.
 func (rep *Report) wrapKeysUsed(qf *QFusor) []string {
-	if len(rep.Wrappers) == 0 {
-		return nil
-	}
-	qf.mu.Lock()
-	defer qf.mu.Unlock()
-	keys := make([]string, 0, len(rep.Wrappers))
-	for _, w := range rep.Wrappers {
-		if k, ok := qf.wrapKey[w]; ok {
-			keys = append(keys, "wrapper:"+k)
-		}
-	}
-	return keys
+	return qf.wc.breakerKeys(rep.Wrappers)
 }

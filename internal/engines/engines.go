@@ -159,6 +159,28 @@ func Launch(cfg Config) *Instance {
 	return inst
 }
 
+// SessionView derives a per-session instance sharing this instance's
+// catalog, UDF runtime, process transport, plan cache, wrapper cache
+// and breaker, with session-level tier and parallelism applied. tier ""
+// and parallelism/morsel <= 0 keep the base settings; an all-default
+// view returns the receiver itself (no allocation). Views are safe to
+// use concurrently with the base instance and with each other: the
+// plan cache partitions entries by options fingerprint and worker
+// count, and generated wrapper names come from the shared sequence.
+func (in *Instance) SessionView(tier string, parallelism, morsel int) *Instance {
+	if tier == "" && parallelism <= 0 && morsel <= 0 {
+		return in
+	}
+	v := *in
+	v.Eng = in.Eng.View(parallelism, morsel)
+	if tier != "" && tier != in.QF.Opts.Tier {
+		opts := in.QF.Opts
+		opts.Tier = tier
+		v.QF = in.QF.Variant(opts)
+	}
+	return &v
+}
+
 // withLedger attaches a fresh resource ledger to ctx when accounting is
 // on and none rides it yet (an embedder-supplied ledger wins).
 func withLedger(ctx context.Context) context.Context {
@@ -229,11 +251,17 @@ func (in *Instance) QueryFused(sql string) (*data.Table, error) {
 // QueryFusedCtx runs sql through the resilient QFusor pipeline under
 // ctx (fused → native fallback → typed error).
 func (in *Instance) QueryFusedCtx(ctx context.Context, sql string) (*data.Table, error) {
+	t, _, err := in.QueryFusedReportedCtx(ctx, sql)
+	return t, err
+}
+
+// QueryFusedReportedCtx is QueryFusedCtx keeping the per-query
+// optimizer report (the serving plane returns it to clients).
+func (in *Instance) QueryFusedReportedCtx(ctx context.Context, sql string) (*data.Table, *core.Report, error) {
 	ctx = withLedger(ctx)
 	release := in.bindQuery(ctx)
 	defer release()
-	t, _, err := in.QF.QueryCtx(ctx, in.Eng, sql)
-	return t, err
+	return in.QF.QueryCtx(ctx, in.Eng, sql)
 }
 
 // QueryAnalyze runs sql through the QFusor pipeline with tracing

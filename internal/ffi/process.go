@@ -330,7 +330,10 @@ func retryable(err error) bool {
 func (p *ProcessInvoker) scalarTrip(u *UDF, batch []*data.Column) (*data.Chunk, error) {
 	res, err := p.roundTrip(procRequest{kind: Scalar, udf: u}, data.NewChunk(batch...))
 	for attempt := 0; err != nil && retryable(err) && attempt < p.MaxRetries; attempt++ {
-		time.Sleep(resilience.Backoff(attempt, procRetryBase, procRetryMax))
+		// Full jitter: a worker crash typically kills every in-flight
+		// batch at once, and deterministic backoff would march all their
+		// retries onto the freshly respawned worker in lockstep.
+		time.Sleep(resilience.BackoffFullJitter(attempt, procRetryBase, procRetryMax))
 		mProcRetries.Inc()
 		res, err = p.roundTrip(procRequest{kind: Scalar, udf: u}, data.NewChunk(batch...))
 	}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// AdmissionInfo is what the serving plane's admission controller
+// decided about one query before the engine saw it: who the query ran
+// for, how long it sat in the admission queue, and how deep the queue
+// was at admit time. The server attaches it to the query context;
+// the query pipeline copies it onto the flight record, the span tree
+// (a phase:admission span) and the EXPLAIN ANALYZE rendering — so a
+// slow query can be attributed to queueing vs execution.
+type AdmissionInfo struct {
+	// Tenant / Session identify the caller (empty outside the server).
+	Tenant  string `json:"tenant,omitempty"`
+	Session string `json:"session,omitempty"`
+	// Wait is the time spent in the admission queue (0 = admitted
+	// immediately).
+	Wait time.Duration `json:"wait_ns"`
+	// QueueDepth is the number of queries still waiting at the moment
+	// this one was admitted.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// admissionCtxKey keys AdmissionInfo in a context.
+type admissionCtxKey struct{}
+
+// ContextWithAdmission attaches admission metadata to a query context.
+func ContextWithAdmission(ctx context.Context, ai *AdmissionInfo) context.Context {
+	if ai == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, admissionCtxKey{}, ai)
+}
+
+// AdmissionFromContext returns the admission metadata riding ctx, or
+// nil. Nil-context safe.
+func AdmissionFromContext(ctx context.Context) *AdmissionInfo {
+	if ctx == nil {
+		return nil
+	}
+	ai, _ := ctx.Value(admissionCtxKey{}).(*AdmissionInfo)
+	return ai
+}

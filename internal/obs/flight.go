@@ -57,6 +57,12 @@ type QueryRecord struct {
 	Regressions []string `json:"regressions,omitempty"`
 	// Slow marks records over the recorder's slow-query threshold.
 	Slow bool `json:"slow,omitempty"`
+	// Admission is the serving plane's admission verdict for this query
+	// (tenant, queue wait, queue depth at admit time); nil for queries
+	// that never went through the admission controller. It is how the
+	// flight recorder distinguishes "slow because it ran long" from
+	// "slow because it queued".
+	Admission *AdmissionInfo `json:"admission,omitempty"`
 	// Trace is the query's span-tree snapshot (nil when the query ran
 	// untraced). Excluded from JSON listings — it is served separately
 	// as a Chrome trace by /debug/trace/<id>.

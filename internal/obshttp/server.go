@@ -8,6 +8,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -112,7 +113,10 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and turns trace-all capture back off.
+// Close stops the listener and turns trace-all capture back off. It
+// drains gracefully: in-flight handler goroutines get up to a second
+// to finish before the server is torn down, so DB.Close does not leak
+// handlers mid-write (or reset clients mid-response).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	sv := s.sv
@@ -122,7 +126,12 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.flight().SetTraceAll(false)
-	return sv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := sv.Shutdown(ctx); err != nil {
+		return sv.Close()
+	}
+	return nil
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

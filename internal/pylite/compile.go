@@ -673,7 +673,7 @@ func (c *compiler) compileStmt(st Stmt) (cStmt, error) {
 			if c.globals[t.ID] {
 				id := t.ID
 				return func(f *cframe) (flow, error) {
-					delete(f.it.Globals.vars, id)
+					f.it.Globals.Delete(id)
 					return flowZero, nil
 				}, nil
 			}

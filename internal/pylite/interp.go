@@ -2,6 +2,7 @@ package pylite
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +14,12 @@ import (
 type Env struct {
 	vars   map[string]data.Value
 	parent *Env
+	// mu guards vars on scopes shared across goroutines. Only the
+	// module-global scope is shared (NewSharedEnv): the serving plane
+	// accepts CREATE FUNCTION while queries execute, so worker views
+	// resolve names through Globals concurrently with a Define writing
+	// them. Local scopes are goroutine-private and stay lock-free.
+	mu *sync.RWMutex
 }
 
 // NewEnv creates a child scope of parent (nil for a global scope).
@@ -20,9 +27,25 @@ func NewEnv(parent *Env) *Env {
 	return &Env{vars: make(map[string]data.Value), parent: parent}
 }
 
+// NewSharedEnv creates a scope safe for concurrent Lookup/Set/Delete —
+// used for module globals, which live UDF definition mutates while
+// queries resolve names through them.
+func NewSharedEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]data.Value), parent: parent, mu: new(sync.RWMutex)}
+}
+
 // Lookup resolves name through the scope chain.
 func (e *Env) Lookup(name string) (data.Value, bool) {
 	for s := e; s != nil; s = s.parent {
+		if s.mu != nil {
+			s.mu.RLock()
+			v, ok := s.vars[name]
+			s.mu.RUnlock()
+			if ok {
+				return v, true
+			}
+			continue
+		}
 		if v, ok := s.vars[name]; ok {
 			return v, true
 		}
@@ -31,7 +54,26 @@ func (e *Env) Lookup(name string) (data.Value, bool) {
 }
 
 // Set binds name in this scope.
-func (e *Env) Set(name string, v data.Value) { e.vars[name] = v }
+func (e *Env) Set(name string, v data.Value) {
+	if e.mu != nil {
+		e.mu.Lock()
+		e.vars[name] = v
+		e.mu.Unlock()
+		return
+	}
+	e.vars[name] = v
+}
+
+// Delete unbinds name from this scope (the `del` statement).
+func (e *Env) Delete(name string) {
+	if e.mu != nil {
+		e.mu.Lock()
+		delete(e.vars, name)
+		e.mu.Unlock()
+		return
+	}
+	delete(e.vars, name)
+}
 
 // Stats aggregates runtime counters used by the experiments.
 type Stats struct {
@@ -81,7 +123,7 @@ type Interp struct {
 // NewInterp creates a runtime with builtins installed.
 func NewInterp() *Interp {
 	it := &Interp{
-		Globals:  NewEnv(nil),
+		Globals:  NewSharedEnv(nil),
 		builtins: Builtins(),
 		intr:     &atomic.Pointer[interrupt]{},
 	}
@@ -95,11 +137,12 @@ func NewInterp() *Interp {
 func (it *Interp) Ctx() *Ctx { return it.ctx }
 
 // Worker returns a per-worker view of the runtime for parallel fused
-// execution: the view shares Globals and builtins (read-only once UDF
-// registration is done) and the JIT threshold, but accumulates its own
-// Stats so concurrent workers never contend on the parent's counters —
-// and the profiler can tell what each worker actually executed. Fold
-// the counters back with MergeStats at the barrier.
+// execution: the view shares Globals (a shared Env — live UDF
+// definition may mutate it mid-query, see NewSharedEnv) and builtins
+// (read-only) and the JIT threshold, but accumulates its own Stats so
+// concurrent workers never contend on the parent's counters — and the
+// profiler can tell what each worker actually executed. Fold the
+// counters back with MergeStats at the barrier.
 func (it *Interp) Worker() *Interp {
 	w := &Interp{
 		Globals:      it.Globals,
@@ -481,7 +524,7 @@ func (it *Interp) execStmt(fr *frame, st Stmt) (flow, error) {
 	case *Del:
 		switch t := s.Target.(type) {
 		case *Name:
-			delete(fr.env.vars, t.ID)
+			fr.env.Delete(t.ID)
 			return flowZero, nil
 		case *Index:
 			obj, err := it.eval(fr, t.Obj)

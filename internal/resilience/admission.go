@@ -1,0 +1,369 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Admission control: the gate between "a request arrived" and "a query
+// runs". The paper's engine is measured one query at a time; a served
+// deployment has to survive many tenants issuing queries concurrently,
+// and the expensive failure mode is not a wrong answer but collapse —
+// every query admitted, none finishing. The controller bounds what runs
+// (global + per-tenant concurrency), bounds what waits (a shallow queue
+// with deadline-aware timeouts and jittered polling), and sheds the
+// rest with a typed, cheap rejection long before the engine does any
+// work. Rejecting a request costs microseconds; running an admitted
+// UDF query costs milliseconds to seconds — under overload the cheap
+// side of that inequality is the only one that scales.
+
+// Admission rejection reasons (AdmissionError.Reason).
+const (
+	// ReasonDraining: the server is shutting down and admits nothing new.
+	ReasonDraining = "draining"
+	// ReasonQueueFull: the bounded wait queue is at capacity.
+	ReasonQueueFull = "queue_full"
+	// ReasonQueueTimeout: the query waited its full queue deadline
+	// without a slot freeing up.
+	ReasonQueueTimeout = "queue_timeout"
+	// ReasonShedCost: under load, queries whose estimated cost exceeds
+	// the shed threshold are rejected instead of queued (cheap to
+	// reject now, expensive to run later).
+	ReasonShedCost = "shed_cost"
+	// ReasonTenantThrottled: the tenant's circuit is open — its queries
+	// keep failing (tripping wrappers, timing out), so it is throttled
+	// before it can starve well-behaved tenants.
+	ReasonTenantThrottled = "tenant_throttled"
+	// ReasonCancelled: the caller's context ended while queued.
+	ReasonCancelled = "cancelled_while_queued"
+)
+
+// AdmissionError is the typed rejection the admission controller
+// returns instead of running a query. Code follows HTTP semantics: 429
+// for per-tenant throttling (the caller specifically is over its
+// limits) and 503 for global overload or shutdown (the server, not the
+// caller, is the bottleneck — retry later, ideally with jitter).
+type AdmissionError struct {
+	// Tenant is the tenant the rejected query belonged to.
+	Tenant string
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Code is the HTTP-style status: 429 or 503.
+	Code int
+	// Err carries an underlying cause (context cancellation), if any.
+	Err error
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("admission: %s rejected (%s, %d): %v", e.Tenant, e.Reason, e.Code, e.Err)
+	}
+	return fmt.Sprintf("admission: %s rejected (%s, %d)", e.Tenant, e.Reason, e.Code)
+}
+
+// Unwrap exposes the cause chain.
+func (e *AdmissionError) Unwrap() error { return e.Err }
+
+// AdmissionConfig tunes the controller. The zero value is usable:
+// every <= 0 field falls back to the default noted on it.
+type AdmissionConfig struct {
+	// MaxConcurrent bounds queries executing at once (default 8).
+	MaxConcurrent int
+	// TenantConcurrent bounds one tenant's share of MaxConcurrent
+	// (default: MaxConcurrent — no per-tenant cap).
+	TenantConcurrent int
+	// QueueDepth bounds queries waiting for a slot; a full queue sheds
+	// (default: 2 × MaxConcurrent).
+	QueueDepth int
+	// QueueTimeout bounds how long one query may wait (default 1s). A
+	// caller deadline shorter than this wins.
+	QueueTimeout time.Duration
+	// ShedCostNanos, when > 0, sheds queries whose estimated cost (the
+	// §5.2 cost model's nanoseconds, when the caller knows it) exceeds
+	// it — but only when the query would otherwise have to queue.
+	// Uncontended, every cost is admitted.
+	ShedCostNanos float64
+	// RetryBase / RetryMax pace the jittered slot polling while queued
+	// (defaults 200µs / 5ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// TenantBreaker, when set, throttles tenants whose queries keep
+	// failing: Acquire consults Allow("tenant:<t>") and ObserveResult
+	// feeds Success/Failure. Share it with the query pipeline's breaker
+	// to throttle a tenant whose queries keep tripping wrappers.
+	TenantBreaker *Breaker
+}
+
+// withDefaults resolves the documented fallbacks.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.TenantConcurrent <= 0 || c.TenantConcurrent > c.MaxConcurrent {
+		c.TenantConcurrent = c.MaxConcurrent
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 200 * time.Microsecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Admission is the controller. All methods are safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu       chan struct{} // 1-buffered: the state lock (select-able)
+	inflight int
+	byTenant map[string]int
+	waiting  int
+	draining bool
+
+	// cumulative counters (guarded by mu)
+	admitted  uint64
+	queued    uint64 // admitted after waiting at least one poll
+	shed      map[string]uint64
+	waitNanos int64 // total admission wait across admitted queries
+}
+
+// NewAdmission builds a controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	a := &Admission{
+		cfg:      cfg.withDefaults(),
+		mu:       make(chan struct{}, 1),
+		byTenant: map[string]int{},
+		shed:     map[string]uint64{},
+	}
+	a.mu <- struct{}{}
+	return a
+}
+
+// Config returns the resolved configuration.
+func (a *Admission) Config() AdmissionConfig { return a.cfg }
+
+func (a *Admission) lock()   { <-a.mu }
+func (a *Admission) unlock() { a.mu <- struct{}{} }
+
+// tryLocked attempts to take a slot for tenant; caller holds the lock.
+func (a *Admission) tryLocked(tenant string) bool {
+	if a.draining {
+		return false
+	}
+	if a.inflight >= a.cfg.MaxConcurrent || a.byTenant[tenant] >= a.cfg.TenantConcurrent {
+		return false
+	}
+	a.inflight++
+	a.byTenant[tenant]++
+	return true
+}
+
+// reject counts a shed and builds the typed error.
+func (a *Admission) reject(tenant, reason string, code int, cause error) *AdmissionError {
+	a.lock()
+	a.shed[reason]++
+	a.unlock()
+	return &AdmissionError{Tenant: tenant, Reason: reason, Code: code, Err: cause}
+}
+
+// Acquire admits one query for tenant or rejects it with a typed
+// *AdmissionError. estCostNanos is the query's predicted cost when the
+// caller knows it (0 = unknown; only the shed threshold reads it). On
+// success it returns the release function (must be called exactly once
+// when the query finishes) and the time spent waiting in the queue.
+func (a *Admission) Acquire(ctx context.Context, tenant string, estCostNanos float64) (release func(), wait time.Duration, err error) {
+	if a == nil {
+		return func() {}, 0, nil
+	}
+	// Tenant throttle first: rejecting a misbehaving tenant must stay
+	// cheap even when the queue is busy.
+	if a.cfg.TenantBreaker != nil && !a.cfg.TenantBreaker.Allow("tenant:"+tenant) {
+		return nil, 0, a.reject(tenant, ReasonTenantThrottled, 429, nil)
+	}
+
+	a.lock()
+	if a.draining {
+		a.unlock()
+		return nil, 0, a.reject(tenant, ReasonDraining, 503, nil)
+	}
+	if a.tryLocked(tenant) {
+		a.admitted++
+		a.unlock()
+		return a.releaseFn(tenant), 0, nil
+	}
+	// No slot: decide whether this query may queue at all.
+	if a.waiting >= a.cfg.QueueDepth {
+		a.unlock()
+		return nil, 0, a.reject(tenant, ReasonQueueFull, 503, nil)
+	}
+	if a.cfg.ShedCostNanos > 0 && estCostNanos >= a.cfg.ShedCostNanos {
+		// The load-shedding inequality: this query is predicted to hold
+		// a slot for a long time, and the system is already queueing.
+		// Rejecting it now costs nothing; admitting it delays every
+		// cheaper query behind it.
+		a.unlock()
+		return nil, 0, a.reject(tenant, ReasonShedCost, 503, nil)
+	}
+	a.waiting++
+	a.unlock()
+
+	// Queued: poll for a slot with full-jitter pacing so a burst of
+	// waiters doesn't thundering-herd the lock, bounded by the queue
+	// timeout and the caller's own deadline.
+	start := time.Now()
+	deadline := start.Add(a.cfg.QueueTimeout)
+	timer := time.NewTimer(BackoffFullJitter(0, a.cfg.RetryBase, a.cfg.RetryMax))
+	defer timer.Stop()
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-ctx.Done():
+			a.lock()
+			a.waiting--
+			a.unlock()
+			return nil, time.Since(start), a.reject(tenant, ReasonCancelled, 503, context.Cause(ctx))
+		case <-timer.C:
+		}
+		a.lock()
+		if a.draining {
+			a.waiting--
+			a.unlock()
+			return nil, time.Since(start), a.reject(tenant, ReasonDraining, 503, nil)
+		}
+		if a.tryLocked(tenant) {
+			a.waiting--
+			a.admitted++
+			a.queued++
+			w := time.Since(start)
+			a.waitNanos += w.Nanoseconds()
+			a.unlock()
+			return a.releaseFn(tenant), w, nil
+		}
+		a.unlock()
+		if time.Now().After(deadline) {
+			a.lock()
+			a.waiting--
+			a.unlock()
+			return nil, time.Since(start), a.reject(tenant, ReasonQueueTimeout, 503, nil)
+		}
+		timer.Reset(BackoffFullJitter(attempt, a.cfg.RetryBase, a.cfg.RetryMax))
+	}
+}
+
+// releaseFn builds the idempotence-guarded slot release.
+func (a *Admission) releaseFn(tenant string) func() {
+	released := false
+	return func() {
+		a.lock()
+		defer a.unlock()
+		if released {
+			return
+		}
+		released = true
+		a.inflight--
+		if a.byTenant[tenant] <= 1 {
+			delete(a.byTenant, tenant)
+		} else {
+			a.byTenant[tenant]--
+		}
+	}
+}
+
+// ObserveResult feeds a finished query's outcome into the tenant
+// breaker (no-op without one): failed=true counts toward opening the
+// tenant's circuit, success closes it. "Failed" should mean the query
+// misbehaved (tripped a wrapper, timed out, crashed a worker) — not
+// that it was shed, which would open circuits for innocent tenants
+// during overload.
+func (a *Admission) ObserveResult(tenant string, failed bool) {
+	if a == nil || a.cfg.TenantBreaker == nil {
+		return
+	}
+	if failed {
+		a.cfg.TenantBreaker.Failure("tenant:" + tenant)
+	} else {
+		a.cfg.TenantBreaker.Success("tenant:" + tenant)
+	}
+}
+
+// StartDrain flips the controller into drain mode: every subsequent
+// Acquire (and every waiter's next poll) rejects with ReasonDraining.
+// In-flight queries keep their slots until released.
+func (a *Admission) StartDrain() {
+	a.lock()
+	a.draining = true
+	a.unlock()
+}
+
+// Draining reports whether StartDrain was called.
+func (a *Admission) Draining() bool {
+	a.lock()
+	defer a.unlock()
+	return a.draining
+}
+
+// AwaitIdle blocks until no query holds a slot, the grace period
+// elapses, or ctx ends — whichever comes first. It reports whether the
+// controller reached idle.
+func (a *Admission) AwaitIdle(ctx context.Context, grace time.Duration) bool {
+	deadline := time.Now().Add(grace)
+	for {
+		a.lock()
+		idle := a.inflight == 0
+		a.unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// AdmissionState is a point-in-time census for /debug and metrics.
+type AdmissionState struct {
+	Inflight  int               `json:"inflight"`
+	Waiting   int               `json:"waiting"`
+	Draining  bool              `json:"draining"`
+	ByTenant  map[string]int    `json:"by_tenant,omitempty"`
+	Admitted  uint64            `json:"admitted"`
+	Queued    uint64            `json:"queued"`
+	Shed      map[string]uint64 `json:"shed,omitempty"`
+	ShedTotal uint64            `json:"shed_total"`
+	WaitNanos int64             `json:"wait_nanos_total"`
+}
+
+// Snapshot returns the census. Nil-safe.
+func (a *Admission) Snapshot() AdmissionState {
+	if a == nil {
+		return AdmissionState{}
+	}
+	a.lock()
+	defer a.unlock()
+	st := AdmissionState{
+		Inflight: a.inflight, Waiting: a.waiting, Draining: a.draining,
+		Admitted: a.admitted, Queued: a.queued, WaitNanos: a.waitNanos,
+		ByTenant: map[string]int{}, Shed: map[string]uint64{},
+	}
+	for t, n := range a.byTenant {
+		st.ByTenant[t] = n
+	}
+	for r, n := range a.shed {
+		st.Shed[r] = n
+		st.ShedTotal += n
+	}
+	return st
+}

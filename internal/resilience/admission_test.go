@@ -1,0 +1,271 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	for n := 0; n < 6; n++ {
+		ceil := Backoff(n, time.Millisecond, 20*time.Millisecond)
+		for i := 0; i < 200; i++ {
+			d := BackoffFullJitter(n, time.Millisecond, 20*time.Millisecond)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: jittered %v outside (0, %v]", n, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffFullJitterSpreads(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		seen[BackoffFullJitter(4, time.Millisecond, 100*time.Millisecond)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("expected spread-out jitter, got %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestAdmissionGlobalLimit(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2, QueueDepth: 1, QueueTimeout: 30 * time.Millisecond})
+	r1, _, err := a.Acquire(context.Background(), "t1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := a.Acquire(context.Background(), "t2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third must queue and time out.
+	_, wait, err := a.Acquire(context.Background(), "t3", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueTimeout || ae.Code != 503 {
+		t.Fatalf("want queue_timeout 503, got %v", err)
+	}
+	if wait < 30*time.Millisecond {
+		t.Fatalf("queue timeout fired early: waited only %v", wait)
+	}
+	r1()
+	r1() // idempotent
+	// Slot free: next acquire succeeds quickly.
+	r4, w, err := a.Acquire(context.Background(), "t3", 0)
+	if err != nil {
+		t.Fatalf("after release: %v (wait %v)", err, w)
+	}
+	r4()
+	r2()
+	st := a.Snapshot()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight %d after all releases", st.Inflight)
+	}
+	if st.Admitted != 3 {
+		t.Fatalf("admitted %d, want 3", st.Admitted)
+	}
+}
+
+func TestAdmissionPerTenantLimit(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 8, TenantConcurrent: 1,
+		QueueDepth: 1, QueueTimeout: 20 * time.Millisecond})
+	r1, _, err := a.Acquire(context.Background(), "hog", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	// Same tenant: over its cap, must queue out.
+	_, _, err = a.Acquire(context.Background(), "hog", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueTimeout {
+		t.Fatalf("want hog queued out, got %v", err)
+	}
+	// Different tenant: global capacity is free, admits instantly.
+	r2, wait, err := a.Acquire(context.Background(), "good", 0)
+	if err != nil || wait != 0 {
+		t.Fatalf("good tenant should admit instantly: err=%v wait=%v", err, wait)
+	}
+	r2()
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 1, QueueTimeout: 200 * time.Millisecond})
+	r1, _, err := a.Acquire(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // fills the single queue slot
+		defer wg.Done()
+		_, _, _ = a.Acquire(context.Background(), "t", 0)
+	}()
+	// Wait for the waiter to register.
+	deadline := time.Now().Add(time.Second)
+	for a.Snapshot().Waiting == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_, _, err = a.Acquire(context.Background(), "t", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueFull || ae.Code != 503 {
+		t.Fatalf("want queue_full 503, got %v", err)
+	}
+	wg.Wait()
+}
+
+func TestAdmissionShedsExpensiveUnderLoad(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 4,
+		QueueTimeout: 20 * time.Millisecond, ShedCostNanos: 1e6})
+	// Uncontended: even an expensive query is admitted.
+	r1, _, err := a.Acquire(context.Background(), "t", 5e6)
+	if err != nil {
+		t.Fatalf("uncontended expensive query must admit: %v", err)
+	}
+	// Contended: the expensive query is shed before it can queue...
+	_, _, err = a.Acquire(context.Background(), "t", 5e6)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonShedCost || ae.Code != 503 {
+		t.Fatalf("want shed_cost 503, got %v", err)
+	}
+	// ...while a cheap one may still wait (it times out here, but was
+	// allowed into the queue — different reason).
+	_, _, err = a.Acquire(context.Background(), "t", 1e3)
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueTimeout {
+		t.Fatalf("cheap query should queue (then time out), got %v", err)
+	}
+	r1()
+	st := a.Snapshot()
+	if st.Shed[ReasonShedCost] != 1 {
+		t.Fatalf("shed census: %+v", st.Shed)
+	}
+}
+
+func TestAdmissionTenantThrottleViaBreaker(t *testing.T) {
+	br := NewBreaker(2, time.Hour)
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 4, TenantBreaker: br})
+	a.ObserveResult("bad", true)
+	a.ObserveResult("bad", true) // trips at threshold 2
+	_, _, err := a.Acquire(context.Background(), "bad", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonTenantThrottled || ae.Code != 429 {
+		t.Fatalf("want tenant_throttled 429, got %v", err)
+	}
+	// Other tenants unaffected.
+	r, _, err := a.Acquire(context.Background(), "good", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	// Success closes the circuit again.
+	br.Success("tenant:bad")
+	r2, _, err := a.Acquire(context.Background(), "bad", 0)
+	if err != nil {
+		t.Fatalf("after circuit close: %v", err)
+	}
+	r2()
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 2, QueueTimeout: time.Second})
+	r1, _, err := a.Acquire(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	_, _, err = a.Acquire(ctx, "t", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonCancelled {
+		t.Fatalf("want cancelled_while_queued, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause chain must reach context.Canceled: %v", err)
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2, QueueDepth: 2, QueueTimeout: time.Second})
+	r1, _, err := a.Acquire(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A queued waiter must be kicked out by the drain, not wait out its
+	// full timeout.
+	r2, _, err := a.Acquire(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := a.Acquire(context.Background(), "t", 0)
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for a.Snapshot().Waiting == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	a.StartDrain()
+	select {
+	case err := <-waiterErr:
+		var ae *AdmissionError
+		if !errors.As(err, &ae) || ae.Reason != ReasonDraining {
+			t.Fatalf("want draining rejection for queued waiter, got %v", err)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("queued waiter not kicked out by drain")
+	}
+	// New arrivals reject immediately.
+	_, _, err = a.Acquire(context.Background(), "t", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ReasonDraining || ae.Code != 503 {
+		t.Fatalf("want draining 503, got %v", err)
+	}
+	// In-flight queries keep their slots; AwaitIdle waits them out.
+	if a.AwaitIdle(context.Background(), 10*time.Millisecond) {
+		t.Fatal("AwaitIdle reported idle with 2 queries in flight")
+	}
+	r1()
+	r2()
+	if !a.AwaitIdle(context.Background(), time.Second) {
+		t.Fatal("AwaitIdle did not observe idle after releases")
+	}
+}
+
+func TestAdmissionConcurrencyInvariant(t *testing.T) {
+	const max = 3
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: max, QueueDepth: 64, QueueTimeout: 2 * time.Second})
+	var mu sync.Mutex
+	running, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := a.Acquire(context.Background(), "t", 0)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak > max {
+		t.Fatalf("concurrency invariant violated: peak %d > max %d", peak, max)
+	}
+	if st := a.Snapshot(); st.Inflight != 0 || st.Waiting != 0 {
+		t.Fatalf("leftover state: %+v", st)
+	}
+}

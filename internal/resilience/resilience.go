@@ -8,7 +8,9 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -92,5 +94,27 @@ func Backoff(n int, base, max time.Duration) time.Duration {
 	if d > max || d <= 0 {
 		d = max
 	}
+	return d
+}
+
+// jitterPool is the shared source behind BackoffFullJitter. math/rand's
+// global source would also do, but a dedicated locked source keeps the
+// draw independent of any test that reseeds the global one.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// BackoffFullJitter is the opt-in full-jitter variant of Backoff
+// (AWS-style "full jitter"): a uniform draw from (0, Backoff(n)].
+// Deterministic backoff synchronizes retry stampedes — every worker
+// that died in the same event retries at exactly the same instants —
+// so respawn/retry loops that can stampede use this variant instead.
+// The draw is strictly positive so a retry never busy-loops.
+func BackoffFullJitter(n int, base, max time.Duration) time.Duration {
+	ceil := Backoff(n, base, max)
+	jitterMu.Lock()
+	d := time.Duration(jitterRng.Int63n(int64(ceil))) + 1
+	jitterMu.Unlock()
 	return d
 }

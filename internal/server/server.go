@@ -1,0 +1,233 @@
+// Package server is the multi-session query serving plane: an
+// HTTP/JSON front-end over an engine instance that adds what a single
+// embedded DB handle does not have — concurrent sessions with
+// per-session options (timeout, execution tier, parallelism) and
+// prepared statements, an admission controller with global and
+// per-tenant concurrency limits, a bounded wait queue, cost-informed
+// load shedding, and a graceful drain-on-shutdown lifecycle.
+//
+// All sessions share one engine: one catalog, one UDF runtime, one
+// plan-decision cache and one wrapper compile cache. Correctness under
+// concurrent DDL/DML rests on the core layer's epoch fencing (catalog
+// epoch on plan-cache entries, UDF epoch on the wrapper cache) — the
+// server adds no locking around query execution.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"qfusor/internal/engines"
+	"qfusor/internal/faultinject"
+	"qfusor/internal/obs"
+	"qfusor/internal/obshttp"
+	"qfusor/internal/resilience"
+)
+
+// Fault points hosted by the serving plane (chaos suite + -fault flag).
+var (
+	// FaultAccept fires at the top of every request before any parsing;
+	// an armed error turns into a 503 (a dying accept loop).
+	FaultAccept = faultinject.Register("server.accept")
+	// FaultAdmit fires just before the admission controller decides; an
+	// armed error is accounted as a shed ("injected") and returns 503.
+	FaultAdmit = faultinject.Register("server.admit")
+)
+
+// Serving-plane metrics (obs.Default). Package-level so the series
+// exist in /metrics before the first request.
+var (
+	mRequests   = obs.Default.Counter("server.requests")
+	mAdmitted   = obs.Default.Counter("server.admitted")
+	mRejected   = obs.Default.Counter("server.rejected")
+	hAdmitWait  = obs.Default.Histogram("server.admission_wait_ns")
+	gQueueDepth = obs.Default.Gauge("server.queue_depth")
+	gInflight   = obs.Default.Gauge("server.inflight")
+	gSessions   = obs.Default.Gauge("server.sessions")
+	gDraining   = obs.Default.Gauge("server.draining")
+)
+
+// shedCounter lazily materializes the per-reason shed counter (the
+// registry memoizes by name, so this is one map lookup per shed).
+func shedCounter(reason string) *obs.Counter {
+	return obs.Default.Counter(obs.LabeledName("server.shed", "reason", reason))
+}
+
+// Config configures Serve.
+type Config struct {
+	// Admission tunes the admission controller (zero fields take the
+	// resilience defaults: 8 concurrent, per-tenant = global, queue 2x,
+	// 1s queue timeout).
+	Admission resilience.AdmissionConfig
+	// DrainGrace bounds how long Close waits for in-flight queries
+	// before cancelling them (default 5s).
+	DrainGrace time.Duration
+	// DefaultTimeout bounds queries from sessions that set no timeout
+	// (0 = unbounded).
+	DefaultTimeout time.Duration
+	// SessionLimit caps concurrent sessions (default 256).
+	SessionLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.SessionLimit <= 0 {
+		c.SessionLimit = 256
+	}
+	return c
+}
+
+// Server serves one engine instance to many concurrent sessions.
+type Server struct {
+	inst *engines.Instance
+	cfg  Config
+	adm  *resilience.Admission
+
+	// base is the parent of every query context; cancelBase is the
+	// hard-shutdown switch that kills queries still running after the
+	// drain grace period.
+	base       context.Context
+	cancelBase context.CancelCauseFunc
+
+	sessions *sessionTable
+	costs    *costTracker
+	dbg      *obshttp.Server
+
+	mu sync.Mutex
+	ln net.Listener
+	sv *http.Server
+}
+
+// New builds a server over a launched engine instance. The admission
+// controller's tenant breaker is the engine's own keyed breaker, so a
+// tenant whose queries keep failing (tripping wrapper circuits on the
+// way) accumulates "tenant:<t>" failures and is throttled at the door
+// before its next query costs anything.
+func New(inst *engines.Instance, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.Admission.TenantBreaker == nil {
+		cfg.Admission.TenantBreaker = inst.QF.Breaker
+	}
+	base, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		inst:       inst,
+		cfg:        cfg,
+		adm:        resilience.NewAdmission(cfg.Admission),
+		base:       base,
+		cancelBase: cancel,
+		sessions:   newSessionTable(cfg.SessionLimit),
+		costs:      newCostTracker(),
+		dbg: &obshttp.Server{
+			PlanCache: func() any { return inst.QF.PlanCache.Snapshot() },
+		},
+	}
+	return s
+}
+
+// Admission exposes the controller (tests and /debug/sessions).
+func (s *Server) Admission() *resilience.Admission { return s.adm }
+
+// Handler returns the serving mux: the /v1 query API, /debug/sessions,
+// and the full obshttp diagnostics plane (/metrics, /debug/queries,
+// /debug/trace, /debug/plancache, ...) as the fallback.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", s.handleSessionOpen)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
+	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/exec", s.handleExec)
+	mux.HandleFunc("POST /v1/define", s.handleDefine)
+	mux.HandleFunc("GET /debug/sessions", s.handleSessions)
+	mux.Handle("/", s.dbg.Handler())
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port), serves in the
+// background and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return "", fmt.Errorf("server: already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.sv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.sv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close is expected
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close drains and stops the server: stop admitting (every new query
+// is rejected 503/draining), wait up to DrainGrace for in-flight
+// queries to finish, then hard-cancel whatever is left and close the
+// listener. Idempotent; safe on a never-started server.
+func (s *Server) Close() error {
+	s.adm.StartDrain()
+	gDraining.Set(1)
+	s.mu.Lock()
+	sv := s.sv
+	s.ln, s.sv = nil, nil
+	s.mu.Unlock()
+
+	drained := s.adm.AwaitIdle(context.Background(), s.cfg.DrainGrace)
+	if !drained {
+		// Grace expired: cancel every in-flight query at the executor
+		// level, then give them a moment to unwind.
+		s.cancelBase(fmt.Errorf("server: drain grace %s expired", s.cfg.DrainGrace))
+		s.adm.AwaitIdle(context.Background(), time.Second)
+	} else {
+		s.cancelBase(nil)
+	}
+
+	var err error
+	if sv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err = sv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			err = sv.Close()
+		}
+	}
+	s.sessions.closeAll()
+	return err
+}
+
+// Drained reports whether the admission controller reached idle (used
+// by the smoke check after Close).
+func (s *Server) Drained() bool {
+	st := s.adm.Snapshot()
+	return st.Draining && st.Inflight == 0
+}
+
+// newSessionID mints a collision-resistant session ID.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a constant-free but weaker source of uniqueness.
+		return fmt.Sprintf("s-%d", time.Now().UnixNano())
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}

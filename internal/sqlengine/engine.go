@@ -92,6 +92,34 @@ func New(name string, mode ExecMode, inv ffi.Invoker) *Engine {
 	}
 }
 
+// View returns a per-session execution view of the engine: a fresh
+// Engine value sharing the catalog (tables, UDFs, epochs) and the UDF
+// transport, but carrying its own Parallelism and MorselSize. A view
+// is how the serving plane gives one session a different worker count
+// without mutating the engine every other session executes on —
+// Parallelism is read per query in the morsel scheduler, so flipping
+// it on a shared Engine would race. n <= 0 keeps the parent's
+// parallelism; morsel <= 0 keeps the parent's morsel size. Views also
+// have independent LastStats, so concurrent sessions don't clobber
+// each other's per-query measurements.
+func (e *Engine) View(parallelism, morsel int) *Engine {
+	if parallelism <= 0 {
+		parallelism = e.Parallelism
+	}
+	if morsel <= 0 {
+		morsel = e.MorselSize
+	}
+	return &Engine{
+		Name:        e.Name,
+		Catalog:     e.Catalog,
+		Invoker:     e.Invoker,
+		Mode:        e.Mode,
+		ChunkSize:   e.ChunkSize,
+		Parallelism: parallelism,
+		MorselSize:  morsel,
+	}
+}
+
 // Query parses, plans, optimizes and executes a SELECT, returning the
 // result as a table.
 func (e *Engine) Query(sql string) (*data.Table, error) {

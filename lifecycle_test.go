@@ -1,0 +1,130 @@
+package qfusor_test
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"qfusor"
+)
+
+// TestCloseReleasesServersAndGoroutines: Close on a DB that is serving
+// both the diagnostics plane and the query plane must tear down every
+// listener and background goroutine — no socket left bound, no
+// goroutine left behind. Guards the DB.Close/Serve/ServeDebug
+// lifecycle against leak regressions.
+func TestCloseReleasesServersAndGoroutines(t *testing.T) {
+	// Warm-up cycle: let lazy process-wide singletons (flight recorder,
+	// metrics registry, http internals) allocate their goroutines so the
+	// baseline below only measures what the test cycle itself adds.
+	warm, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.ServeDebug("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Serve("127.0.0.1:0", qfusor.ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Define("@scalarudf\ndef lc(n: int) -> int:\n    return n + 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE TABLE ltbl (n int)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("INSERT INTO ltbl VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	dbgAddr, err := db.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvAddr, err := db.Serve("127.0.0.1:0", qfusor.ServerConfig{
+		MaxConcurrent: 2, DrainGrace: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exercise both planes so handler goroutines and conns exist.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	for _, url := range []string{
+		"http://" + dbgAddr + "/metrics",
+		"http://" + srvAddr + "/metrics",
+		"http://" + srvAddr + "/debug/sessions",
+	} {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Post("http://"+srvAddr+"/v1/query", "application/json",
+		strings.NewReader(`{"sql": "SELECT lc(lc(n)) FROM ltbl ORDER BY n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query over HTTP: status %d", resp.StatusCode)
+	}
+
+	db.Close()
+	client.CloseIdleConnections()
+
+	// Both listeners must be gone.
+	for _, addr := range []string{dbgAddr, srvAddr} {
+		if c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+			c.Close()
+			t.Errorf("listener on %s still accepting after Close", addr)
+		}
+	}
+
+	// Goroutine count must return to the pre-cycle baseline (small slack
+	// for runtime/netpoll churn).
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline=%d now=%d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServeTwiceFails: a DB refuses to start a second query server
+// while one is running, and can serve again after Close.
+func TestServeTwiceFails(t *testing.T) {
+	db, err := qfusor.Open(qfusor.MonetDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if _, err := db.Serve("127.0.0.1:0", qfusor.ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Serve("127.0.0.1:0", qfusor.ServerConfig{}); err == nil {
+		t.Fatal("second Serve on a running DB succeeded")
+	}
+}

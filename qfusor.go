@@ -38,6 +38,7 @@ import (
 	"qfusor/internal/obshttp"
 	"qfusor/internal/pylite"
 	"qfusor/internal/resilience"
+	"qfusor/internal/server"
 	"qfusor/internal/workload"
 )
 
@@ -245,6 +246,7 @@ type UDFProfile = pylite.ProfileSnapshot
 type DB struct {
 	in  *engines.Instance
 	dbg *obshttp.Server
+	srv *server.Server
 }
 
 // Open launches an engine with the given profile.
@@ -256,14 +258,108 @@ func Open(profile Profile, opts ...Option) (*DB, error) {
 	return &DB{in: engines.Launch(cfg)}, nil
 }
 
-// Close releases the engine's resources (and stops the diagnostics
-// server, if ServeDebug started one).
+// Close releases the engine's resources, draining and stopping the
+// query server (if Serve started one) and the diagnostics server (if
+// ServeDebug started one) first, so no handler goroutine outlives the
+// handle.
 func (db *DB) Close() {
+	if db.srv != nil {
+		db.srv.Close()
+		db.srv = nil
+	}
 	if db.dbg != nil {
 		db.dbg.Close()
 		db.dbg = nil
 	}
 	db.in.Close()
+}
+
+// ServerConfig tunes DB.Serve: admission-control limits and the
+// shutdown drain grace. The zero value serves with the defaults (8
+// concurrent queries, per-tenant = global, queue 2x the concurrency,
+// 1s queue wait, 5s drain grace).
+type ServerConfig struct {
+	// MaxConcurrent caps queries executing at once across all tenants.
+	MaxConcurrent int
+	// TenantConcurrent caps one tenant's concurrent queries (0 = the
+	// global cap).
+	TenantConcurrent int
+	// QueueDepth bounds the admission wait queue; a query arriving with
+	// the queue full is rejected immediately (503 queue_full).
+	QueueDepth int
+	// QueueTimeout bounds how long an admitted-but-waiting query queues
+	// before rejection (503 queue_timeout).
+	QueueTimeout time.Duration
+	// ShedCostNanos sheds queries whose estimated cost (an EWMA of
+	// observed wall time for that statement) exceeds this bound while
+	// others wait — cheap queries keep flowing under overload (503
+	// shed_cost). 0 disables cost shedding.
+	ShedCostNanos float64
+	// DrainGrace bounds how long Close waits for in-flight queries
+	// before cancelling them.
+	DrainGrace time.Duration
+	// DefaultTimeout bounds queries from sessions with no timeout of
+	// their own (0 = unbounded).
+	DefaultTimeout time.Duration
+	// SessionLimit caps concurrent sessions (default 256).
+	SessionLimit int
+}
+
+// AdmissionError is the typed rejection the query server returns when
+// a query is refused at the door: Reason is one of the Admission*
+// reason constants, Code the HTTP status served (429 for throttled
+// tenants, 503 for overload and drain).
+type AdmissionError = resilience.AdmissionError
+
+// Admission rejection reasons (AdmissionError.Reason).
+const (
+	AdmissionDraining        = resilience.ReasonDraining
+	AdmissionQueueFull       = resilience.ReasonQueueFull
+	AdmissionQueueTimeout    = resilience.ReasonQueueTimeout
+	AdmissionShedCost        = resilience.ReasonShedCost
+	AdmissionTenantThrottled = resilience.ReasonTenantThrottled
+)
+
+// Serve starts the multi-session HTTP/JSON query server on addr (":0"
+// picks a free port) and returns the bound address. The server layers
+// concurrent sessions over this DB's engine:
+//
+//	POST   /v1/session      open a session (tenant, timeout_ms, tier,
+//	                        parallelism, morsel) -> {"session": id}
+//	DELETE /v1/session/{id} close it
+//	POST   /v1/prepare      store a named statement on a session
+//	POST   /v1/query        run sql (or a prepared stmt); mode
+//	                        fused|native|analyze
+//	POST   /v1/exec         run DDL/DML
+//	POST   /v1/define       execute UDF module source
+//	GET    /debug/sessions  live sessions + admission-controller census
+//
+// plus the full diagnostics plane (/metrics, /debug/queries, ...).
+// Every query passes the admission controller; rejections carry the
+// AdmissionError reason in the JSON body. DB.Close (or closing the
+// returned server via another Serve call being refused) drains
+// gracefully.
+func (db *DB) Serve(addr string, cfg ServerConfig) (string, error) {
+	if db.srv != nil {
+		return "", fmt.Errorf("qfusor: query server already running on %s", db.srv.Addr())
+	}
+	db.srv = server.New(db.in, server.Config{
+		Admission: resilience.AdmissionConfig{
+			MaxConcurrent:    cfg.MaxConcurrent,
+			TenantConcurrent: cfg.TenantConcurrent,
+			QueueDepth:       cfg.QueueDepth,
+			QueueTimeout:     cfg.QueueTimeout,
+			ShedCostNanos:    cfg.ShedCostNanos,
+		},
+		DrainGrace:     cfg.DrainGrace,
+		DefaultTimeout: cfg.DefaultTimeout,
+		SessionLimit:   cfg.SessionLimit,
+	})
+	a, err := db.srv.Start(addr)
+	if err != nil {
+		db.srv = nil
+	}
+	return a, err
 }
 
 // ServeDebug starts the embedded diagnostics HTTP server on addr (e.g.

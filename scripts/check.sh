@@ -27,6 +27,11 @@ go run ./cmd/qfusor-bench -obs-smoke
 # dispatch-bound sections, beat the closure tier, keep bail_rows at
 # zero, and expose its qfusor.vm.* counters in valid Prometheus form.
 go run ./cmd/qfusor-bench -vm-smoke
+# Query-server smoke: the serving plane over real HTTP — sessions and
+# prepared statements work, an overload burst sheds with typed 429/503
+# responses instead of collapsing, the admission counters show up in
+# /metrics and /debug/sessions, and shutdown drains within its grace.
+go run ./cmd/qfusor-bench -serve-smoke
 # Differential fuzz smoke: a bounded run of the native vs fused-cold vs
 # fused-warm (plan-cache hit) equivalence fuzzer; any mismatch is a
 # plan-cache or fusion correctness bug. FUZZTIME can be shortened for
