@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-smoke obs-smoke vm-smoke serve-smoke fuzz-smoke lint
+.PHONY: check build vet test race chaos bench bench-smoke obs-smoke vm-smoke serve-smoke inline-smoke fuzz-smoke lint
 
 ## check: the full pre-commit gate — build, vet, race-enabled tests.
 check:
@@ -59,6 +59,13 @@ vm-smoke:
 ## drain-bounded shutdown.
 serve-smoke:
 	$(GO) run ./cmd/qfusor-bench -serve-smoke
+
+## inline-smoke: the relational-inlining tier end to end — an inlined
+## query must return native-identical rows with zero FFI crossings, an
+## opaque (loop-bearing) UDF must fall back cleanly, and the
+## qfusor.inline.* decision counters must render as valid exposition.
+inline-smoke:
+	$(GO) run ./cmd/qfusor-bench -inline-smoke
 
 ## bench: run the paper experiments quickly, with a metrics snapshot.
 bench:

@@ -105,6 +105,72 @@ func TestAnalyzeGoldenColdWarm(t *testing.T) {
 	}
 }
 
+// TestAnalyzeGoldenInlined pins the EXPLAIN ANALYZE rendering for a
+// relationally inlined query (tier=inlined): the cold run shows the
+// phase:inline span replacing the whole fusion front-end, the "Inlined
+// UDFs" decision table, a rewritten plan with the UDF call replaced by
+// its CASE translation, and `plancache=miss`; the warm run replays the
+// recorded inlining decision from the plan-cache entry (`plancache=hit`
+// with the same decision table and plan).
+func TestAnalyzeGoldenInlined(t *testing.T) {
+	db := openTestDB(t, qfusor.MonetDB, qfusor.WithTier("inline"))
+	if err := db.Define(`
+@scalarudf
+def boost(x: int) -> int:
+    if x is None:
+        return None
+    return x * 2 + 1
+`); err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT id, boost(id) AS b FROM notes ORDER BY id"
+	cold, err := db.QueryAnalyze(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := db.QueryAnalyze(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan rides along under the render so the golden pins the
+	// CASE-translated expression tree, not just the span structure.
+	gotCold := normalizeAnalyze(cold.Render() + "\n-- plan --\n" + cold.Plan)
+	gotWarm := normalizeAnalyze(warm.Render() + "\n-- plan --\n" + warm.Plan)
+	checkGolden(t, "analyze_inline_cold.golden", gotCold)
+	checkGolden(t, "analyze_inline_warm.golden", gotWarm)
+
+	// Raw (un-normalized) tier and decision markers.
+	for name, a := range map[string]*qfusor.Analysis{"cold": cold, "warm": warm} {
+		r := a.Render()
+		if !strings.Contains(r, "tier=inlined") {
+			t.Errorf("%s render missing tier=inlined:\n%s", name, r)
+		}
+		if !strings.Contains(r, "inlined=1") {
+			t.Errorf("%s render missing inlined=1 summary field:\n%s", name, r)
+		}
+		if strings.Contains(a.Plan, "boost(") {
+			t.Errorf("%s plan still calls the UDF:\n%s", name, a.Plan)
+		}
+		// The NULL guard is dropped: boost's body is NULL-strict in x, so
+		// the translation is the bare arithmetic, no CASE wrapper.
+		if !strings.Contains(a.Plan, "((id * 2) + 1)") {
+			t.Errorf("%s plan lost the inlined arithmetic translation:\n%s", name, a.Plan)
+		}
+		if strings.Contains(a.Plan, "CASE WHEN") {
+			t.Errorf("%s plan kept a redundant NULL guard:\n%s", name, a.Plan)
+		}
+	}
+	if !strings.Contains(normalizeAnalyze(cold.Render()), "plancache=miss") {
+		t.Errorf("cold render missing plancache=miss")
+	}
+	if !strings.Contains(normalizeAnalyze(warm.Render()), "plancache=hit") {
+		t.Errorf("warm render missing plancache=hit (inlining decision not replayed)")
+	}
+	if cold.Plan != warm.Plan {
+		t.Errorf("warm plan differs from cold plan\ncold:\n%s\nwarm:\n%s", cold.Plan, warm.Plan)
+	}
+}
+
 // TestAnalyzeGoldenNonUDF pins the rendering for a query that never
 // enters the fusion front-end: plancache=none, no optimizer phases
 // beyond the probe.

@@ -79,13 +79,14 @@ func main() {
 	obsOut := flag.String("obs", "", "write results + metrics snapshot as JSON to this file (e.g. BENCH_obs.json)")
 	parallelism := flag.Int("parallelism", 0, "executor workers for experiments that don't pin their own: 0 = auto (one per core), 1 = serial")
 	morsel := flag.Int("morsel", 0, "morsel row count for experiments that don't pin their own (0 = engine default, 2048)")
-	tier := flag.String("tier", "", "fused-section execution tier for experiments that don't pin their own: vm | closure | auto/empty (cost model decides)")
+	tier := flag.String("tier", "", "fused-section execution tier for experiments that don't pin their own: vm | closure | inline | auto/empty (cost model decides)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); an expired query fails its experiment instead of wedging the run")
 	httpAddr := flag.String("http", "", "serve diagnostics while the run is live (/metrics, /debug/queries, /debug/trace/<id>); empty = off")
 	plancache := flag.Bool("plancache", true, "enable the plan-decision cache on launched instances (the plancache experiment manages its own arms)")
 	smoke := flag.Bool("obs-smoke", false, "run the diagnostics-plane smoke test (endpoints, exposition validity, trace round-trip) and exit")
 	vmsmoke := flag.Bool("vm-smoke", false, "run the VM-tier smoke test (E20 micro-run + qfusor.vm.* metrics exposition) and exit")
 	servesmoke := flag.Bool("serve-smoke", false, "run the query-server smoke test (sessions + overload burst + admission metrics + drain over real HTTP) and exit")
+	inlinesmoke := flag.Bool("inline-smoke", false, "run the inlined-tier smoke test (native-identical results, zero FFI crossings, qfusor.inline.* exposition) and exit")
 	querylog := flag.String("querylog", "", "append the structured query log (one JSON line per query) to this file; empty = off")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault point: name[=error|panic|delay[:dur]|kill] (repeatable; exercises the resilience layer)")
@@ -125,6 +126,14 @@ func main() {
 		fmt.Println("serve-smoke: OK")
 		return
 	}
+	if *inlinesmoke {
+		if err := inlineSmoke(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "inline-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("inline-smoke: OK")
+		return
+	}
 	if *httpAddr != "" {
 		srv := &obshttp.Server{}
 		addr, err := srv.Start(*httpAddr)
@@ -143,10 +152,10 @@ func main() {
 	r.PlanCacheOff = !*plancache
 	r.MorselSize = *morsel
 	switch *tier {
-	case "", "auto", "vm", "closure":
+	case "", "auto", "vm", "closure", "inline":
 		r.Tier = *tier
 	default:
-		fmt.Fprintf(os.Stderr, "invalid -tier %q (want vm, closure or auto)\n", *tier)
+		fmt.Fprintf(os.Stderr, "invalid -tier %q (want vm, closure, inline or auto)\n", *tier)
 		os.Exit(2)
 	}
 

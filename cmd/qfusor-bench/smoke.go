@@ -505,3 +505,163 @@ func httpGet(url string) ([]byte, error) {
 	}
 	return body, nil
 }
+
+// inlineSmoke is the check behind `make inline-smoke` and
+// scripts/check.sh: it pins a DB to the relational-inlining tier, runs
+// a guarded straight-line UDF query (plus an opaque UDF the inliner
+// must refuse), and asserts the Froid contract end to end — results
+// bit-identical to native, zero FFI crossings for the inlined query,
+// the qfusor.inline.* decision counters moving and rendering as valid
+// Prometheus exposition, and the vectorized evaluator's CSE engaging
+// on the nested call's repeated subtrees.
+func inlineSmoke(w io.Writer) error {
+	db, err := qfusor.Open(qfusor.MonetDB, qfusor.WithTier("inline"))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.Define(`
+@scalarudf
+def iboost(x: int) -> int:
+    if x is None:
+        return None
+    return (x * 37 + 11) * 3 - x
+
+@scalarudf
+def iwork(n: int) -> int:
+    if n is None:
+        return 0
+    acc = 0
+    for i in range(4):
+        acc = acc + n + i
+    return acc
+
+@scalarudf
+def fgain(x: float) -> float:
+    if x is None:
+        return None
+    return (x * 1.5 + 2.0) * 0.5 - x
+`); err != nil {
+		return err
+	}
+	if err := db.Exec("CREATE TABLE itbl (n int, f float)"); err != nil {
+		return err
+	}
+	var vals strings.Builder
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			vals.WriteString(", ")
+		}
+		if i%23 == 0 {
+			vals.WriteString("(NULL, NULL)")
+		} else {
+			fmt.Fprintf(&vals, "(%d, %g)", i, float64(i)*0.5)
+		}
+	}
+	if err := db.Exec("INSERT INTO itbl VALUES " + vals.String()); err != nil {
+		return err
+	}
+
+	const sql = "SELECT n, iboost(iboost(n)) AS v FROM itbl ORDER BY n"
+	native, err := db.QueryNative(sql)
+	if err != nil {
+		return err
+	}
+	ffi0 := obs.Default.Counter("ffi.udf.calls").Value()
+	got, err := db.Query(sql)
+	if err != nil {
+		return err
+	}
+	if rk, nk := smokeTableKey(got), smokeTableKey(native); rk != nk {
+		return fmt.Errorf("inlined result diverges from native:\ninlined:\n%s\nnative:\n%s", rk, nk)
+	}
+	if d := obs.Default.Counter("ffi.udf.calls").Value() - ffi0; d != 0 {
+		return fmt.Errorf("inlined query crossed the FFI %d times (want 0)", d)
+	}
+	fmt.Fprintf(w, "inline-smoke: inlined query ok (%d rows, native-identical, 0 FFI crossings)\n", got.NumRows())
+
+	// The loop-bearing UDF must be classified opaque and still run right.
+	opq, err := db.Query("SELECT n, iwork(n) AS v FROM itbl ORDER BY n")
+	if err != nil {
+		return err
+	}
+	opqNative, err := db.QueryNative("SELECT n, iwork(n) AS v FROM itbl ORDER BY n")
+	if err != nil {
+		return err
+	}
+	if smokeTableKey(opq) != smokeTableKey(opqNative) {
+		return fmt.Errorf("opaque-UDF query diverges from native")
+	}
+	fmt.Fprintln(w, "inline-smoke: opaque fallback ok (loop-bearing UDF refused by the inliner, results native-identical)")
+
+	// The float UDF uses its argument twice, so the nested call inlines
+	// to a tree with a repeated non-int subtree — the shape the columnar
+	// CSE memo exists for. (All-int trees are claimed by the single-pass
+	// int-program path and never consult the memo.)
+	const fsql = "SELECT n, fgain(fgain(f)) AS v FROM itbl ORDER BY n"
+	fgot, err := db.Query(fsql)
+	if err != nil {
+		return err
+	}
+	fnative, err := db.QueryNative(fsql)
+	if err != nil {
+		return err
+	}
+	if smokeTableKey(fgot) != smokeTableKey(fnative) {
+		return fmt.Errorf("inlined float query diverges from native")
+	}
+
+	samples, err := obs.ParseExposition(obs.Default.Snapshot().Prometheus())
+	if err != nil {
+		return fmt.Errorf("metrics exposition invalid: %w", err)
+	}
+	for _, name := range []string{
+		"qfusor_inline_udfs", "qfusor_inline_opaque", "qfusor_inline_sites",
+		"qfusor_inline_queries", "qfusor_inline_full", "engine_vec_cse_hits",
+	} {
+		if _, ok := samples[name]; !ok {
+			return fmt.Errorf("metrics exposition missing series %s", name)
+		}
+	}
+	if samples["qfusor_inline_udfs"] < 1 || samples["qfusor_inline_sites"] < 1 || samples["qfusor_inline_full"] < 1 {
+		return fmt.Errorf("qfusor.inline.* counters never moved: udfs=%v sites=%v full=%v",
+			samples["qfusor_inline_udfs"], samples["qfusor_inline_sites"], samples["qfusor_inline_full"])
+	}
+	if samples["qfusor_inline_opaque"] < 1 {
+		return fmt.Errorf("opaque UDF was not recorded as an inliner refusal (opaque=%v)", samples["qfusor_inline_opaque"])
+	}
+	if samples["engine_vec_cse_hits"] < 1 {
+		return fmt.Errorf("vectorized CSE never engaged on the nested inlined float call (hits=%v)", samples["engine_vec_cse_hits"])
+	}
+	fmt.Fprintf(w, "inline-smoke: qfusor.inline.* exposition ok (udfs=%v opaque=%v sites=%v queries=%v full=%v cse_hits=%v)\n",
+		samples["qfusor_inline_udfs"], samples["qfusor_inline_opaque"], samples["qfusor_inline_sites"],
+		samples["qfusor_inline_queries"], samples["qfusor_inline_full"], samples["engine_vec_cse_hits"])
+	return nil
+}
+
+// smokeTableKey flattens a result table to a comparable string (schema
+// header, then every cell, NULL-distinct).
+func smokeTableKey(t *qfusor.Table) string {
+	var b strings.Builder
+	for i, f := range t.Schema {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s:%s", f.Name, f.Kind)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < t.NumRows(); r++ {
+		for i, c := range t.Cols {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			if c.IsNull(r) {
+				b.WriteString("<null>")
+			} else {
+				b.WriteString(c.Get(r).String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

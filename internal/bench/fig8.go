@@ -95,6 +95,7 @@ func (r *Runner) All() ([]*Result, error) {
 		{"resource-overhead", r.ResourceOverheadBench},
 		{"vm-dispatch", r.VMTierBench},
 		{"serve-overload", r.ServeOverload},
+		{"serve-sustained", r.ServeSustained},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -130,5 +131,6 @@ func (r *Runner) Experiments() map[string]func() (*Result, error) {
 		"resource-overhead":  r.ResourceOverheadBench,
 		"vm-dispatch":        r.VMTierBench,
 		"serve-overload":     r.ServeOverload,
+		"serve-sustained":    r.ServeSustained,
 	}
 }

@@ -223,6 +223,19 @@ func (a *Analysis) Render() string {
 				fmtAnalyzeDur(u.Wall), fmtAnalyzeDur(u.Wrapper), fmtAnalyzeDur(u.Body), tag)
 		}
 	}
+	if len(a.Report.Inlined) > 0 {
+		b.WriteString("\nInlined UDFs (relational inlining; inlined sites never cross the FFI):\n")
+		for _, d := range a.Report.Inlined {
+			switch {
+			case d.Sites > 0:
+				fmt.Fprintf(&b, "  %-22s tier=inlined sites=%d expr=%s\n", d.UDF, d.Sites, d.Expr)
+			case d.Inlinable:
+				fmt.Fprintf(&b, "  %-22s inlinable (kept on the fusion ladder) expr=%s\n", d.UDF, d.Expr)
+			default:
+				fmt.Fprintf(&b, "  %-22s opaque (%s)\n", d.UDF, d.Reason)
+			}
+		}
+	}
 	if len(a.Report.SectionCosts) > 0 {
 		b.WriteString("\nCost-model drift (predicted vs measured per fused section):\n")
 		renderDrift(&b, a.Report.SectionCosts)
@@ -238,8 +251,8 @@ func (a *Analysis) Render() string {
 	// wrapper_cache_hits counts wrapper-compile-cache reuse (the name
 	// "cache_hits" was misleading once a plan-decision cache existed);
 	// plancache reports this query's plan-decision cache outcome.
-	fmt.Fprintf(&b, "\nsections=%d wrapper_cache_hits=%d plancache=%s fus_optim=%s code_gen=%s\n",
-		a.Report.Sections, a.Report.CacheHits, planCacheLabel(a.Report.PlanCache),
+	fmt.Fprintf(&b, "\nsections=%d inlined=%d wrapper_cache_hits=%d plancache=%s fus_optim=%s code_gen=%s\n",
+		a.Report.Sections, inlineSitesOf(&a.Report), a.Report.CacheHits, planCacheLabel(a.Report.PlanCache),
 		fmtAnalyzeDur(a.Report.FusOptim), fmtAnalyzeDur(a.Report.CodeGen))
 	return b.String()
 }

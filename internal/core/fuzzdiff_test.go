@@ -1,15 +1,19 @@
 package core_test
 
-// Differential fuzz harness for the plan-decision cache and the
-// vectorized VM tier: every generated UDF-bearing query is executed
-// four ways — engine-native (no fusion), fused on the closure tier,
-// fused on the VM tier (cold, then warm from the plan cache), and
-// fused on the VM tier with every third UDF call force-bailed to the
-// closure tier — and all arms must be bit-identical. The generator is
-// a tiny grammar over the test UDFs (scalar slug, expand pieces,
-// aggregate longest) so any byte string maps to a valid deterministic
-// query; go test runs the seed corpus, `go test -fuzz FuzzDiff`
-// explores beyond it.
+// Differential fuzz harness for the plan-decision cache and the fused
+// execution tiers: every generated UDF-bearing query is executed five
+// ways — engine-native (no fusion), fused on the closure tier, fused on
+// the VM tier (cold, warm from the plan cache, and with every third UDF
+// call force-bailed to the closure tier), relationally inlined
+// (tier=inlined), and inlined-with-forced-opaque-fallback (the inline
+// pass classifies but every site falls back to the fusion ladder) —
+// and all arms must be bit-identical. The generator is a tiny grammar
+// over the test UDFs: opaque ones (scalar slug, expand pieces,
+// aggregate longest) and guarded inlinable ones (clip, shout, score)
+// whose bodies exercise CASE-producing conditionals, string builtins
+// and NULL-guard refinements. Any byte string maps to a valid
+// deterministic query; go test runs the seed corpus, `go test -fuzz
+// FuzzDiff` explores beyond it.
 
 import (
 	"fmt"
@@ -17,6 +21,7 @@ import (
 	"sync"
 	"testing"
 
+	"qfusor/internal/core"
 	"qfusor/internal/data"
 	"qfusor/internal/engines"
 	"qfusor/internal/ffi"
@@ -52,6 +57,26 @@ class longest:
             self.best = s
     def final(self):
         return self.best
+
+@scalarudf
+def clip(x: int) -> int:
+    if x is None:
+        return None
+    if x > 3:
+        return 3
+    return x
+
+@scalarudf
+def shout(s: str) -> str:
+    if s is None:
+        return ""
+    return s.strip().upper()
+
+@scalarudf
+def score(x: int) -> float:
+    if x is None or x < 0:
+        return 0.0
+    return round(x * 7 / 2, 1)
 `
 
 func diffDB(t *testing.T) *engines.Instance {
@@ -70,6 +95,20 @@ func diffDB(t *testing.T) *engines.Instance {
 			(1, '  Hello World  '), (2, 'Go Databases'), (3, 'Query Fusion Rocks'),
 			(4, 'a'), (5, 'UDF queries in SQL engines'), (6, 'Plan Cache Hit')`); err != nil {
 			diffErr = err
+			return
+		}
+		// vals carries NULLs in both value columns so the inlined arms'
+		// NULL-guard CASE translations face real NULL inputs.
+		if err := in.Eng.Exec("CREATE TABLE vals (k int, v int, s string)"); err != nil {
+			diffErr = err
+			return
+		}
+		if err := in.Eng.Exec(`INSERT INTO vals VALUES
+			(1, 1, '  alpha  '), (2, NULL, 'beta'), (3, -4, NULL),
+			(4, 7, '  Gamma Ray'), (5, 0, ''), (6, 42, ' mixed Case '),
+			(7, 3, 'BETA')`); err != nil {
+			diffErr = err
+			return
 		}
 		diffInst = in
 	})
@@ -93,12 +132,30 @@ var (
 		" WHERE id < 5",
 		" WHERE slug(title) = 'go-databases'",
 	}
+	// Inline-tier dimensions over vals: guarded inlinable scalars (CASE
+	// conditionals, string builtins, arithmetic/round/division) alone,
+	// nested, and feeding opaque UDFs (partial inlining).
+	diffVScalars = []string{
+		"clip(v)",
+		"shout(s)",
+		"shout(shout(s))",
+		"slug(shout(s))",
+		"score(clip(v))",
+	}
+	diffVPreds = []string{
+		"",
+		" WHERE k > 2",
+		" WHERE clip(v) = 3",
+		" WHERE shout(s) = 'BETA'",
+	}
 )
 
 const (
-	diffNumShapes = 6
-	// DiffSeedSpace is the exhaustive seed count TestDiffSeeds covers.
-	diffSeedSpace = diffNumShapes * 3 * 4
+	diffNumShapes = 8
+	// DiffSeedSpace is the exhaustive seed count TestDiffSeeds covers:
+	// shapes 0-5 draw from the notes dimensions, shapes 6-7 from the
+	// vals (inline-tier) dimensions.
+	diffSeedSpace = 6*3*4 + 2*5*4
 )
 
 // buildDiffQuery maps fuzz bytes to a deterministic UDF query. Missing
@@ -112,6 +169,8 @@ func buildDiffQuery(dat []byte) string {
 	}
 	scalar := diffScalars[pick(1, len(diffScalars))]
 	pred := diffPreds[pick(2, len(diffPreds))]
+	vscalar := diffVScalars[pick(1, len(diffVScalars))]
+	vpred := diffVPreds[pick(2, len(diffVPreds))]
 	switch pick(0, diffNumShapes) {
 	case 0:
 		return fmt.Sprintf("SELECT id, %s AS s FROM notes%s ORDER BY id", scalar, pred)
@@ -125,8 +184,15 @@ func buildDiffQuery(dat []byte) string {
 		// Grouped aggregation over a UDF key: the trace carries KeyRegs
 		// and both a native and a UDF aggregate — the VM-tier agg path.
 		return fmt.Sprintf("SELECT s, COUNT(*) AS n, longest(s) AS l FROM (SELECT %s AS s FROM notes%s) AS x GROUP BY s ORDER BY s", scalar, pred)
-	default:
+	case 5:
 		return fmt.Sprintf("SELECT id, %s AS a, slug(title) AS b FROM notes%s ORDER BY id", scalar, pred)
+	case 6:
+		// Inline-tier projection over NULL-bearing columns.
+		return fmt.Sprintf("SELECT k, %s AS a FROM vals%s ORDER BY k", vscalar, vpred)
+	default:
+		// Inlinable scalar feeding an opaque aggregate: the argument
+		// inlines while the aggregate stays on the fusion ladder.
+		return fmt.Sprintf("SELECT longest(shout(s)) AS l, COUNT(*) AS n FROM (SELECT s, %s AS a FROM vals%s) AS x", vscalar, vpred)
 	}
 }
 
@@ -157,10 +223,11 @@ func renderTable(t *data.Table) string {
 	return b.String()
 }
 
-// runDiff executes one differential check, four ways: native, fused on
-// the closure tier, fused on the VM tier (cold then warm from the plan
-// cache), and fused on the VM tier with forced per-call bailouts. All
-// arms must agree exactly.
+// runDiff executes one differential check, five ways: native, fused on
+// the closure tier, fused on the VM tier (cold, warm from the plan
+// cache, and with forced per-call bailouts), relationally inlined, and
+// inlined with the forced-opaque fallback hook. All arms must agree
+// exactly.
 func runDiff(t *testing.T, dat []byte) {
 	in := diffDB(t)
 	sql := buildDiffQuery(dat)
@@ -169,6 +236,7 @@ func runDiff(t *testing.T, dat []byte) {
 	defer func() {
 		in.QF.Opts.Tier = "auto"
 		ffi.SetVMBailEvery(0)
+		core.SetInlineForceOpaque(false)
 	}()
 
 	nat, nerr := in.Query(sql)
@@ -192,12 +260,27 @@ func runDiff(t *testing.T, dat []byte) {
 	bailed, berr := in.QueryFused(sql)
 	ffi.SetVMBailEvery(0)
 
-	if nerr != nil || cloErr != nil || cerr != nil || werr != nil || berr != nil {
-		if nerr != nil && cloErr != nil && cerr != nil && werr != nil && berr != nil {
+	// Arm 6: relational inlining forced past the cost model — inlinable
+	// call sites substitute into engine expressions; fully inlined
+	// queries skip fusion discovery entirely (tier=inlined).
+	in.QF.Opts.Tier = "inline"
+	in.QF.PlanCache.Purge()
+	inl, ierr := in.QueryFused(sql)
+
+	// Arm 7: the forced-opaque fallback hook — the inline pass still
+	// classifies every UDF but applies no substitution, so the query
+	// takes the VM/closure ladder it would have taken pre-inlining.
+	core.SetInlineForceOpaque(true)
+	in.QF.PlanCache.Purge()
+	fop, ferr := in.QueryFused(sql)
+	core.SetInlineForceOpaque(false)
+
+	if nerr != nil || cloErr != nil || cerr != nil || werr != nil || berr != nil || ierr != nil || ferr != nil {
+		if nerr != nil && cloErr != nil && cerr != nil && werr != nil && berr != nil && ierr != nil && ferr != nil {
 			return // all arms agree the query fails
 		}
-		t.Fatalf("error disagreement for %q:\n native:     %v\n closure:    %v\n vm-cold:    %v\n vm-warm:    %v\n vm-bailout: %v",
-			sql, nerr, cloErr, cerr, werr, berr)
+		t.Fatalf("error disagreement for %q:\n native:        %v\n closure:       %v\n vm-cold:       %v\n vm-warm:       %v\n vm-bailout:    %v\n inlined:       %v\n inline-opaque: %v",
+			sql, nerr, cloErr, cerr, werr, berr, ierr, ferr)
 	}
 	want := renderTable(nat)
 	if got := renderTable(clo); got != want {
@@ -212,6 +295,12 @@ func runDiff(t *testing.T, dat []byte) {
 	if got := renderTable(bailed); got != want {
 		t.Fatalf("fused-vm-bailout mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
 	}
+	if got := renderTable(inl); got != want {
+		t.Fatalf("inlined mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
+	if got := renderTable(fop); got != want {
+		t.Fatalf("inline-forced-opaque mismatch for %q:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
 	s1 := in.QF.PlanCache.Stats()
 	if s1.Hits <= s0.Hits {
 		t.Fatalf("warm run of %q was not served from the plan cache (stats %+v -> %+v)",
@@ -225,6 +314,8 @@ func FuzzDiff(f *testing.F) {
 	for _, seed := range [][]byte{
 		{0, 0, 0}, {0, 2, 3}, {1, 1, 0}, {1, 2, 1}, {2, 0, 2},
 		{2, 1, 3}, {3, 2, 0}, {3, 0, 1}, {4, 1, 2}, {4, 2, 3},
+		{6, 0, 0}, {6, 1, 2}, {6, 2, 3}, {6, 3, 1}, {6, 4, 2},
+		{7, 0, 0}, {7, 2, 2}, {7, 4, 3},
 	} {
 		f.Add(seed)
 	}
@@ -234,13 +325,18 @@ func FuzzDiff(f *testing.F) {
 }
 
 // TestDiffSeeds exhaustively covers the generator's whole space (every
-// shape x scalar x predicate), so plain `go test` already checks all
-// 72 distinct queries without the fuzz engine.
+// shape x scalar x predicate, with shapes 6-7 drawing from the
+// inline-tier dimensions), so plain `go test` already checks every
+// distinct query without the fuzz engine.
 func TestDiffSeeds(t *testing.T) {
 	n := 0
 	for shape := 0; shape < diffNumShapes; shape++ {
-		for sc := range diffScalars {
-			for pr := range diffPreds {
+		nsc, npr := len(diffScalars), len(diffPreds)
+		if shape >= 6 {
+			nsc, npr = len(diffVScalars), len(diffVPreds)
+		}
+		for sc := 0; sc < nsc; sc++ {
+			for pr := 0; pr < npr; pr++ {
 				runDiff(t, []byte{byte(shape), byte(sc), byte(pr)})
 				n++
 			}

@@ -85,9 +85,13 @@ type PlanEntry struct {
 	Sources  []string `json:"-"`
 	Wrappers []string `json:"wrappers,omitempty"`
 	// Tiers records, aligned with Wrappers, which execution tier each
-	// wrapper was planned onto ("vm" or "closure") — so a cache hit's
+	// wrapper was planned onto ("vm", "closure", or "inlined" for the
+	// pseudo-wrapper entries of inlined UDFs) — so a cache hit's
 	// \analyze output and ledger attribution match a fresh plan's.
 	Tiers []string `json:"tiers,omitempty"`
+	// Inlined replays the relational-inlining decisions of the miss that
+	// created the entry (tier=inlined call sites are baked into Query).
+	Inlined []InlineDecision `json:"inlined,omitempty"`
 	// WrapperKeys are the breaker keys ("wrapper:<hash>") of Wrappers;
 	// an open circuit on any of them disqualifies the entry.
 	WrapperKeys []string `json:"-"`
@@ -366,6 +370,7 @@ func optionsFingerprint(o Options) string {
 	// stays unmarked — the default decision).
 	flag(o.Tier == "vm", 'V')
 	flag(o.Tier == "closure", 'v')
+	flag(o.Tier == "inline", 'I')
 	return b.String()
 }
 

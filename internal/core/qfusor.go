@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,9 +53,12 @@ type Options struct {
 	PlanCache bool
 	// Tier pins the execution tier of fused sections: "vm" forces the
 	// vectorized bytecode VM whenever a section is eligible, "closure"
-	// forces the closure-compiled trace loop, and ""/"auto" lets the
-	// cost model's VMAdvantage term decide (§5.2 extended). Ineligible
-	// sections always run the closure tier regardless.
+	// forces the closure-compiled trace loop, "inline" forces relational
+	// inlining of every inlinable UDF call site (opaque UDFs still fall
+	// through to the fusion ladder), and ""/"auto" lets the cost model's
+	// InlineAdvantage and VMAdvantage terms decide (§5.2 extended).
+	// Ineligible sections always run the closure tier regardless; a
+	// "vm"/"closure" pin disables the inlining pass.
 	Tier string
 }
 
@@ -99,6 +103,11 @@ type Report struct {
 	// why (the fused-path error, or "circuit breaker open").
 	Fallback       bool
 	FallbackReason string
+	// Inlined records the relational-inlining pass's per-UDF decisions
+	// for this query: classification verdict, reason when opaque, and
+	// how many call sites were substituted. Sites with tier=inlined
+	// never cross the FFI boundary.
+	Inlined []InlineDecision
 }
 
 // QFusor is the pluggable optimizer: it connects to an engine, probes
@@ -124,6 +133,11 @@ type QFusor struct {
 	// QFusor and every Variant derived from it, so concurrent sessions
 	// with different option sets reuse one pool of compiled wrappers.
 	wc *wrapperCache
+
+	// ic is the relational-inlining classification cache (per-UDF
+	// template or opaqueness verdict), shared across Variant clones and
+	// epoch-fenced on UDF redefinition like wc — see inline.go.
+	ic *inlineCache
 
 	mu  sync.Mutex
 	cat *sqlengine.Catalog
@@ -224,7 +238,8 @@ func New(reg *Registry) *QFusor {
 	return &QFusor{Reg: reg, CM: DefaultCostModel(), Opts: DefaultOptions(),
 		Breaker:   resilience.NewBreaker(3, 30*time.Second),
 		PlanCache: NewPlanCache(0),
-		wc:        newWrapperCache()}
+		wc:        newWrapperCache(),
+		ic:        newInlineCache()}
 }
 
 // Variant returns a QFusor that runs with its own Options but shares
@@ -239,7 +254,7 @@ func New(reg *Registry) *QFusor {
 // once.
 func (qf *QFusor) Variant(opts Options) *QFusor {
 	return &QFusor{Reg: qf.Reg, CM: qf.CM, Opts: opts,
-		Breaker: qf.Breaker, PlanCache: qf.PlanCache, wc: qf.wc}
+		Breaker: qf.Breaker, PlanCache: qf.PlanCache, wc: qf.wc, ic: qf.ic}
 }
 
 func (qf *QFusor) nextName() string { return qf.wc.nextName() }
@@ -399,8 +414,28 @@ func (qf *QFusor) ProcessTraced(eng *sqlengine.Engine, sql string, root *obs.Spa
 		rep.PlanCache = "off"
 	}
 
-	// --- discover fusible operators + fusion optimization ---
+	// --- relational inlining (Froid; see inline.go) ---
+	// Inlinable UDF call sites become engine expressions before fusion
+	// discovery runs: the optimizer sees through those UDFs and the
+	// executor never crosses the FFI boundary for them. When the rewrite
+	// removes every UDF reference, fusion has nothing left to do — the
+	// query is fully inlined and skips straight to execution.
 	t0 := time.Now()
+	sp = root.Child("phase:inline")
+	fullyInlined := qf.inlinePass(eng, q, rep)
+	sp.SetInt("inline_sites", int64(inlineSitesOf(rep)))
+	sp.End()
+	if fullyInlined {
+		rep.FusOptim = time.Since(t0)
+		mFusNanos.Observe(float64(rep.FusOptim.Nanoseconds()))
+		if cacheKey != "" {
+			qf.PlanCache.Insert(qf.newPlanEntry(cacheKey, cacheEpoch, sql, q, rep))
+		}
+		qf.setReport(*rep)
+		return q, rep, nil
+	}
+
+	// --- discover fusible operators + fusion optimization ---
 	type job struct {
 		seg  *Segment
 		g    *DFG
@@ -556,8 +591,16 @@ func (qf *QFusor) reportFromEntry(ent *PlanEntry) *Report {
 		Sources:   ent.Sources,
 		Wrappers:  ent.Wrappers,
 		Tiers:     ent.Tiers,
-		CacheHits: len(ent.Wrappers),
+		Inlined:   ent.Inlined,
 		PlanCache: "hit",
+	}
+	// Only real compiled wrappers count as compile-cache reuse; the
+	// "inline:*" pseudo-entries replay an inlining decision, not a
+	// wrapper.
+	for _, w := range ent.Wrappers {
+		if strings.HasPrefix(w, "__qf_") {
+			rep.CacheHits++
+		}
 	}
 	for _, s := range ent.Seeds {
 		f := qf.CM.Drift.Factor(s.Key)
@@ -582,6 +625,7 @@ func (qf *QFusor) newPlanEntry(key string, epoch int64, sql string, q *sqlengine
 		Sources:  rep.Sources,
 		Wrappers: rep.Wrappers,
 		Tiers:    rep.Tiers,
+		Inlined:  rep.Inlined,
 	}
 	ent.WrapperKeys = qf.wc.breakerKeys(rep.Wrappers)
 	for _, sd := range rep.SectionCosts {

@@ -192,6 +192,11 @@ func (qf *QFusor) recordFlight(path, sql string, start time.Time, t *data.Table,
 		rec.Fallback = rep.Fallback
 		rec.FallbackReason = rep.FallbackReason
 		rec.BreakerOpen = rep.FallbackReason == breakerOpenReason
+		for _, d := range rep.Inlined {
+			rec.Inlined = append(rec.Inlined, obs.InlineInfo{
+				UDF: d.UDF, Inlinable: d.Inlinable, Reason: d.Reason, Sites: d.Sites,
+			})
+		}
 		if rep.Fallback {
 			led.AddFallback()
 		}

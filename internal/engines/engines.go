@@ -71,8 +71,9 @@ type Config struct {
 	// MorselSize overrides the executor's morsel row count (0 keeps the
 	// engine default; ModeChunked profiles follow their ChunkSize).
 	MorselSize int
-	// Tier pins the fused-section execution tier: "vm", "closure", or
-	// ""/"auto" for the cost-model decision (core.Options.Tier).
+	// Tier pins the fused-section execution tier: "vm", "closure",
+	// "inline" (force relational inlining of inlinable UDF call sites),
+	// or ""/"auto" for the cost-model decision (core.Options.Tier).
 	Tier string
 }
 

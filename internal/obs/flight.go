@@ -41,6 +41,9 @@ type QueryRecord struct {
 	// PlanCache is the plan-decision cache outcome: "hit", "miss",
 	// "off", or "" when the query never entered the fusion front-end.
 	PlanCache string `json:"plancache,omitempty"`
+	// Inlined carries the relational-inlining pass's per-UDF decisions
+	// (tier=inlined call sites never cross the FFI boundary).
+	Inlined []InlineInfo `json:"inlined,omitempty"`
 	// Fallback reports graceful degradation to the native plan.
 	Fallback       bool   `json:"fallback,omitempty"`
 	FallbackReason string `json:"fallback_reason,omitempty"`
@@ -69,6 +72,16 @@ type QueryRecord struct {
 	Trace *SpanSnapshot `json:"-"`
 	// HasTrace mirrors Trace != nil for JSON listings.
 	HasTrace bool `json:"has_trace"`
+}
+
+// InlineInfo is one UDF's relational-inlining decision as recorded on
+// a flight record: the classification verdict, the reason when opaque,
+// and how many call sites the query substituted.
+type InlineInfo struct {
+	UDF       string `json:"udf"`
+	Inlinable bool   `json:"inlinable"`
+	Reason    string `json:"reason,omitempty"`
+	Sites     int    `json:"sites,omitempty"`
 }
 
 // FlightRecorder is a fixed-size ring buffer over the last N query

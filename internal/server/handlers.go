@@ -80,8 +80,8 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if req.Tier != "" && req.Tier != "vm" && req.Tier != "closure" && req.Tier != "auto" {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown tier %q (vm|closure|auto)", req.Tier))
+	if req.Tier != "" && req.Tier != "vm" && req.Tier != "closure" && req.Tier != "inline" && req.Tier != "auto" {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown tier %q (vm|closure|inline|auto)", req.Tier))
 		return
 	}
 	if s.adm.Draining() {

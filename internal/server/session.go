@@ -21,8 +21,8 @@ type SessionOptions struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Timeout bounds each query from this session (0 = server default).
 	Timeout time.Duration `json:"timeout,omitempty"`
-	// Tier pins the fused-section execution tier ("vm", "closure", ""
-	// = engine default).
+	// Tier pins the fused-section execution tier ("vm", "closure",
+	// "inline", "" = engine default).
 	Tier string `json:"tier,omitempty"`
 	// Parallelism overrides the engine worker count (0 = engine
 	// default).

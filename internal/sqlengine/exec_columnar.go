@@ -169,6 +169,10 @@ func (e *Engine) projectChunk(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chu
 	n := in.NumRows()
 	eval := func(part *data.Chunk) (*data.Chunk, error) {
 		cols := make([]*data.Column, len(p.Exprs))
+		// One CSE memo per morsel part, shared across the projection's
+		// expressions: a subtree repeated between output columns (or within
+		// one, as relational inlining produces) evaluates once per part.
+		memo := make(vecMemo)
 		for i, ex := range p.Exprs {
 			// Zero-copy pass-through for pure column refs of matching kind.
 			if cr, ok := ex.(*ColRef); ok && cr.Index >= 0 && cr.Index < len(part.Cols) &&
@@ -179,7 +183,7 @@ func (e *Engine) projectChunk(p *Plan, in *data.Chunk, ectx *execCtx) (*data.Chu
 				mZeroCopyCols.Inc()
 				continue
 			}
-			vals, err := e.evalVec(ex, part)
+			vals, err := e.evalVecM(ex, part, memo)
 			if err != nil {
 				return nil, err
 			}

@@ -5,14 +5,293 @@ import (
 
 	"qfusor/internal/data"
 	"qfusor/internal/ffi"
+	"qfusor/internal/obs"
 )
+
+var mVecCSEHits = obs.Default.Counter("engine.vec_cse_hits")
+
+// vecMemo caches evaluated subexpression vectors within one expression
+// evaluation (or one projection's worth — see projectChunk), keyed by
+// the subtree's index-resolved rendering. Structurally identical pure
+// subtrees — which relational inlining produces wholesale, one copy per
+// parameter occurrence — evaluate once per batch instead of once per
+// occurrence. Entries are shared slices: every consumer of evalVec
+// results treats them as read-only.
+type vecMemo map[string][]data.Value
 
 // evalVec evaluates a bound expression over all rows of a chunk,
 // returning boxed values. Scalar UDF calls are dispatched to the
 // engine's transport per column batch; relational operators between
 // UDFs therefore materialize intermediates — the overhead QFusor fuses
-// away.
+// away. Compound trees get a fresh CSE memo; callers evaluating several
+// expressions over the same chunk share one via evalVecM.
 func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
+	var memo vecMemo
+	switch x.(type) {
+	case *ColRef, *Lit, nil:
+	default:
+		memo = make(vecMemo)
+	}
+	return e.evalVecM(x, ch, memo)
+}
+
+// evalVecM is evalVec under a caller-scoped CSE memo (nil disables
+// memoization). Only pure subtrees are cached: a catalog-UDF call is
+// observable (stats, FFI counters, resource ledger), so any subtree
+// containing one re-evaluates every time, exactly as before.
+func (e *Engine) evalVecM(x SQLExpr, ch *data.Chunk, memo vecMemo) ([]data.Value, error) {
+	if memo == nil || !e.cseEligible(x) {
+		return e.evalVecNode(x, ch, memo)
+	}
+	key := vecCSEKey(x)
+	if v, ok := memo[key]; ok {
+		mVecCSEHits.Inc()
+		return v, nil
+	}
+	v, err := e.evalVecNode(x, ch, memo)
+	if err != nil {
+		return nil, err
+	}
+	memo[key] = v
+	return v, nil
+}
+
+// cseEligible reports whether x is worth caching: anything but a bare
+// literal (column references pay a boxing pass per evaluation, so even
+// they benefit), provided no catalog UDF hides in the subtree.
+func (e *Engine) cseEligible(x SQLExpr) bool {
+	switch x.(type) {
+	case *Lit, *StarExpr, nil:
+		return false
+	}
+	pure := true
+	walkExpr(x, func(n SQLExpr) bool {
+		if f, ok := n.(*FuncExpr); ok {
+			if _, isUDF := e.Catalog.UDF(f.Name); isUDF {
+				pure = false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// vecCSEKey renders x with column references by bound index — two
+// columns can share a rendered name (self-joins, subquery aliases), but
+// never an index within one node's input schema.
+func vecCSEKey(x SQLExpr) string {
+	return RewriteExpr(x, func(n SQLExpr) SQLExpr {
+		if c, ok := n.(*ColRef); ok {
+			return &ColRef{Name: fmt.Sprintf("@%d", c.Index), Index: c.Index}
+		}
+		return n
+	}).String()
+}
+
+// ---- single-pass int-arithmetic programs ----
+//
+// A NULL-strict subtree of + - * / % over int columns and int literals
+// needs no per-operator vector passes at all: it lowers to a postfix
+// program evaluated once per row on a fixed int64 stack. One output
+// allocation replaces one slice per operator — the difference between
+// the inlined tier riding the GC and outrunning the closure JIT.
+// Strictness makes NULL handling exact: any NULL column leaf (or a
+// zero divisor) nulls the whole row's result, which is precisely what
+// the generic per-operator evaluation of the same tree produces.
+
+const (
+	ipCol = iota // push column value (NULL leaf -> row is NULL)
+	ipLit        // push literal
+	ipAdd
+	ipSub
+	ipMul
+	ipDiv // zero divisor -> row is NULL
+	ipMod // zero divisor -> row is NULL
+)
+
+type intInstr struct {
+	code int8
+	col  int
+	lit  int64
+}
+
+// compileIntProg lowers x to postfix instructions, returning ok=false
+// on any node outside the int-arithmetic fragment.
+func compileIntProg(x SQLExpr, ch *data.Chunk, prog []intInstr) ([]intInstr, bool) {
+	switch ex := x.(type) {
+	case *ColRef:
+		if ex.Index < 0 || ex.Index >= len(ch.Cols) || ch.Cols[ex.Index].Kind != data.KindInt {
+			return prog, false
+		}
+		return append(prog, intInstr{code: ipCol, col: ex.Index}), true
+	case *Lit:
+		if ex.Value.Kind != data.KindInt {
+			return prog, false
+		}
+		return append(prog, intInstr{code: ipLit, lit: ex.Value.I}), true
+	case *UnaryExpr:
+		if ex.Op == "NOT" {
+			return prog, false
+		}
+		// Unary minus evaluates as 0 - e, same as the generic path.
+		prog = append(prog, intInstr{code: ipLit})
+		prog, ok := compileIntProg(ex.E, ch, prog)
+		if !ok {
+			return prog, false
+		}
+		return append(prog, intInstr{code: ipSub}), true
+	case *BinExpr:
+		var code int8
+		switch ex.Op {
+		case "+":
+			code = ipAdd
+		case "-":
+			code = ipSub
+		case "*":
+			code = ipMul
+		case "/":
+			code = ipDiv
+		case "%":
+			code = ipMod
+		default:
+			return prog, false
+		}
+		prog, ok := compileIntProg(ex.L, ch, prog)
+		if !ok {
+			return prog, false
+		}
+		prog, ok = compileIntProg(ex.R, ch, prog)
+		if !ok {
+			return prog, false
+		}
+		return append(prog, intInstr{code: code}), true
+	}
+	return prog, false
+}
+
+// intProgDepth is the maximum stack depth the program reaches.
+func intProgDepth(prog []intInstr) int {
+	sp, max := 0, 0
+	for _, in := range prog {
+		switch in.code {
+		case ipCol, ipLit:
+			sp++
+			if sp > max {
+				max = sp
+			}
+		default:
+			sp--
+		}
+	}
+	return max
+}
+
+// evalIntProg compiles and runs x as a single-pass int program over
+// the chunk; ok=false means x is outside the fragment (or too deep)
+// and the caller should evaluate it generically.
+func evalIntProg(x SQLExpr, ch *data.Chunk) ([]data.Value, bool) {
+	prog, ok := compileIntProg(x, ch, make([]intInstr, 0, 16))
+	if !ok || len(prog) < 3 {
+		return nil, false
+	}
+	const maxDepth = 32
+	if intProgDepth(prog) > maxDepth {
+		return nil, false
+	}
+	n := ch.NumRows()
+	out := make([]data.Value, n)
+	var stack [maxDepth]int64
+rows:
+	for i := 0; i < n; i++ {
+		sp := 0
+		for _, in := range prog {
+			switch in.code {
+			case ipCol:
+				c := ch.Cols[in.col]
+				if c.Nulls != nil && c.Nulls[i] {
+					continue rows // out[i] stays data.Null
+				}
+				stack[sp] = c.Ints[i]
+				sp++
+			case ipLit:
+				stack[sp] = in.lit
+				sp++
+			case ipAdd:
+				sp--
+				stack[sp-1] += stack[sp]
+			case ipSub:
+				sp--
+				stack[sp-1] -= stack[sp]
+			case ipMul:
+				sp--
+				stack[sp-1] *= stack[sp]
+			case ipDiv:
+				sp--
+				if stack[sp] == 0 {
+					continue rows
+				}
+				stack[sp-1] /= stack[sp]
+			case ipMod:
+				sp--
+				if stack[sp] == 0 {
+					continue rows
+				}
+				stack[sp-1] %= stack[sp]
+			}
+		}
+		out[i] = data.Int(stack[0])
+	}
+	return out, true
+}
+
+// vecIntArith is the columnar fast path for arithmetic over int
+// vectors: operator dispatch hoisted out of the row loop, native int64
+// math on the boxed payloads, no float round-trip. NULL in either
+// operand yields NULL (same as sqlBinOp); division by zero yields NULL
+// (same as sqlArith). The moment a non-int, non-NULL operand appears
+// it bails with ok=false and the caller re-runs the whole batch
+// through the generic per-row evaluator.
+func vecIntArith(op string, l, r []data.Value) ([]data.Value, bool) {
+	var f func(a, b int64) data.Value
+	switch op {
+	case "+":
+		f = func(a, b int64) data.Value { return data.Int(a + b) }
+	case "-":
+		f = func(a, b int64) data.Value { return data.Int(a - b) }
+	case "*":
+		f = func(a, b int64) data.Value { return data.Int(a * b) }
+	case "/":
+		f = func(a, b int64) data.Value {
+			if b == 0 {
+				return data.Null
+			}
+			return data.Int(a / b)
+		}
+	case "%":
+		f = func(a, b int64) data.Value {
+			if b == 0 {
+				return data.Null
+			}
+			return data.Int(a % b)
+		}
+	default:
+		return nil, false
+	}
+	out := make([]data.Value, len(l))
+	for i := range l {
+		a, b := l[i], r[i]
+		if a.Kind == data.KindNull || b.Kind == data.KindNull {
+			continue // out[i] is already data.Null
+		}
+		if a.Kind != data.KindInt || b.Kind != data.KindInt {
+			return nil, false
+		}
+		out[i] = f(a.I, b.I)
+	}
+	return out, true
+}
+
+func (e *Engine) evalVecNode(x SQLExpr, ch *data.Chunk, memo vecMemo) ([]data.Value, error) {
 	n := ch.NumRows()
 	switch ex := x.(type) {
 	case *ColRef:
@@ -28,12 +307,12 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		return out, nil
 	case *FuncExpr:
 		if u, ok := e.Catalog.UDF(ex.Name); ok && u.Kind == ffi.Scalar {
-			return e.evalScalarUDFVec(u, ex, ch)
+			return e.evalScalarUDFVec(u, ex, ch, memo)
 		}
 		// Native scalar: vector args, row-native application.
 		argVecs := make([][]data.Value, len(ex.Args))
 		for i, a := range ex.Args {
-			v, err := e.evalVec(a, ch)
+			v, err := e.evalVecM(a, ch, memo)
 			if err != nil {
 				return nil, err
 			}
@@ -53,13 +332,19 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		return out, nil
 	case *BinExpr:
-		l, err := e.evalVec(ex.L, ch)
+		if out, ok := evalIntProg(ex, ch); ok {
+			return out, nil
+		}
+		l, err := e.evalVecM(ex.L, ch, memo)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.evalVec(ex.R, ch)
+		r, err := e.evalVecM(ex.R, ch, memo)
 		if err != nil {
 			return nil, err
+		}
+		if out, ok := vecIntArith(ex.Op, l, r); ok {
+			return out, nil
 		}
 		out := make([]data.Value, n)
 		for i := 0; i < n; i++ {
@@ -71,7 +356,7 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		return out, nil
 	case *UnaryExpr:
-		v, err := e.evalVec(ex.E, ch)
+		v, err := e.evalVecM(ex.E, ch, memo)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +379,7 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		// short-circuits instead).
 		var operand []data.Value
 		if ex.Operand != nil {
-			v, err := e.evalVec(ex.Operand, ch)
+			v, err := e.evalVecM(ex.Operand, ch, memo)
 			if err != nil {
 				return nil, err
 			}
@@ -103,12 +388,12 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		conds := make([][]data.Value, len(ex.Whens))
 		thens := make([][]data.Value, len(ex.Thens))
 		for i := range ex.Whens {
-			cv, err := e.evalVec(ex.Whens[i], ch)
+			cv, err := e.evalVecM(ex.Whens[i], ch, memo)
 			if err != nil {
 				return nil, err
 			}
 			conds[i] = cv
-			tv, err := e.evalVec(ex.Thens[i], ch)
+			tv, err := e.evalVecM(ex.Thens[i], ch, memo)
 			if err != nil {
 				return nil, err
 			}
@@ -116,7 +401,7 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		var els []data.Value
 		if ex.Else != nil {
-			v, err := e.evalVec(ex.Else, ch)
+			v, err := e.evalVecM(ex.Else, ch, memo)
 			if err != nil {
 				return nil, err
 			}
@@ -148,15 +433,15 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		return out, nil
 	case *BetweenExpr:
-		v, err := e.evalVec(ex.E, ch)
+		v, err := e.evalVecM(ex.E, ch, memo)
 		if err != nil {
 			return nil, err
 		}
-		lo, err := e.evalVec(ex.Lo, ch)
+		lo, err := e.evalVecM(ex.Lo, ch, memo)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := e.evalVec(ex.Hi, ch)
+		hi, err := e.evalVecM(ex.Hi, ch, memo)
 		if err != nil {
 			return nil, err
 		}
@@ -176,13 +461,13 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		return out, nil
 	case *InExpr:
-		v, err := e.evalVec(ex.E, ch)
+		v, err := e.evalVecM(ex.E, ch, memo)
 		if err != nil {
 			return nil, err
 		}
 		lists := make([][]data.Value, len(ex.List))
 		for i, item := range ex.List {
-			lv, err := e.evalVec(item, ch)
+			lv, err := e.evalVecM(item, ch, memo)
 			if err != nil {
 				return nil, err
 			}
@@ -204,7 +489,7 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		return out, nil
 	case *IsNullExpr:
-		v, err := e.evalVec(ex.E, ch)
+		v, err := e.evalVecM(ex.E, ch, memo)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +503,7 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 		}
 		return out, nil
 	case *CastExpr:
-		v, err := e.evalVec(ex.E, ch)
+		v, err := e.evalVecM(ex.E, ch, memo)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +519,7 @@ func (e *Engine) evalVec(x SQLExpr, ch *data.Chunk) ([]data.Value, error) {
 // evalScalarUDFVec crosses into the UDF environment once per batch:
 // arguments become engine columns (materializing + serializing any
 // intermediate UDF results) and the transport converts back.
-func (e *Engine) evalScalarUDFVec(u *ffi.UDF, ex *FuncExpr, ch *data.Chunk) ([]data.Value, error) {
+func (e *Engine) evalScalarUDFVec(u *ffi.UDF, ex *FuncExpr, ch *data.Chunk, memo vecMemo) ([]data.Value, error) {
 	n := ch.NumRows()
 	argCols := make([]*data.Column, len(ex.Args))
 	for i, a := range ex.Args {
@@ -244,7 +529,7 @@ func (e *Engine) evalScalarUDFVec(u *ffi.UDF, ex *FuncExpr, ch *data.Chunk) ([]d
 			argCols[i] = ch.Cols[cr.Index]
 			continue
 		}
-		vals, err := e.evalVec(a, ch)
+		vals, err := e.evalVecM(a, ch, memo)
 		if err != nil {
 			return nil, err
 		}

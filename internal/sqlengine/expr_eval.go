@@ -290,6 +290,13 @@ func evalNativeScalar(name string, args []data.Value) (data.Value, error) {
 		if args[0].IsNull() {
 			return data.Null, nil
 		}
+		// Optional second argument names the cutset (SQL TRIM(x, chars)).
+		if len(args) > 1 {
+			if args[1].IsNull() {
+				return data.Null, nil
+			}
+			return data.Str(strings.Trim(args[0].String(), args[1].String())), nil
+		}
 		return data.Str(strings.TrimSpace(args[0].String())), nil
 	case "sqlupper":
 		if args[0].IsNull() {

@@ -295,6 +295,71 @@ func (*StarExpr) String() string { return "*" }
 // prunes the subtree.
 func WalkExpr(e SQLExpr, fn func(SQLExpr) bool) { walkExpr(e, fn) }
 
+// RewriteExpr returns a deep copy of e with fn applied to every node
+// bottom-up: children are rebuilt first, then fn sees the fresh node
+// and may return a replacement (return the argument to keep it). The
+// input is never mutated, so a template expression can be expanded at
+// many call sites — the relational inliner uses this to substitute UDF
+// parameter markers with call-site argument expressions.
+func RewriteExpr(e SQLExpr, fn func(SQLExpr) SQLExpr) SQLExpr {
+	if e == nil {
+		return nil
+	}
+	var out SQLExpr
+	switch x := e.(type) {
+	case *ColRef:
+		c := *x
+		out = &c
+	case *Lit:
+		c := *x
+		out = &c
+	case *FuncExpr:
+		c := &FuncExpr{Name: x.Name, Star: x.Star}
+		if x.Args != nil {
+			c.Args = make([]SQLExpr, len(x.Args))
+			for i, a := range x.Args {
+				c.Args[i] = RewriteExpr(a, fn)
+			}
+		}
+		out = c
+	case *BinExpr:
+		out = &BinExpr{Op: x.Op, L: RewriteExpr(x.L, fn), R: RewriteExpr(x.R, fn)}
+	case *UnaryExpr:
+		out = &UnaryExpr{Op: x.Op, E: RewriteExpr(x.E, fn)}
+	case *CaseExpr:
+		c := &CaseExpr{Operand: RewriteExpr(x.Operand, fn), Else: RewriteExpr(x.Else, fn)}
+		if x.Whens != nil {
+			c.Whens = make([]SQLExpr, len(x.Whens))
+			c.Thens = make([]SQLExpr, len(x.Thens))
+			for i := range x.Whens {
+				c.Whens[i] = RewriteExpr(x.Whens[i], fn)
+				c.Thens[i] = RewriteExpr(x.Thens[i], fn)
+			}
+		}
+		out = c
+	case *BetweenExpr:
+		out = &BetweenExpr{E: RewriteExpr(x.E, fn), Lo: RewriteExpr(x.Lo, fn), Hi: RewriteExpr(x.Hi, fn), Not: x.Not}
+	case *InExpr:
+		c := &InExpr{E: RewriteExpr(x.E, fn), Not: x.Not}
+		if x.List != nil {
+			c.List = make([]SQLExpr, len(x.List))
+			for i, it := range x.List {
+				c.List[i] = RewriteExpr(it, fn)
+			}
+		}
+		out = c
+	case *IsNullExpr:
+		out = &IsNullExpr{E: RewriteExpr(x.E, fn), Not: x.Not}
+	case *CastExpr:
+		out = &CastExpr{E: RewriteExpr(x.E, fn), Kind: x.Kind}
+	case *StarExpr:
+		out = &StarExpr{}
+	default:
+		out = e
+	}
+	return fn(out)
+}
+
 // walkExpr visits e and its children pre-order; fn returning false
 // prunes the subtree.
 func walkExpr(e SQLExpr, fn func(SQLExpr) bool) {

@@ -203,9 +203,10 @@ func WithMorselSize(n int) Option {
 
 // WithTier pins the execution tier of fused sections: "vm" forces the
 // vectorized bytecode VM wherever a section is eligible, "closure"
-// forces the closure-compiled trace loop, and "auto" (the default)
-// lets the cost model decide. Ineligible sections always run the
-// closure tier.
+// forces the closure-compiled trace loop, "inline" forces relational
+// inlining of every inlinable UDF call site (opaque UDFs still run the
+// fusion ladder), and "auto" (the default) lets the cost model decide.
+// Ineligible sections always run the closure tier.
 func WithTier(tier string) Option {
 	return func(c *engines.Config) { c.Tier = tier }
 }

@@ -32,6 +32,11 @@ go run ./cmd/qfusor-bench -vm-smoke
 # responses instead of collapsing, the admission counters show up in
 # /metrics and /debug/sessions, and shutdown drains within its grace.
 go run ./cmd/qfusor-bench -serve-smoke
+# Inlined-tier smoke: a guarded straight-line UDF query pinned to the
+# relational-inlining tier must come back native-identical with zero
+# FFI crossings (the Froid contract), an opaque UDF must fall back, and
+# the qfusor.inline.* counters must appear in valid Prometheus form.
+go run ./cmd/qfusor-bench -inline-smoke
 # Differential fuzz smoke: a bounded run of the native vs fused-cold vs
 # fused-warm (plan-cache hit) equivalence fuzzer; any mismatch is a
 # plan-cache or fusion correctness bug. FUZZTIME can be shortened for
